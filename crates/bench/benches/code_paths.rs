@@ -1,0 +1,57 @@
+//! Criterion bench backing Table I: the monitor's core data-structure
+//! operations (the code paths the paper instruments).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use fluidmem::core::{CodePath, LruBuffer, PageTracker, ProfileTable};
+use fluidmem::mem::Vpn;
+use fluidmem::sim::SimDuration;
+
+fn bench_page_tracker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_data_structures");
+    group.bench_function("insert_page_hash_node", |b| {
+        let mut tracker = PageTracker::new();
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            tracker.insert(Vpn::new(n))
+        })
+    });
+    group.bench_function("page_hash_lookup", |b| {
+        let mut tracker = PageTracker::new();
+        for n in 0..100_000 {
+            tracker.insert(Vpn::new(n));
+        }
+        let mut n = 0u64;
+        b.iter(|| {
+            n = (n + 1) % 200_000;
+            tracker.contains(Vpn::new(n))
+        })
+    });
+    group.bench_function("insert_lru_cache_node", |b| {
+        let mut lru = LruBuffer::new(u64::MAX);
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            lru.insert(Vpn::new(n))
+        })
+    });
+    group.bench_function("lru_pop_and_reinsert", |b| {
+        let mut lru = LruBuffer::new(u64::MAX);
+        for n in 0..100_000 {
+            lru.insert(Vpn::new(n));
+        }
+        b.iter(|| {
+            let victim = lru.pop_victim().expect("nonempty");
+            lru.insert(victim);
+        })
+    });
+    group.bench_function("profile_record", |b| {
+        let mut profile = ProfileTable::new();
+        b.iter(|| profile.record(CodePath::ReadPage, SimDuration::from_micros(15)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_page_tracker);
+criterion_main!(benches);

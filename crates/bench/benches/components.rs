@@ -1,0 +1,142 @@
+//! Criterion bench for the substrate components: key-value stores,
+//! block devices, the coordination service, and workload generators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use fluidmem::block::{BlockDevice, NvmeofDevice, PmemDevice, SsdDevice};
+use fluidmem::coord::{CoordCluster, PartitionId, WriteOp};
+use fluidmem::kv::{DramStore, ExternalKey, KeyValueStore, MemcachedStore, RamCloudStore};
+use fluidmem::mem::{PageContents, Vpn};
+use fluidmem::sim::{SimClock, SimRng};
+use fluidmem::workloads::ycsb::ZipfianGenerator;
+
+fn key(n: u64) -> ExternalKey {
+    ExternalKey::new(Vpn::new(n % 4096), PartitionId::new(0))
+}
+
+fn bench_stores(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kv_stores");
+    group.bench_function("ramcloud_put_get", |b| {
+        let clock = SimClock::new();
+        let mut store = RamCloudStore::new(1 << 28, clock, SimRng::seed_from_u64(1));
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            store.put(key(n), PageContents::Token(n)).unwrap();
+            store.get(key(n)).unwrap()
+        })
+    });
+    group.bench_function("memcached_put_get", |b| {
+        let clock = SimClock::new();
+        let mut store = MemcachedStore::new(1 << 28, clock, SimRng::seed_from_u64(1));
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            store.put(key(n), PageContents::Token(n)).unwrap();
+            store.get(key(n)).unwrap()
+        })
+    });
+    group.bench_function("dram_put_get", |b| {
+        let clock = SimClock::new();
+        let mut store = DramStore::new(1 << 28, clock, SimRng::seed_from_u64(1));
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            store.put(key(n), PageContents::Token(n)).unwrap();
+            store.get(key(n)).unwrap()
+        })
+    });
+    group.bench_function("ramcloud_multiwrite_32", |b| {
+        let clock = SimClock::new();
+        let mut store = RamCloudStore::new(1 << 28, clock, SimRng::seed_from_u64(1));
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 32;
+            let batch: Vec<_> = (0..32)
+                .map(|i| (key(n + i), PageContents::Token(i)))
+                .collect();
+            store.multi_write(batch).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_devices(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_devices");
+    group.bench_function("pmem_rw", |b| {
+        let clock = SimClock::new();
+        let mut dev = PmemDevice::new(1 << 16, clock, SimRng::seed_from_u64(1));
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            dev.write_sync(n % 1024, PageContents::Token(n)).unwrap();
+            dev.read_sync(n % 1024).unwrap()
+        })
+    });
+    group.bench_function("nvmeof_rw", |b| {
+        let clock = SimClock::new();
+        let mut dev = NvmeofDevice::new(1 << 16, clock, SimRng::seed_from_u64(1));
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            dev.write_sync(n % 1024, PageContents::Token(n)).unwrap();
+            dev.read_sync(n % 1024).unwrap()
+        })
+    });
+    group.bench_function("ssd_rw", |b| {
+        let clock = SimClock::new();
+        let mut dev = SsdDevice::new(1 << 16, clock, SimRng::seed_from_u64(1));
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            dev.write_sync(n % 1024, PageContents::Token(n)).unwrap();
+            dev.read_sync(n % 1024).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_coord(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coordination");
+    group.bench_function("quorum_commit", |b| {
+        let mut cluster = CoordCluster::new(3, SimClock::new(), SimRng::seed_from_u64(1));
+        cluster
+            .propose(WriteOp::Create {
+                path: "/bench".into(),
+                data: vec![],
+                ephemeral_owner: None,
+            })
+            .unwrap();
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            cluster
+                .propose(WriteOp::SetData {
+                    path: "/bench".into(),
+                    data: n.to_le_bytes().to_vec(),
+                    expected_version: None,
+                })
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generators");
+    group.bench_function("zipfian_next_key", |b| {
+        let mut z = ZipfianGenerator::new(1_000_000, 0.99);
+        let mut rng = SimRng::seed_from_u64(1);
+        b.iter(|| z.next_key(&mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stores,
+    bench_devices,
+    bench_coord,
+    bench_generators
+);
+criterion_main!(benches);

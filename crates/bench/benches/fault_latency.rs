@@ -1,0 +1,58 @@
+//! Criterion bench backing Figure 3: how fast the simulator handles one
+//! page fault per backend configuration (wall-clock cost of the
+//! reproduction itself, and a regression guard on the fault paths).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fluidmem::sim::{SimDuration, SimRng};
+use fluidmem::testbed::{BackendKind, Testbed};
+use fluidmem::workloads::pmbench::{self, PmbenchConfig};
+
+fn bench_fault_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_fault_paths");
+    group.sample_size(10);
+    for kind in BackendKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let testbed = Testbed::scaled_down(1024);
+                    let mut backend = testbed.build(kind, 42);
+                    let config = PmbenchConfig {
+                        wss_pages: testbed.local_dram_pages * 4,
+                        duration: SimDuration::from_millis(50),
+                        read_ratio: 0.5,
+                        max_accesses: 4_000,
+                    };
+                    let mut rng = SimRng::seed_from_u64(42);
+                    pmbench::run(backend.as_mut(), &config, &mut rng).avg_latency_us()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_single_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_access");
+    // A resident hit should cost nanoseconds of simulator time.
+    group.bench_function("fluidmem_hit", |b| {
+        let testbed = Testbed::scaled_down(1024);
+        let mut backend = testbed.build(BackendKind::FluidMemRamCloud, 1);
+        let region = backend.map_region(16, fluidmem::mem::PageClass::Anonymous);
+        backend.access(region.page(0), true);
+        b.iter(|| backend.access(region.page(0), false))
+    });
+    group.bench_function("swap_hit", |b| {
+        let testbed = Testbed::scaled_down(1024);
+        let mut backend = testbed.build(BackendKind::SwapDram, 1);
+        let region = backend.map_region(16, fluidmem::mem::PageClass::Anonymous);
+        backend.access(region.page(0), true);
+        b.iter(|| backend.access(region.page(0), false))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_paths, bench_single_access);
+criterion_main!(benches);

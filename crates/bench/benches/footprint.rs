@@ -1,0 +1,57 @@
+//! Criterion bench backing Table III: footprint resizing — how fast the
+//! monitor evicts down to a near-zero footprint and recovers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fluidmem::coord::PartitionId;
+use fluidmem::core::{FluidMemMemory, MonitorConfig};
+use fluidmem::kv::RamCloudStore;
+use fluidmem::mem::{MemoryBackend, PageClass};
+use fluidmem::sim::{SimClock, SimRng};
+
+fn populated_vm(pages: u64) -> FluidMemMemory {
+    let clock = SimClock::new();
+    let store = RamCloudStore::new(1 << 28, clock.clone(), SimRng::seed_from_u64(1));
+    let mut vm = FluidMemMemory::new(
+        MonitorConfig::new(pages),
+        Box::new(store),
+        PartitionId::new(0),
+        clock,
+        SimRng::seed_from_u64(2),
+    );
+    let region = vm.map_region(pages, PageClass::Anonymous);
+    for i in 0..pages {
+        vm.access(region.page(i), true);
+    }
+    vm
+}
+
+fn bench_resize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_resize");
+    group.sample_size(10);
+    for target in [512u64, 180, 80, 1] {
+        group.bench_with_input(
+            BenchmarkId::new("shrink_4096_to", target),
+            &target,
+            |b, &target| {
+                b.iter(|| {
+                    let mut vm = populated_vm(4096);
+                    vm.set_local_capacity(target).unwrap();
+                    vm.resident_pages()
+                })
+            },
+        );
+    }
+    group.bench_function("grow_back_instantly", |b| {
+        b.iter(|| {
+            let mut vm = populated_vm(1024);
+            vm.set_local_capacity(1).unwrap();
+            vm.set_local_capacity(1024).unwrap();
+            vm.local_capacity_pages()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_resize);
+criterion_main!(benches);

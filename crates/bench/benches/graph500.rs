@@ -1,0 +1,39 @@
+//! Criterion bench backing Figure 4: Graph500 BFS over the two headline
+//! remote-memory configurations at 240% working-set pressure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fluidmem::sim::SimRng;
+use fluidmem::testbed::{BackendKind, Testbed};
+use fluidmem::vm::{GuestOsProfile, Vm};
+use fluidmem::workloads::graph500::{generate_edges, run_benchmark, CsrGraph, Graph500Config};
+
+fn bench_graph500(c: &mut Criterion) {
+    let config = Graph500Config::quick(11, 4);
+    let edges = generate_edges(&config);
+    let graph = CsrGraph::build(config.vertices(), &edges);
+
+    let mut group = c.benchmark_group("fig4_graph500");
+    group.sample_size(10);
+    for kind in [BackendKind::FluidMemRamCloud, BackendKind::SwapNvmeof] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut testbed = Testbed::scaled_down(1024);
+                    testbed.local_dram_pages = 96; // WSS ≈ 240% of DRAM
+                    let backend = testbed.build(kind, 5);
+                    let mut vm = Vm::boot(backend, GuestOsProfile::scaled_to(30));
+                    let mut rng = SimRng::seed_from_u64(5);
+                    run_benchmark(vm.backend_mut(), &graph, &config, &mut rng)
+                        .harmonic_mean_teps()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph500);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench backing Table II: the monitor under each §V-B
+//! optimization combination, measured in simulated fault throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fluidmem::coord::PartitionId;
+use fluidmem::core::{FluidMemMemory, MonitorConfig, Optimizations};
+use fluidmem::kv::RamCloudStore;
+use fluidmem::mem::{MemoryBackend, PageClass};
+use fluidmem::sim::{SimClock, SimRng};
+
+fn run_faults(opts: Optimizations, faults: u64) -> f64 {
+    let clock = SimClock::new();
+    let store = RamCloudStore::new(1 << 28, clock.clone(), SimRng::seed_from_u64(1));
+    let mut vm = FluidMemMemory::new(
+        MonitorConfig::new(128).optimizations(opts).bare_process(),
+        Box::new(store),
+        PartitionId::new(0),
+        clock,
+        SimRng::seed_from_u64(2),
+    );
+    let region = vm.map_region(512, PageClass::Anonymous);
+    let mut rng = SimRng::seed_from_u64(3);
+    for i in 0..region.pages() {
+        vm.access(region.page(i), true);
+    }
+    let mut total = 0.0;
+    for _ in 0..faults {
+        let i = rng.gen_index(region.pages());
+        total += vm.access(region.page(i), rng.gen_bool(0.5)).latency.as_micros_f64();
+    }
+    total / faults as f64
+}
+
+fn bench_optimizations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_optimizations");
+    group.sample_size(10);
+    let cases = [
+        Optimizations { async_read: false, async_write: false },
+        Optimizations { async_read: true, async_write: false },
+        Optimizations { async_read: false, async_write: true },
+        Optimizations { async_read: true, async_write: true },
+    ];
+    for opts in cases {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(opts.label()),
+            &opts,
+            |b, &opts| b.iter(|| run_faults(opts, 2_000)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizations);
+criterion_main!(benches);

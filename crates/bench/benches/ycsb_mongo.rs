@@ -1,0 +1,44 @@
+//! Criterion bench backing Figure 5: YCSB-C reads against the document
+//! store over FluidMem and swap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fluidmem::block::SsdDevice;
+use fluidmem::sim::SimRng;
+use fluidmem::testbed::{BackendKind, Testbed};
+use fluidmem::vm::{GuestOsProfile, Vm};
+use fluidmem::workloads::docstore::{DocStoreConfig, DocumentStore};
+use fluidmem::workloads::ycsb::{run_workload_c, WorkloadC};
+
+fn bench_ycsb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_ycsb_mongo");
+    group.sample_size(10);
+    for kind in [BackendKind::FluidMemRamCloud, BackendKind::SwapNvmeof] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let testbed = Testbed::scaled_down(512);
+                    let backend = testbed.build(kind, 6);
+                    let mut vm = Vm::boot(backend, GuestOsProfile::scaled_down(512));
+                    let config = DocStoreConfig::paper(512, (2u64 << 30) / 512);
+                    let disk = SsdDevice::new(
+                        config.record_count * 2,
+                        vm.backend().clock().clone(),
+                        SimRng::seed_from_u64(7),
+                    );
+                    let mut store = DocumentStore::new(config, Box::new(disk), vm.backend_mut());
+                    let workload = WorkloadC::new(4_000);
+                    let mut rng = SimRng::seed_from_u64(8);
+                    run_workload_c(vm.backend_mut(), &mut store, &workload, &mut rng)
+                        .avg_latency_us()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ycsb);
+criterion_main!(benches);

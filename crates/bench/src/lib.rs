@@ -1,0 +1,199 @@
+//! Shared harness utilities for the per-table / per-figure binaries.
+//!
+//! Each binary regenerates one element of the paper's evaluation:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `fig3` | Figure 3 — pmbench fault-latency CDFs and averages |
+//! | `table1` | Table I — monitor code-path latencies |
+//! | `table2` | Table II — optimization ablation |
+//! | `fig4` | Figure 4 — Graph500 TEPS across scale factors |
+//! | `fig5` | Figure 5 — YCSB/MongoDB read-latency time course |
+//! | `table3` | Table III — minimum-footprint responsiveness |
+//! | `fig2` | Figure 2 — the fault-handling paths as an executable trace |
+//! | `ablations` | eight design-choice studies beyond the paper |
+//! | `timeouts` | §VI-D1's closing remark: deadlines vs. disaggregation depth |
+//!
+//! All binaries accept `--scale <N>` (run at 1/N of the paper's sizes;
+//! each has a sensible default) and `--full` (paper-size run), and print
+//! aligned text tables plus gnuplot-ready CDF/series data where the
+//! figure needs it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Command-line options shared by every harness binary.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Divide the paper's problem sizes by this factor.
+    pub scale_denominator: u64,
+    /// Root seed for the run.
+    pub seed: u64,
+    /// Append machine-readable records (JSON lines) to this file.
+    pub json_path: Option<PathBuf>,
+}
+
+impl HarnessArgs {
+    /// Parses `--full`, `--scale <N>`, and `--seed <N>` from `args`,
+    /// using `default_denominator` when neither sizing flag is given.
+    pub fn parse(default_denominator: u64) -> HarnessArgs {
+        let mut scale = default_denominator;
+        let mut seed = 42;
+        let mut json_path = None;
+        let argv: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--full" => scale = 1,
+                "--scale" => {
+                    i += 1;
+                    scale = argv
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(default_denominator);
+                }
+                "--seed" => {
+                    i += 1;
+                    seed = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or(42);
+                }
+                "--json" => {
+                    i += 1;
+                    json_path = argv.get(i).map(PathBuf::from);
+                }
+                other => eprintln!("ignoring unknown argument {other:?}"),
+            }
+            i += 1;
+        }
+        HarnessArgs {
+            scale_denominator: scale.max(1),
+            seed,
+            json_path,
+        }
+    }
+
+    /// Appends a JSON-lines record when `--json` was given.
+    pub fn emit_json(&self, record: &json::Json) {
+        if let Some(path) = &self.json_path {
+            if let Err(e) = json::write_json_line(path, record) {
+                eprintln!("failed to write {path:?}: {e}");
+            }
+        }
+    }
+}
+
+/// A plain-text table printer with aligned columns.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded or truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                let _ = write!(line, "| {:width$} ", cell, width = widths[c]);
+            }
+            line.push('|');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let mut sep = String::new();
+        for w in &widths {
+            let _ = write!(sep, "|{}", "-".repeat(w + 2));
+        }
+        sep.push('|');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with 2 decimal places.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a ratio as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Prints a figure banner.
+pub fn banner(title: &str, detail: &str) {
+    println!("\n=== {title} ===");
+    if !detail.is_empty() {
+        println!("{detail}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["long-name", "2"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(s.contains("long-name"));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["only-one"]);
+        assert!(t.render().contains("only-one"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(pct(0.256), "25.6%");
+    }
+}

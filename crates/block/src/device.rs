@@ -1,0 +1,288 @@
+//! The block-device trait and the shared queueing engine.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use fluidmem_mem::PageContents;
+use fluidmem_sim::{LatencyModel, SimClock, SimDuration, SimInstant, SimRng};
+
+/// Errors returned by block devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockError {
+    /// The block number is past the end of the device.
+    OutOfRange {
+        /// The offending block.
+        block: u64,
+        /// Device capacity in blocks.
+        capacity: u64,
+    },
+    /// A compressed-memory device's pool is full (zram's `ENOSPC`).
+    OutOfSpace {
+        /// Bytes currently stored.
+        used: usize,
+        /// The configured pool limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for BlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockError::OutOfRange { block, capacity } => {
+                write!(f, "block {block} out of range (capacity {capacity})")
+            }
+            BlockError::OutOfSpace { used, limit } => {
+                write!(f, "compressed pool full ({used} of {limit} bytes)")
+            }
+        }
+    }
+}
+
+impl Error for BlockError {}
+
+/// A completed-in-the-future I/O: the data (for reads) plus the virtual
+/// instant at which the device raises its completion interrupt.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// Read payload (`PageContents::Zero` for writes and never-written
+    /// blocks).
+    pub data: PageContents,
+    /// When the request completes.
+    pub at: SimInstant,
+}
+
+/// Per-device counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Read requests completed or in flight.
+    pub reads: u64,
+    /// Write requests completed or in flight.
+    pub writes: u64,
+    /// Requests that found the submission queue full and had to wait.
+    pub queue_full_waits: u64,
+}
+
+/// A 4 KB-block storage device with a bounded submission queue.
+///
+/// `submit_read`/`submit_write` are asynchronous: they return a
+/// [`Completion`] carrying the finish time, and the caller decides whether
+/// to wait (`clock.advance_to`) — the swap page-in path waits, kswapd's
+/// background writeback does not.
+pub trait BlockDevice {
+    /// Short device name (e.g. `"nvmeof"`).
+    fn name(&self) -> &'static str;
+
+    /// Device capacity in 4 KB blocks.
+    fn capacity_blocks(&self) -> u64;
+
+    /// Submits a read of one block.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockError::OutOfRange`] for blocks past the device end.
+    fn submit_read(&mut self, block: u64) -> Result<Completion, BlockError>;
+
+    /// Submits a write of one block.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockError::OutOfRange`] for blocks past the device end.
+    fn submit_write(&mut self, block: u64, data: PageContents) -> Result<Completion, BlockError>;
+
+    /// Submits a write from a background context (kswapd, flusher
+    /// threads): the request occupies the device queue but its submission
+    /// CPU cost is *not* charged to the calling thread's virtual time.
+    ///
+    /// The default implementation falls back to the foreground path.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockError::OutOfRange`] for blocks past the device end.
+    fn submit_write_background(
+        &mut self,
+        block: u64,
+        data: PageContents,
+    ) -> Result<Completion, BlockError> {
+        self.submit_write(block, data)
+    }
+
+    /// Convenience: submit a read and wait for it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BlockError`] from submission.
+    fn read_sync(&mut self, block: u64) -> Result<PageContents, BlockError> {
+        let completion = self.submit_read(block)?;
+        self.clock().advance_to(completion.at);
+        Ok(completion.data)
+    }
+
+    /// Convenience: submit a write and wait for durability.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BlockError`] from submission.
+    fn write_sync(&mut self, block: u64, data: PageContents) -> Result<(), BlockError> {
+        let completion = self.submit_write(block, data)?;
+        self.clock().advance_to(completion.at);
+        Ok(())
+    }
+
+    /// The device's clock handle.
+    fn clock(&self) -> &SimClock;
+
+    /// Operation counters.
+    fn stats(&self) -> BlockStats;
+}
+
+/// The shared engine: payload storage, a bounded in-flight window, and
+/// latency sampling. Concrete devices wrap this with their own latency
+/// models.
+#[derive(Debug)]
+pub(crate) struct QueueedStore {
+    pub(crate) blocks: HashMap<u64, PageContents>,
+    capacity: u64,
+    queue_depth: usize,
+    /// Completion times of in-flight requests (unsorted; small).
+    inflight: Vec<SimInstant>,
+    pub(crate) clock: SimClock,
+    pub(crate) rng: SimRng,
+    pub(crate) stats: BlockStats,
+}
+
+impl QueueedStore {
+    pub(crate) fn new(capacity: u64, queue_depth: usize, clock: SimClock, rng: SimRng) -> Self {
+        QueueedStore {
+            blocks: HashMap::new(),
+            capacity,
+            queue_depth: queue_depth.max(1),
+            inflight: Vec::new(),
+            clock,
+            rng,
+            stats: BlockStats::default(),
+        }
+    }
+
+    pub(crate) fn check_range(&self, block: u64) -> Result<(), BlockError> {
+        if block >= self.capacity {
+            Err(BlockError::OutOfRange {
+                block,
+                capacity: self.capacity,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Schedules one request with the given submission overhead and
+    /// service latency, honoring the queue depth: if the window is full
+    /// the request starts when the earliest in-flight op finishes.
+    pub(crate) fn schedule(
+        &mut self,
+        submit_cost: SimDuration,
+        service: &LatencyModel,
+    ) -> SimInstant {
+        // Charge CPU submission cost on the caller.
+        self.clock.advance(submit_cost);
+        let now = self.clock.now();
+        // Retire finished requests.
+        self.inflight.retain(|&t| t > now);
+        let start = if self.inflight.len() >= self.queue_depth {
+            self.stats.queue_full_waits += 1;
+            let earliest = self
+                .inflight
+                .iter()
+                .copied()
+                .min()
+                .expect("inflight nonempty when full");
+            // Free the slot we are about to occupy.
+            let pos = self
+                .inflight
+                .iter()
+                .position(|&t| t == earliest)
+                .expect("min exists");
+            self.inflight.swap_remove(pos);
+            earliest.max(now)
+        } else {
+            now
+        };
+        let done = start + service.sample(&mut self.rng);
+        self.inflight.push(done);
+        done
+    }
+
+    /// Like [`schedule`](Self::schedule) but without charging any
+    /// submission cost to the caller — for background (kswapd/flusher)
+    /// contexts whose CPU time does not stall the faulting thread.
+    pub(crate) fn schedule_background(&mut self, service: &LatencyModel) -> SimInstant {
+        let now = self.clock.now();
+        self.inflight.retain(|&t| t > now);
+        let start = if self.inflight.len() >= self.queue_depth {
+            self.stats.queue_full_waits += 1;
+            let earliest = self
+                .inflight
+                .iter()
+                .copied()
+                .min()
+                .expect("inflight nonempty when full");
+            let pos = self
+                .inflight
+                .iter()
+                .position(|&t| t == earliest)
+                .expect("min exists");
+            self.inflight.swap_remove(pos);
+            earliest.max(now)
+        } else {
+            now
+        };
+        let done = start + service.sample(&mut self.rng);
+        self.inflight.push(done);
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_without_contention_is_service_time() {
+        let clock = SimClock::new();
+        let mut q = QueueedStore::new(100, 4, clock.clone(), SimRng::seed_from_u64(1));
+        let done = q.schedule(SimDuration::from_micros(1), &LatencyModel::constant_us(10.0));
+        // 1µs submit + 10µs service.
+        assert_eq!(done.as_nanos(), 11_000);
+    }
+
+    #[test]
+    fn full_queue_serializes() {
+        let clock = SimClock::new();
+        let mut q = QueueedStore::new(100, 2, clock.clone(), SimRng::seed_from_u64(1));
+        let svc = LatencyModel::constant_us(100.0);
+        let d1 = q.schedule(SimDuration::ZERO, &svc);
+        let d2 = q.schedule(SimDuration::ZERO, &svc);
+        let d3 = q.schedule(SimDuration::ZERO, &svc); // must wait for d1
+        assert_eq!(d1.as_nanos(), 100_000);
+        assert_eq!(d2.as_nanos(), 100_000);
+        assert_eq!(d3.as_nanos(), 200_000, "third op queues behind the first");
+        assert_eq!(q.stats.queue_full_waits, 1);
+    }
+
+    #[test]
+    fn range_checking() {
+        let q = QueueedStore::new(10, 1, SimClock::new(), SimRng::seed_from_u64(1));
+        assert!(q.check_range(9).is_ok());
+        assert_eq!(
+            q.check_range(10),
+            Err(BlockError::OutOfRange {
+                block: 10,
+                capacity: 10
+            })
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! A zram-style compressed-DRAM block device.
+//!
+//! Not part of the paper's testbed, but the modern in-kernel alternative
+//! its §VII related work gestures at: swap to *local* DRAM with the
+//! pages compressed in place. The reproduction includes it so the
+//! ablation harness can position FluidMem against today's kernel
+//! baseline as well as the 2019-era ones.
+
+use std::collections::HashMap;
+
+use fluidmem_mem::{PageContents, PAGE_SIZE};
+use fluidmem_sim::{LatencyModel, SimClock, SimDuration, SimRng};
+
+use crate::device::{BlockDevice, BlockError, BlockStats, Completion};
+
+/// A compressed-memory block device (Linux `zram`): writes compress the
+/// page (LZ-class CPU cost) into a DRAM pool budgeted by *compressed*
+/// bytes; reads decompress. There is no queue to speak of — everything
+/// is a CPU-bound memcpy.
+///
+/// Incompressible pages are stored raw (as zram does); a full pool
+/// refuses writes with [`BlockError::OutOfSpace`], which the swap layer
+/// sees as a failed writeback.
+///
+/// # Example
+///
+/// ```
+/// use fluidmem_block::{BlockDevice, ZramDevice};
+/// use fluidmem_mem::PageContents;
+/// use fluidmem_sim::{SimClock, SimRng};
+///
+/// let mut dev = ZramDevice::new(1024, 1 << 20, SimClock::new(), SimRng::seed_from_u64(1));
+/// dev.write_sync(3, PageContents::from_byte_fill(7))?;
+/// assert_eq!(dev.read_sync(3)?, PageContents::from_byte_fill(7));
+/// assert!(dev.compressed_bytes() < 4096, "uniform page packs small");
+/// # Ok::<(), fluidmem_block::BlockError>(())
+/// ```
+pub struct ZramDevice {
+    blocks: HashMap<u64, (PageContents, usize)>,
+    capacity_blocks: u64,
+    mem_limit_bytes: usize,
+    used_bytes: usize,
+    compress: LatencyModel,
+    decompress: LatencyModel,
+    submit: SimDuration,
+    clock: SimClock,
+    rng: SimRng,
+    stats: BlockStats,
+}
+
+impl ZramDevice {
+    /// Creates a device with `capacity_blocks` logical blocks and a
+    /// compressed-memory budget of `mem_limit_bytes`.
+    pub fn new(
+        capacity_blocks: u64,
+        mem_limit_bytes: usize,
+        clock: SimClock,
+        rng: SimRng,
+    ) -> Self {
+        ZramDevice {
+            blocks: HashMap::new(),
+            capacity_blocks,
+            mem_limit_bytes,
+            used_bytes: 0,
+            compress: LatencyModel::normal_us(2.0, 0.3),
+            decompress: LatencyModel::normal_us(1.0, 0.15),
+            submit: SimDuration::from_nanos(500),
+            clock,
+            rng,
+            stats: BlockStats::default(),
+        }
+    }
+
+    /// Bytes of compressed storage in use.
+    pub fn compressed_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    fn stored_size(contents: &PageContents) -> usize {
+        match contents {
+            PageContents::Zero => 0, // zram tracks zero pages for free
+            PageContents::Token(_) => 64,
+            PageContents::Bytes(b) => match crate::zram::rle_len(b) {
+                Some(n) => n,
+                None => PAGE_SIZE,
+            },
+        }
+    }
+}
+
+/// Length RLE would compress `page` to, or `None` if incompressible.
+fn rle_len(page: &[u8]) -> Option<usize> {
+    let mut out = 1usize;
+    let mut i = 0;
+    while i < page.len() {
+        let byte = page[i];
+        let mut run = 1usize;
+        while i + run < page.len() && page[i + run] == byte && run < 255 {
+            run += 1;
+        }
+        out += 2;
+        i += run;
+        if out >= page.len() {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+impl BlockDevice for ZramDevice {
+    fn name(&self) -> &'static str {
+        "zram"
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.capacity_blocks
+    }
+
+    fn submit_read(&mut self, block: u64) -> Result<Completion, BlockError> {
+        if block >= self.capacity_blocks {
+            return Err(BlockError::OutOfRange {
+                block,
+                capacity: self.capacity_blocks,
+            });
+        }
+        let cost = self.submit + self.decompress.sample(&mut self.rng);
+        let at = self.clock.now() + cost;
+        self.stats.reads += 1;
+        let data = self
+            .blocks
+            .get(&block)
+            .map(|(c, _)| c.clone())
+            .unwrap_or(PageContents::Zero);
+        Ok(Completion { data, at })
+    }
+
+    fn submit_write(&mut self, block: u64, data: PageContents) -> Result<Completion, BlockError> {
+        if block >= self.capacity_blocks {
+            return Err(BlockError::OutOfRange {
+                block,
+                capacity: self.capacity_blocks,
+            });
+        }
+        let new_size = Self::stored_size(&data);
+        let old_size = self.blocks.get(&block).map(|(_, n)| *n).unwrap_or(0);
+        if self.used_bytes - old_size + new_size > self.mem_limit_bytes {
+            return Err(BlockError::OutOfSpace {
+                used: self.used_bytes,
+                limit: self.mem_limit_bytes,
+            });
+        }
+        let cost = self.submit + self.compress.sample(&mut self.rng);
+        let at = self.clock.now() + cost;
+        self.stats.writes += 1;
+        self.used_bytes = self.used_bytes - old_size + new_size;
+        self.blocks.insert(block, (data, new_size));
+        Ok(Completion {
+            data: PageContents::Zero,
+            at,
+        })
+    }
+
+    fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    fn stats(&self) -> BlockStats {
+        self.stats
+    }
+}
+
+impl std::fmt::Debug for ZramDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ZramDevice")
+            .field("blocks", &self.blocks.len())
+            .field("compressed_bytes", &self.used_bytes)
+            .field("limit", &self.mem_limit_bytes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compressible_pages_fit_many_in_small_budget() {
+        let clock = SimClock::new();
+        // 64 KB budget, 4096-block device: uniform pages pack tiny.
+        let mut dev = ZramDevice::new(4096, 64 << 10, clock, SimRng::seed_from_u64(1));
+        for b in 0..1024u64 {
+            dev.write_sync(b, PageContents::from_byte_fill((b % 251) as u8))
+                .unwrap();
+        }
+        assert!(dev.compressed_bytes() < 64 << 10);
+        assert_eq!(
+            dev.read_sync(17).unwrap(),
+            PageContents::from_byte_fill(17)
+        );
+    }
+
+    #[test]
+    fn incompressible_pages_hit_the_limit() {
+        let clock = SimClock::new();
+        let mut dev = ZramDevice::new(64, 2 * PAGE_SIZE, clock, SimRng::seed_from_u64(2));
+        let noise = |seed: u32| {
+            let mut page = Vec::with_capacity(PAGE_SIZE);
+            let mut x = seed;
+            for _ in 0..PAGE_SIZE {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                page.push((x >> 24) as u8);
+            }
+            PageContents::from_bytes(&page)
+        };
+        dev.write_sync(0, noise(1)).unwrap();
+        dev.write_sync(1, noise(2)).unwrap();
+        assert!(matches!(
+            dev.write_sync(2, noise(3)),
+            Err(BlockError::OutOfSpace { .. })
+        ));
+        // Overwriting an existing block still works (no net growth).
+        dev.write_sync(0, noise(9)).unwrap();
+    }
+
+    #[test]
+    fn zero_pages_are_free() {
+        let clock = SimClock::new();
+        let mut dev = ZramDevice::new(64, 1024, clock, SimRng::seed_from_u64(3));
+        for b in 0..64u64 {
+            dev.write_sync(b, PageContents::Zero).unwrap();
+        }
+        assert_eq!(dev.compressed_bytes(), 0);
+    }
+
+    #[test]
+    fn reads_cost_a_couple_microseconds() {
+        let clock = SimClock::new();
+        let mut dev = ZramDevice::new(8, 1 << 20, clock.clone(), SimRng::seed_from_u64(4));
+        dev.write_sync(0, PageContents::Token(1)).unwrap();
+        let t0 = clock.now();
+        dev.read_sync(0).unwrap();
+        let d = (clock.now() - t0).as_micros_f64();
+        assert!(d > 0.5 && d < 4.0, "{d}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Coordination-service errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the coordination service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordError {
+    /// The path does not exist.
+    NoNode(String),
+    /// A node already exists at the path.
+    NodeExists(String),
+    /// The parent of the path does not exist.
+    NoParent(String),
+    /// The node still has children and cannot be deleted.
+    NotEmpty(String),
+    /// A compare-and-set failed because the version did not match.
+    BadVersion {
+        /// The path whose write failed.
+        path: String,
+        /// Version the caller expected.
+        expected: u64,
+        /// Version actually present.
+        actual: u64,
+    },
+    /// Fewer than a majority of replicas are alive; writes cannot commit.
+    NoQuorum {
+        /// Replicas currently alive.
+        alive: usize,
+        /// Majority required.
+        needed: usize,
+    },
+    /// No leader is currently elected.
+    NoLeader,
+    /// The session is unknown or already closed.
+    UnknownSession,
+    /// An invalid path was supplied (must start with `/`, no empty
+    /// components, no trailing `/`).
+    BadPath(String),
+    /// The 12-bit partition namespace is exhausted.
+    PartitionsExhausted,
+}
+
+impl fmt::Display for CoordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordError::NoNode(p) => write!(f, "no node at {p}"),
+            CoordError::NodeExists(p) => write!(f, "node already exists at {p}"),
+            CoordError::NoParent(p) => write!(f, "parent of {p} does not exist"),
+            CoordError::NotEmpty(p) => write!(f, "node {p} has children"),
+            CoordError::BadVersion {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "version mismatch at {path}: expected {expected}, found {actual}"
+            ),
+            CoordError::NoQuorum { alive, needed } => write!(
+                f,
+                "quorum lost: {alive} replicas alive, {needed} required"
+            ),
+            CoordError::NoLeader => write!(f, "no leader elected"),
+            CoordError::UnknownSession => write!(f, "unknown or closed session"),
+            CoordError::BadPath(p) => write!(f, "invalid path {p:?}"),
+            CoordError::PartitionsExhausted => {
+                write!(f, "all 4096 virtual partitions are allocated")
+            }
+        }
+    }
+}
+
+impl Error for CoordError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_path() {
+        assert!(CoordError::NoNode("/a/b".into()).to_string().contains("/a/b"));
+        let e = CoordError::BadVersion {
+            path: "/x".into(),
+            expected: 1,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("expected 1"));
+    }
+}

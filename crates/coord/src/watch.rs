@@ -1,0 +1,23 @@
+//! One-shot watch notifications (ZooKeeper semantics).
+
+/// What happened to a watched path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchKind {
+    /// The node was created.
+    Created,
+    /// The node's data changed.
+    DataChanged,
+    /// The node was deleted.
+    Deleted,
+    /// A sequential child was created under the watched parent.
+    ChildrenChanged,
+}
+
+/// A fired watch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchEvent {
+    /// The watched path.
+    pub path: String,
+    /// What happened.
+    pub kind: WatchKind,
+}

@@ -1,0 +1,485 @@
+//! `FluidMemMemory`: the packaged FluidMem `MemoryBackend`.
+
+use std::collections::BTreeMap;
+
+use fluidmem_coord::PartitionId;
+use fluidmem_kv::KeyValueStore;
+use fluidmem_mem::{
+    AccessCounters, AccessOutcome, AccessReport, CapacityError, MemoryBackend, PageClass,
+    PageContents, PageTable, PhysicalMemory, PteFlags, Region, VirtAddr, Vpn,
+};
+use fluidmem_sim::{SimClock, SimDuration, SimRng};
+use fluidmem_uffd::{RegionId, Userfaultfd};
+
+use crate::config::MonitorConfig;
+use crate::monitor::{Monitor, Resolution};
+
+/// The state handed from a migration source to its destination: the
+/// guest's region layout and the monitor's seen-page set. The pages
+/// themselves never move — they already live in the shared key-value
+/// store, which is exactly the §VII observation that "live migration and
+/// memory disaggregation are complementary."
+#[derive(Debug, Clone)]
+pub struct MigrationImage {
+    /// The guest's registered regions, preserved at their addresses.
+    pub regions: Vec<Region>,
+    /// Pages the monitor has seen (present in the store).
+    pub seen: Vec<Vpn>,
+    /// The VM's store partition.
+    pub partition: PartitionId,
+    /// The local buffer capacity to restore on the destination.
+    pub capacity: u64,
+}
+
+/// A VM memory system fully disaggregated through FluidMem.
+///
+/// This is the right-hand VM of the paper's Figure 1: *all* guest memory
+/// is registered with the (simulated) userfaultfd at creation, every
+/// access is either a mapped-page hit or a monitor-resolved fault, and
+/// extra capacity arrives via [`hotplug_add`](FluidMemMemory::hotplug_add)
+/// without guest cooperation.
+///
+/// # Example
+///
+/// ```
+/// use fluidmem_coord::PartitionId;
+/// use fluidmem_core::{FluidMemMemory, MonitorConfig};
+/// use fluidmem_kv::DramStore;
+/// use fluidmem_mem::{MemoryBackend, PageClass};
+/// use fluidmem_sim::{SimClock, SimRng};
+///
+/// let clock = SimClock::new();
+/// let store = DramStore::new(1 << 30, clock.clone(), SimRng::seed_from_u64(1));
+/// let mut vm = FluidMemMemory::new(
+///     MonitorConfig::new(64),
+///     Box::new(store),
+///     PartitionId::new(0),
+///     clock,
+///     SimRng::seed_from_u64(2),
+/// );
+/// let region = vm.map_region(256, PageClass::Anonymous);
+/// for i in 0..256 {
+///     vm.access(region.page(i), true);
+/// }
+/// assert!(vm.resident_pages() <= 64, "the LRU bound holds");
+/// ```
+pub struct FluidMemMemory {
+    uffd: Userfaultfd,
+    pt: PageTable,
+    pm: PhysicalMemory,
+    monitor: Monitor,
+    regions: BTreeMap<u64, (RegionId, Region)>,
+    next_vpn: u64,
+    pid: u64,
+    from_vm: bool,
+    counters: AccessCounters,
+    clock: SimClock,
+    label: String,
+}
+
+impl FluidMemMemory {
+    /// Creates a FluidMem-backed memory over a key-value store, keyed
+    /// under `partition`.
+    pub fn new(
+        config: MonitorConfig,
+        store: Box<dyn KeyValueStore>,
+        partition: PartitionId,
+        clock: SimClock,
+        rng: SimRng,
+    ) -> Self {
+        let label = format!("FluidMem/{}", store.name());
+        let from_vm = config.from_vm;
+        let uffd = Userfaultfd::new(clock.clone(), rng.fork("uffd"));
+        let monitor = Monitor::new(config, store, partition, clock.clone(), rng.fork("monitor"));
+        FluidMemMemory {
+            uffd,
+            pt: PageTable::new(),
+            // Host frames are bounded by the monitor's LRU, not by this
+            // allocator; size it generously.
+            pm: PhysicalMemory::new(u64::MAX / 2),
+            monitor,
+            regions: BTreeMap::new(),
+            next_vpn: 0x10_000,
+            pid: 4242,
+            from_vm,
+            counters: AccessCounters::default(),
+            clock,
+            label,
+        }
+    }
+
+    /// The monitor (for stats, profile, and resize access).
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// Mutable monitor access (profile clearing, drains).
+    pub fn monitor_mut(&mut self) -> &mut Monitor {
+        &mut self.monitor
+    }
+
+    /// Adds memory to the running VM via hotplug (the left-hand VM of
+    /// Figure 1): a new uffd-registered region appears, no guest changes
+    /// needed.
+    pub fn hotplug_add(&mut self, pages: u64, class: PageClass) -> Region {
+        self.map_region(pages, class)
+    }
+
+    /// Unregisters a region (VM shutdown), dropping monitor state and the
+    /// VM's pages in the store.
+    pub fn unregister_region(&mut self, region: &Region) {
+        if let Some((id, _)) = self.regions.remove(&region.start().raw()) {
+            self.uffd.unregister(id).expect("region was registered");
+            // Consume the unregister event as the monitor would.
+            while self.uffd.poll().is_some() {}
+            self.monitor.remove_region(region);
+            for vpn in region.iter_pages() {
+                if let Some(entry) = self.pt.unmap(vpn) {
+                    if !entry.flags.contains(PteFlags::ZERO_PAGE) {
+                        self.pm.free(entry.frame);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flushes all outstanding writes (shutdown / test hygiene).
+    pub fn drain_writes(&mut self) {
+        self.monitor.drain_writes();
+    }
+
+    /// Migrates the VM out: evicts every page to the (shared) store,
+    /// drains the write list, and returns the image the destination
+    /// needs. Consumes the source — the VM no longer runs here.
+    pub fn migrate_out(mut self) -> MigrationImage {
+        let capacity = self.monitor.capacity();
+        self.monitor
+            .resize(&mut self.uffd, &mut self.pt, &mut self.pm, 0);
+        self.monitor.drain_writes();
+        MigrationImage {
+            regions: self.regions.values().map(|(_, r)| *r).collect(),
+            seen: self.monitor.export_seen(),
+            partition: self.monitor.partition(),
+            capacity,
+        }
+    }
+
+    /// Builds the destination side of a migration: re-registers the
+    /// guest's regions at their original addresses and imports the
+    /// seen-page set, over a handle to the *same* store the source used.
+    pub fn migrate_in(
+        config: MonitorConfig,
+        store: Box<dyn KeyValueStore>,
+        image: MigrationImage,
+        clock: SimClock,
+        rng: SimRng,
+    ) -> Self {
+        let mut config = config;
+        config.lru_capacity = image.capacity;
+        let mut vm = FluidMemMemory::new(config, store, image.partition, clock, rng);
+        for region in &image.regions {
+            let id = vm
+                .uffd
+                .register(*region)
+                .expect("migrated regions do not overlap");
+            vm.regions.insert(region.start().raw(), (id, *region));
+            vm.next_vpn = vm.next_vpn.max(region.end().raw() + 16);
+        }
+        vm.monitor.import_seen(image.seen);
+        vm
+    }
+
+    fn do_access(&mut self, addr: VirtAddr, write: bool) -> AccessReport {
+        let vpn = addr.vpn();
+        if let Some(entry) = self.pt.get_mut(vpn) {
+            if write && entry.flags.contains(PteFlags::ZERO_PAGE) {
+                // Kernel-side copy-on-write break (footnote 1 of the
+                // paper): a regular minor fault, invisible to the
+                // monitor.
+                let t0 = self.clock.now();
+                self.uffd
+                    .break_cow(&mut self.pt, &mut self.pm, vpn)
+                    .expect("zero-page mapping breaks cleanly");
+                self.counters.record(AccessOutcome::MinorFault);
+                return AccessReport {
+                    outcome: AccessOutcome::MinorFault,
+                    latency: self.clock.now() - t0,
+                };
+            }
+            entry.flags.insert(PteFlags::REFERENCED);
+            if write {
+                entry.flags.insert(PteFlags::DIRTY);
+            }
+            self.counters.record(AccessOutcome::Hit);
+            return AccessReport {
+                outcome: AccessOutcome::Hit,
+                latency: SimDuration::ZERO,
+            };
+        }
+
+        let t0 = self.clock.now();
+        self.uffd
+            .raise_fault(addr, write, self.pid, self.from_vm)
+            .unwrap_or_else(|e| panic!("access to unregistered address {addr}: {e}"));
+        let _event = self.uffd.poll().expect("fault was queued");
+        let res = self
+            .monitor
+            .handle_fault(&mut self.uffd, &mut self.pt, &mut self.pm, vpn, write);
+        let mut latency = res.wake_at - t0;
+
+        // A *write* that was resolved with the zero page immediately
+        // breaks CoW when the guest retries the instruction.
+        if write && self.pt.has_flags(vpn, PteFlags::ZERO_PAGE) {
+            let before = self.clock.now();
+            self.uffd
+                .break_cow(&mut self.pt, &mut self.pm, vpn)
+                .expect("zero-page mapping breaks cleanly");
+            latency += self.clock.now() - before;
+        }
+
+        let outcome = match res.resolution {
+            Resolution::ZeroFill | Resolution::WriteListSteal => AccessOutcome::MinorFault,
+            Resolution::RemoteRead | Resolution::InflightWait => AccessOutcome::MajorFault,
+        };
+        self.counters.record(outcome);
+        AccessReport { outcome, latency }
+    }
+}
+
+impl MemoryBackend for FluidMemMemory {
+    fn map_region(&mut self, pages: u64, class: PageClass) -> Region {
+        let region = Region::new(Vpn::new(self.next_vpn), pages, class);
+        self.next_vpn += pages + 16;
+        let id = self
+            .uffd
+            .register(region)
+            .expect("bump allocation never overlaps");
+        self.regions.insert(region.start().raw(), (id, region));
+        region
+    }
+
+    fn access(&mut self, addr: VirtAddr, write: bool) -> AccessReport {
+        self.do_access(addr, write)
+    }
+
+    fn write_page(&mut self, addr: VirtAddr, contents: PageContents) -> AccessReport {
+        let report = self.do_access(addr, true);
+        let entry = self.pt.get(addr.vpn()).expect("write access maps the page");
+        self.pm.store(entry.frame, contents);
+        report
+    }
+
+    fn read_page(&mut self, addr: VirtAddr) -> (PageContents, AccessReport) {
+        let report = self.do_access(addr, false);
+        let entry = self.pt.get(addr.vpn()).expect("read access maps the page");
+        (self.pm.load(entry.frame).clone(), report)
+    }
+
+    fn resident_pages(&self) -> u64 {
+        self.monitor.resident_pages()
+    }
+
+    fn local_capacity_pages(&self) -> u64 {
+        self.monitor.capacity()
+    }
+
+    fn set_local_capacity(&mut self, pages: u64) -> Result<(), CapacityError> {
+        // FluidMem's defining capability (§III, §VI-E): the operator
+        // resizes the buffer with no guest involvement.
+        self.monitor
+            .resize(&mut self.uffd, &mut self.pt, &mut self.pm, pages);
+        Ok(())
+    }
+
+    fn balloon_reclaim(&mut self, target_pages: u64) -> u64 {
+        // FluidMem needs no balloon: resizing the LRU does strictly more.
+        let _ = self.set_local_capacity(target_pages);
+        self.resident_pages()
+    }
+
+    fn counters(&self) -> AccessCounters {
+        self.counters
+    }
+
+    fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+impl std::fmt::Debug for FluidMemMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FluidMemMemory")
+            .field("label", &self.label)
+            .field("resident", &self.resident_pages())
+            .field("capacity", &self.local_capacity_pages())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluidmem_kv::{DramStore, RamCloudStore};
+
+    fn backend(capacity: u64) -> FluidMemMemory {
+        let clock = SimClock::new();
+        let store = DramStore::new(1 << 30, clock.clone(), SimRng::seed_from_u64(1));
+        FluidMemMemory::new(
+            MonitorConfig::new(capacity),
+            Box::new(store),
+            PartitionId::new(0),
+            clock,
+            SimRng::seed_from_u64(2),
+        )
+    }
+
+    #[test]
+    fn first_touch_then_hit() {
+        let mut vm = backend(16);
+        let r = vm.map_region(8, PageClass::Anonymous);
+        assert_eq!(vm.access(r.page(0), false).outcome, AccessOutcome::MinorFault);
+        let hit = vm.access(r.page(0), false);
+        assert_eq!(hit.outcome, AccessOutcome::Hit);
+        assert!(hit.latency.is_zero());
+    }
+
+    #[test]
+    fn write_after_zero_fill_breaks_cow() {
+        let mut vm = backend(16);
+        let r = vm.map_region(8, PageClass::Anonymous);
+        vm.access(r.page(0), false); // zero-fill
+        let rep = vm.access(r.page(0), true); // CoW break
+        assert_eq!(rep.outcome, AccessOutcome::MinorFault);
+        assert!(!rep.latency.is_zero());
+        assert_eq!(vm.monitor().stats().faults, 1, "CoW is not a uffd fault");
+    }
+
+    #[test]
+    fn footprint_bounded_and_refaults_are_major() {
+        let mut vm = backend(32);
+        let r = vm.map_region(128, PageClass::Anonymous);
+        for i in 0..128 {
+            vm.access(r.page(i), true);
+        }
+        assert!(vm.resident_pages() <= 32);
+        vm.drain_writes();
+        let rep = vm.access(r.page(0), false);
+        assert_eq!(rep.outcome, AccessOutcome::MajorFault);
+    }
+
+    #[test]
+    fn any_page_class_disaggregates() {
+        // Full disaggregation: kernel and mlocked pages evict like any
+        // other (unlike the swap baseline).
+        let mut vm = backend(16);
+        let kernel = vm.map_region(32, PageClass::KernelText);
+        let pinned = vm.map_region(32, PageClass::Unevictable);
+        for i in 0..32 {
+            vm.access(kernel.page(i), false);
+            vm.access(pinned.page(i), true);
+        }
+        assert!(vm.resident_pages() <= 16, "kernel pages evicted too");
+        assert!(vm.monitor().stats().evictions >= 48);
+    }
+
+    #[test]
+    fn data_integrity_through_ramcloud_round_trip() {
+        let clock = SimClock::new();
+        let store = RamCloudStore::new(1 << 28, clock.clone(), SimRng::seed_from_u64(7));
+        let mut vm = FluidMemMemory::new(
+            MonitorConfig::new(4),
+            Box::new(store),
+            PartitionId::new(3),
+            clock,
+            SimRng::seed_from_u64(8),
+        );
+        let r = vm.map_region(64, PageClass::Anonymous);
+        for i in 0..16 {
+            vm.write_page(r.page(i), PageContents::from_byte_fill(i as u8 + 1));
+        }
+        vm.drain_writes();
+        for i in 0..16 {
+            let (contents, _) = vm.read_page(r.page(i));
+            assert_eq!(
+                contents,
+                PageContents::from_byte_fill(i as u8 + 1),
+                "page {i} corrupted through evict/refault"
+            );
+        }
+    }
+
+    #[test]
+    fn resize_to_near_zero_and_back() {
+        let mut vm = backend(4096);
+        let r = vm.map_region(4096, PageClass::Anonymous);
+        for i in 0..4096 {
+            vm.access(r.page(i), false);
+        }
+        // Shrink to the paper's 180-page SSH-capable footprint.
+        vm.set_local_capacity(180).unwrap();
+        assert!(vm.resident_pages() <= 180);
+        // And instantly back to normal responsiveness.
+        vm.set_local_capacity(4096).unwrap();
+        vm.drain_writes();
+        let rep = vm.access(r.page(0), false);
+        assert_eq!(rep.outcome, AccessOutcome::MajorFault);
+        assert_eq!(vm.access(r.page(0), false).outcome, AccessOutcome::Hit);
+    }
+
+    #[test]
+    fn unregister_region_cleans_up() {
+        let mut vm = backend(64);
+        let r = vm.map_region(32, PageClass::Anonymous);
+        for i in 0..32 {
+            vm.access(r.page(i), true);
+        }
+        vm.drain_writes();
+        vm.unregister_region(&r);
+        assert_eq!(vm.resident_pages(), 0);
+        assert_eq!(vm.monitor().seen_pages(), 0);
+        assert!(vm.monitor().store().is_empty());
+    }
+
+    #[test]
+    fn two_vms_share_a_store_without_collisions() {
+        let clock = SimClock::new();
+        // One store instance shared by giving each VM its own partition.
+        // (In the simulation each backend owns its store handle; sharing
+        // is exercised at the key level through partitions.)
+        let store_a = DramStore::new(1 << 26, clock.clone(), SimRng::seed_from_u64(1));
+        let mut vm_a = FluidMemMemory::new(
+            MonitorConfig::new(2),
+            Box::new(store_a),
+            PartitionId::new(1),
+            clock.clone(),
+            SimRng::seed_from_u64(2),
+        );
+        let r = vm_a.map_region(8, PageClass::Anonymous);
+        for i in 0..8 {
+            vm_a.write_page(r.page(i), PageContents::Token(100 + i));
+        }
+        vm_a.drain_writes();
+        // Identical vpn range, different partition => different keys.
+        let key_p1 = fluidmem_kv::ExternalKey::new(r.page(0).vpn(), PartitionId::new(1));
+        let key_p2 = fluidmem_kv::ExternalKey::new(r.page(0).vpn(), PartitionId::new(2));
+        assert!(vm_a.monitor().store().contains(key_p1));
+        assert!(!vm_a.monitor().store().contains(key_p2));
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered address")]
+    fn unregistered_access_panics() {
+        let mut vm = backend(4);
+        vm.access(VirtAddr::new(0x10), false);
+    }
+
+    #[test]
+    fn label_names_mechanism_and_store() {
+        let vm = backend(4);
+        assert_eq!(vm.label(), "FluidMem/dram");
+    }
+}

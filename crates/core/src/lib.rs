@@ -1,0 +1,50 @@
+//! The FluidMem monitor — the paper's primary contribution.
+//!
+//! FluidMem achieves *full* memory disaggregation by registering all of a
+//! VM's memory with userfaultfd and resolving every page fault in a
+//! user-space **monitor process** (paper §III–V). This crate implements
+//! that monitor and the `MemoryBackend` built on it:
+//!
+//! * the **page tracker** ([`PageTracker`]): a hash of already-seen pages
+//!   so first-touch faults resolve with a zero-page mapping instead of a
+//!   pointless remote read (§V-A, Figure 2);
+//! * the **resizable LRU buffer** ([`LruBuffer`]): bounds how many of the
+//!   VM's pages occupy hypervisor DRAM; resizing it up or down is how a
+//!   cloud operator grows a VM across machines or shrinks it to a
+//!   near-zero footprint (§III, §VI-E);
+//! * the **write list** ([`WriteList`]): asynchronous batched writeback
+//!   with page *stealing* — a fault on a page still waiting to be written
+//!   is satisfied from the list, shortcutting two network round trips
+//!   (§V-B);
+//! * the **asynchronous read** optimization: the key-value store read is
+//!   split into top and bottom halves and the `UFFD_REMAP` eviction plus
+//!   cache bookkeeping run during the network wait (§V-B, Table II);
+//! * per-code-path **profiling** ([`CodePath`], [`ProfileTable`])
+//!   reproducing Table I.
+//!
+//! [`FluidMemMemory`] packages a monitor, a simulated userfaultfd, and a
+//! key-value store into a [`MemoryBackend`](fluidmem_mem::MemoryBackend)
+//! that the paper's workloads run against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod hypervisor;
+mod config;
+mod lru_buffer;
+mod monitor;
+mod page_tracker;
+mod profile;
+mod stats;
+mod write_list;
+
+pub use backend::{FluidMemMemory, MigrationImage};
+pub use hypervisor::{FluidMemHypervisor, SharedVm, VmHandle};
+pub use config::{EvictionMechanism, LruPolicy, MonitorConfig, MonitorCosts, Optimizations, PrefetchPolicy};
+pub use lru_buffer::LruBuffer;
+pub use monitor::Monitor;
+pub use page_tracker::PageTracker;
+pub use profile::{CodePath, PathStats, ProfileTable};
+pub use stats::MonitorStats;
+pub use write_list::{StealOutcome, WriteList};

@@ -1,0 +1,291 @@
+//! The monitor's resizable LRU buffer.
+
+use std::collections::{HashMap, VecDeque};
+
+use fluidmem_mem::Vpn;
+
+/// The list that bounds a VM's DRAM footprint (§V-A).
+///
+/// * "Evictions come from the top of the LRU list" — the front here.
+/// * "The LRU list is only updated when a page is seen by the monitor
+///   process, which only happens on first access and after an eviction.
+///   At present, the internal ordering of the list does not change." —
+///   new and refaulted pages join at the tail; nothing else moves (unless
+///   the [`ScanReferenced`](crate::LruPolicy::ScanReferenced) ablation
+///   rotates entries explicitly via [`rotate_to_tail`]).
+/// * "The userfaultfd capability allows the local memory buffer to be
+///   actively sized up or down" — [`set_capacity`](LruBuffer::set_capacity)
+///   changes the bound at runtime; the monitor then evicts down to it.
+///
+/// Internally each live page carries a sequence stamp; the deque may hold
+/// stale `(seq, page)` entries from removals and rotations, which are
+/// skipped lazily and compacted when they accumulate.
+///
+/// [`rotate_to_tail`]: LruBuffer::rotate_to_tail
+///
+/// # Example
+///
+/// ```
+/// use fluidmem_core::LruBuffer;
+/// use fluidmem_mem::Vpn;
+///
+/// let mut lru = LruBuffer::new(2);
+/// lru.insert(Vpn::new(1));
+/// lru.insert(Vpn::new(2));
+/// lru.insert(Vpn::new(3));
+/// assert!(lru.over_capacity());
+/// assert_eq!(lru.pop_victim(), Some(Vpn::new(1))); // strict first-touch order
+/// assert!(!lru.over_capacity());
+/// ```
+#[derive(Debug)]
+pub struct LruBuffer {
+    order: VecDeque<(u64, Vpn)>,
+    members: HashMap<Vpn, u64>,
+    next_seq: u64,
+    capacity: u64,
+}
+
+impl LruBuffer {
+    /// Creates a buffer bounded at `capacity` pages.
+    pub fn new(capacity: u64) -> Self {
+        LruBuffer {
+            order: VecDeque::new(),
+            members: HashMap::new(),
+            next_seq: 0,
+            capacity,
+        }
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Changes the bound. The caller is responsible for evicting down to
+    /// it afterwards.
+    pub fn set_capacity(&mut self, capacity: u64) {
+        self.capacity = capacity;
+    }
+
+    /// Pages currently tracked (the VM's DRAM footprint).
+    pub fn len(&self) -> u64 {
+        self.members.len() as u64
+    }
+
+    /// Whether the buffer tracks no pages.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether the buffer exceeds its bound.
+    pub fn over_capacity(&self) -> bool {
+        self.len() > self.capacity
+    }
+
+    /// Whether a page is tracked.
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        self.members.contains_key(&vpn)
+    }
+
+    /// Adds a page at the tail (first access or refault). Returns `false`
+    /// if already present.
+    pub fn insert(&mut self, vpn: Vpn) -> bool {
+        if self.members.contains_key(&vpn) {
+            return false;
+        }
+        let seq = self.bump_seq();
+        self.members.insert(vpn, seq);
+        self.order.push_back((seq, vpn));
+        true
+    }
+
+    /// Removes a page (lazily: its deque entry is skipped later).
+    pub fn remove(&mut self, vpn: Vpn) -> bool {
+        self.members.remove(&vpn).is_some()
+    }
+
+    /// Takes the eviction victim from the top of the list.
+    pub fn pop_victim(&mut self) -> Option<Vpn> {
+        while let Some((seq, vpn)) = self.order.pop_front() {
+            if self.members.get(&vpn) == Some(&seq) {
+                self.members.remove(&vpn);
+                return Some(vpn);
+            }
+        }
+        None
+    }
+
+    /// Peeks at the next `n` victims in order (for referenced-bit
+    /// scanning) without removing them.
+    pub fn peek_head(&self, n: usize) -> Vec<Vpn> {
+        self.order
+            .iter()
+            .filter(|(seq, vpn)| self.members.get(vpn) == Some(seq))
+            .take(n)
+            .map(|&(_, vpn)| vpn)
+            .collect()
+    }
+
+    /// Moves a tracked page to the tail (the `ScanReferenced` ablation's
+    /// rotation). Returns `false` if the page is not tracked.
+    pub fn rotate_to_tail(&mut self, vpn: Vpn) -> bool {
+        if !self.members.contains_key(&vpn) {
+            return false;
+        }
+        let seq = self.bump_seq();
+        self.members.insert(vpn, seq);
+        self.order.push_back((seq, vpn));
+        if self.order.len() > self.members.len() * 2 + 64 {
+            self.compact();
+        }
+        true
+    }
+
+    /// Counts tracked pages with `start <= vpn < end` (per-VM residency
+    /// accounting on a shared buffer).
+    pub fn count_in(&self, start: Vpn, end: Vpn) -> u64 {
+        self.members
+            .keys()
+            .filter(|v| **v >= start && **v < end)
+            .count() as u64
+    }
+
+    fn bump_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Drops stale deque entries, preserving live order.
+    fn compact(&mut self) {
+        let members = &self.members;
+        self.order
+            .retain(|(seq, vpn)| members.get(vpn) == Some(seq));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: u64) -> Vpn {
+        Vpn::new(n)
+    }
+
+    #[test]
+    fn strict_first_touch_order() {
+        let mut lru = LruBuffer::new(10);
+        for n in [3, 1, 4, 1, 5] {
+            lru.insert(v(n));
+        }
+        assert_eq!(lru.len(), 4, "duplicate insert ignored");
+        assert_eq!(lru.pop_victim(), Some(v(3)));
+        assert_eq!(lru.pop_victim(), Some(v(1)));
+        assert_eq!(lru.pop_victim(), Some(v(4)));
+    }
+
+    #[test]
+    fn removed_pages_are_skipped() {
+        let mut lru = LruBuffer::new(10);
+        lru.insert(v(1));
+        lru.insert(v(2));
+        lru.remove(v(1));
+        assert_eq!(lru.pop_victim(), Some(v(2)));
+        assert_eq!(lru.pop_victim(), None);
+    }
+
+    #[test]
+    fn reinsert_after_remove_goes_to_tail() {
+        let mut lru = LruBuffer::new(10);
+        lru.insert(v(1));
+        lru.insert(v(2));
+        lru.remove(v(1));
+        lru.insert(v(1)); // refault: tail position
+        assert_eq!(lru.pop_victim(), Some(v(2)));
+        assert_eq!(lru.pop_victim(), Some(v(1)));
+    }
+
+    #[test]
+    fn resize_changes_over_capacity() {
+        let mut lru = LruBuffer::new(4);
+        for n in 0..4 {
+            lru.insert(v(n));
+        }
+        assert!(!lru.over_capacity());
+        lru.set_capacity(2);
+        assert!(lru.over_capacity());
+        lru.pop_victim();
+        lru.pop_victim();
+        assert!(!lru.over_capacity());
+        assert_eq!(lru.capacity(), 2);
+    }
+
+    #[test]
+    fn rotation_changes_eviction_order() {
+        let mut lru = LruBuffer::new(10);
+        for n in 0..3 {
+            lru.insert(v(n));
+        }
+        assert!(lru.rotate_to_tail(v(0)));
+        assert_eq!(lru.pop_victim(), Some(v(1)), "0 was rotated away");
+        assert_eq!(lru.pop_victim(), Some(v(2)));
+        assert_eq!(lru.pop_victim(), Some(v(0)));
+        assert_eq!(lru.pop_victim(), None);
+    }
+
+    #[test]
+    fn rotation_of_untracked_page_fails() {
+        let mut lru = LruBuffer::new(4);
+        assert!(!lru.rotate_to_tail(v(9)));
+    }
+
+    #[test]
+    fn peek_head_skips_stale() {
+        let mut lru = LruBuffer::new(10);
+        for n in 0..5 {
+            lru.insert(v(n));
+        }
+        lru.remove(v(0));
+        lru.rotate_to_tail(v(1));
+        assert_eq!(lru.peek_head(2), vec![v(2), v(3)]);
+    }
+
+    #[test]
+    fn heavy_rotation_does_not_leak_deque() {
+        let mut lru = LruBuffer::new(64);
+        for n in 0..64 {
+            lru.insert(v(n));
+        }
+        for _round in 0..100 {
+            for n in 0..64 {
+                lru.rotate_to_tail(v(n));
+            }
+        }
+        assert!(
+            lru.order.len() <= 64 * 2 + 64,
+            "deque grew to {}",
+            lru.order.len()
+        );
+        // Order is still coherent after compaction.
+        let mut seen = std::collections::HashSet::new();
+        while let Some(p) = lru.pop_victim() {
+            assert!(seen.insert(p));
+        }
+        assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    fn near_zero_capacity_supported() {
+        // Table III shrinks a VM to single-digit pages; the buffer must
+        // behave at capacity 1 and 0.
+        let mut lru = LruBuffer::new(1);
+        lru.insert(v(1));
+        assert!(!lru.over_capacity());
+        lru.insert(v(2));
+        assert!(lru.over_capacity());
+        lru.set_capacity(0);
+        while let Some(_p) = lru.pop_victim() {}
+        assert!(lru.is_empty());
+        assert!(!lru.over_capacity());
+    }
+}

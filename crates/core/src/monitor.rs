@@ -1,0 +1,979 @@
+//! The monitor process: FluidMem's user-space page-fault handler.
+
+use fluidmem_coord::PartitionId;
+use fluidmem_kv::{ExternalKey, KeyValueStore, KvError};
+use fluidmem_mem::{PageContents, PageTable, PhysicalMemory, PteFlags, Region, Vpn};
+use fluidmem_sim::{SimClock, SimInstant, SimRng, Tracer};
+use fluidmem_uffd::Userfaultfd;
+
+use crate::config::{EvictionMechanism, LruPolicy, MonitorConfig, PrefetchPolicy};
+use crate::lru_buffer::LruBuffer;
+use crate::page_tracker::PageTracker;
+use crate::profile::{CodePath, ProfileTable};
+use crate::stats::MonitorStats;
+use crate::write_list::{StealOutcome, WriteList};
+
+/// How a fault was resolved by the monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// First access: `UFFD_ZEROPAGE`, no remote read (Figure 2).
+    ZeroFill,
+    /// Page read back from the key-value store.
+    RemoteRead,
+    /// Page stolen from the pending write list (§V-B).
+    WriteListSteal,
+    /// Page was in an in-flight write; the fault waited for the write to
+    /// complete and then used the buffered copy (§V-B).
+    InflightWait,
+}
+
+/// The outcome of [`Monitor::handle_fault`].
+#[derive(Debug, Clone, Copy)]
+pub struct FaultResolution {
+    /// How the fault was resolved.
+    pub resolution: Resolution,
+    /// The instant the guest vCPU was woken. Work the monitor performs
+    /// after this (asynchronous eviction, flushes) advances the clock but
+    /// does not extend the guest-observed fault latency.
+    pub wake_at: SimInstant,
+}
+
+/// FluidMem's monitor process (paper §V).
+///
+/// "Its primary responsibility is to watch for page faults and resolve
+/// them before waking up the faulting process." The monitor owns the
+/// page tracker, the resizable LRU buffer, the write list, and the
+/// key-value store client; the kernel-side objects (userfaultfd, page
+/// table, physical memory) are passed in per call because they belong to
+/// the hypervisor.
+///
+/// See [`FluidMemMemory`](crate::FluidMemMemory) for the packaged
+/// `MemoryBackend`, which is the usual way to drive a monitor.
+pub struct Monitor {
+    config: MonitorConfig,
+    tracker: PageTracker,
+    lru: LruBuffer,
+    write_list: WriteList,
+    store: Box<dyn KeyValueStore>,
+    partition: PartitionId,
+    /// Per-region partition overrides (multi-VM hosting): region start →
+    /// (region, partition).
+    region_partitions: std::collections::BTreeMap<u64, (Region, PartitionId)>,
+    profile: ProfileTable,
+    stats: MonitorStats,
+    tracer: Tracer,
+    clock: SimClock,
+    rng: SimRng,
+}
+
+impl Monitor {
+    /// Creates a monitor over a key-value store, using `partition` for
+    /// this VM's keys.
+    pub fn new(
+        config: MonitorConfig,
+        store: Box<dyn KeyValueStore>,
+        partition: PartitionId,
+        clock: SimClock,
+        rng: SimRng,
+    ) -> Self {
+        let lru = LruBuffer::new(config.lru_capacity);
+        Monitor {
+            config,
+            tracker: PageTracker::new(),
+            lru,
+            write_list: WriteList::new(),
+            store,
+            partition,
+            region_partitions: std::collections::BTreeMap::new(),
+            profile: ProfileTable::new(),
+            stats: MonitorStats::default(),
+            tracer: Tracer::disabled(),
+            clock,
+            rng,
+        }
+    }
+
+    /// Turns on event tracing (for the Figure 2 timeline and debugging).
+    pub fn enable_tracing(&mut self) {
+        self.tracer = Tracer::enabled();
+    }
+
+    /// The recorded trace events.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    fn trace(&mut self, message: impl FnOnce() -> String) {
+        let now = self.clock.now();
+        self.tracer.emit(now, "monitor", message);
+    }
+
+    /// The monitor's configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &MonitorStats {
+        &self.stats
+    }
+
+    /// Per-code-path profile (Table I).
+    pub fn profile(&self) -> &ProfileTable {
+        &self.profile
+    }
+
+    /// Clears the profile (e.g. after warm-up).
+    pub fn clear_profile(&mut self) {
+        self.profile.clear();
+    }
+
+    /// Pages currently resident (the VM's footprint).
+    pub fn resident_pages(&self) -> u64 {
+        self.lru.len()
+    }
+
+    /// The LRU capacity.
+    pub fn capacity(&self) -> u64 {
+        self.lru.capacity()
+    }
+
+    /// Pages the monitor has ever seen.
+    pub fn seen_pages(&self) -> usize {
+        self.tracker.len()
+    }
+
+    /// Pages awaiting writeback.
+    pub fn pending_writes(&self) -> usize {
+        self.write_list.pending_len()
+    }
+
+    /// The store (for inspection in tests and benches).
+    pub fn store(&self) -> &dyn KeyValueStore {
+        self.store.as_ref()
+    }
+
+    /// This VM's partition.
+    pub fn partition(&self) -> PartitionId {
+        self.partition
+    }
+
+    /// Routes a region's keys to a specific partition (one hypervisor
+    /// monitor serving several VMs, paper §IV).
+    pub fn register_partition(&mut self, region: Region, partition: PartitionId) {
+        self.region_partitions
+            .insert(region.start().raw(), (region, partition));
+    }
+
+    /// The partition a page's key falls under.
+    pub fn partition_of(&self, vpn: Vpn) -> PartitionId {
+        if let Some((_, (region, partition))) =
+            self.region_partitions.range(..=vpn.raw()).next_back()
+        {
+            if region.contains(vpn) {
+                return *partition;
+            }
+        }
+        self.partition
+    }
+
+    /// How many of `region`'s pages are currently resident.
+    pub fn resident_in(&self, region: &Region) -> u64 {
+        self.lru.count_in(region.start(), region.end())
+    }
+
+    fn key(&self, vpn: Vpn) -> ExternalKey {
+        ExternalKey::new(vpn, self.partition_of(vpn))
+    }
+
+    fn charge(&mut self, model: &fluidmem_sim::LatencyModel) {
+        let d = model.sample(&mut self.rng);
+        self.clock.advance(d);
+    }
+
+    /// Handles one page fault for `vpn`. The caller (the backend) has
+    /// already charged fault-trap and event-delivery costs via the
+    /// userfaultfd object.
+    pub fn handle_fault(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+        vpn: Vpn,
+        write: bool,
+    ) -> FaultResolution {
+        self.stats.faults += 1;
+        self.write_list.retire(self.clock.now());
+        self.run_lru_policy(pt);
+
+        // "The monitor keeps a list of already seen pages to avoid reads
+        // from the remote key-value store for first-time accesses."
+        self.trace(|| format!("userfaultfd event: fault at {vpn} (write={write})"));
+        self.charge(&self.config.costs.hash_lookup.clone());
+        if !self.tracker.contains(vpn) {
+            self.trace(|| format!("pagetracker: {vpn} unseen -> zero-page path"));
+            return self.handle_first_touch(uffd, pt, pm, vpn);
+        }
+        self.trace(|| format!("pagetracker: {vpn} seen before -> read path"));
+        self.handle_refault(uffd, pt, pm, vpn, write)
+    }
+
+    /// Figure 2's fast path: zero-fill, wake, then evict asynchronously.
+    fn handle_first_touch(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+        vpn: Vpn,
+    ) -> FaultResolution {
+        let t0 = self.clock.now();
+        uffd.zeropage(pt, vpn).expect("first touch maps cleanly");
+        self.profile
+            .record(CodePath::UffdZeropage, self.clock.now() - t0);
+
+        let t0 = self.clock.now();
+        self.charge(&self.config.costs.insert_page_hash.clone());
+        self.tracker.insert(vpn);
+        self.profile
+            .record(CodePath::InsertPageHashNode, self.clock.now() - t0);
+
+        let t0 = self.clock.now();
+        self.charge(&self.config.costs.insert_lru.clone());
+        self.lru.insert(vpn);
+        self.profile
+            .record(CodePath::InsertLruCacheNode, self.clock.now() - t0);
+
+        uffd.wake();
+        let wake_at = self.clock.now();
+        self.trace(|| format!("UFFD_ZEROPAGE resolved {vpn}; guest woken (end of critical path)"));
+        self.stats.zero_fills += 1;
+
+        // Asynchronous (post-wake) eviction — the blue path of Figure 2.
+        self.evict_to_capacity(uffd, pt, pm);
+        self.maybe_flush();
+        FaultResolution {
+            resolution: Resolution::ZeroFill,
+            wake_at,
+        }
+    }
+
+    /// The read path: the page was evicted earlier and must come back.
+    fn handle_refault(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+        vpn: Vpn,
+        write: bool,
+    ) -> FaultResolution {
+        let key = self.key(vpn);
+
+        // §V-B: "the page fault handler can steal pages from the pending
+        // write list ... and shortcut two round trips".
+        self.charge(&self.config.costs.steal_check.clone());
+        let steal = self.write_list.steal(key, self.clock.now());
+        let (contents, resolution) = match steal {
+            StealOutcome::Stolen(contents) => {
+                self.stats.write_list_steals += 1;
+                // Make room (the page is coming back in).
+                self.evict_while_full(uffd, pt, pm);
+                (contents, Resolution::WriteListSteal)
+            }
+            StealOutcome::WaitInflight { until, contents } => {
+                // "There is no other choice than to wait for the write to
+                // complete", after which the buffered copy is used.
+                self.clock.advance_to(until);
+                self.write_list.retire(self.clock.now());
+                self.stats.inflight_waits += 1;
+                self.evict_while_full(uffd, pt, pm);
+                (contents, Resolution::InflightWait)
+            }
+            StealOutcome::Miss => {
+                let contents = if self.config.optimizations.async_read {
+                    self.read_async(uffd, pt, pm, key)
+                } else {
+                    self.read_sync(uffd, pt, pm, key)
+                };
+                self.stats.remote_reads += 1;
+                (contents, Resolution::RemoteRead)
+            }
+        };
+
+        // Install the page and wake the guest.
+        let t0 = self.clock.now();
+        uffd.copy(pt, pm, vpn, contents)
+            .expect("refault destination is unmapped");
+        self.profile.record(CodePath::UffdCopy, self.clock.now() - t0);
+        if write {
+            pt.set_flags(vpn, PteFlags::DIRTY);
+        }
+
+        let t0 = self.clock.now();
+        self.charge(&self.config.costs.insert_lru.clone());
+        self.lru.insert(vpn);
+        self.profile
+            .record(CodePath::InsertLruCacheNode, self.clock.now() - t0);
+
+        uffd.wake();
+        let wake_at = self.clock.now();
+        self.trace(|| format!("{vpn} installed via UFFD_COPY; guest woken (end of critical path)"));
+        // Post-wake proactive work: prefetch successors of the faulting
+        // page (overlapping asynchronous reads), then flush.
+        self.maybe_prefetch(uffd, pt, pm, vpn);
+        self.maybe_flush();
+        FaultResolution {
+            resolution,
+            wake_at,
+        }
+    }
+
+    /// Pulls sequential successors of a refaulted page back from the
+    /// store before the guest asks for them.
+    fn maybe_prefetch(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+        vpn: Vpn,
+    ) {
+        let PrefetchPolicy::Sequential { window } = self.config.prefetch else {
+            return;
+        };
+        // Issue every read first so the flights overlap.
+        let mut pendings = Vec::new();
+        for i in 1..=window {
+            let candidate = vpn.offset(i);
+            if !self.tracker.contains(candidate)
+                || self.lru.contains(candidate)
+                || pt.get(candidate).is_some()
+                || uffd.region_containing(candidate).is_none()
+            {
+                continue;
+            }
+            let key = self.key(candidate);
+            if self.write_list.is_tracked(key) {
+                continue; // its freshest copy is local, not in the store
+            }
+            pendings.push((candidate, self.store.begin_get(key)));
+        }
+        for (candidate, pending) in pendings {
+            match self.store.finish_get(pending) {
+                Ok(contents) => {
+                    if uffd.copy(pt, pm, candidate, contents).is_ok() {
+                        self.lru.insert(candidate);
+                        self.stats.prefetched_pages += 1;
+                    }
+                }
+                Err(_) => {
+                    self.stats.prefetch_misses += 1;
+                }
+            }
+        }
+        self.evict_to_capacity(uffd, pt, pm);
+    }
+
+    /// Synchronous read (Table II "Default"): the full store round trip
+    /// sits on the critical path, then the eviction runs.
+    fn read_sync(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+        key: ExternalKey,
+    ) -> PageContents {
+        self.charge(&self.config.costs.sync_read_staging.clone());
+        let t0 = self.clock.now();
+        let contents = match self.store.get(key) {
+            Ok(c) => c,
+            Err(KvError::NotFound(_)) => {
+                self.stats.lost_pages += 1;
+                PageContents::Zero
+            }
+            Err(e) => panic!("store failure on read: {e}"),
+        };
+        self.profile.record(CodePath::ReadPage, self.clock.now() - t0);
+
+        self.evict_while_full(uffd, pt, pm);
+        self.bookkeeping_update_cache();
+        contents
+    }
+
+    /// Asynchronous read (§V-B): issue the top half, run the eviction and
+    /// bookkeeping during the flight, then complete the bottom half.
+    fn read_async(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+        key: ExternalKey,
+    ) -> PageContents {
+        let t0 = self.clock.now();
+        self.trace(|| format!("async read top half issued for {key}"));
+        let pending = self.store.begin_get(key);
+
+        // Overlapped work: eviction (UFFD_REMAP "at a time when the vCPU
+        // thread was already suspended") and cache bookkeeping.
+        self.evict_while_full(uffd, pt, pm);
+        self.bookkeeping_update_cache();
+
+        let contents = match self.store.finish_get(pending) {
+            Ok(c) => c,
+            Err(KvError::NotFound(_)) => {
+                self.stats.lost_pages += 1;
+                PageContents::Zero
+            }
+            Err(e) => panic!("store failure on read: {e}"),
+        };
+        self.profile.record(CodePath::ReadPage, self.clock.now() - t0);
+        contents
+    }
+
+    fn bookkeeping_update_cache(&mut self) {
+        let t0 = self.clock.now();
+        self.charge(&self.config.costs.update_page_cache.clone());
+        self.profile
+            .record(CodePath::UpdatePageCache, self.clock.now() - t0);
+    }
+
+    /// Evicts while the buffer is at/over capacity ("triggered ... when
+    /// the number of pages reaches the configured maximum size and
+    /// another page fault arrives").
+    fn evict_while_full(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+    ) {
+        while self.lru.len() >= self.lru.capacity().max(1) {
+            if !self.evict_one(uffd, pt, pm) {
+                break;
+            }
+        }
+    }
+
+    /// Evicts until the buffer is back under capacity (post-resize or
+    /// post-insert).
+    pub fn evict_to_capacity(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+    ) {
+        while self.lru.over_capacity() {
+            if !self.evict_one(uffd, pt, pm) {
+                break;
+            }
+        }
+    }
+
+    /// Evicts one page from the top of the LRU. Returns `false` if the
+    /// buffer is empty.
+    fn evict_one(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+    ) -> bool {
+        let Some(victim) = self.lru.pop_victim() else {
+            return false;
+        };
+        self.trace(|| format!("evicting {victim} from the top of the LRU via UFFD_REMAP"));
+        let key = self.key(victim);
+
+        let t0 = self.clock.now();
+        let (contents, handle) = uffd
+            .remap(pt, pm, victim)
+            .expect("LRU pages are mapped in the VM");
+        let ready_at = match self.config.eviction {
+            EvictionMechanism::Remap => handle.completes_at(),
+            EvictionMechanism::Copy => {
+                // Zero-copy ablation: UFFD_COPY-style eviction copies the
+                // page out instead; no cross-CPU wait, but a 4 KB copy.
+                let copy_cost = uffd.costs().copy.sample(&mut self.rng);
+                self.clock.advance(copy_cost);
+                self.clock.now()
+            }
+        };
+        if !self.config.optimizations.async_write
+            && self.config.eviction == EvictionMechanism::Remap
+        {
+            // Synchronous writes need the shootdown done before staging.
+            uffd.wait_remap(handle);
+        }
+        self.profile.record(CodePath::UffdRemap, self.clock.now() - t0);
+
+        self.stats.evictions += 1;
+
+        if self.config.optimizations.async_write {
+            self.charge(&self.config.costs.write_list_push.clone());
+            self.write_list.push(key, contents, ready_at);
+            self.trace(|| format!("{} queued on the write list", key));
+        } else {
+            self.charge(&self.config.costs.sync_write_staging.clone());
+            let t0 = self.clock.now();
+            self.store
+                .put(key, contents)
+                .expect("store sized for the experiment");
+            self.profile.record(CodePath::WritePage, self.clock.now() - t0);
+        }
+        true
+    }
+
+    /// Flushes the write list when it is long enough or stale enough
+    /// (§V-B: "a separate thread periodically flushes the write list ...
+    /// when its size has reached a configured batch size of pages or a
+    /// stale file descriptor has been found").
+    pub fn maybe_flush(&mut self) {
+        let now = self.clock.now();
+        self.write_list.retire(now);
+        let stale = self
+            .write_list
+            .oldest_pending()
+            .is_some_and(|t| now.saturating_since(t) > self.config.flush_interval);
+        if self.write_list.pending_len() >= self.config.write_batch_size || stale {
+            self.flush_batch();
+        }
+    }
+
+    fn flush_batch(&mut self) {
+        let batch = self
+            .write_list
+            .take_batch(self.config.write_batch_size, self.clock.now());
+        if batch.is_empty() {
+            return;
+        }
+        let retained = batch.clone();
+        match self.store.begin_multi_write(batch) {
+            Ok(pending) => {
+                let completes_at = pending.completes_at();
+                // The flusher thread owns the bottom half; the critical
+                // path only remembers the batch for stealing.
+                self.write_list.mark_inflight(retained, completes_at);
+                self.stats.flushes += 1;
+                self.trace(|| {
+                    format!("flusher: batch multi-written to the key-value store")
+                });
+            }
+            Err(e) => panic!("store failure on flush: {e}"),
+        }
+    }
+
+    /// Flushes and waits for every outstanding write (shutdown, or test
+    /// synchronization).
+    pub fn drain_writes(&mut self) {
+        loop {
+            // Waiting for pending shootdowns makes everything flushable.
+            if let Some(t) = self.write_list.oldest_pending() {
+                self.clock.advance_to(t);
+            }
+            let batch = self
+                .write_list
+                .take_batch(usize::MAX, self.clock.now());
+            if batch.is_empty() {
+                break;
+            }
+            self.store
+                .multi_write(batch)
+                .expect("store sized for the experiment");
+            self.stats.flushes += 1;
+        }
+        self.write_list.retire(SimInstant::from_nanos(u64::MAX));
+    }
+
+    /// Resizes the local buffer (the §VI-E capability swap lacks),
+    /// evicting down to the new capacity on the spot.
+    pub fn resize(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+        capacity: u64,
+    ) {
+        self.lru.set_capacity(capacity);
+        self.stats.resizes += 1;
+        self.evict_to_capacity(uffd, pt, pm);
+        self.maybe_flush();
+    }
+
+    /// Forgets all monitor state for a region (VM shutdown) and drops its
+    /// pages from the store. Returns how many pages were forgotten.
+    pub fn remove_region(&mut self, region: &Region) -> usize {
+        let partition = self.partition_of(region.start());
+        let removed = self
+            .tracker
+            .remove_where(|vpn| region.contains(vpn));
+        for vpn in region.iter_pages() {
+            self.lru.remove(vpn);
+        }
+        self.store.drop_partition(partition);
+        self.region_partitions.remove(&region.start().raw());
+        removed
+    }
+
+    /// Exports the page-tracker state for live migration: the set of
+    /// pages the monitor has seen (everything else is first-touch on the
+    /// destination). Call after evicting to zero and draining, so every
+    /// page is in the shared store.
+    pub fn export_seen(&self) -> Vec<Vpn> {
+        self.tracker.export()
+    }
+
+    /// Imports a migrated page-tracker state on the destination monitor.
+    pub fn import_seen(&mut self, pages: impl IntoIterator<Item = Vpn>) {
+        for vpn in pages {
+            self.tracker.insert(vpn);
+        }
+    }
+
+    /// Applies the configured LRU policy's per-fault maintenance.
+    fn run_lru_policy(&mut self, pt: &mut PageTable) {
+        if let LruPolicy::ScanReferenced { scan_batch } = self.config.lru_policy {
+            let head = self.lru.peek_head(scan_batch);
+            for vpn in head {
+                // Sample-and-clear the guest referenced bit; hot pages
+                // rotate away from the eviction end.
+                if pt.has_flags(vpn, PteFlags::REFERENCED) {
+                    pt.clear_flags(vpn, PteFlags::REFERENCED);
+                    self.lru.rotate_to_tail(vpn);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monitor")
+            .field("store", &self.store.name())
+            .field("resident", &self.lru.len())
+            .field("capacity", &self.lru.capacity())
+            .field("seen", &self.tracker.len())
+            .field("pending_writes", &self.write_list.pending_len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluidmem_kv::DramStore;
+    use fluidmem_mem::{PageClass, Region};
+    use fluidmem_sim::SimDuration;
+
+    struct Rig {
+        uffd: Userfaultfd,
+        pt: PageTable,
+        pm: PhysicalMemory,
+        monitor: Monitor,
+        region: Region,
+        clock: SimClock,
+    }
+
+    fn rig(capacity: u64, config: Option<MonitorConfig>) -> Rig {
+        let clock = SimClock::new();
+        let mut uffd = Userfaultfd::new(clock.clone(), SimRng::seed_from_u64(1));
+        let region = Region::new(Vpn::new(0x1000), 4096, PageClass::Anonymous);
+        uffd.register(region).unwrap();
+        let store = DramStore::new(1 << 30, clock.clone(), SimRng::seed_from_u64(2));
+        let monitor = Monitor::new(
+            config.unwrap_or_else(|| MonitorConfig::new(capacity)),
+            Box::new(store),
+            PartitionId::new(0),
+            clock.clone(),
+            SimRng::seed_from_u64(3),
+        );
+        Rig {
+            uffd,
+            pt: PageTable::new(),
+            pm: PhysicalMemory::new(1 << 24),
+            monitor,
+            region,
+            clock,
+        }
+    }
+
+    fn fault(r: &mut Rig, i: u64, write: bool) -> FaultResolution {
+        let vpn = r.region.page(i).vpn();
+        r.monitor
+            .handle_fault(&mut r.uffd, &mut r.pt, &mut r.pm, vpn, write)
+    }
+
+    #[test]
+    fn first_touch_resolves_with_zero_page_no_store_read() {
+        let mut r = rig(16, None);
+        let res = fault(&mut r, 0, false);
+        assert_eq!(res.resolution, Resolution::ZeroFill);
+        assert_eq!(r.monitor.stats().zero_fills, 1);
+        assert_eq!(r.monitor.store().stats().gets, 0, "no remote read");
+        assert!(r.pt.has_flags(r.region.page(0).vpn(), PteFlags::ZERO_PAGE));
+    }
+
+    #[test]
+    fn capacity_bound_is_enforced() {
+        let mut r = rig(8, None);
+        for i in 0..64 {
+            fault(&mut r, i, true);
+        }
+        assert!(r.monitor.resident_pages() <= 8);
+        assert!(r.monitor.stats().evictions >= 56);
+    }
+
+    #[test]
+    fn refault_reads_from_store_after_drain() {
+        let mut r = rig(4, None);
+        for i in 0..8 {
+            fault(&mut r, i, true);
+        }
+        r.monitor.drain_writes();
+        let res = fault(&mut r, 0, false);
+        assert_eq!(res.resolution, Resolution::RemoteRead);
+        assert_eq!(r.monitor.stats().remote_reads, 1);
+    }
+
+    #[test]
+    fn write_list_steal_shortcuts_the_store() {
+        let mut r = rig(4, MonitorConfig::new(4).write_batch(1000).into());
+        for i in 0..6 {
+            fault(&mut r, i, true);
+        }
+        // Pages 0..2 were evicted to the (unflushed) write list; a
+        // refault must steal, not read.
+        let gets_before = r.monitor.store().stats().gets;
+        let res = fault(&mut r, 0, false);
+        assert_eq!(res.resolution, Resolution::WriteListSteal);
+        assert_eq!(r.monitor.store().stats().gets, gets_before);
+        assert!(r.monitor.stats().write_list_steals == 1);
+    }
+
+    #[test]
+    fn inflight_write_forces_wait() {
+        let mut r = rig(4, MonitorConfig::new(4).write_batch(2).into());
+        for i in 0..8 {
+            fault(&mut r, i, true);
+        }
+        // Find a page that is in flight right now: flush just happened;
+        // batches complete a few µs in the future. Fault one immediately.
+        // (Evictions are in first-touch order: page 0 went out first.)
+        let res = fault(&mut r, 0, false);
+        assert!(
+            matches!(
+                res.resolution,
+                Resolution::InflightWait | Resolution::RemoteRead | Resolution::WriteListSteal
+            ),
+            "got {:?}",
+            res.resolution
+        );
+    }
+
+    #[test]
+    fn wake_precedes_post_fault_work_on_zero_path() {
+        let mut r = rig(2, None);
+        fault(&mut r, 0, false);
+        fault(&mut r, 1, false);
+        // Third fault: insert + wake, then async eviction after wake.
+        let res = fault(&mut r, 2, false);
+        assert!(
+            res.wake_at <= r.clock.now(),
+            "eviction work may continue past the wake"
+        );
+    }
+
+    #[test]
+    fn data_round_trips_through_store() {
+        let mut r = rig(2, None);
+        // Touch page 0 and give it real contents via CoW + frame store.
+        fault(&mut r, 0, true);
+        let vpn = r.region.page(0).vpn();
+        let frame = {
+            // Break the CoW so the page has a private frame.
+            r.uffd.break_cow(&mut r.pt, &mut r.pm, vpn).unwrap()
+        };
+        r.pm.store(frame, PageContents::from_byte_fill(0x7E));
+        // Push it out.
+        fault(&mut r, 1, true);
+        fault(&mut r, 2, true);
+        fault(&mut r, 3, true);
+        assert!(r.pt.get(vpn).is_none(), "page 0 must be evicted");
+        r.monitor.drain_writes();
+        // Bring it back and check the bytes survived.
+        let res = fault(&mut r, 0, false);
+        assert_eq!(res.resolution, Resolution::RemoteRead);
+        let entry = r.pt.get(vpn).unwrap();
+        assert_eq!(
+            r.pm.load(entry.frame),
+            &PageContents::from_byte_fill(0x7E)
+        );
+    }
+
+    #[test]
+    fn async_read_is_faster_than_sync() {
+        let run = |opts: crate::Optimizations| {
+            let clock = SimClock::new();
+            let mut uffd = Userfaultfd::new(clock.clone(), SimRng::seed_from_u64(1));
+            let region = Region::new(Vpn::new(0x1000), 512, PageClass::Anonymous);
+            uffd.register(region).unwrap();
+            // RAMCloud-class latency makes the overlap matter.
+            let store = fluidmem_kv::RamCloudStore::new(
+                1 << 30,
+                clock.clone(),
+                SimRng::seed_from_u64(2),
+            );
+            let mut monitor = Monitor::new(
+                MonitorConfig::new(64).optimizations(opts),
+                Box::new(store),
+                PartitionId::new(0),
+                clock.clone(),
+                SimRng::seed_from_u64(3),
+            );
+            let mut pt = PageTable::new();
+            let mut pm = PhysicalMemory::new(1 << 20);
+            // Warm: touch 256 pages (cap 64) then measure refaults.
+            for i in 0..256 {
+                monitor.handle_fault(&mut uffd, &mut pt, &mut pm, region.page(i).vpn(), true);
+            }
+            monitor.drain_writes();
+            let mut total = fluidmem_sim::SimDuration::ZERO;
+            let mut n = 0u32;
+            for i in 0..128 {
+                let t0 = clock.now();
+                let res =
+                    monitor.handle_fault(&mut uffd, &mut pt, &mut pm, region.page(i).vpn(), false);
+                if res.resolution == Resolution::RemoteRead {
+                    total += res.wake_at - t0;
+                    n += 1;
+                }
+            }
+            total.as_micros_f64() / n.max(1) as f64
+        };
+        let sync_us = run(crate::Optimizations::none());
+        let async_us = run(crate::Optimizations::full());
+        assert!(
+            async_us + 5.0 < sync_us,
+            "async {async_us:.1}µs should beat sync {sync_us:.1}µs by several µs"
+        );
+    }
+
+    #[test]
+    fn resize_down_evicts_then_recovers() {
+        let mut r = rig(64, None);
+        for i in 0..64 {
+            fault(&mut r, i, false);
+        }
+        assert_eq!(r.monitor.resident_pages(), 64);
+        r.monitor.resize(&mut r.uffd, &mut r.pt, &mut r.pm, 8);
+        assert!(r.monitor.resident_pages() <= 8);
+        assert_eq!(r.monitor.stats().resizes, 1);
+        // Size back up: no eviction needed, future faults fill it again.
+        r.monitor.resize(&mut r.uffd, &mut r.pt, &mut r.pm, 64);
+        r.monitor.drain_writes();
+        let res = fault(&mut r, 0, false);
+        assert!(matches!(
+            res.resolution,
+            Resolution::RemoteRead | Resolution::WriteListSteal
+        ));
+    }
+
+    #[test]
+    fn scan_referenced_policy_protects_hot_pages() {
+        let config = MonitorConfig::new(8).lru_policy(LruPolicy::ScanReferenced { scan_batch: 4 });
+        let mut r = rig(8, Some(config));
+        for i in 0..8 {
+            fault(&mut r, i, false);
+        }
+        // Keep page 0 hot via its referenced bit, then overflow the
+        // buffer; page 0 should survive longer than FIFO would allow.
+        for i in 8..12 {
+            r.pt.set_flags(r.region.page(0).vpn(), PteFlags::REFERENCED);
+            fault(&mut r, i, false);
+        }
+        assert!(
+            r.pt.get(r.region.page(0).vpn()).is_some(),
+            "hot page rotated away from eviction"
+        );
+    }
+
+    #[test]
+    fn lost_page_detected_as_zero_fill() {
+        // A tiny memcached evicts pages; the monitor must notice.
+        let clock = SimClock::new();
+        let mut uffd = Userfaultfd::new(clock.clone(), SimRng::seed_from_u64(1));
+        let region = Region::new(Vpn::new(0x1000), 256, PageClass::Anonymous);
+        uffd.register(region).unwrap();
+        let store =
+            fluidmem_kv::MemcachedStore::new(40 * 4096, clock.clone(), SimRng::seed_from_u64(2));
+        let mut monitor = Monitor::new(
+            MonitorConfig::new(8).write_batch(4),
+            Box::new(store),
+            PartitionId::new(0),
+            clock.clone(),
+            SimRng::seed_from_u64(3),
+        );
+        let mut pt = PageTable::new();
+        let mut pm = PhysicalMemory::new(1 << 20);
+        for i in 0..256 {
+            monitor.handle_fault(&mut uffd, &mut pt, &mut pm, region.page(i).vpn(), true);
+        }
+        monitor.drain_writes();
+        // 248 pages went to a 40-page cache: most are gone.
+        let mut lost_seen = false;
+        for i in 0..64 {
+            monitor.handle_fault(&mut uffd, &mut pt, &mut pm, region.page(i).vpn(), false);
+            if monitor.stats().lost_pages > 0 {
+                lost_seen = true;
+                break;
+            }
+        }
+        assert!(lost_seen, "memcached eviction must surface as lost pages");
+    }
+
+    #[test]
+    fn sequential_prefetch_pulls_successors() {
+        let clock = SimClock::new();
+        let mut uffd = Userfaultfd::new(clock.clone(), SimRng::seed_from_u64(1));
+        let region = Region::new(Vpn::new(0x1000), 256, PageClass::Anonymous);
+        uffd.register(region).unwrap();
+        let store = DramStore::new(1 << 26, clock.clone(), SimRng::seed_from_u64(2));
+        let mut monitor = Monitor::new(
+            MonitorConfig::new(16).prefetch(crate::PrefetchPolicy::Sequential { window: 4 }),
+            Box::new(store),
+            PartitionId::new(0),
+            clock,
+            SimRng::seed_from_u64(3),
+        );
+        let mut pt = PageTable::new();
+        let mut pm = PhysicalMemory::new(1 << 20);
+        // Populate and spill 64 pages, then drain so the store has them.
+        for i in 0..64 {
+            monitor.handle_fault(&mut uffd, &mut pt, &mut pm, region.page(i).vpn(), true);
+        }
+        monitor.drain_writes();
+        // Refault page 0: pages 1..=4 should be prefetched.
+        monitor.handle_fault(&mut uffd, &mut pt, &mut pm, region.page(0).vpn(), false);
+        assert!(monitor.stats().prefetched_pages >= 3, "{:?}", monitor.stats());
+        // A sequential walk now mostly hits.
+        for i in 1..4 {
+            assert!(
+                pt.get(region.page(i).vpn()).is_some(),
+                "page {i} should be resident after prefetch"
+            );
+        }
+    }
+
+    #[test]
+    fn flush_interval_forces_stale_flush() {
+        let mut config = MonitorConfig::new(4).write_batch(1000);
+        config.flush_interval = SimDuration::from_micros(50);
+        let mut r = rig(4, Some(config));
+        for i in 0..6 {
+            fault(&mut r, i, true);
+        }
+        assert!(r.monitor.pending_writes() > 0);
+        // Let virtual time pass, then any fault triggers the stale flush.
+        r.clock.advance(SimDuration::from_millis(1));
+        fault(&mut r, 20, false);
+        assert!(
+            r.monitor.stats().flushes > 0,
+            "stale timer should have flushed"
+        );
+    }
+}

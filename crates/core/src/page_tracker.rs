@@ -1,0 +1,103 @@
+//! The page tracker: FluidMem's "already seen" hash.
+
+use std::collections::HashSet;
+
+use fluidmem_mem::Vpn;
+
+/// The monitor's hash of pages it has seen before.
+///
+/// Userfaultfd "is invoked on the first page fault of every page, giving
+/// the user space page fault handler the ability to identify all pages
+/// belonging to a VM" (§III). The tracker turns that into the
+/// *pagetracker* fast path of Figure 2: a fault on an unseen page is
+/// resolved with `UFFD_ZEROPAGE` and **no remote read**, because nothing
+/// was ever stored for it.
+///
+/// # Example
+///
+/// ```
+/// use fluidmem_core::PageTracker;
+/// use fluidmem_mem::Vpn;
+///
+/// let mut tracker = PageTracker::new();
+/// assert!(!tracker.contains(Vpn::new(5)));
+/// tracker.insert(Vpn::new(5));
+/// assert!(tracker.contains(Vpn::new(5)));
+/// ```
+#[derive(Debug, Default)]
+pub struct PageTracker {
+    seen: HashSet<Vpn>,
+}
+
+impl PageTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the page has been seen before.
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        self.seen.contains(&vpn)
+    }
+
+    /// Marks a page as seen. Returns `false` if it was already tracked.
+    pub fn insert(&mut self, vpn: Vpn) -> bool {
+        self.seen.insert(vpn)
+    }
+
+    /// Forgets a page (its VM's region was unregistered).
+    pub fn remove(&mut self, vpn: Vpn) -> bool {
+        self.seen.remove(&vpn)
+    }
+
+    /// Forgets every page for which `predicate` is true; returns how many
+    /// were removed.
+    pub fn remove_where<F: FnMut(Vpn) -> bool>(&mut self, mut predicate: F) -> usize {
+        let before = self.seen.len();
+        self.seen.retain(|&v| !predicate(v));
+        before - self.seen.len()
+    }
+
+    /// Exports the tracked set (for live migration).
+    pub fn export(&self) -> Vec<Vpn> {
+        let mut v: Vec<Vpn> = self.seen.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of tracked pages.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether no pages are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut t = PageTracker::new();
+        assert!(t.insert(Vpn::new(1)));
+        assert!(!t.insert(Vpn::new(1)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remove_where_scopes_cleanup() {
+        let mut t = PageTracker::new();
+        for n in 0..10 {
+            t.insert(Vpn::new(n));
+        }
+        let removed = t.remove_where(|v| v.raw() < 4);
+        assert_eq!(removed, 4);
+        assert_eq!(t.len(), 6);
+        assert!(!t.contains(Vpn::new(0)));
+        assert!(t.contains(Vpn::new(9)));
+    }
+}

@@ -1,0 +1,214 @@
+//! Per-code-path profiling (Table I).
+
+use std::fmt;
+
+use fluidmem_sim::stats::{Sample, Summary};
+use fluidmem_sim::SimDuration;
+
+/// The instrumented sections of the monitor's fault-handling path — the
+/// exact row set of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodePath {
+    /// Updating the monitor's page-cache metadata.
+    UpdatePageCache,
+    /// Inserting into the page-tracker hash.
+    InsertPageHashNode,
+    /// Inserting into the LRU list.
+    InsertLruCacheNode,
+    /// The `UFFD_ZEROPAGE` ioctl.
+    UffdZeropage,
+    /// The `UFFD_REMAP` ioctl (including any TLB wait actually paid).
+    UffdRemap,
+    /// The `UFFD_COPY` ioctl.
+    UffdCopy,
+    /// Reading a page from the key-value store.
+    ReadPage,
+    /// Writing a page to the key-value store.
+    WritePage,
+}
+
+impl CodePath {
+    /// All paths, in Table I's row order.
+    pub const ALL: [CodePath; 8] = [
+        CodePath::UpdatePageCache,
+        CodePath::InsertPageHashNode,
+        CodePath::InsertLruCacheNode,
+        CodePath::UffdZeropage,
+        CodePath::UffdRemap,
+        CodePath::UffdCopy,
+        CodePath::ReadPage,
+        CodePath::WritePage,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            CodePath::UpdatePageCache => 0,
+            CodePath::InsertPageHashNode => 1,
+            CodePath::InsertLruCacheNode => 2,
+            CodePath::UffdZeropage => 3,
+            CodePath::UffdRemap => 4,
+            CodePath::UffdCopy => 5,
+            CodePath::ReadPage => 6,
+            CodePath::WritePage => 7,
+        }
+    }
+}
+
+impl fmt::Display for CodePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CodePath::UpdatePageCache => "UPDATE_PAGE_CACHE",
+            CodePath::InsertPageHashNode => "INSERT_PAGE_HASH_NODE",
+            CodePath::InsertLruCacheNode => "INSERT_LRU_CACHE_NODE",
+            CodePath::UffdZeropage => "UFFD_ZEROPAGE",
+            CodePath::UffdRemap => "UFFD_REMAP",
+            CodePath::UffdCopy => "UFFD_COPY",
+            CodePath::ReadPage => "READ_PAGE",
+            CodePath::WritePage => "WRITE_PAGE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The statistics reported per code path: average, standard deviation,
+/// and 99th percentile, in microseconds (Table I's columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathStats {
+    /// Number of spans recorded.
+    pub count: u64,
+    /// Mean latency (µs).
+    pub avg_us: f64,
+    /// Standard deviation (µs).
+    pub stdev_us: f64,
+    /// 99th percentile (µs).
+    pub p99_us: f64,
+}
+
+/// Collects span durations for each [`CodePath`].
+///
+/// # Example
+///
+/// ```
+/// use fluidmem_core::{CodePath, ProfileTable};
+/// use fluidmem_sim::SimDuration;
+///
+/// let mut profile = ProfileTable::new();
+/// profile.record(CodePath::ReadPage, SimDuration::from_micros(15));
+/// let stats = profile.stats(CodePath::ReadPage);
+/// assert_eq!(stats.count, 1);
+/// assert!((stats.avg_us - 15.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProfileTable {
+    summaries: [Summary; 8],
+    samples: [Sample; 8],
+    recorded: [u64; 8],
+}
+
+/// Per-path cap on retained samples; past it, spans are subsampled
+/// systematically so memory stays bounded while percentiles remain
+/// representative.
+const SAMPLE_CAP: u64 = 1 << 18;
+
+impl ProfileTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one span. Summaries are exact; the percentile sample is
+    /// systematically subsampled past its cap to bound memory.
+    pub fn record(&mut self, path: CodePath, duration: SimDuration) {
+        let i = path.index();
+        self.summaries[i].record_duration(duration);
+        self.recorded[i] += 1;
+        let n = self.recorded[i];
+        if n <= SAMPLE_CAP || n % (1 + n / SAMPLE_CAP) == 0 {
+            self.samples[i].record_duration(duration);
+        }
+    }
+
+    /// Statistics for one path.
+    pub fn stats(&self, path: CodePath) -> PathStats {
+        let i = path.index();
+        let mut sample = self.samples[i].clone();
+        PathStats {
+            count: self.summaries[i].count(),
+            avg_us: self.summaries[i].mean(),
+            stdev_us: self.summaries[i].stdev(),
+            p99_us: sample.percentile(0.99),
+        }
+    }
+
+    /// Rows for every path with at least one span, in Table I order.
+    pub fn rows(&self) -> Vec<(CodePath, PathStats)> {
+        CodePath::ALL
+            .iter()
+            .map(|&p| (p, self.stats(p)))
+            .filter(|(_, s)| s.count > 0)
+            .collect()
+    }
+
+    /// Drops all recorded spans.
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_per_path_independently() {
+        let mut p = ProfileTable::new();
+        p.record(CodePath::ReadPage, SimDuration::from_micros(10));
+        p.record(CodePath::ReadPage, SimDuration::from_micros(20));
+        p.record(CodePath::WritePage, SimDuration::from_micros(5));
+        assert_eq!(p.stats(CodePath::ReadPage).count, 2);
+        assert!((p.stats(CodePath::ReadPage).avg_us - 15.0).abs() < 1e-9);
+        assert_eq!(p.stats(CodePath::WritePage).count, 1);
+        assert_eq!(p.stats(CodePath::UffdCopy).count, 0);
+    }
+
+    #[test]
+    fn rows_skip_empty_paths_and_keep_order() {
+        let mut p = ProfileTable::new();
+        p.record(CodePath::WritePage, SimDuration::from_micros(1));
+        p.record(CodePath::UffdZeropage, SimDuration::from_micros(1));
+        let rows = p.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, CodePath::UffdZeropage, "table order preserved");
+        assert_eq!(rows[1].0, CodePath::WritePage);
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(CodePath::UffdRemap.to_string(), "UFFD_REMAP");
+        assert_eq!(
+            CodePath::InsertLruCacheNode.to_string(),
+            "INSERT_LRU_CACHE_NODE"
+        );
+    }
+
+    #[test]
+    fn sample_retention_is_bounded_but_stats_exact() {
+        let mut p = ProfileTable::new();
+        let n = (SAMPLE_CAP * 3) as usize;
+        for i in 0..n {
+            p.record(CodePath::ReadPage, SimDuration::from_micros((i % 100) as u64));
+        }
+        let stats = p.stats(CodePath::ReadPage);
+        assert_eq!(stats.count, n as u64, "summary counts every span");
+        assert!((stats.avg_us - 49.5).abs() < 0.5, "exact mean {}", stats.avg_us);
+        assert!((stats.p99_us - 99.0).abs() < 2.0, "subsampled p99 {}", stats.p99_us);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut p = ProfileTable::new();
+        p.record(CodePath::ReadPage, SimDuration::from_micros(10));
+        p.clear();
+        assert!(p.rows().is_empty());
+    }
+}

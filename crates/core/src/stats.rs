@@ -1,0 +1,42 @@
+//! Monitor counters.
+
+/// Counters kept by the [`Monitor`](crate::Monitor).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Faults handled in total.
+    pub faults: u64,
+    /// First-touch faults resolved with `UFFD_ZEROPAGE` (no remote read).
+    pub zero_fills: u64,
+    /// Faults resolved by reading the key-value store.
+    pub remote_reads: u64,
+    /// Faults satisfied by stealing from the pending write list.
+    pub write_list_steals: u64,
+    /// Faults that had to wait for an in-flight write of the same page.
+    pub inflight_waits: u64,
+    /// Pages evicted from the VM.
+    pub evictions: u64,
+    /// Batch flushes issued to the store.
+    pub flushes: u64,
+    /// LRU capacity changes (operator resizes).
+    pub resizes: u64,
+    /// Copy-on-write breaks of zero-page mappings (kernel-side minor
+    /// faults; counted by the backend).
+    pub cow_breaks: u64,
+    /// Pages the store reported missing (data loss, e.g. a memcached
+    /// eviction) that were re-materialized as zero pages.
+    pub lost_pages: u64,
+    /// Pages pulled in proactively by the prefetch policy.
+    pub prefetched_pages: u64,
+    /// Prefetch attempts that found nothing in the store.
+    pub prefetch_misses: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        assert_eq!(MonitorStats::default().faults, 0);
+    }
+}

@@ -1,0 +1,293 @@
+//! The asynchronous write list (§V-B).
+
+use std::collections::HashMap;
+
+use fluidmem_kv::ExternalKey;
+use fluidmem_mem::PageContents;
+use fluidmem_sim::SimInstant;
+
+/// One page awaiting writeback.
+#[derive(Debug, Clone)]
+struct PendingPage {
+    contents: PageContents,
+    /// `UFFD_REMAP`'s TLB shootdown must finish before the page can go
+    /// on the wire.
+    ready_at: SimInstant,
+}
+
+/// A batch currently in flight to the store. The contents are retained
+/// so a fault during the flight can be satisfied locally once the write
+/// completes.
+#[derive(Debug)]
+struct InflightBatch {
+    pages: HashMap<ExternalKey, PageContents>,
+    completes_at: SimInstant,
+}
+
+/// Where a faulting page was found when the monitor checked the write
+/// list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StealOutcome {
+    /// Not on the write list; read from the store.
+    Miss,
+    /// Stolen from the pending list: the write was cancelled and the
+    /// contents returned — two network round trips saved (§V-B).
+    Stolen(PageContents),
+    /// The page is in an in-flight batch: "there is no other choice than
+    /// to wait for the write to complete" — the caller must wait until
+    /// the given instant, then use the contents.
+    WaitInflight {
+        /// When the in-flight batch completes.
+        until: SimInstant,
+        /// The page contents, valid once the wait is over.
+        contents: PageContents,
+    },
+}
+
+/// The monitor's write list: evicted pages queue here and a flusher
+/// periodically writes them to the key-value store in batches
+/// ("leveraging RAMCloud's multi-write operation", §V-B).
+///
+/// # Example
+///
+/// ```
+/// use fluidmem_core::WriteList;
+/// use fluidmem_coord::PartitionId;
+/// use fluidmem_kv::ExternalKey;
+/// use fluidmem_mem::{PageContents, Vpn};
+/// use fluidmem_sim::SimInstant;
+///
+/// let mut wl = WriteList::new();
+/// let key = ExternalKey::new(Vpn::new(1), PartitionId::new(0));
+/// wl.push(key, PageContents::Token(1), SimInstant::EPOCH);
+/// assert_eq!(wl.pending_len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct WriteList {
+    pending: Vec<ExternalKey>,
+    pending_pages: HashMap<ExternalKey, PendingPage>,
+    inflight: Vec<InflightBatch>,
+    oldest_pending: Option<SimInstant>,
+}
+
+impl WriteList {
+    /// Creates an empty write list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues an evicted page. `ready_at` is the eviction's TLB-shootdown
+    /// completion (the earliest instant the page may be flushed).
+    pub fn push(&mut self, key: ExternalKey, contents: PageContents, ready_at: SimInstant) {
+        if self
+            .pending_pages
+            .insert(key, PendingPage { contents, ready_at })
+            .is_none()
+        {
+            self.pending.push(key);
+        }
+        if self.oldest_pending.is_none() {
+            self.oldest_pending = Some(ready_at);
+        }
+    }
+
+    /// Pages queued but not yet flushed.
+    pub fn pending_len(&self) -> usize {
+        self.pending_pages.len()
+    }
+
+    /// Batches currently on the wire.
+    pub fn inflight_batches(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// When the oldest pending page was queued (for the stale-flush
+    /// timer).
+    pub fn oldest_pending(&self) -> Option<SimInstant> {
+        self.oldest_pending
+    }
+
+    /// Looks for a faulting page on the list (the §V-B steal path).
+    /// Pending pages are stolen (their write is cancelled); in-flight
+    /// pages require waiting for the batch.
+    pub fn steal(&mut self, key: ExternalKey, now: SimInstant) -> StealOutcome {
+        if let Some(page) = self.pending_pages.remove(&key) {
+            self.pending.retain(|k| *k != key);
+            if self.pending_pages.is_empty() {
+                self.oldest_pending = None;
+            }
+            return StealOutcome::Stolen(page.contents);
+        }
+        // Retire batches that already finished before searching them.
+        self.retire(now);
+        for batch in &self.inflight {
+            if let Some(contents) = batch.pages.get(&key) {
+                return StealOutcome::WaitInflight {
+                    until: batch.completes_at,
+                    contents: contents.clone(),
+                };
+            }
+        }
+        StealOutcome::Miss
+    }
+
+    /// Takes up to `max` flushable pages (whose shootdowns completed by
+    /// `now`) for a batch write. Returns an empty vector if nothing is
+    /// flushable.
+    pub fn take_batch(
+        &mut self,
+        max: usize,
+        now: SimInstant,
+    ) -> Vec<(ExternalKey, PageContents)> {
+        let mut batch = Vec::new();
+        let mut i = 0;
+        while i < self.pending.len() && batch.len() < max {
+            let key = self.pending[i];
+            let flushable = self
+                .pending_pages
+                .get(&key)
+                .map(|p| p.ready_at <= now)
+                .unwrap_or(false);
+            if flushable {
+                let page = self.pending_pages.remove(&key).expect("checked above");
+                self.pending.remove(i);
+                batch.push((key, page.contents));
+            } else {
+                i += 1;
+            }
+        }
+        if self.pending_pages.is_empty() {
+            self.oldest_pending = None;
+        }
+        batch
+    }
+
+    /// Registers a batch as in flight.
+    pub fn mark_inflight(
+        &mut self,
+        batch: Vec<(ExternalKey, PageContents)>,
+        completes_at: SimInstant,
+    ) {
+        self.inflight.push(InflightBatch {
+            pages: batch.into_iter().collect(),
+            completes_at,
+        });
+    }
+
+    /// Drops batches whose writes have completed.
+    pub fn retire(&mut self, now: SimInstant) {
+        self.inflight.retain(|b| b.completes_at > now);
+    }
+
+    /// Whether a key is pending or in flight (its store copy is stale or
+    /// incomplete — do not prefetch it from the store).
+    pub fn is_tracked(&self, key: ExternalKey) -> bool {
+        self.pending_pages.contains_key(&key)
+            || self.inflight.iter().any(|b| b.pages.contains_key(&key))
+    }
+
+    /// Total pages either pending or in flight (for shutdown draining).
+    pub fn outstanding(&self) -> usize {
+        self.pending_pages.len() + self.inflight.iter().map(|b| b.pages.len()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluidmem_coord::PartitionId;
+    use fluidmem_mem::Vpn;
+    use fluidmem_sim::SimDuration;
+
+    fn key(n: u64) -> ExternalKey {
+        ExternalKey::new(Vpn::new(n), PartitionId::new(0))
+    }
+
+    fn t(us: u64) -> SimInstant {
+        SimInstant::EPOCH + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn steal_from_pending_cancels_write() {
+        let mut wl = WriteList::new();
+        wl.push(key(1), PageContents::Token(1), t(0));
+        match wl.steal(key(1), t(1)) {
+            StealOutcome::Stolen(c) => assert_eq!(c, PageContents::Token(1)),
+            other => panic!("expected steal, got {other:?}"),
+        }
+        assert_eq!(wl.pending_len(), 0);
+        assert_eq!(wl.take_batch(10, t(10)).len(), 0, "write was cancelled");
+    }
+
+    #[test]
+    fn steal_miss() {
+        let mut wl = WriteList::new();
+        assert_eq!(wl.steal(key(9), t(0)), StealOutcome::Miss);
+    }
+
+    #[test]
+    fn inflight_requires_wait() {
+        let mut wl = WriteList::new();
+        wl.push(key(1), PageContents::Token(7), t(0));
+        let batch = wl.take_batch(10, t(1));
+        assert_eq!(batch.len(), 1);
+        wl.mark_inflight(batch, t(100));
+        match wl.steal(key(1), t(5)) {
+            StealOutcome::WaitInflight { until, contents } => {
+                assert_eq!(until, t(100));
+                assert_eq!(contents, PageContents::Token(7));
+            }
+            other => panic!("expected wait, got {other:?}"),
+        }
+        // After completion the batch retires and the page is simply gone
+        // (it lives in the store now).
+        assert_eq!(wl.steal(key(1), t(101)), StealOutcome::Miss);
+        assert_eq!(wl.inflight_batches(), 0);
+    }
+
+    #[test]
+    fn take_batch_respects_ready_at() {
+        let mut wl = WriteList::new();
+        wl.push(key(1), PageContents::Token(1), t(10));
+        wl.push(key(2), PageContents::Token(2), t(0));
+        let batch = wl.take_batch(10, t(5));
+        assert_eq!(batch.len(), 1, "page 1's shootdown hasn't finished");
+        assert_eq!(batch[0].0, key(2));
+        assert_eq!(wl.pending_len(), 1);
+    }
+
+    #[test]
+    fn take_batch_respects_max() {
+        let mut wl = WriteList::new();
+        for n in 0..10 {
+            wl.push(key(n), PageContents::Token(n), t(0));
+        }
+        assert_eq!(wl.take_batch(4, t(1)).len(), 4);
+        assert_eq!(wl.pending_len(), 6);
+    }
+
+    #[test]
+    fn repush_same_key_overwrites() {
+        let mut wl = WriteList::new();
+        wl.push(key(1), PageContents::Token(1), t(0));
+        wl.push(key(1), PageContents::Token(2), t(0));
+        assert_eq!(wl.pending_len(), 1);
+        match wl.steal(key(1), t(1)) {
+            StealOutcome::Stolen(c) => assert_eq!(c, PageContents::Token(2)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn outstanding_counts_both() {
+        let mut wl = WriteList::new();
+        for n in 0..6 {
+            wl.push(key(n), PageContents::Token(n), t(0));
+        }
+        let batch = wl.take_batch(4, t(1));
+        wl.mark_inflight(batch, t(50));
+        assert_eq!(wl.outstanding(), 6);
+        wl.retire(t(51));
+        assert_eq!(wl.outstanding(), 2);
+    }
+}

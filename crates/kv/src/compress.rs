@@ -1,0 +1,314 @@
+//! Page compression (a §III cloud-operator customization).
+//!
+//! "Cloud providers can further benefit from the flexibility that comes
+//! from handling memory paging in user space to rapidly deploy a variety
+//! of customizations ... Some examples are page compression or
+//! replication across remote servers."
+
+use fluidmem_coord::PartitionId;
+use fluidmem_mem::{PageContents, PAGE_SIZE};
+use fluidmem_sim::{LatencyModel, SimClock, SimRng};
+
+use crate::error::KvError;
+use crate::key::ExternalKey;
+use crate::pending::{PendingGet, PendingWrite};
+use crate::stats::StoreStats;
+use crate::store::KeyValueStore;
+
+/// Magic byte tagging an RLE-compressed page.
+const RLE_MAGIC: u8 = 0xC7;
+
+/// Run-length encodes a 4 KB page. Returns `None` when compression would
+/// not shrink the page (incompressible data is stored raw, as real
+/// compressed-memory systems do).
+pub fn rle_compress(page: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(page.len() / 2);
+    out.push(RLE_MAGIC);
+    let mut i = 0;
+    while i < page.len() {
+        let byte = page[i];
+        let mut run = 1usize;
+        while i + run < page.len() && page[i + run] == byte && run < 255 {
+            run += 1;
+        }
+        out.push(run as u8);
+        out.push(byte);
+        i += run;
+        if out.len() >= page.len() {
+            return None; // incompressible
+        }
+    }
+    Some(out)
+}
+
+/// Inverts [`rle_compress`].
+///
+/// # Panics
+///
+/// Panics if the buffer is not a valid RLE page (corruption).
+pub fn rle_decompress(data: &[u8]) -> Vec<u8> {
+    assert_eq!(data.first(), Some(&RLE_MAGIC), "not an RLE page");
+    let mut out = Vec::with_capacity(PAGE_SIZE);
+    let mut i = 1;
+    while i + 1 < data.len() + 1 && i < data.len() {
+        let run = data[i] as usize;
+        let byte = data[i + 1];
+        out.extend(std::iter::repeat(byte).take(run));
+        i += 2;
+    }
+    out
+}
+
+fn compress_contents(contents: &PageContents) -> (PageContents, bool) {
+    match contents {
+        // Zero pages and token stand-ins are already minimal.
+        PageContents::Zero => (PageContents::Zero, true),
+        PageContents::Token(t) => (PageContents::Token(*t), false),
+        PageContents::Bytes(b) => match rle_compress(b) {
+            Some(c) => (PageContents::Bytes(c.into_boxed_slice()), true),
+            None => (PageContents::Bytes(b.clone()), false),
+        },
+    }
+}
+
+fn decompress_contents(contents: PageContents) -> PageContents {
+    match contents {
+        PageContents::Bytes(b) if b.first() == Some(&RLE_MAGIC) => {
+            PageContents::from_bytes(&rle_decompress(&b))
+        }
+        other => other,
+    }
+}
+
+/// A store wrapper that compresses pages on the way out and decompresses
+/// on the way in, charging the monitor's CPU for both.
+///
+/// # Example
+///
+/// ```
+/// use fluidmem_coord::PartitionId;
+/// use fluidmem_kv::{CompressedStore, DramStore, ExternalKey, KeyValueStore};
+/// use fluidmem_mem::{PageContents, Vpn};
+/// use fluidmem_sim::{SimClock, SimRng};
+///
+/// let clock = SimClock::new();
+/// let inner = DramStore::new(1 << 24, clock.clone(), SimRng::seed_from_u64(1));
+/// let mut store = CompressedStore::new(Box::new(inner), clock, SimRng::seed_from_u64(2));
+/// let key = ExternalKey::new(Vpn::new(1), PartitionId::new(0));
+/// store.put(key, PageContents::from_byte_fill(7))?;
+/// assert_eq!(store.get(key)?, PageContents::from_byte_fill(7));
+/// assert!(store.pages_compressed() > 0);
+/// # Ok::<(), fluidmem_kv::KvError>(())
+/// ```
+pub struct CompressedStore {
+    inner: Box<dyn KeyValueStore>,
+    compress_cost: LatencyModel,
+    decompress_cost: LatencyModel,
+    clock: SimClock,
+    rng: SimRng,
+    pages_compressed: u64,
+    pages_incompressible: u64,
+}
+
+impl CompressedStore {
+    /// Wraps a store with default compression costs (≈1.6 µs to
+    /// compress a page, ≈0.8 µs to decompress — LZ-class speeds).
+    pub fn new(inner: Box<dyn KeyValueStore>, clock: SimClock, rng: SimRng) -> Self {
+        CompressedStore {
+            inner,
+            compress_cost: LatencyModel::normal_us(1.6, 0.2),
+            decompress_cost: LatencyModel::normal_us(0.8, 0.1),
+            clock,
+            rng,
+            pages_compressed: 0,
+            pages_incompressible: 0,
+        }
+    }
+
+    /// Pages stored in compressed form.
+    pub fn pages_compressed(&self) -> u64 {
+        self.pages_compressed
+    }
+
+    /// Pages stored raw because compression did not shrink them.
+    pub fn pages_incompressible(&self) -> u64 {
+        self.pages_incompressible
+    }
+
+    fn compress(&mut self, contents: PageContents) -> PageContents {
+        let cost = self.compress_cost.sample(&mut self.rng);
+        self.clock.advance(cost);
+        let (out, shrunk) = compress_contents(&contents);
+        if shrunk {
+            self.pages_compressed += 1;
+        } else {
+            self.pages_incompressible += 1;
+        }
+        out
+    }
+
+    fn decompress(&mut self, contents: PageContents) -> PageContents {
+        let cost = self.decompress_cost.sample(&mut self.rng);
+        self.clock.advance(cost);
+        decompress_contents(contents)
+    }
+}
+
+impl KeyValueStore for CompressedStore {
+    fn name(&self) -> &'static str {
+        "compressed"
+    }
+
+    fn put(&mut self, key: ExternalKey, value: PageContents) -> Result<(), KvError> {
+        let compressed = self.compress(value);
+        self.inner.put(key, compressed)
+    }
+
+    fn delete(&mut self, key: ExternalKey) -> bool {
+        self.inner.delete(key)
+    }
+
+    fn begin_get(&mut self, key: ExternalKey) -> PendingGet {
+        self.inner.begin_get(key)
+    }
+
+    fn finish_get(&mut self, pending: PendingGet) -> Result<PageContents, KvError> {
+        let raw = self.inner.finish_get(pending)?;
+        Ok(self.decompress(raw))
+    }
+
+    fn begin_multi_write(
+        &mut self,
+        batch: Vec<(ExternalKey, PageContents)>,
+    ) -> Result<PendingWrite, KvError> {
+        let compressed: Vec<_> = batch
+            .into_iter()
+            .map(|(k, v)| (k, self.compress(v)))
+            .collect();
+        self.inner.begin_multi_write(compressed)
+    }
+
+    fn finish_write(&mut self, pending: PendingWrite) {
+        self.inner.finish_write(pending)
+    }
+
+    fn drop_partition(&mut self, partition: PartitionId) -> u64 {
+        self.inner.drop_partition(partition)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn contains(&self, key: ExternalKey) -> bool {
+        self.inner.contains(key)
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+}
+
+impl std::fmt::Debug for CompressedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompressedStore")
+            .field("inner", &self.inner.name())
+            .field("compressed", &self.pages_compressed)
+            .field("incompressible", &self.pages_incompressible)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DramStore;
+    use fluidmem_mem::Vpn;
+
+    fn store() -> CompressedStore {
+        let clock = SimClock::new();
+        let inner = DramStore::new(1 << 24, clock.clone(), SimRng::seed_from_u64(1));
+        CompressedStore::new(Box::new(inner), clock, SimRng::seed_from_u64(2))
+    }
+
+    fn key(n: u64) -> ExternalKey {
+        ExternalKey::new(Vpn::new(n), PartitionId::new(0))
+    }
+
+    #[test]
+    fn rle_round_trip_compressible() {
+        let page = vec![7u8; PAGE_SIZE];
+        let c = rle_compress(&page).expect("uniform page compresses");
+        assert!(c.len() < 64, "4096 identical bytes pack tiny, got {}", c.len());
+        assert_eq!(rle_decompress(&c), page);
+    }
+
+    #[test]
+    fn rle_round_trip_structured() {
+        let mut page = vec![0u8; PAGE_SIZE];
+        for i in 0..64 {
+            page[i * 64] = i as u8;
+        }
+        let c = rle_compress(&page).expect("sparse page compresses");
+        assert_eq!(rle_decompress(&c), page);
+    }
+
+    #[test]
+    fn incompressible_data_stored_raw() {
+        let mut page = Vec::with_capacity(PAGE_SIZE);
+        let mut x = 1u32;
+        for _ in 0..PAGE_SIZE {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            page.push((x >> 24) as u8);
+        }
+        assert!(rle_compress(&page).is_none(), "noise must not 'compress'");
+        let mut s = store();
+        s.put(key(1), PageContents::from_bytes(&page)).unwrap();
+        assert_eq!(s.pages_incompressible(), 1);
+        assert_eq!(s.get(key(1)).unwrap(), PageContents::from_bytes(&page));
+    }
+
+    #[test]
+    fn compressible_pages_round_trip_through_store() {
+        let mut s = store();
+        for i in 0..16u8 {
+            s.put(key(u64::from(i)), PageContents::from_byte_fill(i))
+                .unwrap();
+        }
+        assert_eq!(s.pages_compressed(), 16);
+        for i in 0..16u8 {
+            assert_eq!(
+                s.get(key(u64::from(i))).unwrap(),
+                PageContents::from_byte_fill(i)
+            );
+        }
+    }
+
+    #[test]
+    fn token_and_zero_pass_through() {
+        let mut s = store();
+        s.put(key(1), PageContents::Token(9)).unwrap();
+        s.put(key(2), PageContents::Zero).unwrap();
+        assert_eq!(s.get(key(1)).unwrap(), PageContents::Token(9));
+        assert_eq!(s.get(key(2)).unwrap(), PageContents::Zero);
+    }
+
+    #[test]
+    fn compression_charges_cpu() {
+        let mut s = store();
+        let t0 = s.clock.now();
+        s.put(key(1), PageContents::from_byte_fill(1)).unwrap();
+        assert!((s.clock.now() - t0).as_micros_f64() > 1.0);
+    }
+
+    #[test]
+    fn multi_write_compresses_batches() {
+        let mut s = store();
+        let batch: Vec<_> = (0..8)
+            .map(|i| (key(i), PageContents::from_byte_fill(i as u8)))
+            .collect();
+        s.multi_write(batch).unwrap();
+        assert_eq!(s.pages_compressed(), 8);
+        assert_eq!(s.get(key(3)).unwrap(), PageContents::from_byte_fill(3));
+    }
+}

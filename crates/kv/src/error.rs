@@ -1,0 +1,42 @@
+//! Key-value store errors.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::key::ExternalKey;
+
+/// Errors returned by [`KeyValueStore`](crate::KeyValueStore) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// The key is not present. For a cache-style store (memcached) this
+    /// can mean the object was evicted — genuine data loss for a page
+    /// store, which the monitor surfaces loudly.
+    NotFound(ExternalKey),
+    /// The store has no capacity left and cannot evict (RAMCloud refuses
+    /// writes rather than dropping data).
+    OutOfCapacity,
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::NotFound(k) => write!(f, "key {k} not found in store"),
+            KvError::OutOfCapacity => write!(f, "store capacity exhausted"),
+        }
+    }
+}
+
+impl Error for KvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluidmem_coord::PartitionId;
+    use fluidmem_mem::Vpn;
+
+    #[test]
+    fn display_names_key() {
+        let k = ExternalKey::new(Vpn::new(0x99), PartitionId::new(0));
+        assert!(KvError::NotFound(k).to_string().contains("0x"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Key-value store backends for FluidMem's remote memory.
+//!
+//! FluidMem "interfaces with key-value stores via a generic API that
+//! supports partitions and allows multiple VMs to share the same key-value
+//! store" (paper §IV). This crate provides that API and three backends
+//! matching the paper's evaluation:
+//!
+//! * [`RamCloudStore`] — a log-structured store with a hash-table index,
+//!   a segment cleaner, and RAMCloud's `multiRead`/`multiWrite` batch
+//!   operations, reached over a kernel-bypass InfiniBand-verbs transport
+//!   model (~10 µs round trips; Table I's `READ_PAGE` = 15.62 µs).
+//! * [`MemcachedStore`] — a slab-allocated cache with per-class LRU
+//!   eviction over a TCP/IP-over-InfiniBand transport model (tens of µs).
+//!   Like real memcached it *evicts under memory pressure*, which the
+//!   monitor must treat as data loss.
+//! * [`DramStore`] — an in-process table (the paper's "FluidMem DRAM"
+//!   baseline) with sub-microsecond access.
+//!
+//! All stores implement [`KeyValueStore`], including the split
+//! *top-half/bottom-half* asynchronous API ([`KeyValueStore::begin_get`] /
+//! [`KeyValueStore::finish_get`]) that the monitor's §V-B optimizations
+//! interleave with `UFFD_REMAP`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compress;
+mod dram;
+mod error;
+mod key;
+mod memcached;
+mod pending;
+mod ramcloud;
+mod replicated;
+mod shared;
+mod stats;
+mod store;
+mod transport;
+
+pub use compress::{rle_compress, rle_decompress, CompressedStore};
+pub use dram::DramStore;
+pub use error::KvError;
+pub use key::ExternalKey;
+pub use memcached::MemcachedStore;
+pub use pending::{PendingGet, PendingWrite};
+pub use ramcloud::RamCloudStore;
+pub use replicated::ReplicatedStore;
+pub use shared::SharedStore;
+pub use stats::StoreStats;
+pub use store::KeyValueStore;
+pub use transport::TransportModel;

@@ -1,0 +1,406 @@
+//! A Memcached-like slab cache.
+
+use std::collections::{BTreeMap, HashMap};
+
+use fluidmem_coord::PartitionId;
+use fluidmem_mem::{PageContents, PAGE_SIZE};
+use fluidmem_sim::{SimClock, SimRng};
+
+use crate::error::KvError;
+use crate::key::ExternalKey;
+use crate::pending::{PendingGet, PendingWrite};
+use crate::stats::StoreStats;
+use crate::store::KeyValueStore;
+use crate::transport::TransportModel;
+
+/// Item overhead (memcached's per-item header + key).
+const ITEM_OVERHEAD: usize = 56;
+
+#[derive(Debug)]
+struct Item {
+    value: PageContents,
+    class: usize,
+    lru_seq: u64,
+}
+
+#[derive(Debug)]
+struct SlabClass {
+    chunk_size: usize,
+    /// LRU ordering: sequence → key. Smallest sequence = coldest.
+    lru: BTreeMap<u64, ExternalKey>,
+}
+
+/// A Memcached-like store: slab classes with per-class LRU eviction,
+/// reached over a TCP (IP-over-InfiniBand) transport (paper §VI-A).
+///
+/// Unlike [`RamCloudStore`](crate::RamCloudStore), memcached is a *cache*:
+/// when memory runs out it silently evicts the least-recently-used item of
+/// the incoming item's slab class, and a later `get` simply misses. A page
+/// store built on it must size the cache so working pages are never
+/// evicted — the reproduction's monitor surfaces an eviction-induced miss
+/// as lost-page corruption, matching what would happen in the real system.
+///
+/// # Example
+///
+/// ```
+/// use fluidmem_coord::PartitionId;
+/// use fluidmem_kv::{ExternalKey, KeyValueStore, MemcachedStore};
+/// use fluidmem_mem::{PageContents, Vpn};
+/// use fluidmem_sim::{SimClock, SimRng};
+///
+/// let mut store = MemcachedStore::new(64 << 20, SimClock::new(), SimRng::seed_from_u64(1));
+/// let key = ExternalKey::new(Vpn::new(0x10), PartitionId::new(0));
+/// store.put(key, PageContents::Token(7))?;
+/// assert_eq!(store.get(key)?, PageContents::Token(7));
+/// # Ok::<(), fluidmem_kv::KvError>(())
+/// ```
+#[derive(Debug)]
+pub struct MemcachedStore {
+    classes: Vec<SlabClass>,
+    items: HashMap<u64, Item>,
+    capacity_bytes: usize,
+    used_bytes: usize,
+    next_seq: u64,
+    transport: TransportModel,
+    clock: SimClock,
+    rng: SimRng,
+    stats: StoreStats,
+}
+
+impl MemcachedStore {
+    /// Creates a cache with `capacity_bytes` of slab memory over
+    /// IP-over-InfiniBand TCP.
+    pub fn new(capacity_bytes: usize, clock: SimClock, rng: SimRng) -> Self {
+        Self::with_transport(capacity_bytes, TransportModel::ip_over_ib(), clock, rng)
+    }
+
+    /// Creates a cache with an explicit transport model.
+    pub fn with_transport(
+        capacity_bytes: usize,
+        transport: TransportModel,
+        clock: SimClock,
+        rng: SimRng,
+    ) -> Self {
+        // Memcached's default growth factor of 1.25 from 96 bytes.
+        let mut classes = Vec::new();
+        let mut chunk = 96usize;
+        while chunk < 1024 * 1024 {
+            classes.push(SlabClass {
+                chunk_size: chunk,
+                lru: BTreeMap::new(),
+            });
+            chunk = (chunk as f64 * 1.25) as usize + 8;
+        }
+        classes.push(SlabClass {
+            chunk_size: 1024 * 1024,
+            lru: BTreeMap::new(),
+        });
+        MemcachedStore {
+            classes,
+            items: HashMap::new(),
+            capacity_bytes,
+            used_bytes: 0,
+            next_seq: 0,
+            transport,
+            clock,
+            rng,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// The slab class whose chunks fit an item of `bytes`.
+    fn class_for(&self, bytes: usize) -> usize {
+        self.classes
+            .iter()
+            .position(|c| c.chunk_size >= bytes)
+            .unwrap_or(self.classes.len() - 1)
+    }
+
+    /// Bytes a stored page occupies (memcached stores whole values; token
+    /// pages still logically occupy a page on the wire and in the slab).
+    fn item_bytes() -> usize {
+        PAGE_SIZE + ITEM_OVERHEAD
+    }
+
+    fn touch(&mut self, key: ExternalKey) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(item) = self.items.get_mut(&key.raw()) {
+            let class = item.class;
+            let old = item.lru_seq;
+            item.lru_seq = seq;
+            self.classes[class].lru.remove(&old);
+            self.classes[class].lru.insert(seq, key);
+        }
+    }
+
+    fn remove_item(&mut self, key: ExternalKey) -> Option<Item> {
+        let item = self.items.remove(&key.raw())?;
+        self.classes[item.class].lru.remove(&item.lru_seq);
+        self.used_bytes -= self.classes[item.class].chunk_size;
+        Some(item)
+    }
+
+    fn insert_item(&mut self, key: ExternalKey, value: PageContents) -> Result<(), KvError> {
+        let class = self.class_for(Self::item_bytes());
+        let chunk = self.classes[class].chunk_size;
+        self.remove_item(key);
+        // Evict LRU items of this class until the chunk fits.
+        while self.used_bytes + chunk > self.capacity_bytes {
+            let victim = self.classes[class].lru.iter().next().map(|(_, k)| *k);
+            match victim {
+                Some(v) => {
+                    self.remove_item(v);
+                    self.stats.evictions += 1;
+                }
+                None => return Err(KvError::OutOfCapacity),
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.items.insert(
+            key.raw(),
+            Item {
+                value,
+                class,
+                lru_seq: seq,
+            },
+        );
+        self.classes[class].lru.insert(seq, key);
+        self.used_bytes += chunk;
+        Ok(())
+    }
+
+    /// Slab memory currently allocated to items.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+}
+
+impl KeyValueStore for MemcachedStore {
+    fn name(&self) -> &'static str {
+        "memcached"
+    }
+
+    fn put(&mut self, key: ExternalKey, value: PageContents) -> Result<(), KvError> {
+        let cost = self.transport.sample_top_half(&mut self.rng)
+            + self.transport.sample_flight(&mut self.rng, Self::item_bytes())
+            + self.transport.sample_bottom_half(&mut self.rng);
+        self.clock.advance(cost);
+        self.insert_item(key, value)?;
+        self.stats.puts += 1;
+        Ok(())
+    }
+
+    fn delete(&mut self, key: ExternalKey) -> bool {
+        let cost = self.transport.sample_top_half(&mut self.rng)
+            + self.transport.sample_flight(&mut self.rng, 64);
+        self.clock.advance(cost);
+        let existed = self.remove_item(key).is_some();
+        if existed {
+            self.stats.deletes += 1;
+        }
+        existed
+    }
+
+    fn begin_get(&mut self, key: ExternalKey) -> PendingGet {
+        let top = self.transport.sample_top_half(&mut self.rng);
+        self.clock.advance(top);
+        let flight = self.transport.sample_flight(&mut self.rng, Self::item_bytes());
+        let result = match self.items.get(&key.raw()) {
+            Some(item) => Ok(item.value.clone()),
+            None => Err(KvError::NotFound(key)),
+        };
+        if result.is_ok() {
+            self.touch(key);
+        }
+        PendingGet {
+            key,
+            result,
+            completes_at: self.clock.now() + flight,
+        }
+    }
+
+    fn finish_get(&mut self, pending: PendingGet) -> Result<PageContents, KvError> {
+        self.clock.advance_to(pending.completes_at);
+        let bottom = self.transport.sample_bottom_half(&mut self.rng);
+        self.clock.advance(bottom);
+        match pending.result {
+            Ok(v) => {
+                self.stats.gets += 1;
+                Ok(v)
+            }
+            Err(e) => {
+                self.stats.get_misses += 1;
+                Err(e)
+            }
+        }
+    }
+
+    fn begin_multi_write(
+        &mut self,
+        batch: Vec<(ExternalKey, PageContents)>,
+    ) -> Result<PendingWrite, KvError> {
+        // Memcached has no multiWrite; the client pipelines sets on one
+        // connection, paying one round trip plus per-item server time.
+        let count = batch.len();
+        let top = self.transport.sample_top_half(&mut self.rng);
+        self.clock.advance(top);
+        let flight = self.transport.sample_batch_flight(
+            &mut self.rng,
+            count,
+            count * Self::item_bytes(),
+        );
+        let mut keys = Vec::with_capacity(count);
+        for (key, value) in batch {
+            self.insert_item(key, value)?;
+            keys.push(key);
+        }
+        self.stats.batched_puts += count as u64;
+        self.stats.multi_writes += 1;
+        Ok(PendingWrite {
+            keys,
+            completes_at: self.clock.now() + flight,
+        })
+    }
+
+    fn finish_write(&mut self, pending: PendingWrite) {
+        self.clock.advance_to(pending.completes_at);
+        let bottom = self.transport.sample_bottom_half(&mut self.rng);
+        self.clock.advance(bottom);
+    }
+
+    fn drop_partition(&mut self, partition: PartitionId) -> u64 {
+        let doomed: Vec<ExternalKey> = self
+            .classes
+            .iter()
+            .flat_map(|c| c.lru.values().copied())
+            .filter(|k| k.partition() == partition)
+            .collect();
+        let n = doomed.len() as u64;
+        for key in doomed {
+            self.remove_item(key);
+        }
+        self.stats.deletes += n;
+        n
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn contains(&self, key: ExternalKey) -> bool {
+        self.items.contains_key(&key.raw())
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluidmem_mem::Vpn;
+
+    fn key(n: u64) -> ExternalKey {
+        ExternalKey::new(Vpn::new(n), PartitionId::new(0))
+    }
+
+    fn small_store(items: usize) -> MemcachedStore {
+        // Enough slab memory for exactly `items` page items.
+        let chunk = {
+            let probe = MemcachedStore::new(1 << 20, SimClock::new(), SimRng::seed_from_u64(0));
+            probe.classes[probe.class_for(MemcachedStore::item_bytes())].chunk_size
+        };
+        MemcachedStore::new(chunk * items, SimClock::new(), SimRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut s = small_store(8);
+        s.put(key(1), PageContents::from_byte_fill(3)).unwrap();
+        assert_eq!(s.get(key(1)).unwrap(), PageContents::from_byte_fill(3));
+    }
+
+    #[test]
+    fn eviction_is_lru_and_counted() {
+        let mut s = small_store(3);
+        s.put(key(1), PageContents::Token(1)).unwrap();
+        s.put(key(2), PageContents::Token(2)).unwrap();
+        s.put(key(3), PageContents::Token(3)).unwrap();
+        // Touch key 1 so key 2 is the LRU victim.
+        s.get(key(1)).unwrap();
+        s.put(key(4), PageContents::Token(4)).unwrap();
+        assert_eq!(s.stats().evictions, 1);
+        assert!(s.contains(key(1)), "recently used item survived");
+        assert!(!s.contains(key(2)), "LRU item evicted");
+        assert!(matches!(s.get(key(2)), Err(KvError::NotFound(_))));
+    }
+
+    #[test]
+    fn overwrite_does_not_grow_usage() {
+        let mut s = small_store(4);
+        s.put(key(1), PageContents::Token(1)).unwrap();
+        let used = s.used_bytes();
+        s.put(key(1), PageContents::Token(2)).unwrap();
+        assert_eq!(s.used_bytes(), used);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn tcp_transport_is_slower_than_ramcloud() {
+        let clock = SimClock::new();
+        let mut mc =
+            MemcachedStore::new(16 << 20, clock.clone(), SimRng::seed_from_u64(2));
+        let t0 = clock.now();
+        mc.put(key(1), PageContents::Token(1)).unwrap();
+        mc.get(key(1)).unwrap();
+        let tcp_cost = clock.now() - t0;
+
+        let clock2 = SimClock::new();
+        let mut rc = crate::RamCloudStore::new(16 << 20, clock2.clone(), SimRng::seed_from_u64(2));
+        let t0 = clock2.now();
+        rc.put(key(1), PageContents::Token(1)).unwrap();
+        rc.get(key(1)).unwrap();
+        let ib_cost = clock2.now() - t0;
+
+        assert!(
+            tcp_cost > ib_cost * 2,
+            "memcached {tcp_cost} should be much slower than ramcloud {ib_cost}"
+        );
+    }
+
+    #[test]
+    fn multi_write_pipelines() {
+        let mut s = small_store(64);
+        let batch: Vec<_> = (0..16).map(|i| (key(i), PageContents::Token(i))).collect();
+        s.multi_write(batch).unwrap();
+        assert_eq!(s.len(), 16);
+        assert_eq!(s.stats().multi_writes, 1);
+    }
+
+    #[test]
+    fn drop_partition_scoped() {
+        let mut s = small_store(8);
+        let a = ExternalKey::new(Vpn::new(1), PartitionId::new(3));
+        let b = ExternalKey::new(Vpn::new(1), PartitionId::new(4));
+        s.put(a, PageContents::Token(1)).unwrap();
+        s.put(b, PageContents::Token(2)).unwrap();
+        assert_eq!(s.drop_partition(PartitionId::new(3)), 1);
+        assert!(!s.contains(a));
+        assert!(s.contains(b));
+    }
+
+    #[test]
+    fn slab_classes_grow_geometrically() {
+        let s = MemcachedStore::new(1 << 20, SimClock::new(), SimRng::seed_from_u64(0));
+        for w in s.classes.windows(2) {
+            assert!(w[1].chunk_size > w[0].chunk_size);
+        }
+        // A 4 KB page lands in a class that fits it snugly (< 2x).
+        let c = s.class_for(MemcachedStore::item_bytes());
+        assert!(s.classes[c].chunk_size >= MemcachedStore::item_bytes());
+        assert!(s.classes[c].chunk_size < MemcachedStore::item_bytes() * 2);
+    }
+}

@@ -1,0 +1,52 @@
+//! Handles for in-flight asynchronous store operations.
+
+use fluidmem_mem::PageContents;
+use fluidmem_sim::SimInstant;
+
+use crate::error::KvError;
+use crate::key::ExternalKey;
+
+/// An in-flight asynchronous read (the transport "top half" has been
+/// issued; the response lands at [`completes_at`](PendingGet::completes_at)).
+///
+/// The value is captured when the request reaches the server, so later
+/// writes do not retroactively change an in-flight response.
+#[derive(Debug)]
+#[must_use = "an issued read must be finished with KeyValueStore::finish_get"]
+pub struct PendingGet {
+    pub(crate) key: ExternalKey,
+    pub(crate) result: Result<PageContents, KvError>,
+    pub(crate) completes_at: SimInstant,
+}
+
+impl PendingGet {
+    /// The key being read.
+    pub fn key(&self) -> ExternalKey {
+        self.key
+    }
+
+    /// When the response is available to the bottom half.
+    pub fn completes_at(&self) -> SimInstant {
+        self.completes_at
+    }
+}
+
+/// An in-flight asynchronous (multi-)write.
+#[derive(Debug)]
+#[must_use = "an issued write must be finished with KeyValueStore::finish_write"]
+pub struct PendingWrite {
+    pub(crate) keys: Vec<ExternalKey>,
+    pub(crate) completes_at: SimInstant,
+}
+
+impl PendingWrite {
+    /// The keys being written.
+    pub fn keys(&self) -> &[ExternalKey] {
+        &self.keys
+    }
+
+    /// When the write is durable at the server.
+    pub fn completes_at(&self) -> SimInstant {
+        self.completes_at
+    }
+}

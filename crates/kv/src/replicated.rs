@@ -1,0 +1,343 @@
+//! Replication across remote servers (a §III cloud-operator
+//! customization).
+
+use fluidmem_coord::PartitionId;
+use fluidmem_mem::PageContents;
+
+use crate::error::KvError;
+use crate::key::ExternalKey;
+use crate::pending::{PendingGet, PendingWrite};
+use crate::stats::StoreStats;
+use crate::store::KeyValueStore;
+
+/// A store that mirrors every page across multiple remote servers, so a
+/// store-server failure does not lose VM memory.
+///
+/// Writes go to every replica (issued back-to-back as asynchronous top
+/// halves, so the round trips overlap); reads go to the primary and fail
+/// over to the next replica on a miss or after
+/// [`fail_replica`](ReplicatedStore::fail_replica), with read-repair
+/// bringing a recovered replica back in sync lazily.
+///
+/// The paper notes RAMCloud's own replication "only impacts key-value
+/// writes \[and\] since FluidMem carries out writes asynchronously, the
+/// overall impact on page fault latency would be minimal" (§VI-A) — a
+/// claim the `ablations` bench checks directly with this wrapper.
+///
+/// # Example
+///
+/// ```
+/// use fluidmem_coord::PartitionId;
+/// use fluidmem_kv::{DramStore, ExternalKey, KeyValueStore, ReplicatedStore};
+/// use fluidmem_mem::{PageContents, Vpn};
+/// use fluidmem_sim::{SimClock, SimRng};
+///
+/// let clock = SimClock::new();
+/// let a = DramStore::new(1 << 24, clock.clone(), SimRng::seed_from_u64(1));
+/// let b = DramStore::new(1 << 24, clock.clone(), SimRng::seed_from_u64(2));
+/// let mut store = ReplicatedStore::new(vec![Box::new(a), Box::new(b)]);
+/// let key = ExternalKey::new(Vpn::new(1), PartitionId::new(0));
+/// store.put(key, PageContents::Token(5))?;
+/// store.fail_replica(0); // primary dies
+/// assert_eq!(store.get(key)?, PageContents::Token(5)); // served by the mirror
+/// # Ok::<(), fluidmem_kv::KvError>(())
+/// ```
+pub struct ReplicatedStore {
+    replicas: Vec<Box<dyn KeyValueStore>>,
+    alive: Vec<bool>,
+    failovers: u64,
+    repairs: u64,
+}
+
+impl ReplicatedStore {
+    /// Builds a replicated store over at least one replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty.
+    pub fn new(replicas: Vec<Box<dyn KeyValueStore>>) -> Self {
+        assert!(!replicas.is_empty(), "need at least one replica");
+        let alive = vec![true; replicas.len()];
+        ReplicatedStore {
+            replicas,
+            alive,
+            failovers: 0,
+            repairs: 0,
+        }
+    }
+
+    /// Number of replicas.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Marks a replica as failed (its server crashed / unreachable).
+    pub fn fail_replica(&mut self, index: usize) {
+        self.alive[index] = false;
+    }
+
+    /// Brings a replica back; stale pages heal via read-repair.
+    pub fn recover_replica(&mut self, index: usize) {
+        self.alive[index] = true;
+    }
+
+    /// Reads served by a non-primary replica.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Pages re-written to lagging replicas by read-repair.
+    pub fn repairs(&self) -> u64 {
+        self.repairs
+    }
+
+    fn first_alive(&self) -> Option<usize> {
+        self.alive.iter().position(|&a| a)
+    }
+}
+
+impl KeyValueStore for ReplicatedStore {
+    fn name(&self) -> &'static str {
+        "replicated"
+    }
+
+    fn put(&mut self, key: ExternalKey, value: PageContents) -> Result<(), KvError> {
+        // Issue all writes as top halves so the round trips overlap, then
+        // complete them.
+        let mut pendings = Vec::new();
+        let mut last_err = None;
+        for i in 0..self.replicas.len() {
+            if !self.alive[i] {
+                continue;
+            }
+            match self.replicas[i].begin_multi_write(vec![(key, value.clone())]) {
+                Ok(p) => pendings.push((i, p)),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if pendings.is_empty() {
+            return Err(last_err.unwrap_or(KvError::OutOfCapacity));
+        }
+        for (i, p) in pendings {
+            self.replicas[i].finish_write(p);
+        }
+        Ok(())
+    }
+
+    fn delete(&mut self, key: ExternalKey) -> bool {
+        let mut existed = false;
+        for i in 0..self.replicas.len() {
+            if self.alive[i] {
+                existed |= self.replicas[i].delete(key);
+            }
+        }
+        existed
+    }
+
+    fn begin_get(&mut self, key: ExternalKey) -> PendingGet {
+        let primary = self.first_alive().unwrap_or(0);
+        self.replicas[primary].begin_get(key)
+    }
+
+    fn finish_get(&mut self, pending: PendingGet) -> Result<PageContents, KvError> {
+        let key = pending.key();
+        let primary = self.first_alive().unwrap_or(0);
+        match self.replicas[primary].finish_get(pending) {
+            Ok(v) => Ok(v),
+            Err(KvError::NotFound(_)) => {
+                // Fail over to the mirrors.
+                for i in 0..self.replicas.len() {
+                    if i == primary || !self.alive[i] {
+                        continue;
+                    }
+                    if let Ok(v) = self.replicas[i].get(key) {
+                        self.failovers += 1;
+                        // Read-repair the primary.
+                        if self.replicas[primary].put(key, v.clone()).is_ok() {
+                            self.repairs += 1;
+                        }
+                        return Ok(v);
+                    }
+                }
+                Err(KvError::NotFound(key))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn begin_multi_write(
+        &mut self,
+        batch: Vec<(ExternalKey, PageContents)>,
+    ) -> Result<PendingWrite, KvError> {
+        // Mirror the batch to the secondaries immediately (their flights
+        // overlap the primary's); return the primary's pending handle.
+        let primary = self.first_alive().ok_or(KvError::OutOfCapacity)?;
+        let mut secondary_pendings = Vec::new();
+        for i in 0..self.replicas.len() {
+            if i != primary && self.alive[i] {
+                if let Ok(p) = self.replicas[i].begin_multi_write(batch.clone()) {
+                    secondary_pendings.push((i, p));
+                }
+            }
+        }
+        let primary_pending = self.replicas[primary].begin_multi_write(batch)?;
+        for (i, p) in secondary_pendings {
+            self.replicas[i].finish_write(p);
+        }
+        Ok(primary_pending)
+    }
+
+    fn finish_write(&mut self, pending: PendingWrite) {
+        let primary = self.first_alive().unwrap_or(0);
+        self.replicas[primary].finish_write(pending);
+    }
+
+    fn drop_partition(&mut self, partition: PartitionId) -> u64 {
+        let mut dropped = 0;
+        for i in 0..self.replicas.len() {
+            if self.alive[i] {
+                dropped = dropped.max(self.replicas[i].drop_partition(partition));
+            }
+        }
+        dropped
+    }
+
+    fn len(&self) -> usize {
+        self.first_alive()
+            .map(|i| self.replicas[i].len())
+            .unwrap_or(0)
+    }
+
+    fn contains(&self, key: ExternalKey) -> bool {
+        self.replicas
+            .iter()
+            .zip(&self.alive)
+            .any(|(r, &alive)| alive && r.contains(key))
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.first_alive()
+            .map(|i| self.replicas[i].stats())
+            .unwrap_or_default()
+    }
+}
+
+impl std::fmt::Debug for ReplicatedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicatedStore")
+            .field("replicas", &self.replicas.len())
+            .field("alive", &self.alive)
+            .field("failovers", &self.failovers)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DramStore, RamCloudStore};
+    use fluidmem_mem::Vpn;
+    use fluidmem_sim::{SimClock, SimRng};
+
+    fn key(n: u64) -> ExternalKey {
+        ExternalKey::new(Vpn::new(n), PartitionId::new(0))
+    }
+
+    fn two_replica(clock: &SimClock) -> ReplicatedStore {
+        let a = RamCloudStore::new(1 << 24, clock.clone(), SimRng::seed_from_u64(1));
+        let b = RamCloudStore::new(1 << 24, clock.clone(), SimRng::seed_from_u64(2));
+        ReplicatedStore::new(vec![Box::new(a), Box::new(b)])
+    }
+
+    #[test]
+    fn writes_reach_all_replicas() {
+        let clock = SimClock::new();
+        let mut s = two_replica(&clock);
+        s.put(key(1), PageContents::Token(1)).unwrap();
+        assert!(s.replicas[0].contains(key(1)));
+        assert!(s.replicas[1].contains(key(1)));
+    }
+
+    #[test]
+    fn primary_failure_is_transparent() {
+        let clock = SimClock::new();
+        let mut s = two_replica(&clock);
+        for i in 0..8 {
+            s.put(key(i), PageContents::Token(i)).unwrap();
+        }
+        s.fail_replica(0);
+        for i in 0..8 {
+            assert_eq!(s.get(key(i)).unwrap(), PageContents::Token(i));
+        }
+    }
+
+    #[test]
+    fn read_repair_heals_recovered_replica() {
+        let clock = SimClock::new();
+        let mut s = two_replica(&clock);
+        s.put(key(1), PageContents::Token(1)).unwrap();
+        // Replica 0 dies; new data lands only on replica 1.
+        s.fail_replica(0);
+        s.put(key(2), PageContents::Token(2)).unwrap();
+        // Replica 0 comes back stale. Reads of key 2 miss there, fail
+        // over, and repair.
+        s.recover_replica(0);
+        assert_eq!(s.get(key(2)).unwrap(), PageContents::Token(2));
+        assert_eq!(s.failovers(), 1);
+        assert_eq!(s.repairs(), 1);
+        assert!(s.replicas[0].contains(key(2)), "repaired in place");
+        // Subsequent reads are served by the primary again.
+        assert_eq!(s.get(key(2)).unwrap(), PageContents::Token(2));
+        assert_eq!(s.failovers(), 1);
+    }
+
+    #[test]
+    fn replicated_writes_overlap_not_serialize() {
+        // Two RAMCloud replicas: a replicated multi-write should cost
+        // roughly one flight, not two (top halves overlap).
+        let clock_single = SimClock::new();
+        let mut single = RamCloudStore::new(1 << 24, clock_single.clone(), SimRng::seed_from_u64(1));
+        let batch: Vec<_> = (0..16).map(|i| (key(i), PageContents::Token(i))).collect();
+        let t0 = clock_single.now();
+        single.multi_write(batch.clone()).unwrap();
+        let single_cost = clock_single.now() - t0;
+
+        let clock_repl = SimClock::new();
+        let mut repl = two_replica(&clock_repl);
+        let t0 = clock_repl.now();
+        repl.multi_write(batch).unwrap();
+        let repl_cost = clock_repl.now() - t0;
+
+        assert!(
+            repl_cost.as_micros_f64() < single_cost.as_micros_f64() * 1.9,
+            "replication should overlap: {repl_cost} vs single {single_cost}"
+        );
+    }
+
+    #[test]
+    fn all_replicas_down_errors() {
+        let clock = SimClock::new();
+        let mut s = two_replica(&clock);
+        s.fail_replica(0);
+        s.fail_replica(1);
+        assert!(s.put(key(1), PageContents::Token(1)).is_err());
+    }
+
+    #[test]
+    fn delete_propagates() {
+        let clock = SimClock::new();
+        let a = DramStore::new(1 << 24, clock.clone(), SimRng::seed_from_u64(1));
+        let b = DramStore::new(1 << 24, clock.clone(), SimRng::seed_from_u64(2));
+        let mut s = ReplicatedStore::new(vec![Box::new(a), Box::new(b)]);
+        s.put(key(1), PageContents::Token(1)).unwrap();
+        assert!(s.delete(key(1)));
+        assert!(!s.replicas[0].contains(key(1)));
+        assert!(!s.replicas[1].contains(key(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn empty_replica_set_rejected() {
+        ReplicatedStore::new(vec![]);
+    }
+}

@@ -1,0 +1,156 @@
+//! A shareable handle to one store (many monitors, one remote memory).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use fluidmem_coord::PartitionId;
+use fluidmem_mem::PageContents;
+
+use crate::error::KvError;
+use crate::key::ExternalKey;
+use crate::pending::{PendingGet, PendingWrite};
+use crate::stats::StoreStats;
+use crate::store::KeyValueStore;
+
+/// A cheaply clonable handle to a single underlying store, so multiple
+/// monitors — e.g. the source and destination hypervisors of a live
+/// migration, or "multiple VMs \[sharing\] the same key-value store"
+/// (§IV) — operate on the *same* remote memory.
+///
+/// # Example
+///
+/// ```
+/// use fluidmem_coord::PartitionId;
+/// use fluidmem_kv::{DramStore, ExternalKey, KeyValueStore, SharedStore};
+/// use fluidmem_mem::{PageContents, Vpn};
+/// use fluidmem_sim::{SimClock, SimRng};
+///
+/// let clock = SimClock::new();
+/// let shared = SharedStore::new(Box::new(DramStore::new(
+///     1 << 24,
+///     clock.clone(),
+///     SimRng::seed_from_u64(1),
+/// )));
+/// let mut host_a = shared.handle();
+/// let mut host_b = shared.handle();
+/// let key = ExternalKey::new(Vpn::new(1), PartitionId::new(0));
+/// host_a.put(key, PageContents::Token(7))?;
+/// assert_eq!(host_b.get(key)?, PageContents::Token(7));
+/// # Ok::<(), fluidmem_kv::KvError>(())
+/// ```
+#[derive(Clone)]
+pub struct SharedStore {
+    inner: Rc<RefCell<Box<dyn KeyValueStore>>>,
+}
+
+impl SharedStore {
+    /// Wraps a store for sharing.
+    pub fn new(store: Box<dyn KeyValueStore>) -> Self {
+        SharedStore {
+            inner: Rc::new(RefCell::new(store)),
+        }
+    }
+
+    /// Another handle to the same store.
+    pub fn handle(&self) -> SharedStore {
+        self.clone()
+    }
+}
+
+impl KeyValueStore for SharedStore {
+    fn name(&self) -> &'static str {
+        "shared"
+    }
+
+    fn put(&mut self, key: ExternalKey, value: PageContents) -> Result<(), KvError> {
+        self.inner.borrow_mut().put(key, value)
+    }
+
+    fn delete(&mut self, key: ExternalKey) -> bool {
+        self.inner.borrow_mut().delete(key)
+    }
+
+    fn begin_get(&mut self, key: ExternalKey) -> PendingGet {
+        self.inner.borrow_mut().begin_get(key)
+    }
+
+    fn finish_get(&mut self, pending: PendingGet) -> Result<PageContents, KvError> {
+        self.inner.borrow_mut().finish_get(pending)
+    }
+
+    fn begin_multi_write(
+        &mut self,
+        batch: Vec<(ExternalKey, PageContents)>,
+    ) -> Result<PendingWrite, KvError> {
+        self.inner.borrow_mut().begin_multi_write(batch)
+    }
+
+    fn finish_write(&mut self, pending: PendingWrite) {
+        self.inner.borrow_mut().finish_write(pending)
+    }
+
+    fn drop_partition(&mut self, partition: PartitionId) -> u64 {
+        self.inner.borrow_mut().drop_partition(partition)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    fn contains(&self, key: ExternalKey) -> bool {
+        self.inner.borrow().contains(key)
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.borrow().stats()
+    }
+}
+
+impl std::fmt::Debug for SharedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedStore")
+            .field("inner", &self.inner.borrow().name())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DramStore;
+    use fluidmem_mem::Vpn;
+    use fluidmem_sim::{SimClock, SimRng};
+
+    #[test]
+    fn handles_see_each_others_writes() {
+        let clock = SimClock::new();
+        let shared = SharedStore::new(Box::new(DramStore::new(
+            1 << 20,
+            clock,
+            SimRng::seed_from_u64(1),
+        )));
+        let mut a = shared.handle();
+        let mut b = shared.handle();
+        let key = ExternalKey::new(Vpn::new(3), PartitionId::new(1));
+        a.put(key, PageContents::Token(42)).unwrap();
+        assert!(b.contains(key));
+        assert!(b.delete(key));
+        assert!(!a.contains(key));
+    }
+
+    #[test]
+    fn stats_are_shared() {
+        let clock = SimClock::new();
+        let shared = SharedStore::new(Box::new(DramStore::new(
+            1 << 20,
+            clock,
+            SimRng::seed_from_u64(1),
+        )));
+        let mut a = shared.handle();
+        let key = ExternalKey::new(Vpn::new(1), PartitionId::new(0));
+        a.put(key, PageContents::Zero).unwrap();
+        assert_eq!(shared.handle().stats().puts, 1);
+        assert_eq!(shared.len(), 1);
+    }
+}

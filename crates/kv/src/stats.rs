@@ -1,0 +1,46 @@
+//! Per-store operation counters.
+
+/// Counters maintained by every store backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Successful reads.
+    pub gets: u64,
+    /// Reads that missed (not found / evicted).
+    pub get_misses: u64,
+    /// Single-object writes.
+    pub puts: u64,
+    /// Objects written through batch (`multiWrite`) operations.
+    pub batched_puts: u64,
+    /// Batch operations issued.
+    pub multi_writes: u64,
+    /// Objects removed by `delete`.
+    pub deletes: u64,
+    /// Objects dropped by cache eviction (memcached) — data loss.
+    pub evictions: u64,
+    /// Log-cleaner passes (RAMCloud).
+    pub cleanings: u64,
+    /// Crash-recovery replays (RAMCloud).
+    pub recoveries: u64,
+}
+
+impl StoreStats {
+    /// Total objects written by any means.
+    pub fn total_puts(&self) -> u64 {
+        self.puts + self.batched_puts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_puts_sums_both_paths() {
+        let s = StoreStats {
+            puts: 3,
+            batched_puts: 7,
+            ..Default::default()
+        };
+        assert_eq!(s.total_puts(), 10);
+    }
+}

@@ -1,0 +1,117 @@
+//! The generic key-value store API (paper §IV).
+
+use fluidmem_mem::PageContents;
+
+use crate::error::KvError;
+use crate::key::ExternalKey;
+use crate::pending::{PendingGet, PendingWrite};
+use crate::stats::StoreStats;
+
+/// The generic, partition-aware store interface FluidMem's monitor uses.
+///
+/// Two call styles are offered:
+///
+/// * **synchronous** — [`get`](KeyValueStore::get) /
+///   [`put`](KeyValueStore::put) charge the full round trip on the
+///   caller's critical path (the monitor's unoptimized "Default" mode in
+///   Table II);
+/// * **asynchronous top/bottom halves** —
+///   [`begin_get`](KeyValueStore::begin_get) issues the request and
+///   returns immediately; the response lands in the background and
+///   [`finish_get`](KeyValueStore::finish_get) waits only for whatever
+///   remains. The §V-B optimizations run `UFFD_REMAP` and LRU bookkeeping
+///   between the halves, hiding the network wait.
+///
+/// Implementations are single-writer (the monitor) in this reproduction;
+/// multiple VMs share a store through distinct
+/// [`partition`](ExternalKey::partition)s.
+pub trait KeyValueStore {
+    /// Short backend name (`"ramcloud"`, `"memcached"`, `"dram"`).
+    fn name(&self) -> &'static str;
+
+    /// Synchronous read.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::NotFound`] if the key is absent (or was evicted, for
+    /// cache-style backends).
+    fn get(&mut self, key: ExternalKey) -> Result<PageContents, KvError> {
+        let pending = self.begin_get(key);
+        self.finish_get(pending)
+    }
+
+    /// Synchronous single-object write.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::OutOfCapacity`] if the store cannot accept the object.
+    fn put(&mut self, key: ExternalKey, value: PageContents) -> Result<(), KvError>;
+
+    /// Removes an object; returns whether it existed.
+    fn delete(&mut self, key: ExternalKey) -> bool;
+
+    /// Synchronous batch write (RAMCloud `multiWrite`): one round trip
+    /// for the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::OutOfCapacity`] if the store cannot accept the batch.
+    fn multi_write(&mut self, batch: Vec<(ExternalKey, PageContents)>) -> Result<(), KvError> {
+        let pending = self.begin_multi_write(batch)?;
+        self.finish_write(pending);
+        Ok(())
+    }
+
+    /// Issues an asynchronous read (top half). The caller may do other
+    /// work before calling [`finish_get`](KeyValueStore::finish_get).
+    fn begin_get(&mut self, key: ExternalKey) -> PendingGet;
+
+    /// Completes an asynchronous read (bottom half), waiting in virtual
+    /// time only if the response has not yet arrived.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::NotFound`] if the key was absent when the server
+    /// processed the request.
+    fn finish_get(&mut self, pending: PendingGet) -> Result<PageContents, KvError>;
+
+    /// Issues an asynchronous batch write (top half).
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::OutOfCapacity`] if the store cannot accept the batch.
+    fn begin_multi_write(
+        &mut self,
+        batch: Vec<(ExternalKey, PageContents)>,
+    ) -> Result<PendingWrite, KvError>;
+
+    /// Completes an asynchronous write, waiting if necessary.
+    fn finish_write(&mut self, pending: PendingWrite);
+
+    /// Drops every object in a partition (VM shutdown).
+    fn drop_partition(&mut self, partition: fluidmem_coord::PartitionId) -> u64;
+
+    /// Number of live objects.
+    fn len(&self) -> usize;
+
+    /// Whether the store holds no objects.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Test hook: whether a key is present, without charging time.
+    fn contains(&self, key: ExternalKey) -> bool;
+
+    /// Operation counters.
+    fn stats(&self) -> StoreStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes_object(_s: &mut dyn KeyValueStore) {}
+    }
+}

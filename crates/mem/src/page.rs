@@ -1,0 +1,179 @@
+//! Page size and page contents.
+
+use std::fmt;
+
+/// The page size used throughout the reproduction (4 KB, as in the paper).
+pub const PAGE_SIZE: usize = 4096;
+
+/// The contents of one 4 KB page.
+///
+/// Storing literal 4 KB buffers for every simulated page would need tens of
+/// gigabytes at the paper's working-set sizes, so contents come in three
+/// fidelities:
+///
+/// * [`Zero`](PageContents::Zero) — the kernel's copy-on-write zero page;
+///   what `UFFD_ZEROPAGE` maps on a first-touch fault.
+/// * [`Token`](PageContents::Token) — a 64-bit stand-in for a full page.
+///   Workload drivers use tokens; the *data path* (monitor → key-value
+///   store → monitor) is identical to real bytes, so eviction/refault
+///   round-trips are still integrity-checked.
+/// * [`Bytes`](PageContents::Bytes) — a real 4 KB buffer, used by the
+///   byte-level integrity tests.
+///
+/// # Example
+///
+/// ```
+/// use fluidmem_mem::PageContents;
+///
+/// let p = PageContents::from_byte_fill(0xAB);
+/// assert_eq!(p.as_bytes().unwrap()[17], 0xAB);
+/// assert_ne!(p.fingerprint(), PageContents::Zero.fingerprint());
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub enum PageContents {
+    /// The shared, read-only zero page.
+    Zero,
+    /// A compact stand-in carrying a 64-bit payload.
+    Token(u64),
+    /// A literal 4 KB buffer.
+    Bytes(Box<[u8]>),
+}
+
+impl PageContents {
+    /// A page filled with one repeated byte.
+    pub fn from_byte_fill(byte: u8) -> Self {
+        PageContents::Bytes(vec![byte; PAGE_SIZE].into_boxed_slice())
+    }
+
+    /// A page holding the given bytes, zero-padded or truncated to 4 KB.
+    pub fn from_bytes(data: &[u8]) -> Self {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let n = data.len().min(PAGE_SIZE);
+        buf[..n].copy_from_slice(&data[..n]);
+        PageContents::Bytes(buf.into_boxed_slice())
+    }
+
+    /// The raw bytes, if this is a byte-level page.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            PageContents::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Whether the page is all zeroes (the `Zero` variant or a zeroed
+    /// byte buffer).
+    pub fn is_zero(&self) -> bool {
+        match self {
+            PageContents::Zero => true,
+            PageContents::Token(_) => false,
+            PageContents::Bytes(b) => b.iter().all(|&x| x == 0),
+        }
+    }
+
+    /// A 64-bit fingerprint of the contents, stable across clones; used by
+    /// integrity tests to follow a page through evict/refault round trips.
+    pub fn fingerprint(&self) -> u64 {
+        match self {
+            PageContents::Zero => 0,
+            PageContents::Token(t) => 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t | 1),
+            PageContents::Bytes(b) => {
+                // FNV-1a.
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for &x in b.iter() {
+                    h ^= u64::from(x);
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+                h
+            }
+        }
+    }
+
+    /// The number of bytes this representation costs the *simulator's*
+    /// host (not the simulated machine): tokens are 8 bytes, real buffers
+    /// are 4 KB.
+    pub fn host_cost_bytes(&self) -> usize {
+        match self {
+            PageContents::Zero => 0,
+            PageContents::Token(_) => 8,
+            PageContents::Bytes(_) => PAGE_SIZE,
+        }
+    }
+}
+
+impl Default for PageContents {
+    fn default() -> Self {
+        PageContents::Zero
+    }
+}
+
+impl fmt::Debug for PageContents {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageContents::Zero => write!(f, "PageContents::Zero"),
+            PageContents::Token(t) => write!(f, "PageContents::Token({t:#x})"),
+            PageContents::Bytes(_) => {
+                write!(f, "PageContents::Bytes(fp={:#x})", self.fingerprint())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_fill_roundtrip() {
+        let p = PageContents::from_byte_fill(7);
+        let b = p.as_bytes().unwrap();
+        assert_eq!(b.len(), PAGE_SIZE);
+        assert!(b.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn from_bytes_pads_and_truncates() {
+        let p = PageContents::from_bytes(&[1, 2, 3]);
+        let b = p.as_bytes().unwrap();
+        assert_eq!(&b[..3], &[1, 2, 3]);
+        assert!(b[3..].iter().all(|&x| x == 0));
+
+        let big = vec![9u8; PAGE_SIZE + 100];
+        let p = PageContents::from_bytes(&big);
+        assert_eq!(p.as_bytes().unwrap().len(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(PageContents::Zero.is_zero());
+        assert!(PageContents::from_byte_fill(0).is_zero());
+        assert!(!PageContents::from_byte_fill(1).is_zero());
+        assert!(!PageContents::Token(0).is_zero());
+    }
+
+    #[test]
+    fn fingerprints_distinguish_contents() {
+        let a = PageContents::from_byte_fill(1);
+        let b = PageContents::from_byte_fill(2);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        assert_ne!(
+            PageContents::Token(1).fingerprint(),
+            PageContents::Token(2).fingerprint()
+        );
+        assert_eq!(PageContents::Zero.fingerprint(), 0);
+    }
+
+    #[test]
+    fn token_is_cheap_on_host() {
+        assert_eq!(PageContents::Token(42).host_cost_bytes(), 8);
+        assert_eq!(PageContents::from_byte_fill(1).host_cost_bytes(), PAGE_SIZE);
+        assert_eq!(PageContents::Zero.host_cost_bytes(), 0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", PageContents::Zero).is_empty());
+        assert!(format!("{:?}", PageContents::Token(16)).contains("0x10"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Lightweight event tracing for debugging simulated schedules.
+
+use std::fmt;
+
+use crate::SimInstant;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time at which the event occurred.
+    pub at: SimInstant,
+    /// Component that emitted the event (e.g. `"monitor"`).
+    pub component: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.at, self.component, self.message)
+    }
+}
+
+/// An opt-in event recorder.
+///
+/// Disabled tracers skip formatting entirely, so traces can stay in hot
+/// paths without cost when off.
+///
+/// # Example
+///
+/// ```
+/// use fluidmem_sim::{Tracer, SimInstant};
+///
+/// let mut t = Tracer::enabled();
+/// t.emit(SimInstant::EPOCH, "monitor", || "fault at 0x1000".to_string());
+/// assert_eq!(t.events().len(), 1);
+///
+/// let mut off = Tracer::disabled();
+/// off.emit(SimInstant::EPOCH, "monitor", || unreachable!());
+/// assert!(off.events().is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct Tracer {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Tracer {
+    /// A tracer that records events.
+    pub fn enabled() -> Self {
+        Tracer {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// A tracer that drops events without evaluating their messages.
+    pub fn disabled() -> Self {
+        Tracer {
+            enabled: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event; the message closure is only invoked when enabled.
+    pub fn emit<F: FnOnce() -> String>(
+        &mut self,
+        at: SimInstant,
+        component: &'static str,
+        message: F,
+    ) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                at,
+                component,
+                message: message(),
+            });
+        }
+    }
+
+    /// All recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Drops all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    #[test]
+    fn records_when_enabled() {
+        let mut t = Tracer::enabled();
+        t.emit(SimInstant::EPOCH + SimDuration::from_micros(3), "kv", || {
+            "put".into()
+        });
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.events()[0].component, "kv");
+        assert!(t.events()[0].to_string().contains("put"));
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn skips_message_construction_when_disabled() {
+        let mut t = Tracer::disabled();
+        let mut called = false;
+        t.emit(SimInstant::EPOCH, "x", || {
+            called = true;
+            String::new()
+        });
+        assert!(!called);
+        assert!(!t.is_enabled());
+    }
+}

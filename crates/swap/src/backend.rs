@@ -1,0 +1,821 @@
+//! `SwapBackedMemory`: the swap-based `MemoryBackend`.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use fluidmem_block::BlockDevice;
+use fluidmem_mem::{
+    AccessCounters, AccessOutcome, AccessReport, CapacityError, FrameId, MemoryBackend,
+    PageClass, PageContents, PageTable, PhysicalMemory, PteFlags, Region, VirtAddr, Vpn,
+};
+use fluidmem_sim::{SimClock, SimDuration, SimInstant, SimRng};
+
+use crate::config::{DiskCacheMode, SwapConfig};
+use crate::lru::TwoListLru;
+use crate::slots::SlotAllocator;
+use crate::stats::SwapStats;
+
+/// The balloon driver's maximum inflation leaves this much resident
+/// (64 MB, per the paper's Table III "Max VM balloon size" row).
+const BALLOON_FLOOR_PAGES: u64 = 20_480;
+
+#[derive(Debug, Clone, Copy)]
+struct SwappedInfo {
+    slot: u64,
+    /// Pending background writeback; a refault must wait for it.
+    write_completes: Option<SimInstant>,
+}
+
+/// A VM memory system using the guest kernel's swap subsystem over a
+/// block device — the partial-disaggregation baseline (Infiniswap /
+/// NVMeoF remote paging, paper §II and §VI-A).
+///
+/// Two devices are involved: the **swap device** (DRAM, NVMeoF, or SSD)
+/// receives anonymous pages, and the **filesystem device** (always the
+/// local SSD) receives reclaimed file-backed pages — because swap simply
+/// cannot hold them, the §II limitation at the heart of the paper.
+///
+/// # Example
+///
+/// ```
+/// use fluidmem_block::PmemDevice;
+/// use fluidmem_mem::{MemoryBackend, PageClass};
+/// use fluidmem_sim::{SimClock, SimRng};
+/// use fluidmem_swap::{SwapBackedMemory, SwapConfig};
+///
+/// let clock = SimClock::new();
+/// let swap_dev = PmemDevice::new(4096, clock.clone(), SimRng::seed_from_u64(1));
+/// let fs_dev = PmemDevice::new(4096, clock.clone(), SimRng::seed_from_u64(2));
+/// let mut vm = SwapBackedMemory::new(
+///     SwapConfig::paper_default(256), // 1 MB of "DRAM"
+///     Box::new(swap_dev),
+///     Box::new(fs_dev),
+///     clock,
+///     SimRng::seed_from_u64(3),
+/// );
+/// let region = vm.map_region(512, PageClass::Anonymous); // 2x overcommit
+/// for i in 0..512 {
+///     vm.access(region.page(i), true); // forces swapping
+/// }
+/// assert!(vm.resident_pages() <= 256);
+/// ```
+pub struct SwapBackedMemory {
+    config: SwapConfig,
+    clock: SimClock,
+    rng: SimRng,
+    swap_dev: Box<dyn BlockDevice>,
+    fs_dev: Box<dyn BlockDevice>,
+    pt: PageTable,
+    frames: PhysicalMemory,
+    /// start-vpn → region, for page-class lookup on faults.
+    regions: BTreeMap<u64, Region>,
+    next_vpn: u64,
+    lru: TwoListLru,
+    slots: SlotAllocator,
+    /// Anonymous pages currently on the swap device.
+    swapped_out: HashMap<Vpn, SwappedInfo>,
+    /// Resident pages whose swap-slot copy is still valid (clean).
+    clean_slot: HashMap<Vpn, u64>,
+    /// Readahead pages: resident in a frame but not yet mapped.
+    swap_cache: HashMap<Vpn, FrameId>,
+    swap_cache_order: VecDeque<Vpn>,
+    /// File-backed pages' filesystem blocks.
+    fs_blocks: HashMap<Vpn, u64>,
+    next_fs_block: u64,
+    /// Whether faults carry KVM vCPU exit costs.
+    from_vm: bool,
+    label: String,
+    counters: AccessCounters,
+    stats: SwapStats,
+}
+
+impl SwapBackedMemory {
+    /// Creates a swap-backed memory over the given devices.
+    pub fn new(
+        config: SwapConfig,
+        swap_dev: Box<dyn BlockDevice>,
+        fs_dev: Box<dyn BlockDevice>,
+        clock: SimClock,
+        rng: SimRng,
+    ) -> Self {
+        let label = format!("Swap/{}", swap_dev.name());
+        let dram = config.dram_pages;
+        SwapBackedMemory {
+            slots: SlotAllocator::new(swap_dev.capacity_blocks()),
+            config,
+            clock,
+            rng,
+            swap_dev,
+            fs_dev,
+            pt: PageTable::new(),
+            frames: PhysicalMemory::new(dram),
+            regions: BTreeMap::new(),
+            next_vpn: 0x10_000,
+            lru: TwoListLru::new(),
+            swapped_out: HashMap::new(),
+            clean_slot: HashMap::new(),
+            swap_cache: HashMap::new(),
+            swap_cache_order: VecDeque::new(),
+            fs_blocks: HashMap::new(),
+            next_fs_block: 0,
+            from_vm: true,
+            label,
+            counters: AccessCounters::default(),
+            stats: SwapStats::default(),
+        }
+    }
+
+    /// Disables per-fault KVM exit costs (for bare-process baselines).
+    pub fn set_from_vm(&mut self, from_vm: bool) {
+        self.from_vm = from_vm;
+    }
+
+    /// Swap-subsystem counters.
+    pub fn swap_stats(&self) -> &SwapStats {
+        &self.stats
+    }
+
+    /// The swap configuration in use.
+    pub fn config(&self) -> &SwapConfig {
+        &self.config
+    }
+
+    /// Pages currently written out to the swap device.
+    pub fn swapped_out_pages(&self) -> u64 {
+        self.swapped_out.len() as u64
+    }
+
+    fn class_of(&self, vpn: Vpn) -> PageClass {
+        let (_, region) = self
+            .regions
+            .range(..=vpn.raw())
+            .next_back()
+            .unwrap_or_else(|| panic!("access to unmapped address {vpn}"));
+        assert!(region.contains(vpn), "access to unmapped address {vpn}");
+        region.class()
+    }
+
+    fn charge(&mut self, model: &fluidmem_sim::LatencyModel) {
+        let d = model.sample(&mut self.rng);
+        self.clock.advance(d);
+    }
+
+    fn charge_fault_entry(&mut self) {
+        let mut d = self.config.costs.fault_entry.sample(&mut self.rng);
+        if self.from_vm {
+            d += self.config.costs.vm_exit.sample(&mut self.rng);
+        }
+        self.clock.advance(d);
+    }
+
+    fn writeback_cache_tax(&mut self) {
+        if self.config.cache_mode == DiskCacheMode::Writeback {
+            let d = self.config.costs.writeback_cache_copy.sample(&mut self.rng);
+            self.clock.advance(d);
+        }
+    }
+
+    fn fs_block_of(&mut self, vpn: Vpn) -> u64 {
+        if let Some(&b) = self.fs_blocks.get(&vpn) {
+            return b;
+        }
+        let b = self.next_fs_block % self.fs_dev.capacity_blocks();
+        self.next_fs_block += 1;
+        self.fs_blocks.insert(vpn, b);
+        b
+    }
+
+    /// Drops one clean swap-cache page (free reclaim). Returns `true` if
+    /// one was dropped.
+    fn shrink_swap_cache(&mut self) -> bool {
+        while let Some(vpn) = self.swap_cache_order.pop_front() {
+            if let Some(frame) = self.swap_cache.remove(&vpn) {
+                self.frames.free(frame);
+                // Its clean device copy remains; it is simply swapped out
+                // again.
+                let slot = self.slots.slot_of(vpn).expect("cached page kept its slot");
+                self.swapped_out.insert(
+                    vpn,
+                    SwappedInfo {
+                        slot,
+                        write_completes: None,
+                    },
+                );
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Reclaims one resident page. `direct` means the faulting thread
+    /// pays for scans and dirty writeback synchronously.
+    fn reclaim_one(&mut self, direct: bool) -> bool {
+        // Swap-cache pages are the cheapest victims.
+        if self.shrink_swap_cache() {
+            return true;
+        }
+        let costs = self.config.costs.reclaim_scan.clone();
+        let pt = &mut self.pt;
+        let mut scanned = 0u32;
+        let victim = self.lru.pick_victim(|vpn| {
+            scanned += 1;
+            let referenced = pt.has_flags(vpn, PteFlags::REFERENCED);
+            pt.clear_flags(vpn, PteFlags::REFERENCED);
+            referenced
+        });
+        if direct {
+            for _ in 0..scanned {
+                let d = costs.sample(&mut self.rng);
+                self.clock.advance(d);
+            }
+        }
+        let Some(vpn) = victim else {
+            return false;
+        };
+        let entry = self.pt.unmap(vpn).expect("LRU tracks only mapped pages");
+        let dirty = entry.flags.contains(PteFlags::DIRTY);
+        let contents = self.frames.free(entry.frame);
+        match self.class_of(vpn) {
+            PageClass::Anonymous => {
+                if let Some(slot) = self.clean_slot.remove(&vpn) {
+                    // Device copy still valid: no write needed.
+                    self.stats.clean_evictions += 1;
+                    self.swapped_out.insert(
+                        vpn,
+                        SwappedInfo {
+                            slot,
+                            write_completes: None,
+                        },
+                    );
+                } else {
+                    let slot = self
+                        .slots
+                        .allocate(vpn)
+                        .expect("swap device full: undersized experiment configuration");
+                    self.writeback_cache_tax();
+                    let completion = if direct {
+                        let c = self
+                            .swap_dev
+                            .submit_write(slot, contents)
+                            .expect("slot within device");
+                        self.clock.advance_to(c.at);
+                        None
+                    } else {
+                        let c = self
+                            .swap_dev
+                            .submit_write_background(slot, contents)
+                            .expect("slot within device");
+                        Some(c.at)
+                    };
+                    self.stats.swap_outs += 1;
+                    self.swapped_out.insert(
+                        vpn,
+                        SwappedInfo {
+                            slot,
+                            write_completes: completion,
+                        },
+                    );
+                }
+            }
+            PageClass::FileBacked => {
+                if dirty {
+                    let block = self.fs_block_of(vpn);
+                    self.stats.fs_writes += 1;
+                    if direct {
+                        let c = self
+                            .fs_dev
+                            .submit_write(block, contents)
+                            .expect("fs block in range");
+                        self.clock.advance_to(c.at);
+                    } else {
+                        let _ = self
+                            .fs_dev
+                            .submit_write_background(block, contents)
+                            .expect("fs block in range");
+                    }
+                }
+                // Clean file pages are simply dropped; the filesystem
+                // already has them.
+            }
+            other => unreachable!("{other} pages are never on the reclaim LRU"),
+        }
+        true
+    }
+
+    /// Guarantees `n` free frames, reclaiming on the critical path if
+    /// kswapd has fallen behind.
+    fn ensure_frames(&mut self, n: u64) {
+        while self.frames.free_frames() < n {
+            self.stats.direct_reclaims += 1;
+            if !self.reclaim_one(true) {
+                panic!(
+                    "guest OOM: {} frames, nothing reclaimable",
+                    self.frames.capacity()
+                );
+            }
+        }
+    }
+
+    /// Background reclaim toward the high watermark.
+    fn kswapd(&mut self) {
+        let low = (self.config.dram_pages as f64 * self.config.watermark_low) as u64;
+        if self.frames.free_frames() >= low {
+            return;
+        }
+        self.stats.kswapd_runs += 1;
+        let high = (self.config.dram_pages as f64 * self.config.watermark_high) as u64;
+        let mut batch = self.config.kswapd_batch;
+        while self.frames.free_frames() < high && batch > 0 {
+            if !self.reclaim_one(false) {
+                break;
+            }
+            batch -= 1;
+        }
+    }
+
+    fn map_new_frame(&mut self, vpn: Vpn, contents: PageContents, write: bool) -> FrameId {
+        let frame = self.frames.alloc().expect("ensure_frames ran");
+        if !matches!(contents, PageContents::Zero) {
+            self.frames.store(frame, contents);
+        }
+        let mut flags = PteFlags::PRESENT | PteFlags::WRITABLE | PteFlags::REFERENCED;
+        if write {
+            flags.insert(PteFlags::DIRTY);
+        }
+        self.pt.map(vpn, frame, flags);
+        frame
+    }
+
+    /// Issues readahead for the slot neighbors of `slot`.
+    fn readahead(&mut self, slot: u64) {
+        let window = self.config.readahead_pages();
+        if window <= 1 {
+            return;
+        }
+        let base = slot - (slot % window);
+        for s in base..base + window {
+            if s == slot {
+                continue;
+            }
+            let Some(vpn) = self.slots.owner_of(s) else {
+                continue;
+            };
+            let Some(info) = self.swapped_out.get(&vpn).copied() else {
+                continue;
+            };
+            let now = self.clock.now();
+            if info.write_completes.is_some_and(|t| t > now) {
+                continue; // still being written; skip
+            }
+            // Readahead never triggers reclaim (GFP_NORETRY-ish) and must
+            // leave the frame reserved for the faulting page untouched.
+            if self.frames.free_frames() <= 1 {
+                break;
+            }
+            let completion = self
+                .swap_dev
+                .submit_read(s)
+                .expect("slot within device");
+            let frame = self.frames.alloc().expect("checked free_frames");
+            self.frames.store(frame, completion.data);
+            self.swapped_out.remove(&vpn);
+            self.swap_cache.insert(vpn, frame);
+            self.swap_cache_order.push_back(vpn);
+            self.stats.readahead_pages += 1;
+        }
+    }
+
+    /// The fault paths. Returns the outcome; latency is whatever the
+    /// clock advanced.
+    fn fault(&mut self, vpn: Vpn, write: bool) -> AccessOutcome {
+        self.charge_fault_entry();
+        let class = self.class_of(vpn);
+        match class {
+            PageClass::Anonymous => {
+                // Swap-cache hit (readahead already brought it in)?
+                if let Some(frame) = self.swap_cache.remove(&vpn) {
+                    self.charge(&self.config.costs.minor_fault.clone());
+                    let mut flags = PteFlags::PRESENT | PteFlags::WRITABLE | PteFlags::REFERENCED;
+                    let slot = self.slots.slot_of(vpn).expect("cached page kept slot");
+                    if write {
+                        flags.insert(PteFlags::DIRTY);
+                        self.slots.free(vpn);
+                    } else {
+                        self.clean_slot.insert(vpn, slot);
+                    }
+                    self.pt.map(vpn, frame, flags);
+                    self.lru.insert(vpn);
+                    self.stats.swap_cache_hits += 1;
+                    self.kswapd();
+                    return AccessOutcome::MinorFault;
+                }
+                // Swapped out?
+                if let Some(info) = self.swapped_out.get(&vpn).copied() {
+                    self.charge(&self.config.costs.cache_lookup.clone());
+                    if let Some(t) = info.write_completes {
+                        // Writeback still in flight: wait for it before
+                        // reading the slot back.
+                        if self.clock.advance_to(t) > SimDuration::ZERO {
+                            self.stats.writeback_collisions += 1;
+                        }
+                    }
+                    self.ensure_frames(1);
+                    self.writeback_cache_tax();
+                    let completion = self
+                        .swap_dev
+                        .submit_read(info.slot)
+                        .expect("slot within device");
+                    self.readahead(info.slot);
+                    self.clock.advance_to(completion.at);
+                    self.charge(&self.config.costs.swapin_setup.clone());
+                    self.charge(&self.config.costs.swapin_overhead.clone());
+                    self.swapped_out.remove(&vpn);
+                    self.map_new_frame(vpn, completion.data, write);
+                    if write {
+                        self.slots.free(vpn);
+                    } else {
+                        self.clean_slot.insert(vpn, info.slot);
+                    }
+                    self.lru.insert(vpn);
+                    self.stats.major_faults += 1;
+                    self.kswapd();
+                    return AccessOutcome::MajorFault;
+                }
+                // First touch: zero-fill.
+                self.ensure_frames(1);
+                self.charge(&self.config.costs.first_touch.clone());
+                self.map_new_frame(vpn, PageContents::Zero, write);
+                self.lru.insert(vpn);
+                self.stats.first_touch_faults += 1;
+                self.kswapd();
+                AccessOutcome::MinorFault
+            }
+            PageClass::FileBacked => {
+                // File pages always refault from the filesystem — swap
+                // cannot hold them (paper §II).
+                self.ensure_frames(1);
+                let block = self.fs_block_of(vpn);
+                let completion = self.fs_dev.submit_read(block).expect("fs block in range");
+                self.clock.advance_to(completion.at);
+                self.charge(&self.config.costs.swapin_setup.clone());
+                self.map_new_frame(vpn, completion.data, write);
+                self.lru.insert(vpn);
+                self.stats.fs_reads += 1;
+                self.kswapd();
+                AccessOutcome::MajorFault
+            }
+            PageClass::KernelText | PageClass::KernelData | PageClass::Unevictable => {
+                // Populated once at first touch; pinned forever after.
+                self.ensure_frames(1);
+                self.charge(&self.config.costs.first_touch.clone());
+                self.map_new_frame(vpn, PageContents::Zero, write);
+                // Deliberately NOT on the LRU: the kernel cannot reclaim
+                // these (the paper's partial-disaggregation limitation).
+                self.kswapd();
+                AccessOutcome::MinorFault
+            }
+        }
+    }
+
+    fn do_access(&mut self, addr: VirtAddr, write: bool) -> AccessReport {
+        let vpn = addr.vpn();
+        let start = self.clock.now();
+        if let Some(entry) = self.pt.get_mut(vpn) {
+            entry.flags.insert(PteFlags::REFERENCED);
+            if write {
+                entry.flags.insert(PteFlags::DIRTY);
+                // A write invalidates any clean swap copy.
+                if self.clean_slot.remove(&vpn).is_some() {
+                    self.slots.free(vpn);
+                }
+            }
+            self.counters.record(AccessOutcome::Hit);
+            return AccessReport {
+                outcome: AccessOutcome::Hit,
+                latency: SimDuration::ZERO,
+            };
+        }
+        let outcome = self.fault(vpn, write);
+        self.counters.record(outcome);
+        AccessReport {
+            outcome,
+            latency: self.clock.now() - start,
+        }
+    }
+}
+
+impl MemoryBackend for SwapBackedMemory {
+    fn map_region(&mut self, pages: u64, class: PageClass) -> Region {
+        let region = Region::new(Vpn::new(self.next_vpn), pages, class);
+        // Leave a guard gap between regions.
+        self.next_vpn += pages + 16;
+        self.regions.insert(region.start().raw(), region);
+        region
+    }
+
+    fn access(&mut self, addr: VirtAddr, write: bool) -> AccessReport {
+        self.do_access(addr, write)
+    }
+
+    fn write_page(&mut self, addr: VirtAddr, contents: PageContents) -> AccessReport {
+        let report = self.do_access(addr, true);
+        let entry = self.pt.get(addr.vpn()).expect("write access maps the page");
+        self.frames.store(entry.frame, contents);
+        report
+    }
+
+    fn read_page(&mut self, addr: VirtAddr) -> (PageContents, AccessReport) {
+        let report = self.do_access(addr, false);
+        let entry = self.pt.get(addr.vpn()).expect("read access maps the page");
+        (self.frames.load(entry.frame).clone(), report)
+    }
+
+    fn resident_pages(&self) -> u64 {
+        self.frames.allocated_frames()
+    }
+
+    fn local_capacity_pages(&self) -> u64 {
+        self.config.dram_pages
+    }
+
+    fn set_local_capacity(&mut self, _pages: u64) -> Result<(), CapacityError> {
+        // The crux of paper §II: without guest cooperation, swap-based
+        // disaggregation cannot shrink (or grow) a VM's local footprint.
+        Err(CapacityError::new("swap-based disaggregation"))
+    }
+
+    fn balloon_reclaim(&mut self, target_pages: u64) -> u64 {
+        // Guest-cooperative ballooning: inflating the balloon forces the
+        // guest to reclaim, but the driver bottoms out at 64 MB
+        // (Table III row 2).
+        let target = target_pages.max(BALLOON_FLOOR_PAGES);
+        while self.resident_pages() > target {
+            if !self.reclaim_one(true) {
+                break;
+            }
+        }
+        self.resident_pages()
+    }
+
+    fn counters(&self) -> AccessCounters {
+        self.counters
+    }
+
+    fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+impl std::fmt::Debug for SwapBackedMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwapBackedMemory")
+            .field("label", &self.label)
+            .field("dram_pages", &self.config.dram_pages)
+            .field("resident", &self.resident_pages())
+            .field("swapped_out", &self.swapped_out.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluidmem_block::{NvmeofDevice, PmemDevice, SsdDevice};
+
+    fn backend(dram_pages: u64) -> SwapBackedMemory {
+        let clock = SimClock::new();
+        let swap_dev = PmemDevice::new(1 << 16, clock.clone(), SimRng::seed_from_u64(1));
+        let fs_dev = SsdDevice::new(1 << 16, clock.clone(), SimRng::seed_from_u64(2));
+        SwapBackedMemory::new(
+            SwapConfig::paper_default(dram_pages),
+            Box::new(swap_dev),
+            Box::new(fs_dev),
+            clock,
+            SimRng::seed_from_u64(3),
+        )
+    }
+
+    #[test]
+    fn first_touch_is_minor_fault_then_hit() {
+        let mut vm = backend(64);
+        let r = vm.map_region(8, PageClass::Anonymous);
+        let rep = vm.access(r.page(0), false);
+        assert_eq!(rep.outcome, AccessOutcome::MinorFault);
+        let rep = vm.access(r.page(0), false);
+        assert_eq!(rep.outcome, AccessOutcome::Hit);
+        assert!(rep.latency.is_zero());
+    }
+
+    #[test]
+    fn overcommit_triggers_swapping_and_refault() {
+        let mut vm = backend(32);
+        let r = vm.map_region(128, PageClass::Anonymous);
+        // Dirty every page so eviction must write.
+        for i in 0..128 {
+            vm.access(r.page(i), true);
+        }
+        assert!(vm.resident_pages() <= 32);
+        assert!(vm.swap_stats().swap_outs > 0, "pages must have swapped");
+        // Touch the first page again: a major fault.
+        let rep = vm.access(r.page(0), false);
+        assert_eq!(rep.outcome, AccessOutcome::MajorFault);
+        assert!(rep.latency > SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn data_survives_swap_round_trip() {
+        let mut vm = backend(32);
+        let r = vm.map_region(128, PageClass::Anonymous);
+        vm.write_page(r.page(0), PageContents::from_byte_fill(0xEE));
+        // Force page 0 out.
+        for i in 1..128 {
+            vm.access(r.page(i), true);
+        }
+        assert!(vm.pt.get(r.page(0).vpn()).is_none(), "page 0 evicted");
+        let (contents, rep) = vm.read_page(r.page(0));
+        assert_eq!(rep.outcome, AccessOutcome::MajorFault);
+        assert_eq!(contents, PageContents::from_byte_fill(0xEE));
+    }
+
+    #[test]
+    fn kernel_pages_are_never_reclaimed() {
+        let mut vm = backend(32);
+        let kernel = vm.map_region(16, PageClass::KernelData);
+        for i in 0..16 {
+            vm.access(kernel.page(i), true);
+        }
+        let anon = vm.map_region(256, PageClass::Anonymous);
+        for i in 0..256 {
+            vm.access(anon.page(i), true);
+        }
+        // Every kernel page must still be resident.
+        for i in 0..16 {
+            let rep = vm.access(kernel.page(i), false);
+            assert_eq!(
+                rep.outcome,
+                AccessOutcome::Hit,
+                "kernel page {i} was reclaimed"
+            );
+        }
+    }
+
+    #[test]
+    fn file_backed_pages_never_touch_swap_device() {
+        let mut vm = backend(32);
+        let file = vm.map_region(128, PageClass::FileBacked);
+        for i in 0..128 {
+            vm.access(file.page(i), false);
+        }
+        // Thrash through all of them again (reclaim happened).
+        for i in 0..128 {
+            vm.access(file.page(i), false);
+        }
+        assert_eq!(
+            vm.swap_stats().swap_outs, 0,
+            "file pages must go to the filesystem, not swap"
+        );
+        assert!(vm.swap_stats().fs_reads > 0);
+    }
+
+    #[test]
+    fn clean_refaulted_pages_skip_second_write() {
+        let mut vm = backend(32);
+        let r = vm.map_region(96, PageClass::Anonymous);
+        for i in 0..96 {
+            vm.access(r.page(i), true);
+        }
+        // Read pages back in (clean) and thrash again: clean evictions
+        // should appear because the slot copy is still valid.
+        for round in 0..3 {
+            for i in 0..96 {
+                vm.access(r.page(i), false);
+            }
+            let _ = round;
+        }
+        assert!(
+            vm.swap_stats().clean_evictions > 0,
+            "clean slot optimization never used"
+        );
+    }
+
+    #[test]
+    fn readahead_populates_swap_cache() {
+        let mut vm = backend(64);
+        let r = vm.map_region(256, PageClass::Anonymous);
+        for i in 0..256 {
+            vm.access(r.page(i), true);
+        }
+        // Sequential re-walk: neighbors should be pulled in by readahead
+        // and produce swap-cache minor faults.
+        for i in 0..256 {
+            vm.access(r.page(i), false);
+        }
+        assert!(vm.swap_stats().readahead_pages > 0);
+        assert!(
+            vm.swap_stats().swap_cache_hits > 0,
+            "sequential access should hit readahead"
+        );
+    }
+
+    #[test]
+    fn readahead_disabled_with_page_cluster_zero() {
+        let clock = SimClock::new();
+        let swap_dev = PmemDevice::new(1 << 16, clock.clone(), SimRng::seed_from_u64(1));
+        let fs_dev = SsdDevice::new(1 << 16, clock.clone(), SimRng::seed_from_u64(2));
+        let mut cfg = SwapConfig::paper_default(64);
+        cfg.page_cluster = 0;
+        let mut vm = SwapBackedMemory::new(
+            cfg,
+            Box::new(swap_dev),
+            Box::new(fs_dev),
+            clock,
+            SimRng::seed_from_u64(3),
+        );
+        let r = vm.map_region(256, PageClass::Anonymous);
+        for _ in 0..2 {
+            for i in 0..256 {
+                vm.access(r.page(i), true);
+            }
+        }
+        assert_eq!(vm.swap_stats().readahead_pages, 0);
+    }
+
+    #[test]
+    fn cannot_resize_without_guest_cooperation() {
+        let mut vm = backend(64);
+        assert!(vm.set_local_capacity(16).is_err());
+    }
+
+    #[test]
+    fn balloon_shrinks_but_respects_floor() {
+        let mut vm = backend(40_000);
+        let r = vm.map_region(30_000, PageClass::Anonymous);
+        for i in 0..30_000 {
+            vm.access(r.page(i), false);
+        }
+        assert_eq!(vm.resident_pages(), 30_000);
+        let after = vm.balloon_reclaim(0);
+        assert_eq!(
+            after, BALLOON_FLOOR_PAGES,
+            "balloon bottoms out at 64 MB (paper Table III)"
+        );
+    }
+
+    #[test]
+    fn nvmeof_faults_slower_than_dram_faults() {
+        let run = |mk: &dyn Fn(SimClock) -> Box<dyn BlockDevice>| {
+            let clock = SimClock::new();
+            let fs = SsdDevice::new(1 << 16, clock.clone(), SimRng::seed_from_u64(2));
+            let mut vm = SwapBackedMemory::new(
+                SwapConfig::paper_default(64),
+                mk(clock.clone()),
+                Box::new(fs),
+                clock,
+                SimRng::seed_from_u64(3),
+            );
+            let r = vm.map_region(256, PageClass::Anonymous);
+            for i in 0..256 {
+                vm.access(r.page(i), true);
+            }
+            let mut total = SimDuration::ZERO;
+            let mut majors = 0;
+            for i in 0..256 {
+                let rep = vm.access(r.page(i), false);
+                if rep.outcome == AccessOutcome::MajorFault {
+                    total += rep.latency;
+                    majors += 1;
+                }
+            }
+            total.as_micros_f64() / majors.max(1) as f64
+        };
+        let dram =
+            run(&|c| Box::new(PmemDevice::new(1 << 16, c.clone(), SimRng::seed_from_u64(1))));
+        let nvme =
+            run(&|c| Box::new(NvmeofDevice::new(1 << 16, c.clone(), SimRng::seed_from_u64(1))));
+        assert!(
+            nvme > dram + 8.0,
+            "NVMeoF major faults ({nvme:.1}µs) must cost more than DRAM ({dram:.1}µs)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unmapped address")]
+    fn access_outside_regions_panics() {
+        let mut vm = backend(8);
+        vm.access(VirtAddr::new(0x1), false);
+    }
+
+    #[test]
+    fn counters_track_outcomes() {
+        let mut vm = backend(64);
+        let r = vm.map_region(4, PageClass::Anonymous);
+        vm.access(r.page(0), false);
+        vm.access(r.page(0), false);
+        let c = vm.counters();
+        assert_eq!(c.minor_faults, 1);
+        assert_eq!(c.hits, 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! Swap-subsystem counters.
+
+/// Counters kept by [`SwapBackedMemory`](crate::SwapBackedMemory).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwapStats {
+    /// Faults served from the swap device (page was swapped out).
+    pub major_faults: u64,
+    /// Faults served from the swap cache (readahead hit).
+    pub swap_cache_hits: u64,
+    /// First-touch anonymous faults (zero-fill).
+    pub first_touch_faults: u64,
+    /// Pages written to the swap device.
+    pub swap_outs: u64,
+    /// Evictions that skipped the write because a clean slot copy
+    /// existed.
+    pub clean_evictions: u64,
+    /// Pages pulled in speculatively by readahead.
+    pub readahead_pages: u64,
+    /// kswapd background reclaim passes.
+    pub kswapd_runs: u64,
+    /// Pages reclaimed on the allocation critical path.
+    pub direct_reclaims: u64,
+    /// File-backed pages refaulted from the filesystem.
+    pub fs_reads: u64,
+    /// Dirty file-backed pages written back to the filesystem.
+    pub fs_writes: u64,
+    /// Faults that had to wait for an in-flight writeback of the same
+    /// page.
+    pub writeback_collisions: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = SwapStats::default();
+        assert_eq!(s.major_faults, 0);
+        assert_eq!(s, SwapStats::default());
+    }
+}

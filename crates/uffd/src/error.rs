@@ -1,0 +1,62 @@
+//! Error type for userfaultfd operations.
+
+use std::error::Error;
+use std::fmt;
+
+use fluidmem_mem::Vpn;
+
+/// Errors returned by [`Userfaultfd`](crate::Userfaultfd) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UffdError {
+    /// The page is not inside any registered region (`EINVAL` in the real
+    /// API).
+    NotRegistered(Vpn),
+    /// The destination of a `UFFD_COPY`/`UFFD_ZEROPAGE` is already mapped
+    /// (`EEXIST`).
+    AlreadyMapped(Vpn),
+    /// The source of a `UFFD_REMAP` has no mapping to move (`ENOENT`).
+    NotMapped(Vpn),
+    /// The host is out of physical frames (`ENOMEM`).
+    OutOfFrames,
+    /// A region registration overlaps an existing registration.
+    OverlappingRegion,
+}
+
+impl fmt::Display for UffdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UffdError::NotRegistered(vpn) => {
+                write!(f, "page {vpn} is not in a registered userfaultfd region")
+            }
+            UffdError::AlreadyMapped(vpn) => {
+                write!(f, "destination page {vpn} is already mapped")
+            }
+            UffdError::NotMapped(vpn) => write!(f, "source page {vpn} has no mapping"),
+            UffdError::OutOfFrames => write!(f, "no free host physical frames"),
+            UffdError::OverlappingRegion => {
+                write!(f, "registration overlaps an existing userfaultfd region")
+            }
+        }
+    }
+}
+
+impl Error for UffdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = UffdError::NotRegistered(Vpn::new(0x40));
+        assert!(e.to_string().contains("0x40"));
+        assert!(e.to_string().starts_with("page"));
+        assert!(UffdError::OutOfFrames.to_string().contains("frames"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<UffdError>();
+    }
+}

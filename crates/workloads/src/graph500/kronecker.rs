@@ -1,0 +1,105 @@
+//! Kronecker (R-MAT) edge generation, per the Graph500 specification.
+
+use fluidmem_sim::SimRng;
+
+use super::Graph500Config;
+
+/// R-MAT parameters from the Graph500 spec: A=0.57, B=0.19, C=0.19.
+const A: f64 = 0.57;
+const B: f64 = 0.19;
+const C: f64 = 0.19;
+
+/// Generates the edge list: `edgefactor * 2^scale` edges over
+/// `2^scale` vertices, with vertex labels scrambled by a pseudo-random
+/// permutation (as the reference implementation does, so that vertex id
+/// gives no locality hint).
+pub fn generate_edges(config: &Graph500Config) -> Vec<(u32, u32)> {
+    let n = config.vertices();
+    assert!(n <= u64::from(u32::MAX), "scale too large for u32 vertices");
+    let mut rng = SimRng::seed_from_u64(config.seed ^ 0x6b72_6f6e);
+    let mut edges = Vec::with_capacity(config.edges() as usize);
+    for _ in 0..config.edges() {
+        let mut u = 0u64;
+        let mut v = 0u64;
+        for level in 0..config.scale {
+            let r: f64 = rng.gen_f64();
+            let (du, dv): (u64, u64) = if r < A {
+                (0, 0)
+            } else if r < A + B {
+                (0, 1)
+            } else if r < A + B + C {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u |= du << level;
+            v |= dv << level;
+        }
+        edges.push((scramble(u, n) as u32, scramble(v, n) as u32));
+    }
+    edges
+}
+
+/// A cheap bijective permutation of vertex labels (multiplicative hash
+/// within the power-of-two domain; odd multiplier => bijection).
+fn scramble(v: u64, n: u64) -> u64 {
+    debug_assert!(n.is_power_of_two());
+    v.wrapping_mul(0x9e37_79b9_7f4a_7c15 | 1) & (n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_and_range() {
+        let config = Graph500Config::quick(8, 4);
+        let edges = generate_edges(&config);
+        assert_eq!(edges.len(), 256 * 16);
+        assert!(edges
+            .iter()
+            .all(|&(u, v)| u64::from(u) < config.vertices() && u64::from(v) < config.vertices()));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = Graph500Config::quick(8, 4);
+        assert_eq!(generate_edges(&config), generate_edges(&config));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Graph500Config::quick(8, 4);
+        let mut b = Graph500Config::quick(8, 4);
+        b.seed = 99;
+        assert_ne!(generate_edges(&a), generate_edges(&b));
+    }
+
+    #[test]
+    fn scramble_is_bijective() {
+        let n = 1u64 << 10;
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..n {
+            assert!(seen.insert(scramble(v, n)));
+        }
+    }
+
+    #[test]
+    fn rmat_skew_produces_hubs() {
+        // R-MAT graphs are heavy-tailed: the max degree should far
+        // exceed the mean degree.
+        let config = Graph500Config::quick(10, 4);
+        let edges = generate_edges(&config);
+        let mut deg = vec![0u32; config.vertices() as usize];
+        for &(u, v) in &edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        let mean = 2.0 * edges.len() as f64 / config.vertices() as f64;
+        assert!(
+            f64::from(max) > mean * 4.0,
+            "max degree {max} vs mean {mean}"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Workloads for the FluidMem evaluation (paper §VI).
+//!
+//! Every workload is written against the
+//! [`MemoryBackend`](fluidmem_mem::MemoryBackend) trait only, so the same
+//! unmodified code runs over FluidMem and over the swap baseline —
+//! mirroring how the paper runs unmodified applications inside VMs backed
+//! by either mechanism.
+//!
+//! * [`pmbench`] — the paging micro-benchmark of §VI-B / Figure 3:
+//!   warm-up pass, then uniform-random 4 KB accesses at a configurable
+//!   read ratio, with per-access latency recording.
+//! * [`graph500`] — the Graph500 reference implementation of §VI-D1 /
+//!   Figure 4: Kronecker (R-MAT) generation, CSR construction, the
+//!   sequential breadth-first search, and harmonic-mean TEPS over 64
+//!   roots.
+//! * [`ycsb`] — the YCSB client of §VI-D2 / Figure 5: zipfian key
+//!   selection and the read-only workload C driver.
+//! * [`docstore`] — a MongoDB-like document store with a
+//!   WiredTiger-style application cache over a simulated disk.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod docstore;
+pub mod graph500;
+pub mod pmbench;
+pub mod ycsb;

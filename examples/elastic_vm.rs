@@ -1,0 +1,95 @@
+//! Elastic VM memory: grow a VM beyond its host allotment with hotplug,
+//! then shrink it — the operator-side flexibility of paper §III/§VI-E
+//! that swap-based disaggregation cannot offer.
+//!
+//! ```sh
+//! cargo run --release --example elastic_vm
+//! ```
+
+use fluidmem::core::{FluidMemMemory, MonitorConfig};
+use fluidmem::coord::PartitionId;
+use fluidmem::kv::RamCloudStore;
+use fluidmem::mem::{MemoryBackend, PageClass};
+use fluidmem::sim::{SimClock, SimRng};
+use fluidmem::swap::{SwapBackedMemory, SwapConfig};
+
+fn main() {
+    let clock = SimClock::new();
+    let rng = SimRng::seed_from_u64(9);
+
+    // --- The swap baseline cannot do this at all. ---
+    let mut swap_vm = SwapBackedMemory::new(
+        SwapConfig::paper_default(4096),
+        Box::new(fluidmem::block::NvmeofDevice::new(
+            1 << 16,
+            clock.clone(),
+            rng.fork("swapdev"),
+        )),
+        Box::new(fluidmem::block::SsdDevice::new(
+            1 << 16,
+            clock.clone(),
+            rng.fork("fsdev"),
+        )),
+        clock.clone(),
+        rng.fork("swap"),
+    );
+    match swap_vm.set_local_capacity(1024) {
+        Err(e) => println!("swap baseline: {e}"),
+        Ok(()) => unreachable!("swap must refuse operator resizes"),
+    }
+
+    // --- FluidMem: resize freely, no guest cooperation. ---
+    let store = RamCloudStore::new(1 << 30, clock.clone(), rng.fork("store"));
+    let mut vm = FluidMemMemory::new(
+        MonitorConfig::new(4096),
+        Box::new(store),
+        PartitionId::new(0),
+        clock.clone(),
+        rng.fork("fluidmem"),
+    );
+
+    // The VM starts with 16 MB "physical" memory, all FluidMem-backed.
+    let base = vm.map_region(4096, PageClass::Anonymous);
+    for i in 0..base.pages() {
+        vm.access(base.page(i), true);
+    }
+    println!(
+        "booted: {} pages resident (capacity {})",
+        vm.resident_pages(),
+        vm.local_capacity_pages()
+    );
+
+    // Grow: hotplug 32 MB more — the guest sees new memory instantly.
+    let hotplugged = vm.hotplug_add(8192, PageClass::Anonymous);
+    for i in 0..hotplugged.pages() {
+        vm.access(hotplugged.page(i), true);
+    }
+    println!(
+        "after hotplug of {} pages: footprint {} (LRU bound {})",
+        hotplugged.pages(),
+        vm.resident_pages(),
+        vm.local_capacity_pages()
+    );
+
+    // The operator grows the local buffer for a burst...
+    vm.set_local_capacity(8192).unwrap();
+    println!("operator grew the buffer: capacity {}", vm.local_capacity_pages());
+
+    // ...then reclaims the host: shrink to 256 pages (1 MB). Everything
+    // else moves to RAMCloud, transparently.
+    vm.set_local_capacity(256).unwrap();
+    vm.drain_writes();
+    println!(
+        "operator shrank the buffer: footprint {} pages, {} pages now in RAMCloud",
+        vm.resident_pages(),
+        vm.monitor().store().len()
+    );
+
+    // The guest keeps running; touching cold memory refaults remotely.
+    let report = vm.access(base.page(0), false);
+    println!(
+        "guest touch after shrink: {:?} in {}",
+        report.outcome, report.latency
+    );
+    println!("\ntotal monitor evictions: {}", vm.monitor().stats().evictions);
+}

@@ -1,0 +1,93 @@
+//! Multi-tenant hypervisor: several VMs sharing one monitor, one DRAM
+//! budget, and one key-value store — the paper's deployment model
+//! (§V-A: the LRU list bounds DRAM "for all VMs"; §IV: partitions keep
+//! tenants apart in the shared store).
+//!
+//! ```sh
+//! cargo run --release --example multi_tenant
+//! ```
+
+use fluidmem::coord::{CoordCluster, PartitionTable, VmIdentity};
+use fluidmem::core::{FluidMemHypervisor, MonitorConfig};
+use fluidmem::kv::RamCloudStore;
+use fluidmem::mem::PageClass;
+use fluidmem::sim::{SimClock, SimRng};
+
+fn main() {
+    let clock = SimClock::new();
+    let rng = SimRng::seed_from_u64(21);
+
+    // Partition allocation through the coordination service.
+    let mut cluster = CoordCluster::new(3, clock.clone(), rng.fork("coord"));
+    PartitionTable::init(&mut cluster).unwrap();
+
+    // One hypervisor: 512 pages (2 MB) of DRAM shared by every tenant.
+    let store = RamCloudStore::new(1 << 30, clock.clone(), rng.fork("store"));
+    let mut hv = FluidMemHypervisor::new(
+        MonitorConfig::new(512),
+        Box::new(store),
+        clock.clone(),
+        rng.fork("hv"),
+    );
+
+    // Three tenants land on the host.
+    let mut tenants = Vec::new();
+    for pid in [101u64, 102, 103] {
+        let partition = PartitionTable::allocate(
+            &mut cluster,
+            VmIdentity {
+                pid,
+                hypervisor: 1,
+            },
+        )
+        .unwrap();
+        let vm = hv.create_vm(pid, partition);
+        let region = hv.map_region(vm, 2048, PageClass::Anonymous);
+        tenants.push((pid, vm, region));
+    }
+
+    // Everyone boots and touches a modest working set.
+    for &(_, vm, region) in &tenants {
+        for i in 0..128 {
+            hv.access(vm, region.page(i), true);
+        }
+    }
+    println!("after boot: shared budget {} / {} pages", hv.resident_pages(), hv.capacity());
+    for &(pid, vm, _) in &tenants {
+        println!("  vm {pid}: {} pages resident", hv.resident_pages_of(vm));
+    }
+
+    // Tenant 103 goes noisy: it churns through 4x the shared budget.
+    let (_, noisy_vm, noisy_region) = tenants[2];
+    for round in 0..2 {
+        for i in 0..2048 {
+            hv.access(noisy_vm, noisy_region.page(i), true);
+        }
+        let _ = round;
+    }
+    println!("\nafter tenant 103 churns 4x the budget:");
+    for &(pid, vm, _) in &tenants {
+        println!(
+            "  vm {pid}: {} pages resident, {} major faults",
+            hv.resident_pages_of(vm),
+            hv.counters_of(vm).major_faults
+        );
+    }
+    println!("(the shared first-touch LRU let the noisy tenant displace the others)");
+
+    // Tenant 101 leaves; its pages vanish from the store instantly.
+    let (pid, vm, _) = tenants[0];
+    let store_len_before = hv.monitor().store().len();
+    hv.destroy_vm(vm);
+    println!(
+        "\nvm {pid} shut down: store {} -> {} pages, {} VMs remain",
+        store_len_before,
+        hv.monitor().store().len(),
+        hv.vm_count()
+    );
+
+    // The quiet survivor still reads its data fine.
+    let (pid, vm, region) = tenants[1];
+    let rep = hv.access(vm, region.page(0), false);
+    println!("vm {pid} touch after neighbor churn + shutdown: {:?} in {}", rep.outcome, rep.latency);
+}

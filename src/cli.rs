@@ -1,0 +1,447 @@
+//! The `fluidmemctl` command-line interface.
+//!
+//! A small operator-style CLI over the simulation testbed, mirroring how
+//! the real FluidMem ships a control utility alongside the monitor:
+//!
+//! ```text
+//! fluidmemctl backends
+//! fluidmemctl pmbench --backend fluidmem-ramcloud --overcommit 4
+//! fluidmemctl graph500 --backend swap-nvmeof --scale 13 --ratio 2.4
+//! fluidmemctl resize --from 4096 --to 180
+//! fluidmemctl trace
+//! ```
+//!
+//! The parser is dependency-free and unit-tested; the binary in
+//! `src/bin/fluidmemctl.rs` is a thin wrapper.
+
+use crate::testbed::{BackendKind, Testbed};
+use fluidmem_coord::PartitionId;
+use fluidmem_core::{FluidMemMemory, MonitorConfig};
+use fluidmem_kv::RamCloudStore;
+use fluidmem_mem::{MemoryBackend, PageClass};
+use fluidmem_sim::{SimClock, SimDuration, SimRng};
+use fluidmem_workloads::pmbench::{self, PmbenchConfig};
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliCommand {
+    /// List the six evaluated backend configurations.
+    Backends,
+    /// Run the pmbench microbenchmark.
+    Pmbench {
+        /// Which configuration to run.
+        backend: BackendKind,
+        /// Working set as a multiple of local DRAM.
+        overcommit: f64,
+        /// Local DRAM pages.
+        local_pages: u64,
+        /// Seed.
+        seed: u64,
+    },
+    /// Run Graph500 BFS.
+    Graph500 {
+        /// Which configuration to run.
+        backend: BackendKind,
+        /// log2 of the vertex count.
+        scale: u32,
+        /// WSS-to-DRAM ratio.
+        ratio: f64,
+        /// Seed.
+        seed: u64,
+    },
+    /// Demonstrate an operator resize of a FluidMem VM.
+    Resize {
+        /// Initial capacity in pages.
+        from: u64,
+        /// Target capacity in pages.
+        to: u64,
+    },
+    /// Print a traced fault-handling timeline.
+    Trace,
+    /// Show usage.
+    Help,
+}
+
+const USAGE: &str = "\
+fluidmemctl — drive the FluidMem reproduction testbed
+
+USAGE:
+  fluidmemctl backends
+  fluidmemctl pmbench  [--backend <name>] [--overcommit <x>] [--local-pages <n>] [--seed <n>]
+  fluidmemctl graph500 [--backend <name>] [--scale <n>] [--ratio <x>] [--seed <n>]
+  fluidmemctl resize   [--from <pages>] [--to <pages>]
+  fluidmemctl trace
+  fluidmemctl help
+
+BACKENDS:
+  fluidmem-dram | fluidmem-ramcloud | fluidmem-memcached
+  swap-dram | swap-nvmeof | swap-ssd";
+
+/// Parses a backend name.
+///
+/// # Errors
+///
+/// Returns a message listing valid names on failure.
+pub fn parse_backend(name: &str) -> Result<BackendKind, String> {
+    match name {
+        "fluidmem-dram" => Ok(BackendKind::FluidMemDram),
+        "fluidmem-ramcloud" => Ok(BackendKind::FluidMemRamCloud),
+        "fluidmem-memcached" => Ok(BackendKind::FluidMemMemcached),
+        "swap-dram" => Ok(BackendKind::SwapDram),
+        "swap-nvmeof" => Ok(BackendKind::SwapNvmeof),
+        "swap-ssd" => Ok(BackendKind::SwapSsd),
+        other => Err(format!(
+            "unknown backend {other:?}; valid: fluidmem-dram, fluidmem-ramcloud, \
+             fluidmem-memcached, swap-dram, swap-nvmeof, swap-ssd"
+        )),
+    }
+}
+
+fn take_value<'a>(
+    args: &'a [String],
+    i: &mut usize,
+    flag: &str,
+) -> Result<&'a str, String> {
+    *i += 1;
+    args.get(*i)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("{flag} requires a value"))
+}
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, unknown flags,
+/// or malformed values.
+pub fn parse(args: &[String]) -> Result<CliCommand, String> {
+    let Some(command) = args.first() else {
+        return Ok(CliCommand::Help);
+    };
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(CliCommand::Help),
+        "backends" => Ok(CliCommand::Backends),
+        "trace" => Ok(CliCommand::Trace),
+        "pmbench" => {
+            let mut backend = BackendKind::FluidMemRamCloud;
+            let mut overcommit = 4.0;
+            let mut local_pages = 4096;
+            let mut seed = 42;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--backend" => backend = parse_backend(take_value(args, &mut i, "--backend")?)?,
+                    "--overcommit" => {
+                        overcommit = take_value(args, &mut i, "--overcommit")?
+                            .parse()
+                            .map_err(|_| "--overcommit expects a number".to_string())?
+                    }
+                    "--local-pages" => {
+                        local_pages = take_value(args, &mut i, "--local-pages")?
+                            .parse()
+                            .map_err(|_| "--local-pages expects an integer".to_string())?
+                    }
+                    "--seed" => {
+                        seed = take_value(args, &mut i, "--seed")?
+                            .parse()
+                            .map_err(|_| "--seed expects an integer".to_string())?
+                    }
+                    other => return Err(format!("unknown flag {other:?} for pmbench")),
+                }
+                i += 1;
+            }
+            if overcommit <= 0.0 {
+                return Err("--overcommit must be positive".to_string());
+            }
+            Ok(CliCommand::Pmbench {
+                backend,
+                overcommit,
+                local_pages,
+                seed,
+            })
+        }
+        "graph500" => {
+            let mut backend = BackendKind::FluidMemRamCloud;
+            let mut scale = 12;
+            let mut ratio = 2.4;
+            let mut seed = 42;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--backend" => backend = parse_backend(take_value(args, &mut i, "--backend")?)?,
+                    "--scale" => {
+                        scale = take_value(args, &mut i, "--scale")?
+                            .parse()
+                            .map_err(|_| "--scale expects an integer".to_string())?
+                    }
+                    "--ratio" => {
+                        ratio = take_value(args, &mut i, "--ratio")?
+                            .parse()
+                            .map_err(|_| "--ratio expects a number".to_string())?
+                    }
+                    "--seed" => {
+                        seed = take_value(args, &mut i, "--seed")?
+                            .parse()
+                            .map_err(|_| "--seed expects an integer".to_string())?
+                    }
+                    other => return Err(format!("unknown flag {other:?} for graph500")),
+                }
+                i += 1;
+            }
+            if !(6..=22).contains(&scale) {
+                return Err("--scale must be between 6 and 22 for CLI runs".to_string());
+            }
+            Ok(CliCommand::Graph500 {
+                backend,
+                scale,
+                ratio,
+                seed,
+            })
+        }
+        "resize" => {
+            let mut from = 4096;
+            let mut to = 180;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--from" => {
+                        from = take_value(args, &mut i, "--from")?
+                            .parse()
+                            .map_err(|_| "--from expects an integer".to_string())?
+                    }
+                    "--to" => {
+                        to = take_value(args, &mut i, "--to")?
+                            .parse()
+                            .map_err(|_| "--to expects an integer".to_string())?
+                    }
+                    other => return Err(format!("unknown flag {other:?} for resize")),
+                }
+                i += 1;
+            }
+            Ok(CliCommand::Resize { from, to })
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+/// Executes a parsed command, writing human-readable output to stdout.
+pub fn execute(command: CliCommand) {
+    match command {
+        CliCommand::Help => println!("{USAGE}"),
+        CliCommand::Backends => {
+            for kind in BackendKind::ALL {
+                println!(
+                    "{:<22} {}",
+                    kind.label(),
+                    if kind.is_fluidmem() {
+                        "full disaggregation (userfaultfd monitor)"
+                    } else {
+                        "partial disaggregation (kernel swap)"
+                    }
+                );
+            }
+        }
+        CliCommand::Pmbench {
+            backend,
+            overcommit,
+            local_pages,
+            seed,
+        } => {
+            let mut testbed = Testbed::scaled_down(64);
+            testbed.local_dram_pages = local_pages;
+            let mut b = testbed.build(backend, seed);
+            let config = PmbenchConfig {
+                wss_pages: ((local_pages as f64) * overcommit) as u64,
+                duration: SimDuration::from_secs(1),
+                read_ratio: 0.5,
+                max_accesses: 200_000,
+            };
+            let mut rng = SimRng::seed_from_u64(seed);
+            let report = pmbench::run(b.as_mut(), &config, &mut rng);
+            println!(
+                "{}: avg {:.2}µs over {} accesses (hits {:.1}%, p99 {:.1}µs)",
+                backend.label(),
+                report.avg_latency_us(),
+                report.accesses,
+                report.hit_fraction() * 100.0,
+                report.all.percentile_us(0.99),
+            );
+        }
+        CliCommand::Graph500 {
+            backend,
+            scale,
+            ratio,
+            seed,
+        } => {
+            use fluidmem_workloads::graph500::{
+                generate_edges, run_benchmark, CsrGraph, Graph500Config,
+            };
+            let config = Graph500Config::quick(scale, 4);
+            let edges = generate_edges(&config);
+            let graph = CsrGraph::build(config.vertices(), &edges);
+            let wss = (16 * config.vertices()
+                + 4 * graph.adjacency_len())
+            .div_ceil(4096)
+                .max(64);
+            let mut testbed = Testbed::scaled_down(64);
+            testbed.local_dram_pages = ((wss as f64) / ratio) as u64;
+            let mut b = testbed.build(backend, seed);
+            let mut rng = SimRng::seed_from_u64(seed);
+            let report = run_benchmark(b.as_mut(), &graph, &config, &mut rng);
+            println!(
+                "{}: {:.2} MTEPS at scale {scale} (WSS {:.0}% of DRAM, {} major faults)",
+                backend.label(),
+                report.harmonic_mean_teps() / 1e6,
+                ratio * 100.0,
+                b.counters().major_faults,
+            );
+        }
+        CliCommand::Resize { from, to } => {
+            let clock = SimClock::new();
+            let store = RamCloudStore::new(2 << 30, clock.clone(), SimRng::seed_from_u64(1));
+            let mut vm = FluidMemMemory::new(
+                MonitorConfig::new(from),
+                Box::new(store),
+                PartitionId::new(0),
+                clock.clone(),
+                SimRng::seed_from_u64(2),
+            );
+            let region = vm.map_region(from, PageClass::Anonymous);
+            for i in 0..region.pages() {
+                vm.access(region.page(i), true);
+            }
+            println!("VM populated: {} pages resident", vm.resident_pages());
+            let t0 = clock.now();
+            vm.set_local_capacity(to).unwrap();
+            println!(
+                "resized {} -> {} pages in {} of virtual time ({} evictions)",
+                from,
+                to,
+                clock.now() - t0,
+                vm.monitor().stats().evictions,
+            );
+        }
+        CliCommand::Trace => {
+            let clock = SimClock::new();
+            let store = RamCloudStore::new(1 << 26, clock.clone(), SimRng::seed_from_u64(1));
+            let mut vm = FluidMemMemory::new(
+                MonitorConfig::new(2),
+                Box::new(store),
+                PartitionId::new(0),
+                clock,
+                SimRng::seed_from_u64(2),
+            );
+            vm.monitor_mut().enable_tracing();
+            let region = vm.map_region(8, PageClass::Anonymous);
+            for i in 0..4 {
+                vm.access(region.page(i), true);
+            }
+            vm.drain_writes();
+            vm.access(region.page(0), false);
+            for event in vm.monitor().tracer().events() {
+                println!("{event}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_args_is_help() {
+        assert_eq!(parse(&[]), Ok(CliCommand::Help));
+        assert_eq!(parse(&argv("help")), Ok(CliCommand::Help));
+        assert_eq!(parse(&argv("--help")), Ok(CliCommand::Help));
+    }
+
+    #[test]
+    fn backends_and_trace_parse() {
+        assert_eq!(parse(&argv("backends")), Ok(CliCommand::Backends));
+        assert_eq!(parse(&argv("trace")), Ok(CliCommand::Trace));
+    }
+
+    #[test]
+    fn pmbench_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("pmbench")),
+            Ok(CliCommand::Pmbench {
+                backend: BackendKind::FluidMemRamCloud,
+                overcommit: 4.0,
+                local_pages: 4096,
+                seed: 42
+            })
+        );
+        assert_eq!(
+            parse(&argv(
+                "pmbench --backend swap-ssd --overcommit 2.5 --local-pages 512 --seed 7"
+            )),
+            Ok(CliCommand::Pmbench {
+                backend: BackendKind::SwapSsd,
+                overcommit: 2.5,
+                local_pages: 512,
+                seed: 7
+            })
+        );
+    }
+
+    #[test]
+    fn graph500_flags() {
+        assert_eq!(
+            parse(&argv("graph500 --scale 10 --ratio 1.2 --backend fluidmem-dram")),
+            Ok(CliCommand::Graph500 {
+                backend: BackendKind::FluidMemDram,
+                scale: 10,
+                ratio: 1.2,
+                seed: 42
+            })
+        );
+    }
+
+    #[test]
+    fn resize_flags() {
+        assert_eq!(
+            parse(&argv("resize --from 1000 --to 80")),
+            Ok(CliCommand::Resize { from: 1000, to: 80 })
+        );
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse(&argv("frobnicate")).unwrap_err().contains("unknown command"));
+        assert!(parse(&argv("pmbench --backend"))
+            .unwrap_err()
+            .contains("requires a value"));
+        assert!(parse(&argv("pmbench --backend floppy"))
+            .unwrap_err()
+            .contains("unknown backend"));
+        assert!(parse(&argv("pmbench --overcommit -1"))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(&argv("graph500 --scale 40"))
+            .unwrap_err()
+            .contains("between"));
+        assert!(parse(&argv("resize --sideways 3"))
+            .unwrap_err()
+            .contains("unknown flag"));
+    }
+
+    #[test]
+    fn every_backend_name_round_trips() {
+        for (name, kind) in [
+            ("fluidmem-dram", BackendKind::FluidMemDram),
+            ("fluidmem-ramcloud", BackendKind::FluidMemRamCloud),
+            ("fluidmem-memcached", BackendKind::FluidMemMemcached),
+            ("swap-dram", BackendKind::SwapDram),
+            ("swap-nvmeof", BackendKind::SwapNvmeof),
+            ("swap-ssd", BackendKind::SwapSsd),
+        ] {
+            assert_eq!(parse_backend(name), Ok(kind));
+        }
+    }
+}

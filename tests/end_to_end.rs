@@ -1,0 +1,289 @@
+//! Cross-crate integration: the full FluidMem stack from coordination
+//! service to key-value store, with byte-level integrity.
+
+use fluidmem::coord::{CoordCluster, PartitionTable, VmIdentity};
+use fluidmem::core::{FluidMemMemory, MonitorConfig};
+use fluidmem::kv::{MemcachedStore, RamCloudStore};
+use fluidmem::mem::{MemoryBackend, PageClass, PageContents};
+use fluidmem::sim::{SimClock, SimRng};
+
+/// The full paper §IV setup: partitions from the replicated table, pages
+/// through RAMCloud, byte contents intact across eviction round trips.
+#[test]
+fn full_stack_page_integrity() {
+    let clock = SimClock::new();
+    let rng = SimRng::seed_from_u64(1);
+
+    let mut cluster = CoordCluster::new(3, clock.clone(), rng.fork("coord"));
+    PartitionTable::init(&mut cluster).unwrap();
+    let partition = PartitionTable::allocate(
+        &mut cluster,
+        VmIdentity {
+            pid: 100,
+            hypervisor: 1,
+        },
+    )
+    .unwrap();
+
+    let store = RamCloudStore::new(1 << 28, clock.clone(), rng.fork("store"));
+    let mut vm = FluidMemMemory::new(
+        MonitorConfig::new(16),
+        Box::new(store),
+        partition,
+        clock,
+        rng.fork("vm"),
+    );
+    let region = vm.map_region(128, PageClass::Anonymous);
+
+    for i in 0..region.pages() {
+        vm.write_page(region.page(i), PageContents::from_byte_fill(i as u8));
+    }
+    vm.drain_writes();
+    // Far more pages than the 16-page buffer: most live remotely now.
+    assert!(vm.resident_pages() <= 16);
+    assert!(vm.monitor().store().len() >= 100);
+
+    for i in (0..region.pages()).rev() {
+        let (contents, _) = vm.read_page(region.page(i));
+        assert_eq!(
+            contents,
+            PageContents::from_byte_fill(i as u8),
+            "page {i} corrupted through the full stack"
+        );
+    }
+}
+
+/// Two VMs on the same hypervisor share a store through distinct
+/// partitions; their identical guest addresses never collide, and one
+/// VM's shutdown does not disturb the other.
+#[test]
+fn partition_isolation_between_vms() {
+    let clock = SimClock::new();
+    let rng = SimRng::seed_from_u64(2);
+    let mut cluster = CoordCluster::new(3, clock.clone(), rng.fork("coord"));
+    PartitionTable::init(&mut cluster).unwrap();
+    let p1 = PartitionTable::allocate(&mut cluster, VmIdentity { pid: 1, hypervisor: 1 }).unwrap();
+    let p2 = PartitionTable::allocate(&mut cluster, VmIdentity { pid: 2, hypervisor: 1 }).unwrap();
+    assert_ne!(p1, p2);
+
+    let mk = |partition, tag: &str| {
+        let store = RamCloudStore::new(1 << 26, clock.clone(), rng.fork(tag));
+        FluidMemMemory::new(
+            MonitorConfig::new(4),
+            Box::new(store),
+            partition,
+            clock.clone(),
+            rng.fork(&format!("{tag}-vm")),
+        )
+    };
+    let mut vm1 = mk(p1, "vm1");
+    let mut vm2 = mk(p2, "vm2");
+    let r1 = vm1.map_region(32, PageClass::Anonymous);
+    let r2 = vm2.map_region(32, PageClass::Anonymous);
+    // Same guest page numbers by construction.
+    assert_eq!(r1.start(), r2.start());
+
+    for i in 0..32 {
+        vm1.write_page(r1.page(i), PageContents::Token(1000 + i));
+        vm2.write_page(r2.page(i), PageContents::Token(2000 + i));
+    }
+    vm1.drain_writes();
+    vm2.drain_writes();
+    for i in 0..32 {
+        assert_eq!(vm1.read_page(r1.page(i)).0, PageContents::Token(1000 + i));
+        assert_eq!(vm2.read_page(r2.page(i)).0, PageContents::Token(2000 + i));
+    }
+
+    // VM1 shuts down; VM2 is untouched.
+    vm1.unregister_region(&r1);
+    PartitionTable::release(&mut cluster, p1).unwrap();
+    for i in 0..32 {
+        assert_eq!(vm2.read_page(r2.page(i)).0, PageContents::Token(2000 + i));
+    }
+}
+
+/// Full disaggregation means kernel and pinned pages round-trip through
+/// the store like any others — the capability swap lacks by design.
+#[test]
+fn kernel_pages_disaggregate_with_integrity() {
+    let clock = SimClock::new();
+    let rng = SimRng::seed_from_u64(3);
+    let store = RamCloudStore::new(1 << 26, clock.clone(), rng.fork("store"));
+    let mut vm = FluidMemMemory::new(
+        MonitorConfig::new(8),
+        Box::new(store),
+        fluidmem::coord::PartitionId::new(0),
+        clock,
+        rng.fork("vm"),
+    );
+    for class in [
+        PageClass::KernelText,
+        PageClass::KernelData,
+        PageClass::Unevictable,
+        PageClass::FileBacked,
+    ] {
+        let region = vm.map_region(24, class);
+        for i in 0..region.pages() {
+            vm.write_page(region.page(i), PageContents::Token(region.start().raw() + i));
+        }
+    }
+    vm.drain_writes();
+    assert!(vm.resident_pages() <= 8, "even pinned pages were evicted");
+    assert!(vm.monitor().stats().evictions >= 88);
+}
+
+/// Memcached's cache semantics (eviction under pressure) surface as lost
+/// pages rather than silent corruption.
+#[test]
+fn memcached_eviction_is_detected_not_silent() {
+    let clock = SimClock::new();
+    let rng = SimRng::seed_from_u64(4);
+    // A store that can hold only ~32 pages.
+    let store = MemcachedStore::new(32 * 4300, clock.clone(), rng.fork("store"));
+    let mut vm = FluidMemMemory::new(
+        MonitorConfig::new(8).write_batch(8),
+        Box::new(store),
+        fluidmem::coord::PartitionId::new(0),
+        clock,
+        rng.fork("vm"),
+    );
+    let region = vm.map_region(256, PageClass::Anonymous);
+    for i in 0..region.pages() {
+        vm.write_page(region.page(i), PageContents::Token(i));
+    }
+    vm.drain_writes();
+    assert!(
+        vm.monitor().store().stats().evictions > 0,
+        "the tiny cache must have evicted"
+    );
+    let mut lost = 0;
+    for i in 0..region.pages() {
+        let (contents, _) = vm.read_page(region.page(i));
+        if contents != PageContents::Token(i) {
+            lost += 1;
+            assert_eq!(contents, PageContents::Zero, "loss must read as zero, never garbage");
+        }
+    }
+    assert!(lost > 0);
+    assert_eq!(vm.monitor().stats().lost_pages, lost);
+}
+
+/// The coordination service keeps partition allocation safe across a
+/// leader failure happening *between* a VM's registration steps.
+#[test]
+fn partition_allocation_across_failover() {
+    let clock = SimClock::new();
+    let rng = SimRng::seed_from_u64(5);
+    let mut cluster = CoordCluster::new(5, clock.clone(), rng.fork("coord"));
+    PartitionTable::init(&mut cluster).unwrap();
+    let mut seen = std::collections::HashSet::new();
+    for pid in 0..40 {
+        if pid % 10 == 5 {
+            let leader = cluster.leader().unwrap();
+            cluster.kill(leader);
+            cluster.elect().unwrap();
+            cluster.revive(leader);
+        }
+        let p = PartitionTable::allocate(
+            &mut cluster,
+            VmIdentity {
+                pid,
+                hypervisor: 9,
+            },
+        )
+        .unwrap();
+        assert!(seen.insert(p), "duplicate partition {p} after failover");
+    }
+}
+
+/// Live migration over a shared store: the VM moves hypervisors with
+/// zero pages copied between hosts and full data integrity (§VII).
+#[test]
+fn live_migration_preserves_memory() {
+    use fluidmem::core::MonitorConfig;
+    use fluidmem::kv::SharedStore;
+
+    let clock = SimClock::new();
+    let rng = SimRng::seed_from_u64(77);
+    let shared = SharedStore::new(Box::new(RamCloudStore::new(
+        1 << 28,
+        clock.clone(),
+        rng.fork("store"),
+    )));
+
+    let mut source = FluidMemMemory::new(
+        MonitorConfig::new(32),
+        Box::new(shared.handle()),
+        fluidmem::coord::PartitionId::new(9),
+        clock.clone(),
+        rng.fork("src"),
+    );
+    let region = source.map_region(128, PageClass::Anonymous);
+    for i in 0..region.pages() {
+        source.write_page(region.page(i), PageContents::Token(5000 + i));
+    }
+
+    let image = source.migrate_out();
+    assert_eq!(image.seen.len(), 128);
+    assert_eq!(image.capacity, 32);
+
+    let mut dest = FluidMemMemory::migrate_in(
+        MonitorConfig::new(32),
+        Box::new(shared.handle()),
+        image,
+        clock,
+        rng.fork("dst"),
+    );
+    for i in 0..region.pages() {
+        let (contents, _) = dest.read_page(region.page(i));
+        assert_eq!(contents, PageContents::Token(5000 + i), "page {i} lost in migration");
+    }
+    assert!(dest.resident_pages() <= 32);
+}
+
+/// Migration round trips compose: A -> B -> C without loss.
+#[test]
+fn chained_migrations() {
+    use fluidmem::core::MonitorConfig;
+    use fluidmem::kv::SharedStore;
+
+    let clock = SimClock::new();
+    let rng = SimRng::seed_from_u64(78);
+    let shared = SharedStore::new(Box::new(RamCloudStore::new(
+        1 << 28,
+        clock.clone(),
+        rng.fork("store"),
+    )));
+    let mut vm = FluidMemMemory::new(
+        MonitorConfig::new(16),
+        Box::new(shared.handle()),
+        fluidmem::coord::PartitionId::new(2),
+        clock.clone(),
+        rng.fork("h0"),
+    );
+    let region = vm.map_region(64, PageClass::Anonymous);
+    for i in 0..region.pages() {
+        vm.write_page(region.page(i), PageContents::Token(i * 3));
+    }
+    for hop in 0..3 {
+        let image = vm.migrate_out();
+        vm = FluidMemMemory::migrate_in(
+            MonitorConfig::new(16),
+            Box::new(shared.handle()),
+            image,
+            clock.clone(),
+            rng.fork(&format!("h{}", hop + 1)),
+        );
+        // Touch a few pages on each host (the VM keeps running).
+        vm.write_page(region.page(hop), PageContents::Token(9000 + hop));
+    }
+    for i in 0..region.pages() {
+        let (contents, _) = vm.read_page(region.page(i));
+        let expected = if i < 3 {
+            PageContents::Token(9000 + i)
+        } else {
+            PageContents::Token(i * 3)
+        };
+        assert_eq!(contents, expected, "page {i} wrong after 3 hops");
+    }
+}

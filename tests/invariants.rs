@@ -1,0 +1,201 @@
+//! Randomized invariant tests over the two memory mechanisms: whatever
+//! sequence of operations runs, data must be intact, budgets must hold,
+//! and page-class rules must never be violated.
+
+use proptest::prelude::*;
+
+use fluidmem::block::{PmemDevice, SsdDevice};
+use fluidmem::coord::PartitionId;
+use fluidmem::core::{FluidMemMemory, MonitorConfig, Optimizations};
+use fluidmem::kv::RamCloudStore;
+use fluidmem::mem::{MemoryBackend, PageClass, PageContents};
+use fluidmem::sim::{SimClock, SimRng};
+use fluidmem::swap::{SwapBackedMemory, SwapConfig};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u64, u64),
+    Read(u64),
+    Touch(u64),
+}
+
+fn op_strategy(pages: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..pages, any::<u64>()).prop_map(|(p, v)| Op::Write(p, v)),
+        (0..pages).prop_map(Op::Read),
+        (0..pages).prop_map(Op::Touch),
+    ]
+}
+
+fn fluidmem_backend(capacity: u64, seed: u64) -> FluidMemMemory {
+    let clock = SimClock::new();
+    let store = RamCloudStore::new(1 << 26, clock.clone(), SimRng::seed_from_u64(seed));
+    FluidMemMemory::new(
+        MonitorConfig::new(capacity).optimizations(Optimizations::full()),
+        Box::new(store),
+        PartitionId::new(0),
+        clock,
+        SimRng::seed_from_u64(seed + 1),
+    )
+}
+
+fn swap_backend(dram: u64, seed: u64) -> SwapBackedMemory {
+    let clock = SimClock::new();
+    let swap_dev = PmemDevice::new(1 << 15, clock.clone(), SimRng::seed_from_u64(seed));
+    let fs_dev = SsdDevice::new(1 << 15, clock.clone(), SimRng::seed_from_u64(seed + 1));
+    SwapBackedMemory::new(
+        SwapConfig::paper_default(dram),
+        Box::new(swap_dev),
+        Box::new(fs_dev),
+        clock,
+        SimRng::seed_from_u64(seed + 2),
+    )
+}
+
+/// Runs an op sequence against a backend and a plain-map model; every
+/// read must agree, and the residency bound must hold throughout.
+fn check_against_model(
+    backend: &mut dyn MemoryBackend,
+    budget: u64,
+    pages: u64,
+    ops: &[Op],
+) -> Result<(), TestCaseError> {
+    let region = backend.map_region(pages, PageClass::Anonymous);
+    let mut model: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for op in ops {
+        match op {
+            Op::Write(p, v) => {
+                backend.write_page(region.page(*p), PageContents::Token(*v));
+                model.insert(*p, *v);
+            }
+            Op::Read(p) => {
+                let (contents, _) = backend.read_page(region.page(*p));
+                match model.get(p) {
+                    Some(v) => prop_assert_eq!(
+                        contents,
+                        PageContents::Token(*v),
+                        "page {} corrupted",
+                        p
+                    ),
+                    None => prop_assert!(
+                        matches!(contents, PageContents::Zero),
+                        "unwritten page {} must read zero, got {:?}",
+                        p,
+                        contents
+                    ),
+                }
+            }
+            Op::Touch(p) => {
+                backend.access(region.page(*p), false);
+            }
+        }
+        prop_assert!(
+            backend.resident_pages() <= budget + 1,
+            "residency {} exceeded budget {}",
+            backend.resident_pages(),
+            budget
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// FluidMem under arbitrary traffic: no corruption, budget enforced.
+    #[test]
+    fn fluidmem_integrity_under_random_ops(
+        ops in prop::collection::vec(op_strategy(96), 1..250),
+        seed in 0u64..1000,
+    ) {
+        let mut backend = fluidmem_backend(16, seed);
+        check_against_model(&mut backend, 16, 96, &ops)?;
+    }
+
+    /// The swap baseline under the same traffic: same guarantees (its
+    /// DRAM bound is physical).
+    #[test]
+    fn swap_integrity_under_random_ops(
+        ops in prop::collection::vec(op_strategy(96), 1..250),
+        seed in 0u64..1000,
+    ) {
+        let mut backend = swap_backend(32, seed);
+        check_against_model(&mut backend, 32, 96, &ops)?;
+    }
+
+    /// Interleaved resizes never corrupt data or break the bound.
+    #[test]
+    fn fluidmem_resize_storm_keeps_integrity(
+        caps in prop::collection::vec(1u64..64, 1..12),
+        seed in 0u64..1000,
+    ) {
+        let mut backend = fluidmem_backend(64, seed);
+        let region = backend.map_region(64, PageClass::Anonymous);
+        for i in 0..64 {
+            backend.write_page(region.page(i), PageContents::Token(900 + i));
+        }
+        for cap in &caps {
+            backend.set_local_capacity(*cap).unwrap();
+            prop_assert!(backend.resident_pages() <= *cap);
+            // Spot-check a few pages after each resize.
+            for p in [0u64, 31, 63] {
+                let (contents, _) = backend.read_page(region.page(p));
+                prop_assert_eq!(contents, PageContents::Token(900 + p));
+            }
+        }
+    }
+
+    /// Virtual time is monotone: no operation may rewind the clock.
+    #[test]
+    fn clock_monotonicity(ops in prop::collection::vec(op_strategy(48), 1..120)) {
+        let mut backend = fluidmem_backend(8, 7);
+        let region = backend.map_region(48, PageClass::Anonymous);
+        let mut last = backend.clock().now();
+        for op in ops {
+            match op {
+                Op::Write(p, v) => {
+                    backend.write_page(region.page(p), PageContents::Token(v));
+                }
+                Op::Read(p) | Op::Touch(p) => {
+                    backend.access(region.page(p), false);
+                }
+            }
+            let now = backend.clock().now();
+            prop_assert!(now >= last, "clock went backwards");
+            last = now;
+        }
+    }
+}
+
+/// The swap backend's page-class rules hold under pressure: kernel pages
+/// pinned, file pages never on the swap device (plain test with heavy
+/// deterministic churn).
+#[test]
+fn swap_class_rules_under_churn() {
+    let mut backend = swap_backend(48, 99);
+    let kernel = backend.map_region(16, PageClass::KernelData);
+    let file = backend.map_region(64, PageClass::FileBacked);
+    let anon = backend.map_region(128, PageClass::Anonymous);
+    for round in 0..3 {
+        for i in 0..16 {
+            backend.access(kernel.page(i), true);
+        }
+        for i in 0..64 {
+            backend.access(file.page(i), round == 0);
+        }
+        for i in 0..128 {
+            backend.access(anon.page(i), true);
+        }
+    }
+    // Kernel pages are always hits after first touch.
+    for i in 0..16 {
+        assert_eq!(
+            backend.access(kernel.page(i), false).outcome,
+            fluidmem::mem::AccessOutcome::Hit,
+            "kernel page {i} was reclaimed"
+        );
+    }
+    let stats = backend.swap_stats();
+    assert!(stats.swap_outs > 0, "anonymous churn must swap");
+    assert!(stats.fs_reads > 0, "file pages must refault from the fs");
+}

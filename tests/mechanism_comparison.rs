@@ -1,0 +1,129 @@
+//! Shape invariants from the paper's evaluation, checked at miniature
+//! scale: who wins, in which regime, must match §VI.
+
+use fluidmem::sim::{SimDuration, SimRng};
+use fluidmem::testbed::{BackendKind, Testbed};
+use fluidmem::workloads::pmbench::{self, PmbenchConfig};
+
+fn pmbench_avg(kind: BackendKind, seed: u64) -> f64 {
+    let testbed = Testbed::scaled_down(512);
+    let mut backend = testbed.build(kind, seed);
+    let config = PmbenchConfig {
+        wss_pages: testbed.local_dram_pages * 4,
+        duration: SimDuration::from_millis(400),
+        read_ratio: 0.5,
+        max_accesses: 40_000,
+    };
+    let mut rng = SimRng::seed_from_u64(seed);
+    pmbench::run(backend.as_mut(), &config, &mut rng).avg_latency_us()
+}
+
+/// Figure 3's headline: FluidMem/RAMCloud beats swap/NVMeoF by tens of
+/// percent and SSD swap by a large factor.
+#[test]
+fn fluidmem_ramcloud_beats_swap_nvmeof_and_ssd() {
+    let rc = pmbench_avg(BackendKind::FluidMemRamCloud, 7);
+    let nv = pmbench_avg(BackendKind::SwapNvmeof, 7);
+    let ssd = pmbench_avg(BackendKind::SwapSsd, 7);
+    assert!(
+        rc < nv * 0.8,
+        "FluidMem/RAMCloud ({rc:.1}µs) should be ≥20% faster than swap/NVMeoF ({nv:.1}µs)"
+    );
+    assert!(
+        rc < ssd * 0.4,
+        "FluidMem/RAMCloud ({rc:.1}µs) should be ≥60% faster than swap/SSD ({ssd:.1}µs)"
+    );
+}
+
+/// Figure 3's backend ordering within each mechanism.
+#[test]
+fn backend_ordering_matches_figure3() {
+    let fm_dram = pmbench_avg(BackendKind::FluidMemDram, 8);
+    let fm_rc = pmbench_avg(BackendKind::FluidMemRamCloud, 8);
+    let fm_mc = pmbench_avg(BackendKind::FluidMemMemcached, 8);
+    assert!(fm_dram <= fm_rc && fm_rc < fm_mc, "{fm_dram} {fm_rc} {fm_mc}");
+
+    let sw_dram = pmbench_avg(BackendKind::SwapDram, 8);
+    let sw_nv = pmbench_avg(BackendKind::SwapNvmeof, 8);
+    let sw_ssd = pmbench_avg(BackendKind::SwapSsd, 8);
+    assert!(sw_dram < sw_nv && sw_nv < sw_ssd, "{sw_dram} {sw_nv} {sw_ssd}");
+}
+
+/// §VI-B: with a 4x overcommitted working set, "slightly over 25%" of
+/// accesses are DRAM-local.
+#[test]
+fn dram_hit_fraction_tracks_overcommit_ratio() {
+    let testbed = Testbed::scaled_down(512);
+    let mut backend = testbed.build(BackendKind::FluidMemRamCloud, 9);
+    let config = PmbenchConfig {
+        wss_pages: testbed.local_dram_pages * 4,
+        duration: SimDuration::from_millis(300),
+        read_ratio: 0.5,
+        max_accesses: 30_000,
+    };
+    let mut rng = SimRng::seed_from_u64(9);
+    let report = pmbench::run(backend.as_mut(), &config, &mut rng);
+    assert!(
+        (report.hit_fraction() - 0.25).abs() < 0.05,
+        "hit fraction {} should be ~25%",
+        report.hit_fraction()
+    );
+}
+
+/// §II: only FluidMem lets the operator resize the local footprint.
+#[test]
+fn only_fluidmem_resizes_without_guest_help() {
+    let testbed = Testbed::scaled_down(512);
+    for kind in BackendKind::ALL {
+        let mut backend = testbed.build(kind, 1);
+        let result = backend.set_local_capacity(64);
+        assert_eq!(
+            result.is_ok(),
+            kind.is_fluidmem(),
+            "{} resize result wrong",
+            kind.label()
+        );
+    }
+}
+
+/// The monitor's fault-latency CDF has the flat hit region the paper
+/// describes: everything under 10µs is a DRAM hit, everything else a
+/// remote fault.
+#[test]
+fn fluidmem_cdf_has_bimodal_shape() {
+    let testbed = Testbed::scaled_down(512);
+    let mut backend = testbed.build(BackendKind::FluidMemRamCloud, 10);
+    let config = PmbenchConfig {
+        wss_pages: testbed.local_dram_pages * 4,
+        duration: SimDuration::from_millis(300),
+        read_ratio: 0.5,
+        max_accesses: 30_000,
+    };
+    let mut rng = SimRng::seed_from_u64(10);
+    let report = pmbench::run(backend.as_mut(), &config, &mut rng);
+    let below_10us = report.all.fraction_below(SimDuration::from_micros(10));
+    let below_20us = report.all.fraction_below(SimDuration::from_micros(20));
+    // The hit plateau: ~25% below 10µs, and nothing lands between 10 and
+    // 20µs except the leading edge of remote faults.
+    assert!((below_10us - 0.25).abs() < 0.05, "hits {below_10us}");
+    assert!(below_20us < 0.45, "the remote mode must sit above ~20µs");
+}
+
+/// Deterministic reproducibility: identical seeds yield identical
+/// experiments, across every backend kind.
+#[test]
+fn same_seed_same_results() {
+    for kind in BackendKind::ALL {
+        let a = pmbench_avg(kind, 33);
+        let b = pmbench_avg(kind, 33);
+        assert_eq!(a, b, "{} must be deterministic", kind.label());
+    }
+}
+
+/// Different seeds perturb results (the simulation is not degenerate).
+#[test]
+fn different_seeds_differ() {
+    let a = pmbench_avg(BackendKind::FluidMemRamCloud, 1);
+    let b = pmbench_avg(BackendKind::FluidMemRamCloud, 2);
+    assert_ne!(a, b);
+}

@@ -1,0 +1,161 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use fluidmem::coord::{PartitionId, ZnodeTree};
+use fluidmem::core::LruBuffer;
+use fluidmem::kv::{DramStore, ExternalKey, KeyValueStore, RamCloudStore};
+use fluidmem::mem::{PageContents, Vpn};
+use fluidmem::sim::stats::{LatencyHistogram, Sample, Summary};
+use fluidmem::sim::{SimClock, SimDuration, SimRng};
+use fluidmem::swap::SlotAllocator;
+
+proptest! {
+    /// The external key encoding is a bijection over its domain.
+    #[test]
+    fn external_key_round_trips(vpn in 0u64..(1 << 52), part in 0u16..4096) {
+        let key = ExternalKey::new(Vpn::new(vpn), PartitionId::new(part));
+        prop_assert_eq!(key.vpn(), Vpn::new(vpn));
+        prop_assert_eq!(key.partition(), PartitionId::new(part));
+    }
+
+    /// The LRU buffer never exceeds what was inserted, never yields a
+    /// page twice without reinsertion, and preserves insertion order for
+    /// untouched pages.
+    #[test]
+    fn lru_buffer_behaves_like_fifo_queue(ops in prop::collection::vec(0u64..64, 1..200)) {
+        let mut lru = LruBuffer::new(1 << 20);
+        let mut model: Vec<u64> = Vec::new();
+        for &op in &ops {
+            if lru.insert(Vpn::new(op)) {
+                model.push(op);
+            }
+        }
+        prop_assert_eq!(lru.len() as usize, model.len());
+        for expected in model {
+            prop_assert_eq!(lru.pop_victim(), Some(Vpn::new(expected)));
+        }
+        prop_assert_eq!(lru.pop_victim(), None);
+    }
+
+    /// Slot allocation is a partial bijection: no two pages share a slot,
+    /// and lookups invert each other.
+    #[test]
+    fn slot_allocator_is_injective(pages in prop::collection::hash_set(0u64..10_000, 1..300)) {
+        let mut slots = SlotAllocator::new(4096);
+        let mut assigned = std::collections::HashMap::new();
+        for &p in &pages {
+            if let Some(slot) = slots.allocate(Vpn::new(p)) {
+                prop_assert!(assigned.insert(slot, p).is_none(), "slot reused while live");
+                prop_assert_eq!(slots.owner_of(slot), Some(Vpn::new(p)));
+                prop_assert_eq!(slots.slot_of(Vpn::new(p)), Some(slot));
+            }
+        }
+    }
+
+    /// Any interleaving of puts/gets/deletes on the log-structured store
+    /// agrees with a plain map — cleaner runs included.
+    #[test]
+    fn ramcloud_matches_model(ops in prop::collection::vec((0u64..48, 0u64..1000, prop::bool::ANY), 1..400)) {
+        let clock = SimClock::new();
+        // Small capacity so the cleaner must run under churn.
+        let mut store = RamCloudStore::new(96 * 4196, clock, SimRng::seed_from_u64(1));
+        let mut model = std::collections::HashMap::new();
+        for (k, v, is_delete) in ops {
+            let key = ExternalKey::new(Vpn::new(k), PartitionId::new(0));
+            if is_delete {
+                let existed = store.delete(key);
+                prop_assert_eq!(existed, model.remove(&k).is_some());
+            } else {
+                store.put(key, PageContents::Token(v)).unwrap();
+                model.insert(k, v);
+            }
+        }
+        prop_assert_eq!(store.len(), model.len());
+        for (k, v) in model {
+            let key = ExternalKey::new(Vpn::new(k), PartitionId::new(0));
+            prop_assert_eq!(store.get(key).unwrap(), PageContents::Token(v));
+        }
+    }
+
+    /// The DRAM store agrees with the same model.
+    #[test]
+    fn dram_store_matches_model(ops in prop::collection::vec((0u64..32, 0u64..1000), 1..200)) {
+        let clock = SimClock::new();
+        let mut store = DramStore::new(1 << 20, clock, SimRng::seed_from_u64(2));
+        let mut model = std::collections::HashMap::new();
+        for (k, v) in ops {
+            let key = ExternalKey::new(Vpn::new(k), PartitionId::new(0));
+            store.put(key, PageContents::Token(v)).unwrap();
+            model.insert(k, v);
+        }
+        for (k, v) in model {
+            let key = ExternalKey::new(Vpn::new(k), PartitionId::new(0));
+            prop_assert_eq!(store.get(key).unwrap(), PageContents::Token(v));
+        }
+    }
+
+    /// Streaming summary statistics agree with the exact sample.
+    #[test]
+    fn summary_agrees_with_sample(values in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut summary = Summary::new();
+        let mut sample = Sample::new();
+        for &v in &values {
+            summary.record(v);
+            sample.record(v);
+        }
+        prop_assert!((summary.mean() - sample.mean()).abs() < 1e-6 * (1.0 + sample.mean().abs()));
+        prop_assert!((summary.stdev() - sample.stdev()).abs() < 1e-6 * (1.0 + sample.stdev()));
+    }
+
+    /// Histogram CDFs are monotone and end at 1.0 for any input.
+    #[test]
+    fn histogram_cdf_is_monotone(ns in prop::collection::vec(1u64..10_000_000_000, 1..200)) {
+        let mut h = LatencyHistogram::new();
+        for &x in &ns {
+            h.record(SimDuration::from_nanos(x));
+        }
+        let cdf = h.cdf();
+        prop_assert!(!cdf.is_empty());
+        for w in cdf.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        prop_assert_eq!(h.count(), ns.len() as u64);
+    }
+
+    /// Znode trees stay consistent under arbitrary create/delete
+    /// sequences: children lists always match existing nodes.
+    #[test]
+    fn znode_children_consistent(ops in prop::collection::vec((0u8..4, 0u8..4, prop::bool::ANY), 1..100)) {
+        let mut tree = ZnodeTree::new();
+        for (a, b, create) in ops {
+            let parent = format!("/n{a}");
+            let child = format!("/n{a}/m{b}");
+            if create {
+                let _ = tree.create(&parent, vec![], None);
+                let _ = tree.create(&child, vec![], None);
+            } else {
+                let _ = tree.delete(&child);
+            }
+        }
+        for top in tree.children("/") {
+            prop_assert!(tree.exists(&top));
+            for child in tree.children(&top) {
+                prop_assert!(tree.exists(&child));
+                let prefix = format!("{}/", top);
+                prop_assert!(child.starts_with(&prefix));
+            }
+        }
+    }
+}
+
+/// Deterministic RNG forks are stable across proptest shrink iterations
+/// (plain test: no random input needed).
+#[test]
+fn rng_fork_stability() {
+    let a = SimRng::seed_from_u64(5).fork("x").gen_u64();
+    let b = SimRng::seed_from_u64(5).fork("x").gen_u64();
+    assert_eq!(a, b);
+}
