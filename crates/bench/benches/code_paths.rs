@@ -1,7 +1,7 @@
 //! Criterion bench backing Table I: the monitor's core data-structure
 //! operations (the code paths the paper instruments).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fluidmem_bench::criterion::{criterion_group, criterion_main, Criterion};
 
 use fluidmem::core::{CodePath, LruBuffer, PageTracker, ProfileTable};
 use fluidmem::mem::Vpn;

@@ -1,7 +1,7 @@
 //! Criterion bench for the substrate components: key-value stores,
 //! block devices, the coordination service, and workload generators.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fluidmem_bench::criterion::{criterion_group, criterion_main, Criterion};
 
 use fluidmem::block::{BlockDevice, NvmeofDevice, PmemDevice, SsdDevice};
 use fluidmem::coord::{CoordCluster, PartitionId, WriteOp};

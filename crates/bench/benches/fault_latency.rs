@@ -2,7 +2,7 @@
 //! page fault per backend configuration (wall-clock cost of the
 //! reproduction itself, and a regression guard on the fault paths).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fluidmem_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use fluidmem::sim::{SimDuration, SimRng};
 use fluidmem::testbed::{BackendKind, Testbed};

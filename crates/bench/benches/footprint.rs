@@ -1,7 +1,7 @@
 //! Criterion bench backing Table III: footprint resizing — how fast the
 //! monitor evicts down to a near-zero footprint and recovers.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fluidmem_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use fluidmem::coord::PartitionId;
 use fluidmem::core::{FluidMemMemory, MonitorConfig};

@@ -1,7 +1,7 @@
 //! Criterion bench backing Figure 4: Graph500 BFS over the two headline
 //! remote-memory configurations at 240% working-set pressure.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fluidmem_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use fluidmem::sim::SimRng;
 use fluidmem::testbed::{BackendKind, Testbed};
@@ -26,8 +26,7 @@ fn bench_graph500(c: &mut Criterion) {
                     let backend = testbed.build(kind, 5);
                     let mut vm = Vm::boot(backend, GuestOsProfile::scaled_to(30));
                     let mut rng = SimRng::seed_from_u64(5);
-                    run_benchmark(vm.backend_mut(), &graph, &config, &mut rng)
-                        .harmonic_mean_teps()
+                    run_benchmark(vm.backend_mut(), &graph, &config, &mut rng).harmonic_mean_teps()
                 })
             },
         );

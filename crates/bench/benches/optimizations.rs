@@ -1,7 +1,7 @@
 //! Criterion bench backing Table II: the monitor under each §V-B
 //! optimization combination, measured in simulated fault throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fluidmem_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use fluidmem::coord::PartitionId;
 use fluidmem::core::{FluidMemMemory, MonitorConfig, Optimizations};
@@ -27,7 +27,10 @@ fn run_faults(opts: Optimizations, faults: u64) -> f64 {
     let mut total = 0.0;
     for _ in 0..faults {
         let i = rng.gen_index(region.pages());
-        total += vm.access(region.page(i), rng.gen_bool(0.5)).latency.as_micros_f64();
+        total += vm
+            .access(region.page(i), rng.gen_bool(0.5))
+            .latency
+            .as_micros_f64();
     }
     total / faults as f64
 }
@@ -36,10 +39,22 @@ fn bench_optimizations(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_optimizations");
     group.sample_size(10);
     let cases = [
-        Optimizations { async_read: false, async_write: false },
-        Optimizations { async_read: true, async_write: false },
-        Optimizations { async_read: false, async_write: true },
-        Optimizations { async_read: true, async_write: true },
+        Optimizations {
+            async_read: false,
+            async_write: false,
+        },
+        Optimizations {
+            async_read: true,
+            async_write: false,
+        },
+        Optimizations {
+            async_read: false,
+            async_write: true,
+        },
+        Optimizations {
+            async_read: true,
+            async_write: true,
+        },
     ];
     for opts in cases {
         group.bench_with_input(

@@ -1,7 +1,7 @@
 //! Criterion bench backing Figure 5: YCSB-C reads against the document
 //! store over FluidMem and swap.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fluidmem_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use fluidmem::block::SsdDevice;
 use fluidmem::sim::SimRng;

@@ -13,13 +13,13 @@
 //!    including a leader failover mid-burst.
 
 use fluidmem_bench::{banner, f2, pct, HarnessArgs, TextTable};
-use fluidmem_coord::{CoordCluster, PartitionTable, PartitionId, VmIdentity};
+use fluidmem_coord::{CoordCluster, PartitionId, PartitionTable, VmIdentity};
 use fluidmem_core::{EvictionMechanism, FluidMemMemory, LruPolicy, MonitorConfig, PrefetchPolicy};
 use fluidmem_kv::{CompressedStore, KeyValueStore, RamCloudStore, ReplicatedStore};
 use fluidmem_mem::{AccessOutcome, MemoryBackend, PageClass};
+use fluidmem_sim::SimDuration;
 use fluidmem_sim::{SimClock, SimRng};
 use fluidmem_workloads::pmbench::{self, PmbenchConfig};
-use fluidmem_sim::SimDuration;
 
 fn fluidmem(config: MonitorConfig, seed: u64) -> FluidMemMemory {
     let clock = SimClock::new();
@@ -69,7 +69,9 @@ fn ablation_batch_size(args: &HarnessArgs) {
         ]);
     }
     table.print();
-    println!("(bigger batches amortize round trips; the write list also absorbs refaults as steals)");
+    println!(
+        "(bigger batches amortize round trips; the write list also absorbs refaults as steals)"
+    );
 }
 
 fn ablation_eviction_mechanism(args: &HarnessArgs) {
@@ -99,7 +101,9 @@ fn ablation_eviction_mechanism(args: &HarnessArgs) {
         ]);
     }
     table.print();
-    println!("(with the async optimizations the shootdown hides under the read, so remap wins slightly)");
+    println!(
+        "(with the async optimizations the shootdown hides under the read, so remap wins slightly)"
+    );
 }
 
 fn ablation_lru_policy(args: &HarnessArgs) {
@@ -143,7 +147,9 @@ fn ablation_lru_policy(args: &HarnessArgs) {
         ]);
     }
     table.print();
-    println!("(referenced-bit scanning keeps the hot set resident — the gap kswapd exploits in Fig. 4c)");
+    println!(
+        "(referenced-bit scanning keeps the hot set resident — the gap kswapd exploits in Fig. 4c)"
+    );
 }
 
 fn ablation_partition_table(args: &HarnessArgs) {
@@ -177,12 +183,18 @@ fn ablation_partition_table(args: &HarnessArgs) {
     let unique: std::collections::HashSet<_> = allocated.iter().collect();
     let mut table = TextTable::new(vec!["metric", "value"]);
     table.row(vec!["registrations".to_string(), "300".to_string()]);
-    table.row(vec!["unique partitions".to_string(), unique.len().to_string()]);
+    table.row(vec![
+        "unique partitions".to_string(),
+        unique.len().to_string(),
+    ]);
     table.row(vec![
         "mean registration latency".to_string(),
         format!("{:.1} µs", elapsed.as_micros_f64() / 300.0),
     ]);
-    table.row(vec!["leader failovers survived".to_string(), "1".to_string()]);
+    table.row(vec![
+        "leader failovers survived".to_string(),
+        "1".to_string(),
+    ]);
     table.print();
     assert_eq!(unique.len(), 300, "uniqueness must hold across failover");
 }
@@ -228,7 +240,9 @@ fn ablation_replication(args: &HarnessArgs) {
         ]);
     }
     table.print();
-    println!("(writes are off the critical path, so extra replicas cost ~nothing — as §VI-A argues)");
+    println!(
+        "(writes are off the critical path, so extra replicas cost ~nothing — as §VI-A argues)"
+    );
 }
 
 fn ablation_compression(args: &HarnessArgs) {
@@ -266,7 +280,11 @@ fn ablation_compression(args: &HarnessArgs) {
         };
         let report = pmbench::run_on_region(&mut vm, region, &config, &mut rng);
         table.row(vec![
-            if compressed { "RAMCloud + RLE".to_string() } else { "RAMCloud".to_string() },
+            if compressed {
+                "RAMCloud + RLE".to_string()
+            } else {
+                "RAMCloud".to_string()
+            },
             f2(report.avg_latency_us()),
         ]);
     }
@@ -287,7 +305,10 @@ fn ablation_prefetch(args: &HarnessArgs) {
     ]);
     for (policy, label) in [
         (PrefetchPolicy::None, "none (paper)"),
-        (PrefetchPolicy::Sequential { window: 8 }, "sequential, window 8"),
+        (
+            PrefetchPolicy::Sequential { window: 8 },
+            "sequential, window 8",
+        ),
     ] {
         let mut vm = fluidmem(MonitorConfig::new(1024).prefetch(policy), args.seed);
         let region = vm.map_region(4096, PageClass::Anonymous);
@@ -352,12 +373,18 @@ fn ablation_modern_zram(args: &HarnessArgs) {
         let region = vm.map_region(4096, PageClass::Anonymous);
         let mut rng = SimRng::seed_from_u64(args.seed + 3);
         let report = pmbench::run_on_region(&mut vm, region, &config, &mut rng);
-        table.row(vec!["Swap zram (local, compressed)".to_string(), f2(report.avg_latency_us())]);
+        table.row(vec![
+            "Swap zram (local, compressed)".to_string(),
+            f2(report.avg_latency_us()),
+        ]);
     }
     // Swap NVMeoF and FluidMem RAMCloud for context.
     for (label, kind) in [
         ("Swap NVMeoF", fluidmem::testbed::BackendKind::SwapNvmeof),
-        ("FluidMem RAMCloud", fluidmem::testbed::BackendKind::FluidMemRamCloud),
+        (
+            "FluidMem RAMCloud",
+            fluidmem::testbed::BackendKind::FluidMemRamCloud,
+        ),
     ] {
         let mut testbed = fluidmem::testbed::Testbed::scaled_down(256);
         testbed.local_dram_pages = 1024;

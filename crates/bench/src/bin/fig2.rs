@@ -43,14 +43,21 @@ fn main() {
     let mut idx = dump_trace(
         &vm,
         0,
-        &format!("first access to page 0 ({:?}, {})", report.outcome, report.latency),
+        &format!(
+            "first access to page 0 ({:?}, {})",
+            report.outcome, report.latency
+        ),
     );
 
     // Fill past capacity: (6)-(8) the asynchronous eviction path runs.
     vm.access(region.page(1), true);
     vm.access(region.page(2), true);
     vm.access(region.page(3), true);
-    idx = dump_trace(&vm, idx, "capacity reached: asynchronous eviction + write list");
+    idx = dump_trace(
+        &vm,
+        idx,
+        "capacity reached: asynchronous eviction + write list",
+    );
 
     // Refault of an evicted page: the read path, with the eviction
     // interleaved under the network wait (§V-B).
@@ -59,7 +66,10 @@ fn main() {
     dump_trace(
         &vm,
         idx,
-        &format!("refault of page 0 ({:?}, {})", report.outcome, report.latency),
+        &format!(
+            "refault of page 0 ({:?}, {})",
+            report.outcome, report.latency
+        ),
     );
 
     println!("\nmonitor stats: {:?}", vm.monitor().stats());

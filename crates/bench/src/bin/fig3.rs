@@ -74,9 +74,7 @@ fn main() {
                             .all
                             .cdf()
                             .into_iter()
-                            .map(|(us, frac)| {
-                                Json::Array(vec![Json::Num(us), Json::Num(frac)])
-                            })
+                            .map(|(us, frac)| Json::Array(vec![Json::Num(us), Json::Num(frac)]))
                             .collect(),
                     ),
                 ),

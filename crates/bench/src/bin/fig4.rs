@@ -37,7 +37,7 @@ fn wss_pages(config: &Graph500Config, graph: &CsrGraph) -> u64 {
 
 fn main() {
     let args = HarnessArgs::parse(128);
-    let shift = 63 - args.scale_denominator.max(1).leading_zeros() as u32; // log2
+    let shift = 63 - args.scale_denominator.max(1).leading_zeros(); // log2
     let roots = if args.scale_denominator == 1 { 64 } else { 8 };
 
     for (paper_scale, ratio) in RATIOS {
@@ -107,5 +107,7 @@ fn main() {
     }
 
     println!("\nPaper reference shape: (a) all ≈45 MTEPS with FluidMem ≈2.6% behind swap;");
-    println!("(b) FluidMem >> swap; (c,d) FluidMem/RAMCloud > swap/NVMeoF, swap/DRAM ≳ FluidMem/DRAM.");
+    println!(
+        "(b) FluidMem >> swap; (c,d) FluidMem/RAMCloud > swap/NVMeoF, swap/DRAM ≳ FluidMem/DRAM."
+    );
 }

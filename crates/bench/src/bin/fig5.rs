@@ -91,10 +91,14 @@ fn main() {
                 // held to 1 GB resident by the LRU.
                 build_fluidmem(dram_pages, (8usize << 30) / d as usize, args.seed)
             } else {
-                build_swap(dram_pages, (20 * (1u64 << 30) / 4096 / d).max(1 << 14), args.seed)
+                build_swap(
+                    dram_pages,
+                    (20 * (1u64 << 30) / 4096 / d).max(1 << 14),
+                    args.seed,
+                )
             };
             let mut vm = Vm::boot(backend, GuestOsProfile::scaled_down(os_denom));
-            let config = DocStoreConfig::paper(d, cache_bytes as u64);
+            let config = DocStoreConfig::paper(d, cache_bytes);
             let disk = SsdDevice::new(
                 config.record_count * 2,
                 vm.backend().clock().clone(),

@@ -27,7 +27,13 @@ enum Pattern {
     Random,
 }
 
-fn run_case(store_kind: &str, opts: Optimizations, pattern: Pattern, seed: u64, faults: u64) -> f64 {
+fn run_case(
+    store_kind: &str,
+    opts: Optimizations,
+    pattern: Pattern,
+    seed: u64,
+    faults: u64,
+) -> f64 {
     let clock = SimClock::new();
     let store: Box<dyn KeyValueStore> = match store_kind {
         "dram" => Box::new(DramStore::new(
@@ -42,9 +48,7 @@ fn run_case(store_kind: &str, opts: Optimizations, pattern: Pattern, seed: u64, 
         )),
     };
     // `bare_process`: the Table II program has no VM layer.
-    let config = MonitorConfig::new(2048)
-        .optimizations(opts)
-        .bare_process();
+    let config = MonitorConfig::new(2048).optimizations(opts).bare_process();
     let mut vm = FluidMemMemory::new(
         config,
         store,
@@ -93,10 +97,34 @@ fn main() {
     );
 
     let cases = [
-        (Optimizations { async_read: false, async_write: false }, [27.25, 28.15, 66.71, 58.70]),
-        (Optimizations { async_read: true, async_write: false }, [25.26, 25.00, 51.08, 49.33]),
-        (Optimizations { async_read: false, async_write: true }, [23.67, 30.26, 42.88, 43.40]),
-        (Optimizations { async_read: true, async_write: true }, [21.30, 24.37, 29.47, 29.20]),
+        (
+            Optimizations {
+                async_read: false,
+                async_write: false,
+            },
+            [27.25, 28.15, 66.71, 58.70],
+        ),
+        (
+            Optimizations {
+                async_read: true,
+                async_write: false,
+            },
+            [25.26, 25.00, 51.08, 49.33],
+        ),
+        (
+            Optimizations {
+                async_read: false,
+                async_write: true,
+            },
+            [23.67, 30.26, 42.88, 43.40],
+        ),
+        (
+            Optimizations {
+                async_read: true,
+                async_write: true,
+            },
+            [21.30, 24.37, 29.47, 29.20],
+        ),
     ];
 
     let mut table = TextTable::new(vec![
@@ -110,7 +138,13 @@ fn main() {
     for (opts, paper) in cases {
         let d_seq = run_case("dram", opts, Pattern::Sequential, args.seed, faults);
         let d_rand = run_case("dram", opts, Pattern::Random, args.seed + 10, faults);
-        let r_seq = run_case("ramcloud", opts, Pattern::Sequential, args.seed + 20, faults);
+        let r_seq = run_case(
+            "ramcloud",
+            opts,
+            Pattern::Sequential,
+            args.seed + 20,
+            faults,
+        );
         let r_rand = run_case("ramcloud", opts, Pattern::Random, args.seed + 30, faults);
         table.row(vec![
             opts.label().to_string(),

@@ -49,8 +49,7 @@ fn revive(vm: &mut Vm) -> bool {
     // "Afterward, if the LRU size is increased, the VM will instantly
     // return to normal responsiveness."
     vm.backend_mut().set_local_capacity(1 << 20).ok();
-    let ok = SshService::new().attempt_login(vm).is_ok();
-    ok
+    SshService::new().attempt_login(vm).is_ok()
 }
 
 fn main() {

@@ -1,0 +1,206 @@
+//! A minimal, criterion-compatible benchmark harness.
+//!
+//! The workspace builds with zero external crates, so the `[[bench]]`
+//! binaries cannot link the real `criterion`. This module mirrors the
+//! slice of its API the benches use (`benchmark_group`, `sample_size`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros)
+//! and reports wall-clock means per benchmark.
+//!
+//! Two deliberate differences from the real crate: sample counts are
+//! small (these benches drive a virtual-time simulator, so statistical
+//! machinery adds nothing), and when the binary is invoked with a
+//! `--test` argument — as `cargo test` does for `harness = false`
+//! targets — every benchmark body runs exactly once as a smoke test.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Entry point handed to each registered benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Creates a harness, detecting `--test` mode from the command line.
+    pub fn from_args() -> Criterion {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        if !self.test_mode {
+            println!("\n{name}");
+        }
+        BenchmarkGroup {
+            criterion: self,
+            samples: 10,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    samples: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = (n as u64).max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: BenchmarkId, mut body: impl FnMut(&mut Bencher)) {
+        let samples = if self.criterion.test_mode {
+            1
+        } else {
+            self.samples
+        };
+        let mut bencher = Bencher {
+            samples,
+            total_iters: 0,
+        };
+        let start = Instant::now();
+        body(&mut bencher);
+        let elapsed = start.elapsed();
+        if self.criterion.test_mode {
+            return;
+        }
+        let iters = bencher.total_iters.max(1);
+        let mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+        let mean = if mean_ns >= 1_000_000.0 {
+            format!("{:.3} ms", mean_ns / 1_000_000.0)
+        } else if mean_ns >= 1_000.0 {
+            format!("{:.3} µs", mean_ns / 1_000.0)
+        } else {
+            format!("{mean_ns:.0} ns")
+        };
+        println!("  {:<40} {mean}/iter ({iters} iters)", id.label);
+    }
+}
+
+/// Runs the benchmark body and counts iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: u64,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, running it once per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.samples {
+            black_box(f());
+            self.total_iters += 1;
+        }
+    }
+}
+
+/// A benchmark label, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` label.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// A label that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId { label: name.into() }
+    }
+}
+
+/// An opaque value sink preventing the optimizer from deleting the
+/// benchmark body.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::criterion::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion { test_mode: true };
+        let mut calls = 0u64;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(50);
+        group.bench_function("counted", |b| b.iter(|| calls += 1));
+        group.finish();
+        // test_mode forces exactly one sample.
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("shrink", 64).label, "shrink/64");
+        assert_eq!(BenchmarkId::from_parameter("drop").label, "drop");
+        assert_eq!(BenchmarkId::from("plain").label, "plain");
+    }
+}

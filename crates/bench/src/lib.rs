@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod criterion;
 pub mod json;
 
 use std::fmt::Write as _;

@@ -254,7 +254,10 @@ mod tests {
     fn schedule_without_contention_is_service_time() {
         let clock = SimClock::new();
         let mut q = QueueedStore::new(100, 4, clock.clone(), SimRng::seed_from_u64(1));
-        let done = q.schedule(SimDuration::from_micros(1), &LatencyModel::constant_us(10.0));
+        let done = q.schedule(
+            SimDuration::from_micros(1),
+            &LatencyModel::constant_us(10.0),
+        );
         // 1µs submit + 10µs service.
         assert_eq!(done.as_nanos(), 11_000);
     }

@@ -123,7 +123,10 @@ mod tests {
         let t0 = clock.now();
         dev.read_sync(1).unwrap();
         let d = clock.now() - t0;
-        assert!(d >= SimDuration::from_nanos(500) && d <= SimDuration::from_micros(4), "{d}");
+        assert!(
+            d >= SimDuration::from_nanos(500) && d <= SimDuration::from_micros(4),
+            "{d}"
+        );
     }
 
     #[test]

@@ -51,12 +51,7 @@ pub struct ZramDevice {
 impl ZramDevice {
     /// Creates a device with `capacity_blocks` logical blocks and a
     /// compressed-memory budget of `mem_limit_bytes`.
-    pub fn new(
-        capacity_blocks: u64,
-        mem_limit_bytes: usize,
-        clock: SimClock,
-        rng: SimRng,
-    ) -> Self {
+    pub fn new(capacity_blocks: u64, mem_limit_bytes: usize, clock: SimClock, rng: SimRng) -> Self {
         ZramDevice {
             blocks: HashMap::new(),
             capacity_blocks,
@@ -193,10 +188,7 @@ mod tests {
                 .unwrap();
         }
         assert!(dev.compressed_bytes() < 64 << 10);
-        assert_eq!(
-            dev.read_sync(17).unwrap(),
-            PageContents::from_byte_fill(17)
-        );
+        assert_eq!(dev.read_sync(17).unwrap(), PageContents::from_byte_fill(17));
     }
 
     #[test]

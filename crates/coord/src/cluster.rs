@@ -471,7 +471,13 @@ mod tests {
         c.propose(create("/ok")).unwrap(); // 2 of 3 alive: fine
         c.kill(ReplicaId(2));
         let err = c.propose(create("/blocked")).unwrap_err();
-        assert!(matches!(err, CoordError::NoQuorum { alive: 1, needed: 2 }));
+        assert!(matches!(
+            err,
+            CoordError::NoQuorum {
+                alive: 1,
+                needed: 2
+            }
+        ));
         assert!(!c.replica_tree(ReplicaId(0)).exists("/blocked"));
     }
 
@@ -485,7 +491,10 @@ mod tests {
         assert!(matches!(c.propose(create("/x")), Err(CoordError::NoLeader)));
         let new = c.elect().unwrap();
         assert_ne!(new, old);
-        assert!(c.read("/before").is_some(), "committed write survived failover");
+        assert!(
+            c.read("/before").is_some(),
+            "committed write survived failover"
+        );
         c.propose(create("/after")).unwrap();
         assert!(c.read("/after").is_some());
         assert!(c.epoch() >= 2);
@@ -518,7 +527,9 @@ mod tests {
     fn validation_errors_do_not_commit() {
         let mut c = cluster(3);
         let before = c.committed_len();
-        let err = c.propose(WriteOp::Delete { path: "/nope".into() });
+        let err = c.propose(WriteOp::Delete {
+            path: "/nope".into(),
+        });
         assert!(err.is_err());
         assert_eq!(c.committed_len(), before, "failed op must not append");
     }
@@ -574,7 +585,10 @@ mod tests {
         c.close_session(s).unwrap();
         assert!(c.read("/eph").is_none());
         assert!(!c.session_is_open(s));
-        assert!(matches!(c.close_session(s), Err(CoordError::UnknownSession)));
+        assert!(matches!(
+            c.close_session(s),
+            Err(CoordError::UnknownSession)
+        ));
     }
 
     #[test]

@@ -56,10 +56,9 @@ impl fmt::Display for CoordError {
                 f,
                 "version mismatch at {path}: expected {expected}, found {actual}"
             ),
-            CoordError::NoQuorum { alive, needed } => write!(
-                f,
-                "quorum lost: {alive} replicas alive, {needed} required"
-            ),
+            CoordError::NoQuorum { alive, needed } => {
+                write!(f, "quorum lost: {alive} replicas alive, {needed} required")
+            }
             CoordError::NoLeader => write!(f, "no leader elected"),
             CoordError::UnknownSession => write!(f, "unknown or closed session"),
             CoordError::BadPath(p) => write!(f, "invalid path {p:?}"),
@@ -78,7 +77,9 @@ mod tests {
 
     #[test]
     fn messages_name_the_path() {
-        assert!(CoordError::NoNode("/a/b".into()).to_string().contains("/a/b"));
+        assert!(CoordError::NoNode("/a/b".into())
+            .to_string()
+            .contains("/a/b"));
         let e = CoordError::BadVersion {
             path: "/x".into(),
             expected: 1,

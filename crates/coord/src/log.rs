@@ -151,7 +151,10 @@ mod tests {
     fn failed_ops_do_not_mutate() {
         let mut t = ZnodeTree::new();
         let before = t.clone();
-        let err = WriteOp::Delete { path: "/nope".into() }.apply(&mut t);
+        let err = WriteOp::Delete {
+            path: "/nope".into(),
+        }
+        .apply(&mut t);
         assert!(err.is_err());
         assert_eq!(t, before);
     }

@@ -110,10 +110,7 @@ impl PartitionTable {
     ///
     /// Fails with [`CoordError::PartitionsExhausted`] when all 4096
     /// indices are taken, or with cluster availability errors.
-    pub fn allocate(
-        cluster: &mut CoordCluster,
-        vm: VmIdentity,
-    ) -> Result<PartitionId, CoordError> {
+    pub fn allocate(cluster: &mut CoordCluster, vm: VmIdentity) -> Result<PartitionId, CoordError> {
         let nonce = match cluster.propose(WriteOp::CreateSequential {
             prefix: format!("{NONCES}/n-"),
             data: Vec::new(),
@@ -297,14 +294,7 @@ mod tests {
         let mut c = setup();
         let mut seen = std::collections::HashSet::new();
         for pid in 0..200u64 {
-            let p = PartitionTable::allocate(
-                &mut c,
-                VmIdentity {
-                    pid,
-                    hypervisor: 0,
-                },
-            )
-            .unwrap();
+            let p = PartitionTable::allocate(&mut c, VmIdentity { pid, hypervisor: 0 }).unwrap();
             assert!(seen.insert(p.raw()));
         }
     }

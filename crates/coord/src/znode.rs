@@ -261,7 +261,10 @@ mod tests {
         let mut t = ZnodeTree::new();
         for bad in ["a", "/a/", "//a", "/a//b", ""] {
             assert!(
-                matches!(t.create(bad, vec![], None), Err(CoordError::BadPath(_)) | Err(CoordError::NodeExists(_))),
+                matches!(
+                    t.create(bad, vec![], None),
+                    Err(CoordError::BadPath(_)) | Err(CoordError::NodeExists(_))
+                ),
                 "path {bad:?} should be rejected"
             );
         }
@@ -318,7 +321,10 @@ mod tests {
         t.create("/a/b/c", vec![], None).unwrap();
         t.create("/a/d", vec![], None).unwrap();
         t.create("/ab", vec![], None).unwrap(); // sibling with shared prefix
-        assert_eq!(t.children("/a"), vec!["/a/b".to_string(), "/a/d".to_string()]);
+        assert_eq!(
+            t.children("/a"),
+            vec!["/a/b".to_string(), "/a/d".to_string()]
+        );
         assert_eq!(t.children("/"), vec!["/a".to_string(), "/ab".to_string()]);
     }
 

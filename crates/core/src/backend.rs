@@ -341,7 +341,10 @@ mod tests {
     fn first_touch_then_hit() {
         let mut vm = backend(16);
         let r = vm.map_region(8, PageClass::Anonymous);
-        assert_eq!(vm.access(r.page(0), false).outcome, AccessOutcome::MinorFault);
+        assert_eq!(
+            vm.access(r.page(0), false).outcome,
+            AccessOutcome::MinorFault
+        );
         let hit = vm.access(r.page(0), false);
         assert_eq!(hit.outcome, AccessOutcome::Hit);
         assert!(hit.latency.is_zero());

@@ -1,5 +1,6 @@
 //! Monitor configuration and cost models.
 
+use fluidmem_kv::RetryPolicy;
 use fluidmem_sim::{LatencyModel, SimDuration};
 
 /// The §V-B optimization toggles — the axes of Table II's ablation.
@@ -182,6 +183,10 @@ pub struct MonitorConfig {
     /// Whether faults originate from a KVM vCPU (adds VM-exit cost) or a
     /// plain process linked with libuserfault (the Table II setup).
     pub from_vm: bool,
+    /// How store operations that fail retryably (timeouts, transient
+    /// refusals) are retried. Backoff waits are charged to the virtual
+    /// clock, so retried faults honestly extend the observed latency.
+    pub retry: RetryPolicy,
 }
 
 impl MonitorConfig {
@@ -198,6 +203,7 @@ impl MonitorConfig {
             prefetch: PrefetchPolicy::None,
             costs: MonitorCosts::default(),
             from_vm: true,
+            retry: RetryPolicy::default_remote(),
         }
     }
 
@@ -235,6 +241,12 @@ impl MonitorConfig {
     /// guest (used by the Table II "libuserfault" benchmark).
     pub fn bare_process(mut self) -> Self {
         self.from_vm = false;
+        self
+    }
+
+    /// Sets the store retry policy.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
         self
     }
 }

@@ -138,7 +138,10 @@ impl FluidMemHypervisor {
         assert!(self.vms[vm.0].alive, "cannot map into a destroyed VM");
         let region = Region::new(Vpn::new(self.next_vpn), pages, class);
         self.next_vpn += pages + 16;
-        let id = self.uffd.register(region).expect("bump alloc never overlaps");
+        let id = self
+            .uffd
+            .register(region)
+            .expect("bump alloc never overlaps");
         let partition = self.vms[vm.0].partition;
         self.monitor.register_partition(region, partition);
         self.region_owner.insert(region.start().raw(), vm.0);
@@ -286,10 +289,7 @@ impl FluidMemHypervisor {
     /// unmodified workloads can run against a single tenant of a shared
     /// hypervisor.
     pub fn vm_backend(hypervisor: Rc<RefCell<FluidMemHypervisor>>, vm: VmHandle) -> SharedVm {
-        let label = format!(
-            "FluidMem/shared/vm{}",
-            vm.0
-        );
+        let label = format!("FluidMem/shared/vm{}", vm.0);
         let clock = hypervisor.borrow().clock.clone();
         SharedVm {
             hypervisor,

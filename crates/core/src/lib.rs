@@ -30,8 +30,8 @@
 #![warn(missing_docs)]
 
 mod backend;
-mod hypervisor;
 mod config;
+mod hypervisor;
 mod lru_buffer;
 mod monitor;
 mod page_tracker;
@@ -40,8 +40,10 @@ mod stats;
 mod write_list;
 
 pub use backend::{FluidMemMemory, MigrationImage};
+pub use config::{
+    EvictionMechanism, LruPolicy, MonitorConfig, MonitorCosts, Optimizations, PrefetchPolicy,
+};
 pub use hypervisor::{FluidMemHypervisor, SharedVm, VmHandle};
-pub use config::{EvictionMechanism, LruPolicy, MonitorConfig, MonitorCosts, Optimizations, PrefetchPolicy};
 pub use lru_buffer::LruBuffer;
 pub use monitor::Monitor;
 pub use page_tracker::PageTracker;

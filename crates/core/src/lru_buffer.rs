@@ -101,7 +101,14 @@ impl LruBuffer {
 
     /// Removes a page (lazily: its deque entry is skipped later).
     pub fn remove(&mut self, vpn: Vpn) -> bool {
-        self.members.remove(&vpn).is_some()
+        let removed = self.members.remove(&vpn).is_some();
+        if removed {
+            // Remove/reinsert churn leaves stale entries just like
+            // rotation does; compact on the same threshold or the deque
+            // grows without bound.
+            self.maybe_compact();
+        }
+        removed
     }
 
     /// Takes the eviction victim from the top of the list.
@@ -135,9 +142,7 @@ impl LruBuffer {
         let seq = self.bump_seq();
         self.members.insert(vpn, seq);
         self.order.push_back((seq, vpn));
-        if self.order.len() > self.members.len() * 2 + 64 {
-            self.compact();
-        }
+        self.maybe_compact();
         true
     }
 
@@ -154,6 +159,12 @@ impl LruBuffer {
         let s = self.next_seq;
         self.next_seq += 1;
         s
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.order.len() > self.members.len() * 2 + 64 {
+            self.compact();
+        }
     }
 
     /// Drops stale deque entries, preserving live order.
@@ -272,6 +283,97 @@ mod tests {
             assert!(seen.insert(p));
         }
         assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    fn insert_remove_churn_does_not_leak_deque() {
+        let mut lru = LruBuffer::new(8);
+        for i in 0..10_000u64 {
+            let p = i % 16;
+            lru.insert(v(p));
+            lru.remove(v(p));
+        }
+        assert!(
+            lru.order.len() <= 16 * 2 + 64,
+            "deque grew to {}",
+            lru.order.len()
+        );
+        assert!(lru.is_empty());
+        assert_eq!(lru.pop_victim(), None);
+    }
+
+    #[test]
+    fn shrink_then_rotate_keeps_accounting_live_only() {
+        let mut lru = LruBuffer::new(8);
+        for n in 0..8 {
+            lru.insert(v(n));
+        }
+        lru.set_capacity(4);
+        // Rotating while over capacity piles up stale deque entries; the
+        // accounting must keep counting live members only.
+        for n in 0..8 {
+            lru.rotate_to_tail(v(n));
+        }
+        assert_eq!(lru.len(), 8);
+        assert!(lru.over_capacity());
+        let mut victims = Vec::new();
+        while lru.over_capacity() {
+            victims.push(lru.pop_victim().unwrap());
+        }
+        assert_eq!(victims, vec![v(0), v(1), v(2), v(3)]);
+        assert_eq!(lru.len(), 4);
+        for victim in victims {
+            assert!(!lru.contains(victim), "removed page resurfaced");
+        }
+    }
+
+    #[test]
+    fn interleaved_ops_match_a_model() {
+        fluidmem_sim::prop::forall("lru-interleaved-ops", 64, |rng| {
+            let mut lru = LruBuffer::new(8);
+            // Live pages in eviction order.
+            let mut model: Vec<u64> = Vec::new();
+            let ops =
+                fluidmem_sim::prop::vec_of(rng, 1, 299, |r| (r.gen_index(5), r.gen_index(24)));
+            for (op, page) in ops {
+                match op {
+                    0 | 1 => {
+                        let inserted = lru.insert(v(page));
+                        assert_eq!(inserted, !model.contains(&page));
+                        if inserted {
+                            model.push(page);
+                        }
+                    }
+                    2 => {
+                        let removed = lru.remove(v(page));
+                        assert_eq!(removed, model.contains(&page));
+                        model.retain(|&p| p != page);
+                    }
+                    3 => {
+                        let rotated = lru.rotate_to_tail(v(page));
+                        assert_eq!(rotated, model.contains(&page));
+                        if rotated {
+                            model.retain(|&p| p != page);
+                            model.push(page);
+                        }
+                    }
+                    _ => {
+                        lru.set_capacity(page % 8);
+                        while lru.over_capacity() {
+                            assert_eq!(lru.pop_victim(), Some(v(model.remove(0))));
+                        }
+                    }
+                }
+                assert_eq!(lru.len() as usize, model.len());
+                assert_eq!(lru.over_capacity(), model.len() as u64 > lru.capacity());
+            }
+            // Drain: victims surface in exactly the model's order, each
+            // live page once, never a removed one.
+            for expected in model {
+                assert_eq!(lru.pop_victim(), Some(v(expected)));
+            }
+            assert_eq!(lru.pop_victim(), None);
+        });
     }
 
     #[test]

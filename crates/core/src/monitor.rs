@@ -303,7 +303,8 @@ impl Monitor {
         let t0 = self.clock.now();
         uffd.copy(pt, pm, vpn, contents)
             .expect("refault destination is unmapped");
-        self.profile.record(CodePath::UffdCopy, self.clock.now() - t0);
+        self.profile
+            .record(CodePath::UffdCopy, self.clock.now() - t0);
         if write {
             pt.set_flags(vpn, PteFlags::DIRTY);
         }
@@ -383,15 +384,9 @@ impl Monitor {
     ) -> PageContents {
         self.charge(&self.config.costs.sync_read_staging.clone());
         let t0 = self.clock.now();
-        let contents = match self.store.get(key) {
-            Ok(c) => c,
-            Err(KvError::NotFound(_)) => {
-                self.stats.lost_pages += 1;
-                PageContents::Zero
-            }
-            Err(e) => panic!("store failure on read: {e}"),
-        };
-        self.profile.record(CodePath::ReadPage, self.clock.now() - t0);
+        let contents = self.fetch_with_retries(key, 0);
+        self.profile
+            .record(CodePath::ReadPage, self.clock.now() - t0);
 
         self.evict_while_full(uffd, pt, pm);
         self.bookkeeping_update_cache();
@@ -422,10 +417,70 @@ impl Monitor {
                 self.stats.lost_pages += 1;
                 PageContents::Zero
             }
+            Err(e) if e.is_retryable() => {
+                // The overlapped attempt was lost; fall back to
+                // synchronous retries with backoff. The extra wait lands
+                // on this fault's latency, as it would in reality.
+                self.stats.read_retries += 1;
+                self.trace(|| format!("async read of {key} failed ({e}); retrying"));
+                let wait = self.config.retry.backoff(0, &mut self.rng);
+                self.clock.advance(wait);
+                self.fetch_with_retries(key, 1)
+            }
             Err(e) => panic!("store failure on read: {e}"),
         };
-        self.profile.record(CodePath::ReadPage, self.clock.now() - t0);
+        self.profile
+            .record(CodePath::ReadPage, self.clock.now() - t0);
         contents
+    }
+
+    /// Reads `key` synchronously, retrying retryable store failures
+    /// under the configured policy. `prior_attempts` counts tries
+    /// already spent on this fault (the async top-half path).
+    fn fetch_with_retries(&mut self, key: ExternalKey, prior_attempts: u32) -> PageContents {
+        let policy = self.config.retry;
+        let budget = policy
+            .max_attempts
+            .max(1)
+            .saturating_sub(prior_attempts)
+            .max(1);
+        let mut attempt = 0u32;
+        loop {
+            match self.store.get(key) {
+                Ok(c) => return c,
+                Err(KvError::NotFound(_)) => {
+                    self.stats.lost_pages += 1;
+                    return PageContents::Zero;
+                }
+                Err(e) if e.is_retryable() && attempt + 1 < budget => {
+                    self.stats.read_retries += 1;
+                    self.trace(|| format!("read of {key} failed ({e}); retry {}", attempt + 1));
+                    let wait = policy.backoff(prior_attempts + attempt, &mut self.rng);
+                    self.clock.advance(wait);
+                    attempt += 1;
+                }
+                Err(e) => panic!("store failure on read after {attempt} retries: {e}"),
+            }
+        }
+    }
+
+    /// Writes `key` synchronously with retries (the sync-eviction path).
+    fn put_with_retries(&mut self, key: ExternalKey, contents: PageContents) {
+        let policy = self.config.retry;
+        let mut attempt = 0u32;
+        loop {
+            match self.store.put(key, contents.clone()) {
+                Ok(()) => return,
+                Err(e) if e.is_retryable() && attempt + 1 < policy.max_attempts.max(1) => {
+                    self.stats.write_retries += 1;
+                    self.trace(|| format!("write of {key} failed ({e}); retry {}", attempt + 1));
+                    let wait = policy.backoff(attempt, &mut self.rng);
+                    self.clock.advance(wait);
+                    attempt += 1;
+                }
+                Err(e) => panic!("store failure on eviction write after {attempt} retries: {e}"),
+            }
+        }
     }
 
     fn bookkeeping_update_cache(&mut self) {
@@ -500,7 +555,8 @@ impl Monitor {
             // Synchronous writes need the shootdown done before staging.
             uffd.wait_remap(handle);
         }
-        self.profile.record(CodePath::UffdRemap, self.clock.now() - t0);
+        self.profile
+            .record(CodePath::UffdRemap, self.clock.now() - t0);
 
         self.stats.evictions += 1;
 
@@ -511,10 +567,9 @@ impl Monitor {
         } else {
             self.charge(&self.config.costs.sync_write_staging.clone());
             let t0 = self.clock.now();
-            self.store
-                .put(key, contents)
-                .expect("store sized for the experiment");
-            self.profile.record(CodePath::WritePage, self.clock.now() - t0);
+            self.put_with_retries(key, contents);
+            self.profile
+                .record(CodePath::WritePage, self.clock.now() - t0);
         }
         true
     }
@@ -550,9 +605,21 @@ impl Monitor {
                 // path only remembers the batch for stealing.
                 self.write_list.mark_inflight(retained, completes_at);
                 self.stats.flushes += 1;
-                self.trace(|| {
-                    format!("flusher: batch multi-written to the key-value store")
-                });
+                self.trace(|| "flusher: batch multi-written to the key-value store".to_string());
+            }
+            Err(e) if e.is_retryable() => {
+                // The batch goes back on the write list (already past its
+                // TLB shootdown, so immediately flushable again); the next
+                // flush opportunity retries it. Page writes are
+                // idempotent, so a timed-out-but-applied batch re-flushing
+                // is harmless. No data is lost either way: the freshest
+                // copy stays local and stealable.
+                self.stats.flush_failures += 1;
+                self.trace(|| format!("flusher: multi-write failed ({e}); batch requeued"));
+                let now = self.clock.now();
+                for (key, contents) in retained {
+                    self.write_list.push(key, contents, now);
+                }
             }
             Err(e) => panic!("store failure on flush: {e}"),
         }
@@ -561,20 +628,30 @@ impl Monitor {
     /// Flushes and waits for every outstanding write (shutdown, or test
     /// synchronization).
     pub fn drain_writes(&mut self) {
+        let policy = self.config.retry;
         loop {
             // Waiting for pending shootdowns makes everything flushable.
             if let Some(t) = self.write_list.oldest_pending() {
                 self.clock.advance_to(t);
             }
-            let batch = self
-                .write_list
-                .take_batch(usize::MAX, self.clock.now());
+            let batch = self.write_list.take_batch(usize::MAX, self.clock.now());
             if batch.is_empty() {
                 break;
             }
-            self.store
-                .multi_write(batch)
-                .expect("store sized for the experiment");
+            let mut attempt = 0u32;
+            loop {
+                match self.store.multi_write(batch.clone()) {
+                    Ok(()) => break,
+                    Err(e) if e.is_retryable() && attempt + 1 < policy.max_attempts.max(1) => {
+                        self.stats.write_retries += 1;
+                        self.trace(|| format!("drain: multi-write failed ({e}); retrying"));
+                        let wait = policy.backoff(attempt, &mut self.rng);
+                        self.clock.advance(wait);
+                        attempt += 1;
+                    }
+                    Err(e) => panic!("store failure on drain after {attempt} retries: {e}"),
+                }
+            }
             self.stats.flushes += 1;
         }
         self.write_list.retire(SimInstant::from_nanos(u64::MAX));
@@ -599,9 +676,7 @@ impl Monitor {
     /// pages from the store. Returns how many pages were forgotten.
     pub fn remove_region(&mut self, region: &Region) -> usize {
         let partition = self.partition_of(region.start());
-        let removed = self
-            .tracker
-            .remove_where(|vpn| region.contains(vpn));
+        let removed = self.tracker.remove_where(|vpn| region.contains(vpn));
         for vpn in region.iter_pages() {
             self.lru.remove(vpn);
         }
@@ -799,10 +874,7 @@ mod tests {
         let res = fault(&mut r, 0, false);
         assert_eq!(res.resolution, Resolution::RemoteRead);
         let entry = r.pt.get(vpn).unwrap();
-        assert_eq!(
-            r.pm.load(entry.frame),
-            &PageContents::from_byte_fill(0x7E)
-        );
+        assert_eq!(r.pm.load(entry.frame), &PageContents::from_byte_fill(0x7E));
     }
 
     #[test]
@@ -813,11 +885,8 @@ mod tests {
             let region = Region::new(Vpn::new(0x1000), 512, PageClass::Anonymous);
             uffd.register(region).unwrap();
             // RAMCloud-class latency makes the overlap matter.
-            let store = fluidmem_kv::RamCloudStore::new(
-                1 << 30,
-                clock.clone(),
-                SimRng::seed_from_u64(2),
-            );
+            let store =
+                fluidmem_kv::RamCloudStore::new(1 << 30, clock.clone(), SimRng::seed_from_u64(2));
             let mut monitor = Monitor::new(
                 MonitorConfig::new(64).optimizations(opts),
                 Box::new(store),
@@ -949,7 +1018,11 @@ mod tests {
         monitor.drain_writes();
         // Refault page 0: pages 1..=4 should be prefetched.
         monitor.handle_fault(&mut uffd, &mut pt, &mut pm, region.page(0).vpn(), false);
-        assert!(monitor.stats().prefetched_pages >= 3, "{:?}", monitor.stats());
+        assert!(
+            monitor.stats().prefetched_pages >= 3,
+            "{:?}",
+            monitor.stats()
+        );
         // A sequential walk now mostly hits.
         for i in 1..4 {
             assert!(
@@ -957,6 +1030,120 @@ mod tests {
                 "page {i} should be resident after prefetch"
             );
         }
+    }
+
+    fn faulty_rig(config: MonitorConfig, plan: fluidmem_sim::FaultPlan) -> Rig {
+        let clock = SimClock::new();
+        let mut uffd = Userfaultfd::new(clock.clone(), SimRng::seed_from_u64(1));
+        let region = Region::new(Vpn::new(0x1000), 4096, PageClass::Anonymous);
+        uffd.register(region).unwrap();
+        let inner = DramStore::new(1 << 30, clock.clone(), SimRng::seed_from_u64(2));
+        let store = fluidmem_kv::FaultInjectingStore::new(Box::new(inner), plan, clock.clone());
+        let monitor = Monitor::new(
+            config,
+            Box::new(store),
+            PartitionId::new(0),
+            clock.clone(),
+            SimRng::seed_from_u64(3),
+        );
+        Rig {
+            uffd,
+            pt: PageTable::new(),
+            pm: PhysicalMemory::new(1 << 24),
+            monitor,
+            region,
+            clock,
+        }
+    }
+
+    #[test]
+    fn failed_flush_requeues_the_batch() {
+        use fluidmem_sim::{FaultEvent, FaultKind, FaultPlan};
+        // The first store op is the first flush's multi-write: refuse it.
+        let plan = FaultPlan::new(SimRng::seed_from_u64(11)).script(FaultEvent {
+            at_op: 0,
+            kind: FaultKind::TransientError,
+        });
+        let mut r = faulty_rig(MonitorConfig::new(4).write_batch(2), plan);
+        for i in 0..8 {
+            fault(&mut r, i, true);
+        }
+        assert!(
+            r.monitor.stats().flush_failures >= 1,
+            "{:?}",
+            r.monitor.stats()
+        );
+        // Nothing was lost: the refused batch went back on the write list
+        // and a later flush (or the drain) writes it out.
+        r.monitor.drain_writes();
+        assert_eq!(r.monitor.pending_writes(), 0);
+        let evicted_and_stored = r.monitor.store().len();
+        assert!(
+            evicted_and_stored >= 4,
+            "refused pages must reach the store eventually, got {evicted_and_stored}"
+        );
+    }
+
+    #[test]
+    fn reads_retry_through_transport_faults() {
+        use fluidmem_sim::FaultPlan;
+        let plan = FaultPlan::new(SimRng::seed_from_u64(21))
+            .with_drop(0.15)
+            .with_transient_error(0.15)
+            .with_slow_replica(0.10);
+        let mut r = faulty_rig(MonitorConfig::new(4), plan);
+        for i in 0..16 {
+            fault(&mut r, i, true);
+        }
+        r.monitor.drain_writes();
+        for i in 0..16 {
+            fault(&mut r, i, false);
+        }
+        let stats = *r.monitor.stats();
+        assert!(stats.remote_reads > 0, "{stats:?}");
+        assert!(
+            stats.read_retries > 0,
+            "a ~30% fault rate must force read retries: {stats:?}"
+        );
+        assert_eq!(stats.lost_pages, 0, "transport faults are not data loss");
+    }
+
+    #[test]
+    fn sync_eviction_writes_retry_instead_of_panicking() {
+        use fluidmem_sim::{FaultEvent, FaultKind, FaultPlan};
+        let plan = FaultPlan::new(SimRng::seed_from_u64(31)).script(FaultEvent {
+            at_op: 0,
+            kind: FaultKind::Timeout,
+        });
+        let config = MonitorConfig::new(2).optimizations(crate::Optimizations::none());
+        let mut r = faulty_rig(config, plan);
+        // Three first touches: the third evicts synchronously; its put
+        // times out once (op 0) and the retry succeeds.
+        for i in 0..3 {
+            fault(&mut r, i, true);
+        }
+        assert!(
+            r.monitor.stats().write_retries >= 1,
+            "{:?}",
+            r.monitor.stats()
+        );
+        assert!(!r.monitor.store().is_empty(), "the eviction must land");
+    }
+
+    #[test]
+    fn drain_retries_failed_multi_writes() {
+        use fluidmem_sim::FaultPlan;
+        let plan = FaultPlan::new(SimRng::seed_from_u64(41))
+            .with_drop(0.3)
+            .with_transient_error(0.2);
+        let mut r = faulty_rig(MonitorConfig::new(4).write_batch(64), plan);
+        for i in 0..32 {
+            fault(&mut r, i, true);
+        }
+        r.monitor.drain_writes();
+        assert_eq!(r.monitor.pending_writes(), 0, "drain must finish the list");
+        // Every evicted page is durable despite the ~50% fault rate.
+        assert_eq!(r.monitor.store().len(), 32 - 4);
     }
 
     #[test]

@@ -123,7 +123,7 @@ impl ProfileTable {
         self.summaries[i].record_duration(duration);
         self.recorded[i] += 1;
         let n = self.recorded[i];
-        if n <= SAMPLE_CAP || n % (1 + n / SAMPLE_CAP) == 0 {
+        if n <= SAMPLE_CAP || n.is_multiple_of(1 + n / SAMPLE_CAP) {
             self.samples[i].record_duration(duration);
         }
     }
@@ -196,12 +196,23 @@ mod tests {
         let mut p = ProfileTable::new();
         let n = (SAMPLE_CAP * 3) as usize;
         for i in 0..n {
-            p.record(CodePath::ReadPage, SimDuration::from_micros((i % 100) as u64));
+            p.record(
+                CodePath::ReadPage,
+                SimDuration::from_micros((i % 100) as u64),
+            );
         }
         let stats = p.stats(CodePath::ReadPage);
         assert_eq!(stats.count, n as u64, "summary counts every span");
-        assert!((stats.avg_us - 49.5).abs() < 0.5, "exact mean {}", stats.avg_us);
-        assert!((stats.p99_us - 99.0).abs() < 2.0, "subsampled p99 {}", stats.p99_us);
+        assert!(
+            (stats.avg_us - 49.5).abs() < 0.5,
+            "exact mean {}",
+            stats.avg_us
+        );
+        assert!(
+            (stats.p99_us - 99.0).abs() < 2.0,
+            "subsampled p99 {}",
+            stats.p99_us
+        );
     }
 
     #[test]

@@ -29,6 +29,15 @@ pub struct MonitorStats {
     pub prefetched_pages: u64,
     /// Prefetch attempts that found nothing in the store.
     pub prefetch_misses: u64,
+    /// Store reads retried after a retryable error (timeout /
+    /// transient refusal). Backoff time is charged to the fault.
+    pub read_retries: u64,
+    /// Store writes (sync eviction puts, drain multi-writes) retried
+    /// after a retryable error.
+    pub write_retries: u64,
+    /// Write-list flushes whose multi-write failed retryably; the batch
+    /// stays on the write list and is re-flushed later.
+    pub flush_failures: u64,
 }
 
 #[cfg(test)]

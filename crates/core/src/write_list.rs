@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use fluidmem_kv::ExternalKey;
-use fluidmem_mem::PageContents;
+use fluidmem_mem::{PageContents, PAGE_SIZE};
 use fluidmem_sim::SimInstant;
 
 /// One page awaiting writeback.
@@ -67,13 +67,21 @@ pub struct WriteList {
     pending: Vec<ExternalKey>,
     pending_pages: HashMap<ExternalKey, PendingPage>,
     inflight: Vec<InflightBatch>,
+    /// The minimum `ready_at` over all pending pages (kept in sync on
+    /// every insert and removal — a stale value here once made
+    /// `drain_writes` give up with pages still queued).
     oldest_pending: Option<SimInstant>,
+    pending_bytes: u64,
 }
 
 impl WriteList {
     /// Creates an empty write list.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    fn recompute_oldest(&mut self) {
+        self.oldest_pending = self.pending_pages.values().map(|p| p.ready_at).min();
     }
 
     /// Queues an evicted page. `ready_at` is the eviction's TLB-shootdown
@@ -85,10 +93,9 @@ impl WriteList {
             .is_none()
         {
             self.pending.push(key);
+            self.pending_bytes += PAGE_SIZE as u64;
         }
-        if self.oldest_pending.is_none() {
-            self.oldest_pending = Some(ready_at);
-        }
+        self.recompute_oldest();
     }
 
     /// Pages queued but not yet flushed.
@@ -96,13 +103,19 @@ impl WriteList {
         self.pending_pages.len()
     }
 
+    /// Bytes held by queued (not yet flushed) pages.
+    pub fn pending_bytes(&self) -> u64 {
+        self.pending_bytes
+    }
+
     /// Batches currently on the wire.
     pub fn inflight_batches(&self) -> usize {
         self.inflight.len()
     }
 
-    /// When the oldest pending page was queued (for the stale-flush
-    /// timer).
+    /// The earliest `ready_at` among pending pages (for the stale-flush
+    /// timer and for drain loops, which advance the clock to this instant
+    /// to guarantee progress).
     pub fn oldest_pending(&self) -> Option<SimInstant> {
         self.oldest_pending
     }
@@ -113,9 +126,8 @@ impl WriteList {
     pub fn steal(&mut self, key: ExternalKey, now: SimInstant) -> StealOutcome {
         if let Some(page) = self.pending_pages.remove(&key) {
             self.pending.retain(|k| *k != key);
-            if self.pending_pages.is_empty() {
-                self.oldest_pending = None;
-            }
+            self.pending_bytes -= PAGE_SIZE as u64;
+            self.recompute_oldest();
             return StealOutcome::Stolen(page.contents);
         }
         // Retire batches that already finished before searching them.
@@ -134,11 +146,7 @@ impl WriteList {
     /// Takes up to `max` flushable pages (whose shootdowns completed by
     /// `now`) for a batch write. Returns an empty vector if nothing is
     /// flushable.
-    pub fn take_batch(
-        &mut self,
-        max: usize,
-        now: SimInstant,
-    ) -> Vec<(ExternalKey, PageContents)> {
+    pub fn take_batch(&mut self, max: usize, now: SimInstant) -> Vec<(ExternalKey, PageContents)> {
         let mut batch = Vec::new();
         let mut i = 0;
         while i < self.pending.len() && batch.len() < max {
@@ -151,14 +159,13 @@ impl WriteList {
             if flushable {
                 let page = self.pending_pages.remove(&key).expect("checked above");
                 self.pending.remove(i);
+                self.pending_bytes -= PAGE_SIZE as u64;
                 batch.push((key, page.contents));
             } else {
                 i += 1;
             }
         }
-        if self.pending_pages.is_empty() {
-            self.oldest_pending = None;
-        }
+        self.recompute_oldest();
         batch
     }
 
@@ -276,6 +283,66 @@ mod tests {
             StealOutcome::Stolen(c) => assert_eq!(c, PageContents::Token(2)),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn oldest_pending_tracks_the_minimum_ready_at() {
+        // Regression: a stale oldest_pending once made drain loops give
+        // up while the newest eviction was still queued (migration lost
+        // its last page).
+        let mut wl = WriteList::new();
+        wl.push(key(1), PageContents::Token(1), t(10));
+        wl.push(key(2), PageContents::Token(2), t(5));
+        wl.push(key(3), PageContents::Token(3), t(90));
+        assert_eq!(wl.oldest_pending(), Some(t(5)));
+        // Draining the ready entries must move the minimum forward to the
+        // not-yet-flushable page, not leave it stuck in the past.
+        let batch = wl.take_batch(10, t(20));
+        assert_eq!(batch.len(), 2);
+        assert_eq!(wl.oldest_pending(), Some(t(90)));
+        // Stealing the last page empties the list entirely.
+        assert!(matches!(wl.steal(key(3), t(21)), StealOutcome::Stolen(_)));
+        assert_eq!(wl.oldest_pending(), None);
+    }
+
+    #[test]
+    fn stolen_page_decrements_pending_bytes_exactly_once() {
+        let mut wl = WriteList::new();
+        wl.push(key(1), PageContents::Token(1), t(0));
+        // Re-pushing the same key must not double-count its bytes.
+        wl.push(key(1), PageContents::Token(2), t(0));
+        wl.push(key(2), PageContents::Token(3), t(0));
+        assert_eq!(wl.pending_bytes(), 2 * PAGE_SIZE as u64);
+        assert!(matches!(wl.steal(key(1), t(1)), StealOutcome::Stolen(_)));
+        assert_eq!(wl.pending_bytes(), PAGE_SIZE as u64);
+        // A second steal of the same key misses and leaves the count.
+        assert!(!matches!(wl.steal(key(1), t(1)), StealOutcome::Stolen(_)));
+        assert_eq!(wl.pending_bytes(), PAGE_SIZE as u64);
+        let _ = wl.take_batch(10, t(2));
+        assert_eq!(wl.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn wait_inflight_key_leaves_the_batch_after_completion() {
+        let mut wl = WriteList::new();
+        wl.push(key(1), PageContents::Token(7), t(0));
+        let batch = wl.take_batch(10, t(1));
+        wl.mark_inflight(batch, t(100));
+        // A fault during the flight must wait...
+        let outcome = wl.steal(key(1), t(50));
+        let StealOutcome::WaitInflight { until, .. } = outcome else {
+            panic!("expected wait, got {outcome:?}");
+        };
+        assert_eq!(until, t(100));
+        // ...and once `completes_at` passes, the key must not linger in
+        // the in-flight set: the store owns the page now.
+        assert!(!{
+            wl.retire(t(100));
+            wl.is_tracked(key(1))
+        });
+        assert_eq!(wl.steal(key(1), t(100)), StealOutcome::Miss);
+        assert_eq!(wl.inflight_batches(), 0);
+        assert_eq!(wl.outstanding(), 0);
     }
 
     #[test]

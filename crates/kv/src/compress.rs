@@ -53,7 +53,7 @@ pub fn rle_decompress(data: &[u8]) -> Vec<u8> {
     while i + 1 < data.len() + 1 && i < data.len() {
         let run = data[i] as usize;
         let byte = data[i + 1];
-        out.extend(std::iter::repeat(byte).take(run));
+        out.extend(std::iter::repeat_n(byte, run));
         i += 2;
     }
     out
@@ -239,7 +239,11 @@ mod tests {
     fn rle_round_trip_compressible() {
         let page = vec![7u8; PAGE_SIZE];
         let c = rle_compress(&page).expect("uniform page compresses");
-        assert!(c.len() < 64, "4096 identical bytes pack tiny, got {}", c.len());
+        assert!(
+            c.len() < 64,
+            "4096 identical bytes pack tiny, got {}",
+            c.len()
+        );
         assert_eq!(rle_decompress(&c), page);
     }
 

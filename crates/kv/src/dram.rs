@@ -121,9 +121,9 @@ impl KeyValueStore for DramStore {
         let count = batch.len();
         let top = self.transport.sample_top_half(&mut self.rng);
         self.clock.advance(top);
-        let flight =
-            self.transport
-                .sample_batch_flight(&mut self.rng, count, count * PAGE_SIZE);
+        let flight = self
+            .transport
+            .sample_batch_flight(&mut self.rng, count, count * PAGE_SIZE);
         let mut keys = Vec::with_capacity(count);
         for (key, value) in batch {
             if !self.map.contains_key(&key.raw()) && self.map.len() >= self.capacity_pages {

@@ -15,6 +15,25 @@ pub enum KvError {
     /// The store has no capacity left and cannot evict (RAMCloud refuses
     /// writes rather than dropping data).
     OutOfCapacity,
+    /// The request (or its response) was lost in flight and the per-op
+    /// deadline expired. The server may or may not have applied the
+    /// operation; page puts are idempotent, so retrying is always safe.
+    Timeout,
+    /// The server refused the request quickly (transient overload,
+    /// replica mid-recovery). The operation was *not* applied.
+    Unavailable,
+}
+
+impl KvError {
+    /// Whether a client should retry the operation.
+    ///
+    /// `Timeout` and `Unavailable` are transport/availability faults:
+    /// the data is still there and a retry (with backoff) is expected to
+    /// succeed. `NotFound` and `OutOfCapacity` describe durable state —
+    /// retrying cannot help and clients must surface them instead.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, KvError::Timeout | KvError::Unavailable)
+    }
 }
 
 impl fmt::Display for KvError {
@@ -22,6 +41,8 @@ impl fmt::Display for KvError {
         match self {
             KvError::NotFound(k) => write!(f, "key {k} not found in store"),
             KvError::OutOfCapacity => write!(f, "store capacity exhausted"),
+            KvError::Timeout => write!(f, "operation deadline expired"),
+            KvError::Unavailable => write!(f, "store transiently unavailable"),
         }
     }
 }
@@ -38,5 +59,14 @@ mod tests {
     fn display_names_key() {
         let k = ExternalKey::new(Vpn::new(0x99), PartitionId::new(0));
         assert!(KvError::NotFound(k).to_string().contains("0x"));
+    }
+
+    #[test]
+    fn taxonomy_splits_retryable_from_fatal() {
+        let k = ExternalKey::new(Vpn::new(1), PartitionId::new(0));
+        assert!(KvError::Timeout.is_retryable());
+        assert!(KvError::Unavailable.is_retryable());
+        assert!(!KvError::NotFound(k).is_retryable());
+        assert!(!KvError::OutOfCapacity.is_retryable());
     }
 }

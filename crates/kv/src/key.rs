@@ -59,12 +59,7 @@ impl ExternalKey {
 
 impl fmt::Debug for ExternalKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "ExternalKey({} in {})",
-            self.vpn(),
-            self.partition()
-        )
+        write!(f, "ExternalKey({} in {})", self.vpn(), self.partition())
     }
 }
 

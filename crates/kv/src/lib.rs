@@ -27,11 +27,13 @@
 mod compress;
 mod dram;
 mod error;
+mod fault;
 mod key;
 mod memcached;
 mod pending;
 mod ramcloud;
 mod replicated;
+mod retry;
 mod shared;
 mod stats;
 mod store;
@@ -40,11 +42,13 @@ mod transport;
 pub use compress::{rle_compress, rle_decompress, CompressedStore};
 pub use dram::DramStore;
 pub use error::KvError;
+pub use fault::FaultInjectingStore;
 pub use key::ExternalKey;
 pub use memcached::MemcachedStore;
 pub use pending::{PendingGet, PendingWrite};
 pub use ramcloud::RamCloudStore;
 pub use replicated::ReplicatedStore;
+pub use retry::{run_with_retries, RetryPolicy};
 pub use shared::SharedStore;
 pub use stats::StoreStats;
 pub use store::KeyValueStore;

@@ -184,7 +184,9 @@ impl KeyValueStore for MemcachedStore {
 
     fn put(&mut self, key: ExternalKey, value: PageContents) -> Result<(), KvError> {
         let cost = self.transport.sample_top_half(&mut self.rng)
-            + self.transport.sample_flight(&mut self.rng, Self::item_bytes())
+            + self
+                .transport
+                .sample_flight(&mut self.rng, Self::item_bytes())
             + self.transport.sample_bottom_half(&mut self.rng);
         self.clock.advance(cost);
         self.insert_item(key, value)?;
@@ -206,7 +208,9 @@ impl KeyValueStore for MemcachedStore {
     fn begin_get(&mut self, key: ExternalKey) -> PendingGet {
         let top = self.transport.sample_top_half(&mut self.rng);
         self.clock.advance(top);
-        let flight = self.transport.sample_flight(&mut self.rng, Self::item_bytes());
+        let flight = self
+            .transport
+            .sample_flight(&mut self.rng, Self::item_bytes());
         let result = match self.items.get(&key.raw()) {
             Some(item) => Ok(item.value.clone()),
             None => Err(KvError::NotFound(key)),
@@ -246,11 +250,9 @@ impl KeyValueStore for MemcachedStore {
         let count = batch.len();
         let top = self.transport.sample_top_half(&mut self.rng);
         self.clock.advance(top);
-        let flight = self.transport.sample_batch_flight(
-            &mut self.rng,
-            count,
-            count * Self::item_bytes(),
-        );
+        let flight =
+            self.transport
+                .sample_batch_flight(&mut self.rng, count, count * Self::item_bytes());
         let mut keys = Vec::with_capacity(count);
         for (key, value) in batch {
             self.insert_item(key, value)?;
@@ -351,8 +353,7 @@ mod tests {
     #[test]
     fn tcp_transport_is_slower_than_ramcloud() {
         let clock = SimClock::new();
-        let mut mc =
-            MemcachedStore::new(16 << 20, clock.clone(), SimRng::seed_from_u64(2));
+        let mut mc = MemcachedStore::new(16 << 20, clock.clone(), SimRng::seed_from_u64(2));
         let t0 = clock.now();
         mc.put(key(1), PageContents::Token(1)).unwrap();
         mc.get(key(1)).unwrap();

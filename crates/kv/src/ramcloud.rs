@@ -119,7 +119,7 @@ impl RamCloudStore {
             records_per_segment,
             live_records: 0,
             total_records: 0,
-            transport: transport,
+            transport,
             clock,
             rng,
             stats: StoreStats::default(),
@@ -288,9 +288,9 @@ impl KeyValueStore for RamCloudStore {
         self.clock.advance(top);
         let flight = self.transport.sample_flight(&mut self.rng, RECORD_BYTES);
         let result = match self.index.get(&key.raw()) {
-            Some(&(seg, idx)) => {
-                Ok(self.segments[seg as usize].records[idx as usize].value.clone())
-            }
+            Some(&(seg, idx)) => Ok(self.segments[seg as usize].records[idx as usize]
+                .value
+                .clone()),
             None => Err(KvError::NotFound(key)),
         };
         PendingGet {
@@ -323,9 +323,9 @@ impl KeyValueStore for RamCloudStore {
         let count = batch.len();
         let top = self.transport.sample_top_half(&mut self.rng);
         self.clock.advance(top);
-        let flight =
-            self.transport
-                .sample_batch_flight(&mut self.rng, count, count * RECORD_BYTES);
+        let flight = self
+            .transport
+            .sample_batch_flight(&mut self.rng, count, count * RECORD_BYTES);
         let mut keys = Vec::with_capacity(count);
         for (key, value) in batch {
             self.kill_existing(key);
@@ -476,9 +476,7 @@ mod tests {
     #[test]
     fn multi_write_batches() {
         let mut s = store(64);
-        let batch: Vec<_> = (0..32)
-            .map(|i| (key(i), PageContents::Token(i)))
-            .collect();
+        let batch: Vec<_> = (0..32).map(|i| (key(i), PageContents::Token(i))).collect();
         s.multi_write(batch).unwrap();
         assert_eq!(s.len(), 32);
         assert_eq!(s.stats().multi_writes, 1);
@@ -507,11 +505,7 @@ mod tests {
 
     #[test]
     fn full_of_live_data_refuses_writes() {
-        let mut s = RamCloudStore::new(
-            RECORD_BYTES * 8,
-            SimClock::new(),
-            SimRng::seed_from_u64(1),
-        );
+        let mut s = RamCloudStore::new(RECORD_BYTES * 8, SimClock::new(), SimRng::seed_from_u64(1));
         for i in 0..8u64 {
             s.put(key(i), PageContents::Token(i)).unwrap();
         }

@@ -19,6 +19,14 @@ use crate::store::KeyValueStore;
 /// [`fail_replica`](ReplicatedStore::fail_replica), with read-repair
 /// bringing a recovered replica back in sync lazily.
 ///
+/// A replica that misses a write — because it was down, or because its
+/// transport dropped or refused the request — is remembered as *stale*
+/// for exactly those keys. A stale replica's answer for such a key is
+/// never trusted: the read fails over to a replica that acked the
+/// latest write, and read-repair clears the mark. Without this, a
+/// dropped batch write would leave the primary serving an older version
+/// of the page with no error — silent data loss.
+///
 /// The paper notes RAMCloud's own replication "only impacts key-value
 /// writes \[and\] since FluidMem carries out writes asynchronously, the
 /// overall impact on page fault latency would be minimal" (§VI-A) — a
@@ -45,6 +53,10 @@ use crate::store::KeyValueStore;
 pub struct ReplicatedStore {
     replicas: Vec<Box<dyn KeyValueStore>>,
     alive: Vec<bool>,
+    /// Per replica: raw keys whose latest write this replica did not
+    /// acknowledge (it was dead, or the write dropped / was refused).
+    /// Answers for these keys are untrusted until read-repair heals them.
+    stale: Vec<std::collections::HashSet<u64>>,
     failovers: u64,
     repairs: u64,
 }
@@ -58,9 +70,14 @@ impl ReplicatedStore {
     pub fn new(replicas: Vec<Box<dyn KeyValueStore>>) -> Self {
         assert!(!replicas.is_empty(), "need at least one replica");
         let alive = vec![true; replicas.len()];
+        let stale = replicas
+            .iter()
+            .map(|_| std::collections::HashSet::new())
+            .collect();
         ReplicatedStore {
             replicas,
             alive,
+            stale,
             failovers: 0,
             repairs: 0,
         }
@@ -91,8 +108,27 @@ impl ReplicatedStore {
         self.repairs
     }
 
+    /// Keys currently known stale on some replica (unacked latest
+    /// writes awaiting read-repair).
+    pub fn stale_keys(&self) -> usize {
+        self.stale.iter().map(|s| s.len()).sum()
+    }
+
     fn first_alive(&self) -> Option<usize> {
         self.alive.iter().position(|&a| a)
+    }
+
+    /// Records the outcome of issuing `keys` to replica `i`: an ack
+    /// clears any stale marks, a miss (dead replica, dropped or refused
+    /// write) sets them.
+    fn note_write_outcome(&mut self, i: usize, keys: &[ExternalKey], acked: bool) {
+        for key in keys {
+            if acked {
+                self.stale[i].remove(&key.raw());
+            } else {
+                self.stale[i].insert(key.raw());
+            }
+        }
     }
 }
 
@@ -108,11 +144,18 @@ impl KeyValueStore for ReplicatedStore {
         let mut last_err = None;
         for i in 0..self.replicas.len() {
             if !self.alive[i] {
+                self.note_write_outcome(i, &[key], false);
                 continue;
             }
             match self.replicas[i].begin_multi_write(vec![(key, value.clone())]) {
-                Ok(p) => pendings.push((i, p)),
-                Err(e) => last_err = Some(e),
+                Ok(p) => {
+                    self.note_write_outcome(i, &[key], true);
+                    pendings.push((i, p));
+                }
+                Err(e) => {
+                    self.note_write_outcome(i, &[key], false);
+                    last_err = Some(e);
+                }
             }
         }
         if pendings.is_empty() {
@@ -129,6 +172,11 @@ impl KeyValueStore for ReplicatedStore {
         for i in 0..self.replicas.len() {
             if self.alive[i] {
                 existed |= self.replicas[i].delete(key);
+                self.stale[i].remove(&key.raw());
+            } else {
+                // The dead replica keeps its copy; distrust it on
+                // recovery.
+                self.stale[i].insert(key.raw());
             }
         }
         existed
@@ -142,49 +190,75 @@ impl KeyValueStore for ReplicatedStore {
     fn finish_get(&mut self, pending: PendingGet) -> Result<PageContents, KvError> {
         let key = pending.key();
         let primary = self.first_alive().unwrap_or(0);
-        match self.replicas[primary].finish_get(pending) {
-            Ok(v) => Ok(v),
-            Err(KvError::NotFound(_)) => {
-                // Fail over to the mirrors.
-                for i in 0..self.replicas.len() {
-                    if i == primary || !self.alive[i] {
-                        continue;
-                    }
-                    if let Ok(v) = self.replicas[i].get(key) {
-                        self.failovers += 1;
-                        // Read-repair the primary.
-                        if self.replicas[primary].put(key, v.clone()).is_ok() {
-                            self.repairs += 1;
-                        }
-                        return Ok(v);
-                    }
-                }
-                Err(KvError::NotFound(key))
-            }
-            Err(e) => Err(e),
+        let primary_result = self.replicas[primary].finish_get(pending);
+        let primary_stale = self.stale[primary].contains(&key.raw());
+        let trusted = match &primary_result {
+            Ok(_) => !primary_stale,
+            Err(e) => !(matches!(e, KvError::NotFound(_)) || e.is_retryable()),
+        };
+        if trusted {
+            return primary_result;
         }
+        // Fail over to a replica that acked the latest write. Read-repair
+        // applies when the primary is missing the page or holds a stale
+        // version; a timed-out or refused primary that acked the latest
+        // write still holds the page and just needs to be reachable again.
+        let needs_repair = primary_stale || matches!(primary_result, Err(KvError::NotFound(_)));
+        for i in 0..self.replicas.len() {
+            if i == primary || !self.alive[i] || self.stale[i].contains(&key.raw()) {
+                continue;
+            }
+            if let Ok(v) = self.replicas[i].get(key) {
+                self.failovers += 1;
+                if needs_repair && self.replicas[primary].put(key, v.clone()).is_ok() {
+                    self.stale[primary].remove(&key.raw());
+                    self.repairs += 1;
+                }
+                return Ok(v);
+            }
+        }
+        primary_result
     }
 
     fn begin_multi_write(
         &mut self,
         batch: Vec<(ExternalKey, PageContents)>,
     ) -> Result<PendingWrite, KvError> {
-        // Mirror the batch to the secondaries immediately (their flights
-        // overlap the primary's); return the primary's pending handle.
+        // Issue the batch to every alive replica back-to-back so the
+        // flights overlap. The first replica that accepts it becomes the
+        // caller's handle; a primary that refuses or times out is a
+        // failover, not an error, as long as one replica took the batch.
         let primary = self.first_alive().ok_or(KvError::OutOfCapacity)?;
-        let mut secondary_pendings = Vec::new();
+        let keys: Vec<ExternalKey> = batch.iter().map(|(k, _)| *k).collect();
+        let mut accepted = Vec::new();
+        let mut last_err = None;
         for i in 0..self.replicas.len() {
-            if i != primary && self.alive[i] {
-                if let Ok(p) = self.replicas[i].begin_multi_write(batch.clone()) {
-                    secondary_pendings.push((i, p));
+            if !self.alive[i] {
+                self.note_write_outcome(i, &keys, false);
+                continue;
+            }
+            match self.replicas[i].begin_multi_write(batch.clone()) {
+                Ok(p) => {
+                    self.note_write_outcome(i, &keys, true);
+                    accepted.push((i, p));
+                }
+                Err(e) => {
+                    self.note_write_outcome(i, &keys, false);
+                    last_err = Some(e);
                 }
             }
         }
-        let primary_pending = self.replicas[primary].begin_multi_write(batch)?;
-        for (i, p) in secondary_pendings {
+        if accepted.is_empty() {
+            return Err(last_err.unwrap_or(KvError::Unavailable));
+        }
+        let (lead, lead_pending) = accepted.remove(0);
+        if lead != primary {
+            self.failovers += 1;
+        }
+        for (i, p) in accepted {
             self.replicas[i].finish_write(p);
         }
-        Ok(primary_pending)
+        Ok(lead_pending)
     }
 
     fn finish_write(&mut self, pending: PendingWrite) {
@@ -198,6 +272,7 @@ impl KeyValueStore for ReplicatedStore {
             if self.alive[i] {
                 dropped = dropped.max(self.replicas[i].drop_partition(partition));
             }
+            self.stale[i].retain(|&raw| raw & 0xFFF != u64::from(partition.raw()));
         }
         dropped
     }
@@ -216,9 +291,12 @@ impl KeyValueStore for ReplicatedStore {
     }
 
     fn stats(&self) -> StoreStats {
-        self.first_alive()
+        let mut stats = self
+            .first_alive()
             .map(|i| self.replicas[i].stats())
-            .unwrap_or_default()
+            .unwrap_or_default();
+        stats.failovers += self.failovers;
+        stats
     }
 }
 
@@ -235,9 +313,9 @@ impl std::fmt::Debug for ReplicatedStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{DramStore, RamCloudStore};
+    use crate::{DramStore, FaultInjectingStore, RamCloudStore};
     use fluidmem_mem::Vpn;
-    use fluidmem_sim::{SimClock, SimRng};
+    use fluidmem_sim::{FaultEvent, FaultKind, FaultPlan, SimClock, SimRng};
 
     fn key(n: u64) -> ExternalKey {
         ExternalKey::new(Vpn::new(n), PartitionId::new(0))
@@ -296,7 +374,8 @@ mod tests {
         // Two RAMCloud replicas: a replicated multi-write should cost
         // roughly one flight, not two (top halves overlap).
         let clock_single = SimClock::new();
-        let mut single = RamCloudStore::new(1 << 24, clock_single.clone(), SimRng::seed_from_u64(1));
+        let mut single =
+            RamCloudStore::new(1 << 24, clock_single.clone(), SimRng::seed_from_u64(1));
         let batch: Vec<_> = (0..16).map(|i| (key(i), PageContents::Token(i))).collect();
         let t0 = clock_single.now();
         single.multi_write(batch.clone()).unwrap();
@@ -339,5 +418,65 @@ mod tests {
     #[should_panic(expected = "at least one replica")]
     fn empty_replica_set_rejected() {
         ReplicatedStore::new(vec![]);
+    }
+
+    fn faulty_primary_pair(clock: &SimClock, events: Vec<(u64, FaultKind)>) -> ReplicatedStore {
+        let inner = DramStore::new(1 << 24, clock.clone(), SimRng::seed_from_u64(1));
+        let mut plan = FaultPlan::new(SimRng::seed_from_u64(9));
+        for (at_op, kind) in events {
+            plan = plan.script(FaultEvent { at_op, kind });
+        }
+        let primary = FaultInjectingStore::new(Box::new(inner), plan, clock.clone());
+        let secondary = DramStore::new(1 << 24, clock.clone(), SimRng::seed_from_u64(2));
+        ReplicatedStore::new(vec![Box::new(primary), Box::new(secondary)])
+    }
+
+    #[test]
+    fn timed_out_primary_read_fails_over_without_repair() {
+        let clock = SimClock::new();
+        // Primary op 0 is the replicated put's write; op 1 is the read.
+        let mut s = faulty_primary_pair(&clock, vec![(1, FaultKind::Drop)]);
+        s.put(key(1), PageContents::Token(1)).unwrap();
+        assert_eq!(s.get(key(1)).unwrap(), PageContents::Token(1));
+        assert_eq!(s.failovers(), 1);
+        // The primary still holds the page — a transport fault is not a
+        // miss, so no read-repair write happens.
+        assert_eq!(s.repairs(), 0);
+        assert_eq!(s.stats().failovers, 1);
+    }
+
+    #[test]
+    fn dropped_rewrite_marks_primary_stale_and_reads_fail_over() {
+        let clock = SimClock::new();
+        // Primary op 0: first put lands; op 1: the overwrite is dropped
+        // on the wire, so the primary keeps the OLD value with no error.
+        let mut s = faulty_primary_pair(&clock, vec![(1, FaultKind::Drop)]);
+        s.put(key(1), PageContents::Token(1)).unwrap();
+        s.put(key(1), PageContents::Token(2)).unwrap();
+        assert_eq!(s.stale_keys(), 1);
+        // The stale mark forces the read over to the mirror — without it
+        // the primary would happily serve Token(1).
+        assert_eq!(s.get(key(1)).unwrap(), PageContents::Token(2));
+        assert_eq!(s.failovers(), 1);
+        assert_eq!(s.repairs(), 1);
+        assert_eq!(s.stale_keys(), 0);
+        // Healed: the next read is primary-served again.
+        assert_eq!(s.get(key(1)).unwrap(), PageContents::Token(2));
+        assert_eq!(s.failovers(), 1);
+    }
+
+    #[test]
+    fn refused_primary_write_is_led_by_the_mirror() {
+        let clock = SimClock::new();
+        let mut s = faulty_primary_pair(&clock, vec![(0, FaultKind::TransientError)]);
+        s.multi_write(vec![(key(1), PageContents::Token(1))])
+            .unwrap();
+        assert_eq!(s.failovers(), 1);
+        assert!(s.replicas[1].contains(key(1)), "mirror took the batch");
+        // A transient refusal never applies the write on the primary; the
+        // data survives on the mirror and heals via read-repair later.
+        assert!(!s.replicas[0].contains(key(1)));
+        assert_eq!(s.get(key(1)).unwrap(), PageContents::Token(1));
+        assert_eq!(s.repairs(), 1);
     }
 }

@@ -21,12 +21,30 @@ pub struct StoreStats {
     pub cleanings: u64,
     /// Crash-recovery replays (RAMCloud).
     pub recoveries: u64,
+    /// Faults injected by a wrapping [`FaultInjectingStore`]
+    /// (drops, timeouts, duplicates, slow replicas, transient errors).
+    pub faults_injected: u64,
+    /// Operations that returned [`KvError::Timeout`](crate::KvError).
+    pub timeouts: u64,
+    /// Operations that returned [`KvError::Unavailable`](crate::KvError).
+    pub unavailables: u64,
+    /// Retry attempts issued through a [`RetryPolicy`](crate::RetryPolicy)
+    /// driving this store.
+    pub retries: u64,
+    /// Reads or writes redirected to another replica after a fault
+    /// ([`ReplicatedStore`](crate::ReplicatedStore)).
+    pub failovers: u64,
 }
 
 impl StoreStats {
     /// Total objects written by any means.
     pub fn total_puts(&self) -> u64 {
         self.puts + self.batched_puts
+    }
+
+    /// Total operations that failed with a retryable error.
+    pub fn retryable_failures(&self) -> u64 {
+        self.timeouts + self.unavailables
     }
 }
 

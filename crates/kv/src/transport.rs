@@ -98,12 +98,7 @@ impl TransportModel {
 
     /// Background time for a batch of `count` objects totalling `bytes`:
     /// one round trip, per-object server time, shared wire.
-    pub fn sample_batch_flight(
-        &self,
-        rng: &mut SimRng,
-        count: usize,
-        bytes: usize,
-    ) -> SimDuration {
+    pub fn sample_batch_flight(&self, rng: &mut SimRng, count: usize, bytes: usize) -> SimDuration {
         let mut d = self.round_trip.sample(rng) + self.wire(rng, bytes);
         for _ in 0..count {
             d += self.server_op.sample(rng);
@@ -114,6 +109,15 @@ impl TransportModel {
     /// Cost of the bottom half (completion poll + payload copy).
     pub fn sample_bottom_half(&self, rng: &mut SimRng) -> SimDuration {
         self.bottom_half.sample(rng)
+    }
+
+    /// A per-operation deadline suited to this transport: well past the
+    /// p99 of a `bytes`-sized read, so only genuinely lost requests or
+    /// responses trip it. Used by
+    /// [`FaultInjectingStore`](crate::FaultInjectingStore) and retrying
+    /// clients (see [`RetryPolicy`](crate::RetryPolicy)).
+    pub fn suggested_deadline(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_micros_f64(self.mean_read_us(bytes) * 8.0)
     }
 
     /// Analytic mean of a synchronous read of `bytes` in microseconds.

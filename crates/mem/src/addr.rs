@@ -3,8 +3,8 @@
 use std::fmt;
 use std::ops::Add;
 
-use crate::page_class::PageClass;
 use crate::page::PAGE_SIZE;
+use crate::page_class::PageClass;
 
 /// A guest-side virtual address.
 ///

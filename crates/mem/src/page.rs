@@ -29,9 +29,10 @@ pub const PAGE_SIZE: usize = 4096;
 /// assert_eq!(p.as_bytes().unwrap()[17], 0xAB);
 /// assert_ne!(p.fingerprint(), PageContents::Zero.fingerprint());
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone, Default, PartialEq, Eq)]
 pub enum PageContents {
     /// The shared, read-only zero page.
+    #[default]
     Zero,
     /// A compact stand-in carrying a 64-bit payload.
     Token(u64),
@@ -98,12 +99,6 @@ impl PageContents {
             PageContents::Token(_) => 8,
             PageContents::Bytes(_) => PAGE_SIZE,
         }
-    }
-}
-
-impl Default for PageContents {
-    fn default() -> Self {
-        PageContents::Zero
     }
 }
 

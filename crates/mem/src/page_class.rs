@@ -112,10 +112,7 @@ mod tests {
 
     #[test]
     fn only_anonymous_is_swappable() {
-        let swappable: Vec<_> = PageClass::ALL
-            .iter()
-            .filter(|c| c.swappable())
-            .collect();
+        let swappable: Vec<_> = PageClass::ALL.iter().filter(|c| c.swappable()).collect();
         assert_eq!(swappable, vec![&PageClass::Anonymous]);
     }
 

@@ -87,7 +87,9 @@ impl SimClock {
 
 impl fmt::Debug for SimClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SimClock").field("now", &self.now()).finish()
+        f.debug_struct("SimClock")
+            .field("now", &self.now())
+            .finish()
     }
 }
 

@@ -171,7 +171,11 @@ impl LatencyModel {
                 floor,
             } => {
                 let x = mean_ns + stdev_ns * rng.gen_standard_normal();
-                let ns = if x.is_finite() && x > 0.0 { x as u64 } else { 0 };
+                let ns = if x.is_finite() && x > 0.0 {
+                    x as u64
+                } else {
+                    0
+                };
                 SimDuration::from_nanos(ns).max(*floor)
             }
             LatencyModel::LogNormal { mu, sigma, shift } => {

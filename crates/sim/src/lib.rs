@@ -42,6 +42,8 @@
 
 mod clock;
 mod dist;
+mod fault;
+pub mod prop;
 mod rng;
 mod series;
 pub mod stats;
@@ -50,6 +52,7 @@ mod trace;
 
 pub use clock::SimClock;
 pub use dist::LatencyModel;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanStats};
 pub use rng::SimRng;
 pub use series::TimeSeries;
 pub use time::{SimDuration, SimInstant};

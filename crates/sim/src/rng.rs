@@ -1,9 +1,10 @@
 //! Seedable, forkable randomness.
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna),
+//! seeded through SplitMix64 — no external crates, so the simulation
+//! builds offline and the streams are stable across toolchains.
 
 use std::fmt;
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
 
 /// The simulation's random number generator.
 ///
@@ -30,15 +31,31 @@ use rand::{Rng, RngCore, SeedableRng};
 /// assert_eq!(root2.fork("network").gen_u64(), a);
 /// ```
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
     seed: u64,
+}
+
+/// SplitMix64: expands a 64-bit seed into well-mixed state words.
+#[inline]
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
             seed,
         }
     }
@@ -63,16 +80,26 @@ impl SimRng {
         SimRng::seed_from_u64(h)
     }
 
-    /// A uniformly random `u64`.
+    /// A uniformly random `u64` (xoshiro256++ step).
     #[inline]
     pub fn gen_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// A uniformly random `f64` in `[0, 1)`.
     #[inline]
     pub fn gen_f64(&mut self) -> f64 {
-        self.inner.gen()
+        // 53 random mantissa bits.
+        (self.gen_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniformly random integer in `[0, bound)`.
@@ -83,14 +110,32 @@ impl SimRng {
     #[inline]
     pub fn gen_index(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "gen_index bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Lemire's widening-multiply range reduction (bias < 2^-64).
+        ((u128::from(self.gen_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A uniformly random integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "gen_range requires lo < hi");
+        lo + self.gen_index(hi - lo)
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
     #[inline]
     pub fn gen_bool(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.gen_bool(p)
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.gen_f64() < p
     }
 
     /// A standard-normal sample (Box–Muller; no extra dependencies).
@@ -105,24 +150,6 @@ impl SimRng {
 impl fmt::Debug for SimRng {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SimRng").field("seed", &self.seed).finish()
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -168,9 +195,37 @@ mod tests {
     }
 
     #[test]
+    fn gen_index_covers_small_ranges() {
+        let mut r = SimRng::seed_from_u64(8);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[r.gen_index(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SimRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let x = r.gen_range(10, 20);
+            assert!((10..20).contains(&x));
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "bound must be positive")]
     fn gen_index_rejects_zero_bound() {
         SimRng::seed_from_u64(0).gen_index(0);
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval() {
+        let mut r = SimRng::seed_from_u64(6);
+        for _ in 0..10_000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
     }
 
     #[test]
@@ -189,5 +244,13 @@ mod tests {
         let mut r = SimRng::seed_from_u64(2);
         assert!(!r.gen_bool(-1.0));
         assert!(r.gen_bool(2.0));
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let mut a = SimRng::seed_from_u64(0);
+        let mut b = SimRng::seed_from_u64(1);
+        // Even adjacent seeds must decorrelate immediately (SplitMix64).
+        assert_ne!(a.gen_u64(), b.gen_u64());
     }
 }

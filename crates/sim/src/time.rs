@@ -336,7 +336,10 @@ mod tests {
     fn duration_float_saturates_on_bad_input() {
         assert_eq!(SimDuration::from_micros_f64(-5.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_micros_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

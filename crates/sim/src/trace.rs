@@ -102,9 +102,11 @@ mod tests {
     #[test]
     fn records_when_enabled() {
         let mut t = Tracer::enabled();
-        t.emit(SimInstant::EPOCH + SimDuration::from_micros(3), "kv", || {
-            "put".into()
-        });
+        t.emit(
+            SimInstant::EPOCH + SimDuration::from_micros(3),
+            "kv",
+            || "put".into(),
+        );
         assert_eq!(t.events().len(), 1);
         assert_eq!(t.events()[0].component, "kv");
         assert!(t.events()[0].to_string().contains("put"));

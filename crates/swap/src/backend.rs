@@ -4,8 +4,8 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use fluidmem_block::BlockDevice;
 use fluidmem_mem::{
-    AccessCounters, AccessOutcome, AccessReport, CapacityError, FrameId, MemoryBackend,
-    PageClass, PageContents, PageTable, PhysicalMemory, PteFlags, Region, VirtAddr, Vpn,
+    AccessCounters, AccessOutcome, AccessReport, CapacityError, FrameId, MemoryBackend, PageClass,
+    PageContents, PageTable, PhysicalMemory, PteFlags, Region, VirtAddr, Vpn,
 };
 use fluidmem_sim::{SimClock, SimDuration, SimInstant, SimRng};
 
@@ -371,10 +371,7 @@ impl SwapBackedMemory {
             if self.frames.free_frames() <= 1 {
                 break;
             }
-            let completion = self
-                .swap_dev
-                .submit_read(s)
-                .expect("slot within device");
+            let completion = self.swap_dev.submit_read(s).expect("slot within device");
             let frame = self.frames.alloc().expect("checked free_frames");
             self.frames.store(frame, completion.data);
             self.swapped_out.remove(&vpn);
@@ -674,7 +671,8 @@ mod tests {
             vm.access(file.page(i), false);
         }
         assert_eq!(
-            vm.swap_stats().swap_outs, 0,
+            vm.swap_stats().swap_outs,
+            0,
             "file pages must go to the filesystem, not swap"
         );
         assert!(vm.swap_stats().fs_reads > 0);
@@ -791,10 +789,20 @@ mod tests {
             }
             total.as_micros_f64() / majors.max(1) as f64
         };
-        let dram =
-            run(&|c| Box::new(PmemDevice::new(1 << 16, c.clone(), SimRng::seed_from_u64(1))));
-        let nvme =
-            run(&|c| Box::new(NvmeofDevice::new(1 << 16, c.clone(), SimRng::seed_from_u64(1))));
+        let dram = run(&|c| {
+            Box::new(PmemDevice::new(
+                1 << 16,
+                c.clone(),
+                SimRng::seed_from_u64(1),
+            ))
+        });
+        let nvme = run(&|c| {
+            Box::new(NvmeofDevice::new(
+                1 << 16,
+                c.clone(),
+                SimRng::seed_from_u64(1),
+            ))
+        });
         assert!(
             nvme > dram + 8.0,
             "NVMeoF major faults ({nvme:.1}µs) must cost more than DRAM ({dram:.1}µs)"

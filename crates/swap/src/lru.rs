@@ -233,7 +233,7 @@ mod tests {
         // Pages 0-4 are the hot working set.
         let hot = |p: Vpn| p.raw() < 5;
         for _ in 0..5 {
-            let victim = lru.pick_victim(|p| hot(p)).unwrap();
+            let victim = lru.pick_victim(&hot).unwrap();
             assert!(
                 victim.raw() >= 5,
                 "hot page {victim} must not be evicted while cold pages remain"

@@ -81,7 +81,11 @@ mod tests {
             zp.record(costs.zeropage.sample(&mut rng).as_micros_f64());
             cp.record(costs.copy.sample(&mut rng).as_micros_f64());
         }
-        assert!((zp.mean() - 2.61).abs() < 0.1, "zeropage mean {}", zp.mean());
+        assert!(
+            (zp.mean() - 2.61).abs() < 0.1,
+            "zeropage mean {}",
+            zp.mean()
+        );
         assert!((zp.percentile(0.99) - 3.51).abs() < 0.4);
         assert!((cp.mean() - 3.89).abs() < 0.1, "copy mean {}", cp.mean());
         assert!((cp.percentile(0.99) - 5.43).abs() < 0.5);

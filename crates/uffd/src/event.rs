@@ -69,7 +69,13 @@ mod tests {
             pid: 42,
         };
         assert_eq!(e.region(), RegionId(3));
-        assert_eq!(UffdEvent::Unregister { region: RegionId(7) }.region(), RegionId(7));
+        assert_eq!(
+            UffdEvent::Unregister {
+                region: RegionId(7)
+            }
+            .region(),
+            RegionId(7)
+        );
     }
 
     #[test]

@@ -63,7 +63,12 @@ struct Phase {
     page_offset: u64,
 }
 
-fn run_phase(vm: &mut Vm, region: Region, phase: Phase, deadline: SimDuration) -> Result<(), ServiceError> {
+fn run_phase(
+    vm: &mut Vm,
+    region: Region,
+    phase: Phase,
+    deadline: SimDuration,
+) -> Result<(), ServiceError> {
     let start = vm.backend().clock().now();
     let pages = phase.working_set.min(region.pages());
     for _ in 0..phase.iterations {

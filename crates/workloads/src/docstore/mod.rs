@@ -170,7 +170,12 @@ impl DocumentStore {
     }
 
     /// Reads one record, returning the request latency in virtual time.
-    pub fn read(&mut self, backend: &mut dyn MemoryBackend, key: u64, rng: &mut SimRng) -> SimDuration {
+    pub fn read(
+        &mut self,
+        backend: &mut dyn MemoryBackend,
+        key: u64,
+        rng: &mut SimRng,
+    ) -> SimDuration {
         assert!(key < self.config.record_count, "key out of range");
         let start = backend.clock().now();
         let cost = self.config.base_op_cost.sample(rng);

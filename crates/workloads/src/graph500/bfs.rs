@@ -92,7 +92,11 @@ pub struct BfsResult {
 pub fn validate_bfs(graph: &CsrGraph, root: u32, parent: &[i64]) -> Result<u64, String> {
     let n = graph.vertices() as usize;
     if parent.len() != n {
-        return Err(format!("parent array has {} entries for {} vertices", parent.len(), n));
+        return Err(format!(
+            "parent array has {} entries for {} vertices",
+            parent.len(),
+            n
+        ));
     }
     if parent[root as usize] != i64::from(root) {
         return Err(format!("root {root} is not its own parent"));
@@ -113,7 +117,9 @@ pub fn validate_bfs(graph: &CsrGraph, root: u32, parent: &[i64]) -> Result<u64, 
             chain.push(cur);
             let p = parent[cur];
             if p < 0 {
-                return Err(format!("vertex {cur} visited but its parent chain leaves the tree"));
+                return Err(format!(
+                    "vertex {cur} visited but its parent chain leaves the tree"
+                ));
             }
             let p = p as usize;
             // Parent link must be a real edge.

@@ -108,9 +108,7 @@ pub fn run_on_region(
     };
 
     let start = backend.clock().now();
-    while backend.clock().now() - start < config.duration
-        && report.accesses < config.max_accesses
-    {
+    while backend.clock().now() - start < config.duration && report.accesses < config.max_accesses {
         let page = rng.gen_index(region.pages());
         let write = !rng.gen_bool(config.read_ratio);
         let access = backend.access(region.page(page), write);

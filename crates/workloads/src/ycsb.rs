@@ -202,7 +202,9 @@ mod tests {
         // Compare the tail approximation against exact zeta at the
         // boundary where both are computable.
         let exact = ZipfianGenerator::zeta(2_000_000, 0.99);
-        let series: f64 = (1..=2_000_000u64).map(|i| 1.0 / (i as f64).powf(0.99)).sum();
+        let series: f64 = (1..=2_000_000u64)
+            .map(|i| 1.0 / (i as f64).powf(0.99))
+            .sum();
         assert!((exact - series).abs() / series < 1e-9);
     }
 

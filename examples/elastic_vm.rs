@@ -6,8 +6,8 @@
 //! cargo run --release --example elastic_vm
 //! ```
 
-use fluidmem::core::{FluidMemMemory, MonitorConfig};
 use fluidmem::coord::PartitionId;
+use fluidmem::core::{FluidMemMemory, MonitorConfig};
 use fluidmem::kv::RamCloudStore;
 use fluidmem::mem::{MemoryBackend, PageClass};
 use fluidmem::sim::{SimClock, SimRng};
@@ -73,7 +73,10 @@ fn main() {
 
     // The operator grows the local buffer for a burst...
     vm.set_local_capacity(8192).unwrap();
-    println!("operator grew the buffer: capacity {}", vm.local_capacity_pages());
+    println!(
+        "operator grew the buffer: capacity {}",
+        vm.local_capacity_pages()
+    );
 
     // ...then reclaims the host: shrink to 256 pages (1 MB). Everything
     // else moves to RAMCloud, transparently.
@@ -91,5 +94,8 @@ fn main() {
         "guest touch after shrink: {:?} in {}",
         report.outcome, report.latency
     );
-    println!("\ntotal monitor evictions: {}", vm.monitor().stats().evictions);
+    println!(
+        "\ntotal monitor evictions: {}",
+        vm.monitor().stats().evictions
+    );
 }

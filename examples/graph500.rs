@@ -25,10 +25,9 @@ fn main() {
 
     // Size DRAM so the BFS working set is 2.4x local memory (the paper's
     // Figure 4c regime), with the OS taking its usual 31%.
-    let wss_pages = (8 * (config.vertices() + 1)
-        + 4 * graph.adjacency_len()
-        + 12 * config.vertices())
-    .div_ceil(PAGE_SIZE as u64);
+    let wss_pages =
+        (8 * (config.vertices() + 1) + 4 * graph.adjacency_len() + 12 * config.vertices())
+            .div_ceil(PAGE_SIZE as u64);
     let dram = (wss_pages as f64 / 2.4) as u64;
     let os_pages = (dram as f64 * 0.31) as u64;
     println!("WSS {wss_pages} pages over {dram} DRAM pages (+{os_pages} OS pages)\n");

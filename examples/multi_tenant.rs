@@ -33,14 +33,8 @@ fn main() {
     // Three tenants land on the host.
     let mut tenants = Vec::new();
     for pid in [101u64, 102, 103] {
-        let partition = PartitionTable::allocate(
-            &mut cluster,
-            VmIdentity {
-                pid,
-                hypervisor: 1,
-            },
-        )
-        .unwrap();
+        let partition =
+            PartitionTable::allocate(&mut cluster, VmIdentity { pid, hypervisor: 1 }).unwrap();
         let vm = hv.create_vm(pid, partition);
         let region = hv.map_region(vm, 2048, PageClass::Anonymous);
         tenants.push((pid, vm, region));
@@ -52,7 +46,11 @@ fn main() {
             hv.access(vm, region.page(i), true);
         }
     }
-    println!("after boot: shared budget {} / {} pages", hv.resident_pages(), hv.capacity());
+    println!(
+        "after boot: shared budget {} / {} pages",
+        hv.resident_pages(),
+        hv.capacity()
+    );
     for &(pid, vm, _) in &tenants {
         println!("  vm {pid}: {} pages resident", hv.resident_pages_of(vm));
     }
@@ -89,5 +87,8 @@ fn main() {
     // The quiet survivor still reads its data fine.
     let (pid, vm, region) = tenants[1];
     let rep = hv.access(vm, region.page(0), false);
-    println!("vm {pid} touch after neighbor churn + shutdown: {:?} in {}", rep.outcome, rep.latency);
+    println!(
+        "vm {pid} touch after neighbor churn + shutdown: {:?} in {}",
+        rep.outcome, rep.latency
+    );
 }

@@ -30,7 +30,10 @@ fn main() {
         vm.footprint_mb()
     );
 
-    println!("{:>10}  {:>10}  {:>14}  {:>14}", "capacity", "MB", "SSH login", "ICMP echo");
+    println!(
+        "{:>10}  {:>10}  {:>14}  {:>14}",
+        "capacity", "MB", "SSH login", "ICMP echo"
+    );
     for capacity in [4096u64, 1024, 512, 180, 120, 80, 40, 2] {
         vm.backend_mut().set_local_capacity(capacity).unwrap();
         let ssh = match SshService::new().attempt_login(&mut vm) {

@@ -65,12 +65,19 @@ fn main() {
             intact += 1;
         }
     }
-    println!("verified {intact}/{} pages intact after remote round trips", region.pages());
+    println!(
+        "verified {intact}/{} pages intact after remote round trips",
+        region.pages()
+    );
 
     let stats = vm.monitor().stats();
     println!(
         "monitor: {} faults ({} zero-fills, {} remote reads, {} steals), {} evictions",
-        stats.faults, stats.zero_fills, stats.remote_reads, stats.write_list_steals, stats.evictions
+        stats.faults,
+        stats.zero_fills,
+        stats.remote_reads,
+        stats.write_list_steals,
+        stats.evictions
     );
     println!(
         "virtual time elapsed: {} (wall-clock cost of the whole run: microseconds)",

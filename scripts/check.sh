@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Full local gate: formatting, lints, and the whole test sweep.
+# Usage: scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> all checks passed"

@@ -97,11 +97,7 @@ pub fn parse_backend(name: &str) -> Result<BackendKind, String> {
     }
 }
 
-fn take_value<'a>(
-    args: &'a [String],
-    i: &mut usize,
-    flag: &str,
-) -> Result<&'a str, String> {
+fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
     *i += 1;
     args.get(*i)
         .map(|s| s.as_str())
@@ -279,9 +275,8 @@ pub fn execute(command: CliCommand) {
             let config = Graph500Config::quick(scale, 4);
             let edges = generate_edges(&config);
             let graph = CsrGraph::build(config.vertices(), &edges);
-            let wss = (16 * config.vertices()
-                + 4 * graph.adjacency_len())
-            .div_ceil(4096)
+            let wss = (16 * config.vertices() + 4 * graph.adjacency_len())
+                .div_ceil(4096)
                 .max(64);
             let mut testbed = Testbed::scaled_down(64);
             testbed.local_dram_pages = ((wss as f64) / ratio) as u64;
@@ -393,7 +388,9 @@ mod tests {
     #[test]
     fn graph500_flags() {
         assert_eq!(
-            parse(&argv("graph500 --scale 10 --ratio 1.2 --backend fluidmem-dram")),
+            parse(&argv(
+                "graph500 --scale 10 --ratio 1.2 --backend fluidmem-dram"
+            )),
             Ok(CliCommand::Graph500 {
                 backend: BackendKind::FluidMemDram,
                 scale: 10,
@@ -413,7 +410,9 @@ mod tests {
 
     #[test]
     fn errors_are_descriptive() {
-        assert!(parse(&argv("frobnicate")).unwrap_err().contains("unknown command"));
+        assert!(parse(&argv("frobnicate"))
+            .unwrap_err()
+            .contains("unknown command"));
         assert!(parse(&argv("pmbench --backend"))
             .unwrap_err()
             .contains("requires a value"));

@@ -128,8 +128,7 @@ impl Testbed {
                 Box::new(self.fluidmem(Box::new(store), clock, root))
             }
             BackendKind::FluidMemRamCloud => {
-                let store =
-                    RamCloudStore::new(self.store_bytes, clock.clone(), root.fork("store"));
+                let store = RamCloudStore::new(self.store_bytes, clock.clone(), root.fork("store"));
                 Box::new(self.fluidmem(Box::new(store), clock, root))
             }
             BackendKind::FluidMemMemcached => {
@@ -138,8 +137,7 @@ impl Testbed {
                 Box::new(self.fluidmem(Box::new(store), clock, root))
             }
             BackendKind::SwapDram => {
-                let dev =
-                    PmemDevice::new(self.device_blocks, clock.clone(), root.fork("swapdev"));
+                let dev = PmemDevice::new(self.device_blocks, clock.clone(), root.fork("swapdev"));
                 Box::new(self.swap(Box::new(dev), clock, root))
             }
             BackendKind::SwapNvmeof => {
@@ -168,8 +166,7 @@ impl Testbed {
         clock: SimClock,
         root: SimRng,
     ) -> FluidMemMemory {
-        let config =
-            MonitorConfig::new(self.local_dram_pages).optimizations(self.optimizations);
+        let config = MonitorConfig::new(self.local_dram_pages).optimizations(self.optimizations);
         FluidMemMemory::new(
             config,
             store,

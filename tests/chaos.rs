@@ -1,0 +1,222 @@
+//! Chaos tests: the full remote-memory path under injected transport
+//! faults. Whatever the fault schedule does — drops, timeouts, slow
+//! replicas, transient refusals — no write may be lost, every read must
+//! return the last-written value, the write list must drain, and retry
+//! counts must stay bounded.
+
+use fluidmem::coord::PartitionId;
+use fluidmem::core::{FluidMemMemory, MonitorConfig, Optimizations};
+use fluidmem::kv::{FaultInjectingStore, RamCloudStore, ReplicatedStore};
+use fluidmem::mem::{MemoryBackend, PageClass, PageContents};
+use fluidmem::sim::{FaultPlan, SimClock, SimRng};
+
+const SEEDS: [u64; 4] = [7, 101, 4242, 90210];
+
+/// Drop + timeout + slow-replica + transient-refusal mix: roughly a
+/// quarter of store operations misbehave.
+fn chaotic_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(SimRng::seed_from_u64(seed ^ 0xFA_17))
+        .with_drop(0.08)
+        .with_timeout(0.06)
+        .with_slow_replica(0.08)
+        .with_transient_error(0.06)
+}
+
+fn chaotic_backend(capacity: u64, seed: u64) -> FluidMemMemory {
+    let clock = SimClock::new();
+    let inner = RamCloudStore::new(1 << 26, clock.clone(), SimRng::seed_from_u64(seed));
+    let store = FaultInjectingStore::new(Box::new(inner), chaotic_plan(seed), clock.clone());
+    FluidMemMemory::new(
+        MonitorConfig::new(capacity).optimizations(Optimizations::full()),
+        Box::new(store),
+        PartitionId::new(0),
+        clock,
+        SimRng::seed_from_u64(seed + 1),
+    )
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Write(u64, u64),
+    Read(u64),
+    Touch(u64),
+}
+
+fn gen_ops(rng: &mut SimRng, pages: u64, len: usize) -> Vec<Op> {
+    (0..len)
+        .map(|_| match rng.gen_index(3) {
+            0 => Op::Write(rng.gen_index(pages), rng.gen_index(1_000_000)),
+            1 => Op::Read(rng.gen_index(pages)),
+            _ => Op::Touch(rng.gen_index(pages)),
+        })
+        .collect()
+}
+
+/// Runs an op sequence against a backend and a plain-map model,
+/// asserting every read sees the last write.
+fn run_against_model(backend: &mut FluidMemMemory, pages: u64, ops: &[Op]) {
+    let region = backend.map_region(pages, PageClass::Anonymous);
+    // BTreeMap, not HashMap: the final sweep iterates the model, and a
+    // hash map's per-instance order would make replays diverge.
+    let mut model: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Write(p, v) => {
+                backend.write_page(region.page(*p), PageContents::Token(*v));
+                model.insert(*p, *v);
+            }
+            Op::Read(p) => {
+                let (contents, _) = backend.read_page(region.page(*p));
+                match model.get(p) {
+                    Some(v) => assert_eq!(
+                        contents,
+                        PageContents::Token(*v),
+                        "page {p} lost or corrupted under faults"
+                    ),
+                    None => assert!(
+                        matches!(contents, PageContents::Zero),
+                        "unwritten page {p} must read zero, got {contents:?}"
+                    ),
+                }
+            }
+            Op::Touch(p) => {
+                backend.access(region.page(*p), false);
+            }
+        }
+    }
+    // Final sweep: everything written is still there.
+    for (p, v) in &model {
+        let (contents, _) = backend.read_page(region.page(*p));
+        assert_eq!(contents, PageContents::Token(*v), "page {p} lost in sweep");
+    }
+}
+
+/// The headline chaos test: random traffic over a faulty transport, for
+/// several seeds, with integrity, drain, and bounded-retry assertions.
+#[test]
+fn no_data_loss_under_chaotic_transport() {
+    let mut any_faults = 0u64;
+    let mut any_retries = 0u64;
+    for &seed in &SEEDS {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let ops = gen_ops(&mut rng, 96, 600);
+        let mut backend = chaotic_backend(16, seed);
+        run_against_model(&mut backend, 96, &ops);
+
+        // The write list always drains, even over a faulty transport.
+        backend.drain_writes();
+        assert_eq!(
+            backend.monitor().pending_writes(),
+            0,
+            "seed {seed}: write list must drain"
+        );
+
+        let stats = *backend.monitor().stats();
+        let store = backend.monitor().store().stats();
+        assert_eq!(stats.lost_pages, 0, "seed {seed}: faults are not data loss");
+        // Bounded recovery effort: retries can't exceed the attempt
+        // budget for every read plus every flush ever issued.
+        let policy = backend.monitor().config().retry;
+        let ceiling =
+            (stats.remote_reads + stats.flushes + stats.evictions) * u64::from(policy.max_attempts);
+        assert!(
+            stats.read_retries + stats.write_retries <= ceiling,
+            "seed {seed}: retry counts unbounded: {stats:?}"
+        );
+        any_faults += store.faults_injected;
+        any_retries += stats.read_retries + stats.write_retries + stats.flush_failures;
+    }
+    assert!(any_faults > 0, "the fault plan must actually fire");
+    assert!(
+        any_retries > 0,
+        "a ~28% fault rate must exercise the retry machinery"
+    );
+}
+
+/// Deterministic replay: the same seed produces the identical virtual
+/// timeline and counters.
+#[test]
+fn chaos_runs_are_deterministic() {
+    let run = |seed: u64| {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let ops = gen_ops(&mut rng, 64, 400);
+        let mut backend = chaotic_backend(12, seed);
+        run_against_model(&mut backend, 64, &ops);
+        backend.drain_writes();
+        let stats = *backend.monitor().stats();
+        let store = backend.monitor().store().stats();
+        (backend.clock().now(), stats, store)
+    };
+    for &seed in &SEEDS[..3] {
+        assert_eq!(run(seed), run(seed), "seed {seed} must replay identically");
+    }
+}
+
+/// Faults make individual faults slower but never unbounded: the whole
+/// run completes and the clock only moves forward.
+#[test]
+fn chaotic_clock_stays_monotone() {
+    for &seed in &SEEDS[..3] {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let ops = gen_ops(&mut rng, 48, 300);
+        let mut backend = chaotic_backend(8, seed);
+        let region = backend.map_region(48, PageClass::Anonymous);
+        let mut last = backend.clock().now();
+        for op in ops {
+            match op {
+                Op::Write(p, v) => {
+                    backend.write_page(region.page(p), PageContents::Token(v));
+                }
+                Op::Read(p) | Op::Touch(p) => {
+                    backend.access(region.page(p), false);
+                }
+            }
+            let now = backend.clock().now();
+            assert!(now >= last, "seed {seed}: clock went backwards");
+            last = now;
+        }
+    }
+}
+
+/// A replicated store whose primary suffers chaos: reads fail over to
+/// the healthy mirror and nothing is lost.
+#[test]
+fn replicated_store_fails_over_without_data_loss() {
+    for &seed in &SEEDS[..3] {
+        let clock = SimClock::new();
+        let primary_inner = RamCloudStore::new(1 << 26, clock.clone(), SimRng::seed_from_u64(seed));
+        let primary = FaultInjectingStore::new(
+            Box::new(primary_inner),
+            FaultPlan::new(SimRng::seed_from_u64(seed ^ 0xBEEF))
+                .with_drop(0.15)
+                .with_timeout(0.10)
+                .with_slow_replica(0.10),
+            clock.clone(),
+        );
+        let mirror = RamCloudStore::new(1 << 26, clock.clone(), SimRng::seed_from_u64(seed + 1));
+        let replicated = ReplicatedStore::new(vec![Box::new(primary), Box::new(mirror)]);
+
+        let mut backend = FluidMemMemory::new(
+            MonitorConfig::new(12).optimizations(Optimizations::full()),
+            Box::new(replicated),
+            PartitionId::new(0),
+            clock,
+            SimRng::seed_from_u64(seed + 2),
+        );
+        let mut rng = SimRng::seed_from_u64(seed + 3);
+        let ops = gen_ops(&mut rng, 64, 400);
+        run_against_model(&mut backend, 64, &ops);
+        backend.drain_writes();
+
+        let stats = *backend.monitor().stats();
+        let store = backend.monitor().store().stats();
+        assert_eq!(
+            stats.lost_pages, 0,
+            "seed {seed}: replication must mask faults"
+        );
+        assert!(
+            store.failovers > 0,
+            "seed {seed}: a 35% primary fault rate must cause failovers"
+        );
+    }
+}

@@ -62,8 +62,22 @@ fn partition_isolation_between_vms() {
     let rng = SimRng::seed_from_u64(2);
     let mut cluster = CoordCluster::new(3, clock.clone(), rng.fork("coord"));
     PartitionTable::init(&mut cluster).unwrap();
-    let p1 = PartitionTable::allocate(&mut cluster, VmIdentity { pid: 1, hypervisor: 1 }).unwrap();
-    let p2 = PartitionTable::allocate(&mut cluster, VmIdentity { pid: 2, hypervisor: 1 }).unwrap();
+    let p1 = PartitionTable::allocate(
+        &mut cluster,
+        VmIdentity {
+            pid: 1,
+            hypervisor: 1,
+        },
+    )
+    .unwrap();
+    let p2 = PartitionTable::allocate(
+        &mut cluster,
+        VmIdentity {
+            pid: 2,
+            hypervisor: 1,
+        },
+    )
+    .unwrap();
     assert_ne!(p1, p2);
 
     let mk = |partition, tag: &str| {
@@ -124,7 +138,10 @@ fn kernel_pages_disaggregate_with_integrity() {
     ] {
         let region = vm.map_region(24, class);
         for i in 0..region.pages() {
-            vm.write_page(region.page(i), PageContents::Token(region.start().raw() + i));
+            vm.write_page(
+                region.page(i),
+                PageContents::Token(region.start().raw() + i),
+            );
         }
     }
     vm.drain_writes();
@@ -161,7 +178,11 @@ fn memcached_eviction_is_detected_not_silent() {
         let (contents, _) = vm.read_page(region.page(i));
         if contents != PageContents::Token(i) {
             lost += 1;
-            assert_eq!(contents, PageContents::Zero, "loss must read as zero, never garbage");
+            assert_eq!(
+                contents,
+                PageContents::Zero,
+                "loss must read as zero, never garbage"
+            );
         }
     }
     assert!(lost > 0);
@@ -184,14 +205,7 @@ fn partition_allocation_across_failover() {
             cluster.elect().unwrap();
             cluster.revive(leader);
         }
-        let p = PartitionTable::allocate(
-            &mut cluster,
-            VmIdentity {
-                pid,
-                hypervisor: 9,
-            },
-        )
-        .unwrap();
+        let p = PartitionTable::allocate(&mut cluster, VmIdentity { pid, hypervisor: 9 }).unwrap();
         assert!(seen.insert(p), "duplicate partition {p} after failover");
     }
 }
@@ -236,7 +250,11 @@ fn live_migration_preserves_memory() {
     );
     for i in 0..region.pages() {
         let (contents, _) = dest.read_page(region.page(i));
-        assert_eq!(contents, PageContents::Token(5000 + i), "page {i} lost in migration");
+        assert_eq!(
+            contents,
+            PageContents::Token(5000 + i),
+            "page {i} lost in migration"
+        );
     }
     assert!(dest.resident_pages() <= 32);
 }

@@ -2,14 +2,12 @@
 //! sequence of operations runs, data must be intact, budgets must hold,
 //! and page-class rules must never be violated.
 
-use proptest::prelude::*;
-
 use fluidmem::block::{PmemDevice, SsdDevice};
 use fluidmem::coord::PartitionId;
 use fluidmem::core::{FluidMemMemory, MonitorConfig, Optimizations};
 use fluidmem::kv::RamCloudStore;
 use fluidmem::mem::{MemoryBackend, PageClass, PageContents};
-use fluidmem::sim::{SimClock, SimRng};
+use fluidmem::sim::{prop, SimClock, SimRng};
 use fluidmem::swap::{SwapBackedMemory, SwapConfig};
 
 #[derive(Debug, Clone)]
@@ -19,12 +17,12 @@ enum Op {
     Touch(u64),
 }
 
-fn op_strategy(pages: u64) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..pages, any::<u64>()).prop_map(|(p, v)| Op::Write(p, v)),
-        (0..pages).prop_map(Op::Read),
-        (0..pages).prop_map(Op::Touch),
-    ]
+fn gen_ops(rng: &mut SimRng, pages: u64, min_len: usize, max_len: usize) -> Vec<Op> {
+    prop::vec_of(rng, min_len, max_len, |r| match r.gen_index(3) {
+        0 => Op::Write(r.gen_index(pages), r.gen_index(1_000_000)),
+        1 => Op::Read(r.gen_index(pages)),
+        _ => Op::Touch(r.gen_index(pages)),
+    })
 }
 
 fn fluidmem_backend(capacity: u64, seed: u64) -> FluidMemMemory {
@@ -54,12 +52,7 @@ fn swap_backend(dram: u64, seed: u64) -> SwapBackedMemory {
 
 /// Runs an op sequence against a backend and a plain-map model; every
 /// read must agree, and the residency bound must hold throughout.
-fn check_against_model(
-    backend: &mut dyn MemoryBackend,
-    budget: u64,
-    pages: u64,
-    ops: &[Op],
-) -> Result<(), TestCaseError> {
+fn check_against_model(backend: &mut dyn MemoryBackend, budget: u64, pages: u64, ops: &[Op]) {
     let region = backend.map_region(pages, PageClass::Anonymous);
     let mut model: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
     for op in ops {
@@ -71,17 +64,12 @@ fn check_against_model(
             Op::Read(p) => {
                 let (contents, _) = backend.read_page(region.page(*p));
                 match model.get(p) {
-                    Some(v) => prop_assert_eq!(
-                        contents,
-                        PageContents::Token(*v),
-                        "page {} corrupted",
-                        p
-                    ),
-                    None => prop_assert!(
+                    Some(v) => {
+                        assert_eq!(contents, PageContents::Token(*v), "page {p} corrupted")
+                    }
+                    None => assert!(
                         matches!(contents, PageContents::Zero),
-                        "unwritten page {} must read zero, got {:?}",
-                        p,
-                        contents
+                        "unwritten page {p} must read zero, got {contents:?}"
                     ),
                 }
             }
@@ -89,46 +77,44 @@ fn check_against_model(
                 backend.access(region.page(*p), false);
             }
         }
-        prop_assert!(
+        assert!(
             backend.resident_pages() <= budget + 1,
             "residency {} exceeded budget {}",
             backend.resident_pages(),
             budget
         );
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// FluidMem under arbitrary traffic: no corruption, budget enforced.
-    #[test]
-    fn fluidmem_integrity_under_random_ops(
-        ops in prop::collection::vec(op_strategy(96), 1..250),
-        seed in 0u64..1000,
-    ) {
+/// FluidMem under arbitrary traffic: no corruption, budget enforced.
+#[test]
+fn fluidmem_integrity_under_random_ops() {
+    prop::forall("fluidmem-integrity", 24, |rng| {
+        let ops = gen_ops(rng, 96, 1, 250);
+        let seed = rng.gen_index(1000);
         let mut backend = fluidmem_backend(16, seed);
-        check_against_model(&mut backend, 16, 96, &ops)?;
-    }
+        check_against_model(&mut backend, 16, 96, &ops);
+    });
+}
 
-    /// The swap baseline under the same traffic: same guarantees (its
-    /// DRAM bound is physical).
-    #[test]
-    fn swap_integrity_under_random_ops(
-        ops in prop::collection::vec(op_strategy(96), 1..250),
-        seed in 0u64..1000,
-    ) {
+/// The swap baseline under the same traffic: same guarantees (its DRAM
+/// bound is physical).
+#[test]
+fn swap_integrity_under_random_ops() {
+    prop::forall("swap-integrity", 24, |rng| {
+        let ops = gen_ops(rng, 96, 1, 250);
+        let seed = rng.gen_index(1000);
         let mut backend = swap_backend(32, seed);
-        check_against_model(&mut backend, 32, 96, &ops)?;
-    }
+        check_against_model(&mut backend, 32, 96, &ops);
+    });
+}
 
-    /// Interleaved resizes never corrupt data or break the bound.
-    #[test]
-    fn fluidmem_resize_storm_keeps_integrity(
-        caps in prop::collection::vec(1u64..64, 1..12),
-        seed in 0u64..1000,
-    ) {
+/// Interleaved resizes never corrupt data or break the bound.
+#[test]
+fn fluidmem_resize_storm_keeps_integrity() {
+    prop::forall("fluidmem-resize-storm", 24, |rng| {
+        let caps = prop::vec_of(rng, 1, 11, |r| r.gen_range(1, 64));
+        let seed = rng.gen_index(1000);
         let mut backend = fluidmem_backend(64, seed);
         let region = backend.map_region(64, PageClass::Anonymous);
         for i in 0..64 {
@@ -136,18 +122,21 @@ proptest! {
         }
         for cap in &caps {
             backend.set_local_capacity(*cap).unwrap();
-            prop_assert!(backend.resident_pages() <= *cap);
+            assert!(backend.resident_pages() <= *cap);
             // Spot-check a few pages after each resize.
             for p in [0u64, 31, 63] {
                 let (contents, _) = backend.read_page(region.page(p));
-                prop_assert_eq!(contents, PageContents::Token(900 + p));
+                assert_eq!(contents, PageContents::Token(900 + p));
             }
         }
-    }
+    });
+}
 
-    /// Virtual time is monotone: no operation may rewind the clock.
-    #[test]
-    fn clock_monotonicity(ops in prop::collection::vec(op_strategy(48), 1..120)) {
+/// Virtual time is monotone: no operation may rewind the clock.
+#[test]
+fn clock_monotonicity() {
+    prop::forall("clock-monotonicity", 24, |rng| {
+        let ops = gen_ops(rng, 48, 1, 120);
         let mut backend = fluidmem_backend(8, 7);
         let region = backend.map_region(48, PageClass::Anonymous);
         let mut last = backend.clock().now();
@@ -161,10 +150,10 @@ proptest! {
                 }
             }
             let now = backend.clock().now();
-            prop_assert!(now >= last, "clock went backwards");
+            assert!(now >= last, "clock went backwards");
             last = now;
         }
-    }
+    });
 }
 
 /// The swap backend's page-class rules hold under pressure: kernel pages

@@ -41,12 +41,18 @@ fn backend_ordering_matches_figure3() {
     let fm_dram = pmbench_avg(BackendKind::FluidMemDram, 8);
     let fm_rc = pmbench_avg(BackendKind::FluidMemRamCloud, 8);
     let fm_mc = pmbench_avg(BackendKind::FluidMemMemcached, 8);
-    assert!(fm_dram <= fm_rc && fm_rc < fm_mc, "{fm_dram} {fm_rc} {fm_mc}");
+    assert!(
+        fm_dram <= fm_rc && fm_rc < fm_mc,
+        "{fm_dram} {fm_rc} {fm_mc}"
+    );
 
     let sw_dram = pmbench_avg(BackendKind::SwapDram, 8);
     let sw_nv = pmbench_avg(BackendKind::SwapNvmeof, 8);
     let sw_ssd = pmbench_avg(BackendKind::SwapSsd, 8);
-    assert!(sw_dram < sw_nv && sw_nv < sw_ssd, "{sw_dram} {sw_nv} {sw_ssd}");
+    assert!(
+        sw_dram < sw_nv && sw_nv < sw_ssd,
+        "{sw_dram} {sw_nv} {sw_ssd}"
+    );
 }
 
 /// §VI-B: with a 4x overcommitted working set, "slightly over 25%" of

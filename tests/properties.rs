@@ -1,29 +1,32 @@
 //! Property-based tests on the core data structures and invariants.
 
-use proptest::prelude::*;
-
 use fluidmem::coord::{PartitionId, ZnodeTree};
 use fluidmem::core::LruBuffer;
 use fluidmem::kv::{DramStore, ExternalKey, KeyValueStore, RamCloudStore};
 use fluidmem::mem::{PageContents, Vpn};
 use fluidmem::sim::stats::{LatencyHistogram, Sample, Summary};
-use fluidmem::sim::{SimClock, SimDuration, SimRng};
+use fluidmem::sim::{prop, SimClock, SimDuration, SimRng};
 use fluidmem::swap::SlotAllocator;
 
-proptest! {
-    /// The external key encoding is a bijection over its domain.
-    #[test]
-    fn external_key_round_trips(vpn in 0u64..(1 << 52), part in 0u16..4096) {
+/// The external key encoding is a bijection over its domain.
+#[test]
+fn external_key_round_trips() {
+    prop::forall("external-key-round-trips", 256, |rng| {
+        let vpn = rng.gen_index(1 << 52);
+        let part = rng.gen_index(4096) as u16;
         let key = ExternalKey::new(Vpn::new(vpn), PartitionId::new(part));
-        prop_assert_eq!(key.vpn(), Vpn::new(vpn));
-        prop_assert_eq!(key.partition(), PartitionId::new(part));
-    }
+        assert_eq!(key.vpn(), Vpn::new(vpn));
+        assert_eq!(key.partition(), PartitionId::new(part));
+    });
+}
 
-    /// The LRU buffer never exceeds what was inserted, never yields a
-    /// page twice without reinsertion, and preserves insertion order for
-    /// untouched pages.
-    #[test]
-    fn lru_buffer_behaves_like_fifo_queue(ops in prop::collection::vec(0u64..64, 1..200)) {
+/// The LRU buffer never exceeds what was inserted, never yields a page
+/// twice without reinsertion, and preserves insertion order for
+/// untouched pages.
+#[test]
+fn lru_buffer_behaves_like_fifo_queue() {
+    prop::forall("lru-fifo", 64, |rng| {
+        let ops = prop::vec_of(rng, 1, 199, |r| r.gen_index(64));
         let mut lru = LruBuffer::new(1 << 20);
         let mut model: Vec<u64> = Vec::new();
         for &op in &ops {
@@ -31,32 +34,43 @@ proptest! {
                 model.push(op);
             }
         }
-        prop_assert_eq!(lru.len() as usize, model.len());
+        assert_eq!(lru.len() as usize, model.len());
         for expected in model {
-            prop_assert_eq!(lru.pop_victim(), Some(Vpn::new(expected)));
+            assert_eq!(lru.pop_victim(), Some(Vpn::new(expected)));
         }
-        prop_assert_eq!(lru.pop_victim(), None);
-    }
+        assert_eq!(lru.pop_victim(), None);
+    });
+}
 
-    /// Slot allocation is a partial bijection: no two pages share a slot,
-    /// and lookups invert each other.
-    #[test]
-    fn slot_allocator_is_injective(pages in prop::collection::hash_set(0u64..10_000, 1..300)) {
+/// Slot allocation is a partial bijection: no two pages share a slot,
+/// and lookups invert each other.
+#[test]
+fn slot_allocator_is_injective() {
+    prop::forall("slot-allocator-injective", 64, |rng| {
+        let pages: std::collections::HashSet<u64> =
+            prop::vec_of(rng, 1, 299, |r| r.gen_index(10_000))
+                .into_iter()
+                .collect();
         let mut slots = SlotAllocator::new(4096);
         let mut assigned = std::collections::HashMap::new();
         for &p in &pages {
             if let Some(slot) = slots.allocate(Vpn::new(p)) {
-                prop_assert!(assigned.insert(slot, p).is_none(), "slot reused while live");
-                prop_assert_eq!(slots.owner_of(slot), Some(Vpn::new(p)));
-                prop_assert_eq!(slots.slot_of(Vpn::new(p)), Some(slot));
+                assert!(assigned.insert(slot, p).is_none(), "slot reused while live");
+                assert_eq!(slots.owner_of(slot), Some(Vpn::new(p)));
+                assert_eq!(slots.slot_of(Vpn::new(p)), Some(slot));
             }
         }
-    }
+    });
+}
 
-    /// Any interleaving of puts/gets/deletes on the log-structured store
-    /// agrees with a plain map — cleaner runs included.
-    #[test]
-    fn ramcloud_matches_model(ops in prop::collection::vec((0u64..48, 0u64..1000, prop::bool::ANY), 1..400)) {
+/// Any interleaving of puts/gets/deletes on the log-structured store
+/// agrees with a plain map — cleaner runs included.
+#[test]
+fn ramcloud_matches_model() {
+    prop::forall("ramcloud-matches-model", 32, |rng| {
+        let ops = prop::vec_of(rng, 1, 399, |r| {
+            (r.gen_index(48), r.gen_index(1000), r.gen_bool(0.5))
+        });
         let clock = SimClock::new();
         // Small capacity so the cleaner must run under churn.
         let mut store = RamCloudStore::new(96 * 4196, clock, SimRng::seed_from_u64(1));
@@ -65,22 +79,25 @@ proptest! {
             let key = ExternalKey::new(Vpn::new(k), PartitionId::new(0));
             if is_delete {
                 let existed = store.delete(key);
-                prop_assert_eq!(existed, model.remove(&k).is_some());
+                assert_eq!(existed, model.remove(&k).is_some());
             } else {
                 store.put(key, PageContents::Token(v)).unwrap();
                 model.insert(k, v);
             }
         }
-        prop_assert_eq!(store.len(), model.len());
+        assert_eq!(store.len(), model.len());
         for (k, v) in model {
             let key = ExternalKey::new(Vpn::new(k), PartitionId::new(0));
-            prop_assert_eq!(store.get(key).unwrap(), PageContents::Token(v));
+            assert_eq!(store.get(key).unwrap(), PageContents::Token(v));
         }
-    }
+    });
+}
 
-    /// The DRAM store agrees with the same model.
-    #[test]
-    fn dram_store_matches_model(ops in prop::collection::vec((0u64..32, 0u64..1000), 1..200)) {
+/// The DRAM store agrees with the same model.
+#[test]
+fn dram_store_matches_model() {
+    prop::forall("dram-matches-model", 32, |rng| {
+        let ops = prop::vec_of(rng, 1, 199, |r| (r.gen_index(32), r.gen_index(1000)));
         let clock = SimClock::new();
         let mut store = DramStore::new(1 << 20, clock, SimRng::seed_from_u64(2));
         let mut model = std::collections::HashMap::new();
@@ -91,44 +108,55 @@ proptest! {
         }
         for (k, v) in model {
             let key = ExternalKey::new(Vpn::new(k), PartitionId::new(0));
-            prop_assert_eq!(store.get(key).unwrap(), PageContents::Token(v));
+            assert_eq!(store.get(key).unwrap(), PageContents::Token(v));
         }
-    }
+    });
+}
 
-    /// Streaming summary statistics agree with the exact sample.
-    #[test]
-    fn summary_agrees_with_sample(values in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+/// Streaming summary statistics agree with the exact sample.
+#[test]
+fn summary_agrees_with_sample() {
+    prop::forall("summary-agrees-with-sample", 64, |rng| {
+        let values = prop::vec_of(rng, 2, 199, |r| (r.gen_f64() - 0.5) * 2e6);
         let mut summary = Summary::new();
         let mut sample = Sample::new();
         for &v in &values {
             summary.record(v);
             sample.record(v);
         }
-        prop_assert!((summary.mean() - sample.mean()).abs() < 1e-6 * (1.0 + sample.mean().abs()));
-        prop_assert!((summary.stdev() - sample.stdev()).abs() < 1e-6 * (1.0 + sample.stdev()));
-    }
+        assert!((summary.mean() - sample.mean()).abs() < 1e-6 * (1.0 + sample.mean().abs()));
+        assert!((summary.stdev() - sample.stdev()).abs() < 1e-6 * (1.0 + sample.stdev()));
+    });
+}
 
-    /// Histogram CDFs are monotone and end at 1.0 for any input.
-    #[test]
-    fn histogram_cdf_is_monotone(ns in prop::collection::vec(1u64..10_000_000_000, 1..200)) {
+/// Histogram CDFs are monotone and end at 1.0 for any input.
+#[test]
+fn histogram_cdf_is_monotone() {
+    prop::forall("histogram-cdf-monotone", 64, |rng| {
+        let ns = prop::vec_of(rng, 1, 199, |r| r.gen_range(1, 10_000_000_000));
         let mut h = LatencyHistogram::new();
         for &x in &ns {
             h.record(SimDuration::from_nanos(x));
         }
         let cdf = h.cdf();
-        prop_assert!(!cdf.is_empty());
+        assert!(!cdf.is_empty());
         for w in cdf.windows(2) {
-            prop_assert!(w[0].0 < w[1].0);
-            prop_assert!(w[0].1 <= w[1].1);
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
         }
-        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
-        prop_assert_eq!(h.count(), ns.len() as u64);
-    }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        assert_eq!(h.count(), ns.len() as u64);
+    });
+}
 
-    /// Znode trees stay consistent under arbitrary create/delete
-    /// sequences: children lists always match existing nodes.
-    #[test]
-    fn znode_children_consistent(ops in prop::collection::vec((0u8..4, 0u8..4, prop::bool::ANY), 1..100)) {
+/// Znode trees stay consistent under arbitrary create/delete sequences:
+/// children lists always match existing nodes.
+#[test]
+fn znode_children_consistent() {
+    prop::forall("znode-children-consistent", 64, |rng| {
+        let ops = prop::vec_of(rng, 1, 99, |r| {
+            (r.gen_index(4), r.gen_index(4), r.gen_bool(0.5))
+        });
         let mut tree = ZnodeTree::new();
         for (a, b, create) in ops {
             let parent = format!("/n{a}");
@@ -141,18 +169,18 @@ proptest! {
             }
         }
         for top in tree.children("/") {
-            prop_assert!(tree.exists(&top));
+            assert!(tree.exists(&top));
             for child in tree.children(&top) {
-                prop_assert!(tree.exists(&child));
-                let prefix = format!("{}/", top);
-                prop_assert!(child.starts_with(&prefix));
+                assert!(tree.exists(&child));
+                let prefix = format!("{top}/");
+                assert!(child.starts_with(&prefix));
             }
         }
-    }
+    });
 }
 
-/// Deterministic RNG forks are stable across proptest shrink iterations
-/// (plain test: no random input needed).
+/// Deterministic RNG forks are stable across runs (plain test: no
+/// random input needed).
 #[test]
 fn rng_fork_stability() {
     let a = SimRng::seed_from_u64(5).fork("x").gen_u64();
