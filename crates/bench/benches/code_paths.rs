@@ -47,7 +47,7 @@ fn bench_page_tracker(c: &mut Criterion) {
         })
     });
     group.bench_function("profile_record", |b| {
-        let mut profile = ProfileTable::new();
+        let profile = ProfileTable::new();
         b.iter(|| profile.record(CodePath::ReadPage, SimDuration::from_micros(15)))
     });
     group.finish();

@@ -56,7 +56,7 @@ fn ablation_batch_size(args: &HarnessArgs) {
             max_accesses: 60_000,
         };
         let report = pmbench::run_on_region(&mut vm, region, &config, &mut rng);
-        let stats = *vm.monitor().stats();
+        let stats = vm.monitor().stats();
         let store_stats = vm.monitor().store().stats();
         let steal_rate = stats.write_list_steals as f64
             / (stats.remote_reads + stats.write_list_steals).max(1) as f64;

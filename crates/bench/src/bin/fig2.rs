@@ -13,7 +13,7 @@ use fluidmem_sim::{SimClock, SimRng};
 fn dump_trace(vm: &FluidMemMemory, since_idx: usize, heading: &str) -> usize {
     println!("\n--- {heading} ---");
     let events = vm.monitor().tracer().events();
-    for e in &events[since_idx..] {
+    for e in events.range(since_idx..) {
         println!("  {e}");
     }
     events.len()

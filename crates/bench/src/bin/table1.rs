@@ -13,6 +13,7 @@ use fluidmem_core::{CodePath, FluidMemMemory, MonitorConfig, Optimizations};
 use fluidmem_kv::RamCloudStore;
 use fluidmem_mem::{MemoryBackend, PageClass};
 use fluidmem_sim::{SimClock, SimRng};
+use fluidmem_telemetry::Telemetry;
 
 fn main() {
     let args = HarnessArgs::parse(8);
@@ -33,6 +34,11 @@ fn main() {
         clock,
         SimRng::seed_from_u64(args.seed + 1),
     );
+    let telemetry = Telemetry::new(vm.clock().clone());
+    if args.trace_path.is_some() {
+        telemetry.enable_spans();
+    }
+    vm.attach_telemetry(&telemetry);
     let region = vm.map_region(16_384, PageClass::Anonymous);
     let mut rng = SimRng::seed_from_u64(args.seed + 2);
 
@@ -91,4 +97,5 @@ fn main() {
     }
     table.print();
     println!("\n(units: µs; synchronous handling = Table II 'Default' configuration)");
+    args.emit_trace(&telemetry);
 }

@@ -37,15 +37,19 @@ pub struct HarnessArgs {
     pub seed: u64,
     /// Append machine-readable records (JSON lines) to this file.
     pub json_path: Option<PathBuf>,
+    /// Write a Chrome trace-event file of the run to this path.
+    pub trace_path: Option<PathBuf>,
 }
 
 impl HarnessArgs {
-    /// Parses `--full`, `--scale <N>`, and `--seed <N>` from `args`,
-    /// using `default_denominator` when neither sizing flag is given.
+    /// Parses `--full`, `--scale <N>`, `--seed <N>`, `--json <file>`,
+    /// and `--trace <file>` from `args`, using `default_denominator`
+    /// when neither sizing flag is given.
     pub fn parse(default_denominator: u64) -> HarnessArgs {
         let mut scale = default_denominator;
         let mut seed = 42;
         let mut json_path = None;
+        let mut trace_path = None;
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < argv.len() {
@@ -66,6 +70,10 @@ impl HarnessArgs {
                     i += 1;
                     json_path = argv.get(i).map(PathBuf::from);
                 }
+                "--trace" => {
+                    i += 1;
+                    trace_path = argv.get(i).map(PathBuf::from);
+                }
                 other => eprintln!("ignoring unknown argument {other:?}"),
             }
             i += 1;
@@ -74,6 +82,19 @@ impl HarnessArgs {
             scale_denominator: scale.max(1),
             seed,
             json_path,
+            trace_path,
+        }
+    }
+
+    /// Writes the telemetry's Chrome trace when `--trace` was given.
+    /// Call after the measured run; prints where the trace went.
+    pub fn emit_trace(&self, telemetry: &fluidmem_telemetry::Telemetry) {
+        if let Some(path) = &self.trace_path {
+            let json = telemetry.export_chrome_trace();
+            match std::fs::write(path, &json) {
+                Ok(()) => println!("wrote Chrome trace to {}", path.display()),
+                Err(e) => eprintln!("failed to write {path:?}: {e}"),
+            }
         }
     }
 

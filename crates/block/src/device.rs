@@ -6,6 +6,7 @@ use std::fmt;
 
 use fluidmem_mem::PageContents;
 use fluidmem_sim::{LatencyModel, SimClock, SimDuration, SimInstant, SimRng};
+use fluidmem_telemetry::{consts, Counter, Registry};
 
 /// Errors returned by block devices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,7 +53,7 @@ pub struct Completion {
     pub at: SimInstant,
 }
 
-/// Per-device counters.
+/// A point-in-time snapshot of a device's counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BlockStats {
     /// Read requests completed or in flight.
@@ -61,6 +62,51 @@ pub struct BlockStats {
     pub writes: u64,
     /// Requests that found the submission queue full and had to wait.
     pub queue_full_waits: u64,
+}
+
+/// A device's live counter handles; [`BlockStats`] is their snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct BlockCounters {
+    /// Read requests completed or in flight.
+    pub reads: Counter,
+    /// Write requests completed or in flight.
+    pub writes: Counter,
+    /// Requests that found the submission queue full and had to wait.
+    pub queue_full_waits: Counter,
+}
+
+impl BlockCounters {
+    /// Fresh detached counters (not exported anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers every counter in `registry` under
+    /// [`consts::BLOCK_OPS`], labeled by `device` and the operation.
+    /// Accumulated values carry over: the registry adopts the live
+    /// handles.
+    pub fn register(&self, registry: &Registry, device: &str) {
+        for (counter, op) in [
+            (&self.reads, "read"),
+            (&self.writes, "write"),
+            (&self.queue_full_waits, "queue_full_wait"),
+        ] {
+            registry.adopt_counter(
+                consts::BLOCK_OPS,
+                &[(consts::LABEL_DEVICE, device), (consts::LABEL_OP, op)],
+                counter,
+            );
+        }
+    }
+
+    /// A point-in-time snapshot of every counter.
+    pub fn snapshot(&self) -> BlockStats {
+        BlockStats {
+            reads: self.reads.get(),
+            writes: self.writes.get(),
+            queue_full_waits: self.queue_full_waits.get(),
+        }
+    }
 }
 
 /// A 4 KB-block storage device with a bounded submission queue.
@@ -134,6 +180,11 @@ pub trait BlockDevice {
 
     /// Operation counters.
     fn stats(&self) -> BlockStats;
+
+    /// Registers this device's live counters in `registry` under its
+    /// [`name`](BlockDevice::name). The default is a no-op so simple
+    /// test doubles need not care.
+    fn instrument(&mut self, _registry: &Registry) {}
 }
 
 /// The shared engine: payload storage, a bounded in-flight window, and
@@ -148,7 +199,7 @@ pub(crate) struct QueueedStore {
     inflight: Vec<SimInstant>,
     pub(crate) clock: SimClock,
     pub(crate) rng: SimRng,
-    pub(crate) stats: BlockStats,
+    pub(crate) stats: BlockCounters,
 }
 
 impl QueueedStore {
@@ -160,7 +211,7 @@ impl QueueedStore {
             inflight: Vec::new(),
             clock,
             rng,
-            stats: BlockStats::default(),
+            stats: BlockCounters::new(),
         }
     }
 
@@ -193,7 +244,7 @@ impl QueueedStore {
         // Retire finished requests.
         self.inflight.retain(|&t| t > now);
         let start = if self.inflight.len() >= self.queue_depth {
-            self.stats.queue_full_waits += 1;
+            self.stats.queue_full_waits.inc();
             let earliest = self
                 .inflight
                 .iter()
@@ -223,7 +274,7 @@ impl QueueedStore {
         let now = self.clock.now();
         self.inflight.retain(|&t| t > now);
         let start = if self.inflight.len() >= self.queue_depth {
-            self.stats.queue_full_waits += 1;
+            self.stats.queue_full_waits.inc();
             let earliest = self
                 .inflight
                 .iter()
@@ -273,7 +324,7 @@ mod tests {
         assert_eq!(d1.as_nanos(), 100_000);
         assert_eq!(d2.as_nanos(), 100_000);
         assert_eq!(d3.as_nanos(), 200_000, "third op queues behind the first");
-        assert_eq!(q.stats.queue_full_waits, 1);
+        assert_eq!(q.stats.queue_full_waits.get(), 1);
     }
 
     #[test]

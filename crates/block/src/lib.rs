@@ -24,7 +24,7 @@ mod pmem;
 mod ssd;
 mod zram;
 
-pub use device::{BlockDevice, BlockError, BlockStats, Completion};
+pub use device::{BlockCounters, BlockDevice, BlockError, BlockStats, Completion};
 pub use nvmeof::NvmeofDevice;
 pub use pmem::PmemDevice;
 pub use ssd::SsdDevice;

@@ -62,7 +62,7 @@ impl BlockDevice for NvmeofDevice {
     fn submit_read(&mut self, block: u64) -> Result<Completion, BlockError> {
         self.inner.check_range(block)?;
         let at = self.inner.schedule(self.submit_cost, &self.read_latency);
-        self.inner.stats.reads += 1;
+        self.inner.stats.reads.inc();
         let data = self
             .inner
             .blocks
@@ -75,7 +75,7 @@ impl BlockDevice for NvmeofDevice {
     fn submit_write(&mut self, block: u64, data: PageContents) -> Result<Completion, BlockError> {
         self.inner.check_range(block)?;
         let at = self.inner.schedule(self.submit_cost, &self.write_latency);
-        self.inner.stats.writes += 1;
+        self.inner.stats.writes.inc();
         self.inner.blocks.insert(block, data);
         Ok(Completion {
             data: PageContents::Zero,
@@ -90,7 +90,7 @@ impl BlockDevice for NvmeofDevice {
     ) -> Result<Completion, BlockError> {
         self.inner.check_range(block)?;
         let at = self.inner.schedule_background(&self.write_latency);
-        self.inner.stats.writes += 1;
+        self.inner.stats.writes.inc();
         self.inner.blocks.insert(block, data);
         Ok(Completion {
             data: PageContents::Zero,
@@ -103,7 +103,11 @@ impl BlockDevice for NvmeofDevice {
     }
 
     fn stats(&self) -> BlockStats {
-        self.inner.stats
+        self.inner.stats.snapshot()
+    }
+
+    fn instrument(&mut self, registry: &fluidmem_telemetry::Registry) {
+        self.inner.stats.register(registry, self.name());
     }
 }
 

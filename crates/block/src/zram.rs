@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use fluidmem_mem::{PageContents, PAGE_SIZE};
 use fluidmem_sim::{LatencyModel, SimClock, SimDuration, SimRng};
 
-use crate::device::{BlockDevice, BlockError, BlockStats, Completion};
+use crate::device::{BlockCounters, BlockDevice, BlockError, BlockStats, Completion};
 
 /// A compressed-memory block device (Linux `zram`): writes compress the
 /// page (LZ-class CPU cost) into a DRAM pool budgeted by *compressed*
@@ -45,7 +45,7 @@ pub struct ZramDevice {
     submit: SimDuration,
     clock: SimClock,
     rng: SimRng,
-    stats: BlockStats,
+    stats: BlockCounters,
 }
 
 impl ZramDevice {
@@ -62,7 +62,7 @@ impl ZramDevice {
             submit: SimDuration::from_nanos(500),
             clock,
             rng,
-            stats: BlockStats::default(),
+            stats: BlockCounters::new(),
         }
     }
 
@@ -120,7 +120,7 @@ impl BlockDevice for ZramDevice {
         }
         let cost = self.submit + self.decompress.sample(&mut self.rng);
         let at = self.clock.now() + cost;
-        self.stats.reads += 1;
+        self.stats.reads.inc();
         let data = self
             .blocks
             .get(&block)
@@ -146,7 +146,7 @@ impl BlockDevice for ZramDevice {
         }
         let cost = self.submit + self.compress.sample(&mut self.rng);
         let at = self.clock.now() + cost;
-        self.stats.writes += 1;
+        self.stats.writes.inc();
         self.used_bytes = self.used_bytes - old_size + new_size;
         self.blocks.insert(block, (data, new_size));
         Ok(Completion {
@@ -160,7 +160,11 @@ impl BlockDevice for ZramDevice {
     }
 
     fn stats(&self) -> BlockStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    fn instrument(&mut self, registry: &fluidmem_telemetry::Registry) {
+        self.stats.register(registry, self.name());
     }
 }
 

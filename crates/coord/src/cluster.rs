@@ -79,6 +79,11 @@ pub struct CoordCluster {
     rng: SimRng,
     /// One-way message latency between any two nodes (TCP control plane).
     rpc: LatencyModel,
+    /// Committed proposals / leader elections / sessions opened, exported
+    /// under `fluidmem_coord_events_total`.
+    proposals: fluidmem_telemetry::Counter,
+    elections: fluidmem_telemetry::Counter,
+    sessions_opened: fluidmem_telemetry::Counter,
 }
 
 impl CoordCluster {
@@ -101,6 +106,9 @@ impl CoordCluster {
             clock,
             rng,
             rpc: LatencyModel::lognormal_mean_p99_us(120.0, 400.0),
+            proposals: fluidmem_telemetry::Counter::new(),
+            elections: fluidmem_telemetry::Counter::new(),
+            sessions_opened: fluidmem_telemetry::Counter::new(),
         }
     }
 
@@ -136,6 +144,7 @@ impl CoordCluster {
         let id = self.next_session;
         self.next_session += 1;
         self.open_sessions.insert(id);
+        self.sessions_opened.inc();
         self.charge_rtt();
         SessionId(id)
     }
@@ -225,6 +234,7 @@ impl CoordCluster {
 
         // Leader → client reply.
         self.charge_rtt();
+        self.proposals.inc();
         Ok(result)
     }
 
@@ -377,6 +387,7 @@ impl CoordCluster {
         // An election costs a couple of message rounds.
         self.charge_rtt();
         self.charge_rtt();
+        self.elections.inc();
         Ok(ReplicaId(winner))
     }
 

@@ -113,6 +113,12 @@ impl FluidMemMemory {
         &self.monitor
     }
 
+    /// Attaches a shared telemetry handle (see
+    /// [`Monitor::attach_telemetry`]).
+    pub fn attach_telemetry(&mut self, telemetry: &fluidmem_telemetry::Telemetry) {
+        self.monitor.attach_telemetry(telemetry);
+    }
+
     /// Mutable monitor access (profile clearing, drains).
     pub fn monitor_mut(&mut self) -> &mut Monitor {
         &mut self.monitor

@@ -10,8 +10,9 @@ use crate::config::{EvictionMechanism, LruPolicy, MonitorConfig, PrefetchPolicy}
 use crate::lru_buffer::LruBuffer;
 use crate::page_tracker::PageTracker;
 use crate::profile::{CodePath, ProfileTable};
-use crate::stats::MonitorStats;
+use crate::stats::{MonitorCounters, MonitorStats};
 use crate::write_list::{StealOutcome, WriteList};
+use fluidmem_telemetry::{consts, Gauge, Histogram, Telemetry};
 
 /// How a fault was resolved by the monitor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +26,35 @@ pub enum Resolution {
     /// Page was in an in-flight write; the fault waited for the write to
     /// complete and then used the buffered copy (§V-B).
     InflightWait,
+}
+
+impl Resolution {
+    /// The `resolution` label value this kind is exported under.
+    pub fn label(self) -> &'static str {
+        match self {
+            Resolution::ZeroFill => "zero_fill",
+            Resolution::RemoteRead => "remote_read",
+            Resolution::WriteListSteal => "write_list_steal",
+            Resolution::InflightWait => "inflight_wait",
+        }
+    }
+
+    /// Every resolution kind, in label order.
+    pub const ALL: [Resolution; 4] = [
+        Resolution::ZeroFill,
+        Resolution::RemoteRead,
+        Resolution::WriteListSteal,
+        Resolution::InflightWait,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Resolution::ZeroFill => 0,
+            Resolution::RemoteRead => 1,
+            Resolution::WriteListSteal => 2,
+            Resolution::InflightWait => 3,
+        }
+    }
 }
 
 /// The outcome of [`Monitor::handle_fault`].
@@ -60,7 +90,13 @@ pub struct Monitor {
     /// (region, partition).
     region_partitions: std::collections::BTreeMap<u64, (Region, PartitionId)>,
     profile: ProfileTable,
-    stats: MonitorStats,
+    stats: MonitorCounters,
+    telemetry: Telemetry,
+    /// Guest-observed fault latency, one histogram per [`Resolution`].
+    fault_latency: [Histogram; 4],
+    lru_resident: Gauge,
+    lru_capacity: Gauge,
+    write_list_pending: Gauge,
     tracer: Tracer,
     clock: SimClock,
     rng: SimRng,
@@ -77,7 +113,8 @@ impl Monitor {
         rng: SimRng,
     ) -> Self {
         let lru = LruBuffer::new(config.lru_capacity);
-        Monitor {
+        let telemetry = Telemetry::new(clock.clone());
+        let monitor = Monitor {
             config,
             tracker: PageTracker::new(),
             lru,
@@ -86,11 +123,57 @@ impl Monitor {
             partition,
             region_partitions: std::collections::BTreeMap::new(),
             profile: ProfileTable::new(),
-            stats: MonitorStats::default(),
+            stats: MonitorCounters::new(),
+            telemetry,
+            fault_latency: Default::default(),
+            lru_resident: Gauge::new(),
+            lru_capacity: Gauge::new(),
+            write_list_pending: Gauge::new(),
             tracer: Tracer::disabled(),
             clock,
             rng,
+        };
+        monitor.update_gauges();
+        monitor
+    }
+
+    /// Swaps in a shared telemetry handle and registers every live
+    /// instrument in its registry: the monitor's event counters, the
+    /// Table I code-path profile, the fault-latency histograms, the LRU
+    /// and write-list gauges, and the store's own counters. Accumulated
+    /// values carry over.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        let telemetry = telemetry.clone();
+        {
+            let registry = telemetry.registry();
+            self.stats.register(registry);
+            self.profile.register(registry);
+            self.store.instrument(registry);
+            registry.adopt_gauge(consts::LRU_RESIDENT_PAGES, &[], &self.lru_resident);
+            registry.adopt_gauge(consts::LRU_CAPACITY_PAGES, &[], &self.lru_capacity);
+            registry.adopt_gauge(consts::WRITE_LIST_PENDING, &[], &self.write_list_pending);
+            for r in Resolution::ALL {
+                registry.adopt_histogram(
+                    consts::FAULT_LATENCY_US,
+                    &[(consts::LABEL_RESOLUTION, r.label())],
+                    &self.fault_latency[r.index()],
+                );
+            }
         }
+        self.telemetry = telemetry;
+        self.update_gauges();
+    }
+
+    /// The telemetry handle spans and metrics flow through.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    fn update_gauges(&self) {
+        self.lru_resident.set(self.lru.len() as i64);
+        self.lru_capacity.set(self.lru.capacity() as i64);
+        self.write_list_pending
+            .set(self.write_list.pending_len() as i64);
     }
 
     /// Turns on event tracing (for the Figure 2 timeline and debugging).
@@ -113,9 +196,9 @@ impl Monitor {
         &self.config
     }
 
-    /// Counters.
-    pub fn stats(&self) -> &MonitorStats {
-        &self.stats
+    /// A snapshot of the monitor's counters.
+    pub fn stats(&self) -> MonitorStats {
+        self.stats.snapshot()
     }
 
     /// Per-code-path profile (Table I).
@@ -202,20 +285,40 @@ impl Monitor {
         vpn: Vpn,
         write: bool,
     ) -> FaultResolution {
-        self.stats.faults += 1;
+        let t0 = self.clock.now();
+        let fault_span = self
+            .telemetry
+            .begin_with(consts::TRACK_MONITOR, "fault", || {
+                vec![("vpn", format!("{vpn}")), ("write", write.to_string())]
+            });
+        self.stats.faults.inc();
         self.write_list.retire(self.clock.now());
         self.run_lru_policy(pt);
 
         // "The monitor keeps a list of already seen pages to avoid reads
         // from the remote key-value store for first-time accesses."
         self.trace(|| format!("userfaultfd event: fault at {vpn} (write={write})"));
+        let lookup = self
+            .telemetry
+            .begin(consts::TRACK_MONITOR, "page_hash_lookup");
         self.charge(&self.config.costs.hash_lookup.clone());
-        if !self.tracker.contains(vpn) {
+        let seen = self.tracker.contains(vpn);
+        self.telemetry.end(lookup);
+        let res = if !seen {
             self.trace(|| format!("pagetracker: {vpn} unseen -> zero-page path"));
-            return self.handle_first_touch(uffd, pt, pm, vpn);
-        }
-        self.trace(|| format!("pagetracker: {vpn} seen before -> read path"));
-        self.handle_refault(uffd, pt, pm, vpn, write)
+            self.handle_first_touch(uffd, pt, pm, vpn)
+        } else {
+            self.trace(|| format!("pagetracker: {vpn} seen before -> read path"));
+            self.handle_refault(uffd, pt, pm, vpn, write)
+        };
+        // The guest-observed latency ends at the wake, not at the end of
+        // post-wake work (which has already advanced the clock).
+        self.telemetry.end_at(fault_span, res.wake_at);
+        self.telemetry
+            .instant_at(consts::TRACK_GUEST, "wake", res.wake_at);
+        self.fault_latency[res.resolution.index()].observe(res.wake_at - t0);
+        self.update_gauges();
+        res
     }
 
     /// Figure 2's fast path: zero-fill, wake, then evict asynchronously.
@@ -227,26 +330,34 @@ impl Monitor {
         vpn: Vpn,
     ) -> FaultResolution {
         let t0 = self.clock.now();
+        let span = self.telemetry.begin(consts::TRACK_MONITOR, "UFFD_ZEROPAGE");
         uffd.zeropage(pt, vpn).expect("first touch maps cleanly");
+        self.telemetry.end(span);
         self.profile
             .record(CodePath::UffdZeropage, self.clock.now() - t0);
 
         let t0 = self.clock.now();
+        let span = self
+            .telemetry
+            .begin(consts::TRACK_MONITOR, "insert_page_hash");
         self.charge(&self.config.costs.insert_page_hash.clone());
         self.tracker.insert(vpn);
+        self.telemetry.end(span);
         self.profile
             .record(CodePath::InsertPageHashNode, self.clock.now() - t0);
 
         let t0 = self.clock.now();
+        let span = self.telemetry.begin(consts::TRACK_MONITOR, "insert_lru");
         self.charge(&self.config.costs.insert_lru.clone());
         self.lru.insert(vpn);
+        self.telemetry.end(span);
         self.profile
             .record(CodePath::InsertLruCacheNode, self.clock.now() - t0);
 
         uffd.wake();
         let wake_at = self.clock.now();
         self.trace(|| format!("UFFD_ZEROPAGE resolved {vpn}; guest woken (end of critical path)"));
-        self.stats.zero_fills += 1;
+        self.stats.zero_fills.inc();
 
         // Asynchronous (post-wake) eviction — the blue path of Figure 2.
         self.evict_to_capacity(uffd, pt, pm);
@@ -270,11 +381,13 @@ impl Monitor {
 
         // §V-B: "the page fault handler can steal pages from the pending
         // write list ... and shortcut two round trips".
+        let span = self.telemetry.begin(consts::TRACK_MONITOR, "steal_check");
         self.charge(&self.config.costs.steal_check.clone());
         let steal = self.write_list.steal(key, self.clock.now());
+        self.telemetry.end(span);
         let (contents, resolution) = match steal {
             StealOutcome::Stolen(contents) => {
-                self.stats.write_list_steals += 1;
+                self.stats.write_list_steals.inc();
                 // Make room (the page is coming back in).
                 self.evict_while_full(uffd, pt, pm);
                 (contents, Resolution::WriteListSteal)
@@ -284,7 +397,7 @@ impl Monitor {
                 // complete", after which the buffered copy is used.
                 self.clock.advance_to(until);
                 self.write_list.retire(self.clock.now());
-                self.stats.inflight_waits += 1;
+                self.stats.inflight_waits.inc();
                 self.evict_while_full(uffd, pt, pm);
                 (contents, Resolution::InflightWait)
             }
@@ -294,15 +407,17 @@ impl Monitor {
                 } else {
                     self.read_sync(uffd, pt, pm, key)
                 };
-                self.stats.remote_reads += 1;
+                self.stats.remote_reads.inc();
                 (contents, Resolution::RemoteRead)
             }
         };
 
         // Install the page and wake the guest.
         let t0 = self.clock.now();
+        let span = self.telemetry.begin(consts::TRACK_MONITOR, "UFFD_COPY");
         uffd.copy(pt, pm, vpn, contents)
             .expect("refault destination is unmapped");
+        self.telemetry.end(span);
         self.profile
             .record(CodePath::UffdCopy, self.clock.now() - t0);
         if write {
@@ -310,8 +425,10 @@ impl Monitor {
         }
 
         let t0 = self.clock.now();
+        let span = self.telemetry.begin(consts::TRACK_MONITOR, "insert_lru");
         self.charge(&self.config.costs.insert_lru.clone());
         self.lru.insert(vpn);
+        self.telemetry.end(span);
         self.profile
             .record(CodePath::InsertLruCacheNode, self.clock.now() - t0);
 
@@ -362,11 +479,11 @@ impl Monitor {
                 Ok(contents) => {
                     if uffd.copy(pt, pm, candidate, contents).is_ok() {
                         self.lru.insert(candidate);
-                        self.stats.prefetched_pages += 1;
+                        self.stats.prefetched_pages.inc();
                     }
                 }
                 Err(_) => {
-                    self.stats.prefetch_misses += 1;
+                    self.stats.prefetch_misses.inc();
                 }
             }
         }
@@ -384,7 +501,9 @@ impl Monitor {
     ) -> PageContents {
         self.charge(&self.config.costs.sync_read_staging.clone());
         let t0 = self.clock.now();
+        let span = self.telemetry.begin(consts::TRACK_MONITOR, "kv.read");
         let contents = self.fetch_with_retries(key, 0);
+        self.telemetry.end(span);
         self.profile
             .record(CodePath::ReadPage, self.clock.now() - t0);
 
@@ -403,8 +522,17 @@ impl Monitor {
         key: ExternalKey,
     ) -> PageContents {
         let t0 = self.clock.now();
+        let span = self.telemetry.begin(consts::TRACK_MONITOR, "kv.read");
         self.trace(|| format!("async read top half issued for {key}"));
         let pending = self.store.begin_get(key);
+        // The in-flight window on the kv track: its span visibly overlaps
+        // the UFFD_REMAP / bookkeeping the monitor does meanwhile (§V-B).
+        self.telemetry.record_span(
+            consts::TRACK_KV,
+            "kv.read.flight",
+            pending.issued_at(),
+            pending.completes_at(),
+        );
 
         // Overlapped work: eviction (UFFD_REMAP "at a time when the vCPU
         // thread was already suspended") and cache bookkeeping.
@@ -414,14 +542,14 @@ impl Monitor {
         let contents = match self.store.finish_get(pending) {
             Ok(c) => c,
             Err(KvError::NotFound(_)) => {
-                self.stats.lost_pages += 1;
+                self.stats.lost_pages.inc();
                 PageContents::Zero
             }
             Err(e) if e.is_retryable() => {
                 // The overlapped attempt was lost; fall back to
                 // synchronous retries with backoff. The extra wait lands
                 // on this fault's latency, as it would in reality.
-                self.stats.read_retries += 1;
+                self.stats.read_retries.inc();
                 self.trace(|| format!("async read of {key} failed ({e}); retrying"));
                 let wait = self.config.retry.backoff(0, &mut self.rng);
                 self.clock.advance(wait);
@@ -429,6 +557,7 @@ impl Monitor {
             }
             Err(e) => panic!("store failure on read: {e}"),
         };
+        self.telemetry.end(span);
         self.profile
             .record(CodePath::ReadPage, self.clock.now() - t0);
         contents
@@ -449,11 +578,11 @@ impl Monitor {
             match self.store.get(key) {
                 Ok(c) => return c,
                 Err(KvError::NotFound(_)) => {
-                    self.stats.lost_pages += 1;
+                    self.stats.lost_pages.inc();
                     return PageContents::Zero;
                 }
                 Err(e) if e.is_retryable() && attempt + 1 < budget => {
-                    self.stats.read_retries += 1;
+                    self.stats.read_retries.inc();
                     self.trace(|| format!("read of {key} failed ({e}); retry {}", attempt + 1));
                     let wait = policy.backoff(prior_attempts + attempt, &mut self.rng);
                     self.clock.advance(wait);
@@ -472,7 +601,7 @@ impl Monitor {
             match self.store.put(key, contents.clone()) {
                 Ok(()) => return,
                 Err(e) if e.is_retryable() && attempt + 1 < policy.max_attempts.max(1) => {
-                    self.stats.write_retries += 1;
+                    self.stats.write_retries.inc();
                     self.trace(|| format!("write of {key} failed ({e}); retry {}", attempt + 1));
                     let wait = policy.backoff(attempt, &mut self.rng);
                     self.clock.advance(wait);
@@ -485,7 +614,11 @@ impl Monitor {
 
     fn bookkeeping_update_cache(&mut self) {
         let t0 = self.clock.now();
+        let span = self
+            .telemetry
+            .begin(consts::TRACK_MONITOR, "update_page_cache");
         self.charge(&self.config.costs.update_page_cache.clone());
+        self.telemetry.end(span);
         self.profile
             .record(CodePath::UpdatePageCache, self.clock.now() - t0);
     }
@@ -536,9 +669,23 @@ impl Monitor {
         let key = self.key(victim);
 
         let t0 = self.clock.now();
+        let span = self
+            .telemetry
+            .begin_with(consts::TRACK_MONITOR, "UFFD_REMAP", || {
+                vec![("vpn", format!("{victim}"))]
+            });
         let (contents, handle) = uffd
             .remap(pt, pm, victim)
             .expect("LRU pages are mapped in the VM");
+        if self.config.eviction == EvictionMechanism::Remap {
+            // The cross-CPU TLB shootdown completes in the background.
+            self.telemetry.record_span(
+                consts::TRACK_KERNEL,
+                "tlb.shootdown",
+                t0,
+                handle.completes_at(),
+            );
+        }
         let ready_at = match self.config.eviction {
             EvictionMechanism::Remap => handle.completes_at(),
             EvictionMechanism::Copy => {
@@ -555,10 +702,11 @@ impl Monitor {
             // Synchronous writes need the shootdown done before staging.
             uffd.wait_remap(handle);
         }
+        self.telemetry.end(span);
         self.profile
             .record(CodePath::UffdRemap, self.clock.now() - t0);
 
-        self.stats.evictions += 1;
+        self.stats.evictions.inc();
 
         if self.config.optimizations.async_write {
             self.charge(&self.config.costs.write_list_push.clone());
@@ -588,6 +736,8 @@ impl Monitor {
         if self.write_list.pending_len() >= self.config.write_batch_size || stale {
             self.flush_batch();
         }
+        self.write_list_pending
+            .set(self.write_list.pending_len() as i64);
     }
 
     fn flush_batch(&mut self) {
@@ -604,7 +754,7 @@ impl Monitor {
                 // The flusher thread owns the bottom half; the critical
                 // path only remembers the batch for stealing.
                 self.write_list.mark_inflight(retained, completes_at);
-                self.stats.flushes += 1;
+                self.stats.flushes.inc();
                 self.trace(|| "flusher: batch multi-written to the key-value store".to_string());
             }
             Err(e) if e.is_retryable() => {
@@ -614,7 +764,7 @@ impl Monitor {
                 // idempotent, so a timed-out-but-applied batch re-flushing
                 // is harmless. No data is lost either way: the freshest
                 // copy stays local and stealable.
-                self.stats.flush_failures += 1;
+                self.stats.flush_failures.inc();
                 self.trace(|| format!("flusher: multi-write failed ({e}); batch requeued"));
                 let now = self.clock.now();
                 for (key, contents) in retained {
@@ -643,7 +793,7 @@ impl Monitor {
                 match self.store.multi_write(batch.clone()) {
                     Ok(()) => break,
                     Err(e) if e.is_retryable() && attempt + 1 < policy.max_attempts.max(1) => {
-                        self.stats.write_retries += 1;
+                        self.stats.write_retries.inc();
                         self.trace(|| format!("drain: multi-write failed ({e}); retrying"));
                         let wait = policy.backoff(attempt, &mut self.rng);
                         self.clock.advance(wait);
@@ -652,9 +802,10 @@ impl Monitor {
                     Err(e) => panic!("store failure on drain after {attempt} retries: {e}"),
                 }
             }
-            self.stats.flushes += 1;
+            self.stats.flushes.inc();
         }
         self.write_list.retire(SimInstant::from_nanos(u64::MAX));
+        self.update_gauges();
     }
 
     /// Resizes the local buffer (the §VI-E capability swap lacks),
@@ -667,9 +818,10 @@ impl Monitor {
         capacity: u64,
     ) {
         self.lru.set_capacity(capacity);
-        self.stats.resizes += 1;
+        self.stats.resizes.inc();
         self.evict_to_capacity(uffd, pt, pm);
         self.maybe_flush();
+        self.update_gauges();
     }
 
     /// Forgets all monitor state for a region (VM shutdown) and drops its
@@ -1099,7 +1251,7 @@ mod tests {
         for i in 0..16 {
             fault(&mut r, i, false);
         }
-        let stats = *r.monitor.stats();
+        let stats = r.monitor.stats();
         assert!(stats.remote_reads > 0, "{stats:?}");
         assert!(
             stats.read_retries > 0,

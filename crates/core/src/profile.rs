@@ -1,9 +1,16 @@
 //! Per-code-path profiling (Table I).
+//!
+//! The table is a thin view over eight telemetry [`Histogram`]s — one
+//! per instrumented code path. Registering them in a [`Registry`] under
+//! [`consts::CODEPATH_LATENCY_US`] exports the same data as Prometheus
+//! buckets, so Table I and the metrics endpoint read one source of
+//! truth. The histogram's exact moments and bounded percentile
+//! subsample reproduce the previous profiler's numbers bit for bit.
 
 use std::fmt;
 
-use fluidmem_sim::stats::{Sample, Summary};
 use fluidmem_sim::SimDuration;
+use fluidmem_telemetry::{consts, Histogram, Registry};
 
 /// The instrumented sections of the monitor's fault-handling path — the
 /// exact row set of the paper's Table I.
@@ -92,51 +99,51 @@ pub struct PathStats {
 /// use fluidmem_core::{CodePath, ProfileTable};
 /// use fluidmem_sim::SimDuration;
 ///
-/// let mut profile = ProfileTable::new();
+/// let profile = ProfileTable::new();
 /// profile.record(CodePath::ReadPage, SimDuration::from_micros(15));
 /// let stats = profile.stats(CodePath::ReadPage);
 /// assert_eq!(stats.count, 1);
 /// assert!((stats.avg_us - 15.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ProfileTable {
-    summaries: [Summary; 8],
-    samples: [Sample; 8],
-    recorded: [u64; 8],
+    histograms: [Histogram; 8],
 }
 
-/// Per-path cap on retained samples; past it, spans are subsampled
-/// systematically so memory stays bounded while percentiles remain
-/// representative.
-const SAMPLE_CAP: u64 = 1 << 18;
-
 impl ProfileTable {
-    /// Creates an empty table.
+    /// Creates an empty table (detached histograms).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Registers each path's histogram in `registry` under
+    /// [`consts::CODEPATH_LATENCY_US`], labeled by the Table I row name.
+    /// Spans already recorded carry over (the registry adopts the live
+    /// handles).
+    pub fn register(&self, registry: &Registry) {
+        for path in CodePath::ALL {
+            registry.adopt_histogram(
+                consts::CODEPATH_LATENCY_US,
+                &[(consts::LABEL_PATH, &path.to_string())],
+                &self.histograms[path.index()],
+            );
+        }
+    }
+
     /// Records one span. Summaries are exact; the percentile sample is
     /// systematically subsampled past its cap to bound memory.
-    pub fn record(&mut self, path: CodePath, duration: SimDuration) {
-        let i = path.index();
-        self.summaries[i].record_duration(duration);
-        self.recorded[i] += 1;
-        let n = self.recorded[i];
-        if n <= SAMPLE_CAP || n.is_multiple_of(1 + n / SAMPLE_CAP) {
-            self.samples[i].record_duration(duration);
-        }
+    pub fn record(&self, path: CodePath, duration: SimDuration) {
+        self.histograms[path.index()].observe(duration);
     }
 
     /// Statistics for one path.
     pub fn stats(&self, path: CodePath) -> PathStats {
-        let i = path.index();
-        let mut sample = self.samples[i].clone();
+        let snap = self.histograms[path.index()].snapshot();
         PathStats {
-            count: self.summaries[i].count(),
-            avg_us: self.summaries[i].mean(),
-            stdev_us: self.summaries[i].stdev(),
-            p99_us: sample.percentile(0.99),
+            count: snap.count,
+            avg_us: snap.mean_us,
+            stdev_us: snap.stdev_us,
+            p99_us: snap.p99_us,
         }
     }
 
@@ -149,9 +156,12 @@ impl ProfileTable {
             .collect()
     }
 
-    /// Drops all recorded spans.
-    pub fn clear(&mut self) {
-        *self = Self::default();
+    /// Drops all recorded spans. Registered histograms stay registered
+    /// (the handles reset in place).
+    pub fn clear(&self) {
+        for h in &self.histograms {
+            h.reset();
+        }
     }
 }
 
@@ -159,9 +169,11 @@ impl ProfileTable {
 mod tests {
     use super::*;
 
+    const SAMPLE_CAP: u64 = fluidmem_telemetry::consts::HIST_SAMPLE_CAP;
+
     #[test]
     fn records_per_path_independently() {
-        let mut p = ProfileTable::new();
+        let p = ProfileTable::new();
         p.record(CodePath::ReadPage, SimDuration::from_micros(10));
         p.record(CodePath::ReadPage, SimDuration::from_micros(20));
         p.record(CodePath::WritePage, SimDuration::from_micros(5));
@@ -173,7 +185,7 @@ mod tests {
 
     #[test]
     fn rows_skip_empty_paths_and_keep_order() {
-        let mut p = ProfileTable::new();
+        let p = ProfileTable::new();
         p.record(CodePath::WritePage, SimDuration::from_micros(1));
         p.record(CodePath::UffdZeropage, SimDuration::from_micros(1));
         let rows = p.rows();
@@ -193,7 +205,7 @@ mod tests {
 
     #[test]
     fn sample_retention_is_bounded_but_stats_exact() {
-        let mut p = ProfileTable::new();
+        let p = ProfileTable::new();
         let n = (SAMPLE_CAP * 3) as usize;
         for i in 0..n {
             p.record(
@@ -217,9 +229,26 @@ mod tests {
 
     #[test]
     fn clear_resets() {
-        let mut p = ProfileTable::new();
+        let p = ProfileTable::new();
         p.record(CodePath::ReadPage, SimDuration::from_micros(10));
         p.clear();
         assert!(p.rows().is_empty());
+    }
+
+    #[test]
+    fn registered_table_exports_through_the_registry() {
+        let p = ProfileTable::new();
+        p.record(CodePath::UffdRemap, SimDuration::from_micros(3));
+        let reg = Registry::new();
+        p.register(&reg);
+        // Pre-registration spans carry over…
+        let h = reg.histogram(
+            consts::CODEPATH_LATENCY_US,
+            &[(consts::LABEL_PATH, "UFFD_REMAP")],
+        );
+        assert_eq!(h.snapshot().count, 1);
+        // …and the registry's handle IS the table's handle.
+        h.observe(SimDuration::from_micros(5));
+        assert_eq!(p.stats(CodePath::UffdRemap).count, 2);
     }
 }

@@ -1,6 +1,16 @@
 //! Monitor counters.
+//!
+//! The monitor increments [`MonitorCounters`] — shared telemetry
+//! [`Counter`] handles — on its hot paths, and [`MonitorStats`] is the
+//! point-in-time snapshot those handles produce. Registering the
+//! counters in a [`Registry`] makes the *same* handles exportable
+//! (Prometheus / JSONL), so the stats surface and the telemetry
+//! subsystem can never disagree: there is one set of counters.
 
-/// Counters kept by the [`Monitor`](crate::Monitor).
+use fluidmem_telemetry::{consts, Counter, Registry};
+
+/// A point-in-time snapshot of the [`Monitor`](crate::Monitor)'s
+/// counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MonitorStats {
     /// Faults handled in total.
@@ -40,6 +50,60 @@ pub struct MonitorStats {
     pub flush_failures: u64,
 }
 
+macro_rules! monitor_counters {
+    ($(($field:ident, $event:literal, $doc:literal)),+ $(,)?) => {
+        /// The monitor's live counter handles (see the module docs).
+        #[derive(Debug, Clone, Default)]
+        pub struct MonitorCounters {
+            $(#[doc = $doc] pub $field: Counter,)+
+        }
+
+        impl MonitorCounters {
+            /// Fresh detached counters (not exported anywhere).
+            pub fn new() -> Self {
+                Self::default()
+            }
+
+            /// Registers every counter in `registry` under
+            /// [`consts::MONITOR_EVENTS`], keyed by an `event` label.
+            /// Accumulated values carry over: the registry adopts the
+            /// live handles rather than replacing them.
+            pub fn register(&self, registry: &Registry) {
+                $(registry.adopt_counter(
+                    consts::MONITOR_EVENTS,
+                    &[(consts::LABEL_EVENT, $event)],
+                    &self.$field,
+                );)+
+            }
+
+            /// A point-in-time snapshot of every counter.
+            pub fn snapshot(&self) -> MonitorStats {
+                MonitorStats {
+                    $($field: self.$field.get(),)+
+                }
+            }
+        }
+    };
+}
+
+monitor_counters! {
+    (faults, "fault", "Faults handled in total."),
+    (zero_fills, "zero_fill", "First-touch faults resolved with `UFFD_ZEROPAGE`."),
+    (remote_reads, "remote_read", "Faults resolved by reading the key-value store."),
+    (write_list_steals, "write_list_steal", "Faults satisfied from the pending write list."),
+    (inflight_waits, "inflight_wait", "Faults that waited for an in-flight write."),
+    (evictions, "eviction", "Pages evicted from the VM."),
+    (flushes, "flush", "Batch flushes issued to the store."),
+    (resizes, "resize", "LRU capacity changes (operator resizes)."),
+    (cow_breaks, "cow_break", "Copy-on-write breaks of zero-page mappings."),
+    (lost_pages, "lost_page", "Pages the store reported missing."),
+    (prefetched_pages, "prefetched_page", "Pages pulled in proactively by prefetch."),
+    (prefetch_misses, "prefetch_miss", "Prefetch attempts that found nothing."),
+    (read_retries, "read_retry", "Store reads retried after a retryable error."),
+    (write_retries, "write_retry", "Store writes retried after a retryable error."),
+    (flush_failures, "flush_failure", "Flushes whose multi-write failed retryably."),
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -47,5 +111,30 @@ mod tests {
     #[test]
     fn default_is_zeroed() {
         assert_eq!(MonitorStats::default().faults, 0);
+        assert_eq!(MonitorCounters::new().snapshot(), MonitorStats::default());
+    }
+
+    #[test]
+    fn snapshot_reads_live_handles() {
+        let c = MonitorCounters::new();
+        c.faults.add(3);
+        c.zero_fills.inc();
+        let s = c.snapshot();
+        assert_eq!(s.faults, 3);
+        assert_eq!(s.zero_fills, 1);
+    }
+
+    #[test]
+    fn registered_counters_are_the_same_handles() {
+        let c = MonitorCounters::new();
+        c.evictions.add(2);
+        let reg = Registry::new();
+        c.register(&reg);
+        // The registry sees pre-registration counts…
+        let evictions = reg.counter(consts::MONITOR_EVENTS, &[(consts::LABEL_EVENT, "eviction")]);
+        assert_eq!(evictions.get(), 2);
+        // …and post-registration increments flow both ways.
+        c.evictions.inc();
+        assert_eq!(evictions.get(), 3);
     }
 }

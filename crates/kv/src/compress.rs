@@ -14,6 +14,7 @@ use crate::key::ExternalKey;
 use crate::pending::{PendingGet, PendingWrite};
 use crate::stats::StoreStats;
 use crate::store::KeyValueStore;
+use fluidmem_telemetry::Registry;
 
 /// Magic byte tagging an RLE-compressed page.
 const RLE_MAGIC: u8 = 0xC7;
@@ -206,6 +207,10 @@ impl KeyValueStore for CompressedStore {
 
     fn stats(&self) -> StoreStats {
         self.inner.stats()
+    }
+
+    fn instrument(&mut self, registry: &Registry) {
+        self.inner.instrument(registry)
     }
 }
 

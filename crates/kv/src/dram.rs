@@ -9,9 +9,10 @@ use fluidmem_sim::{SimClock, SimRng};
 use crate::error::KvError;
 use crate::key::ExternalKey;
 use crate::pending::{PendingGet, PendingWrite};
-use crate::stats::StoreStats;
+use crate::stats::{StoreCounters, StoreStats};
 use crate::store::KeyValueStore;
 use crate::transport::TransportModel;
+use fluidmem_telemetry::Registry;
 
 /// An in-process page store on the hypervisor's own DRAM — the paper's
 /// "FluidMem DRAM" configuration, used to isolate monitor overhead from
@@ -38,7 +39,7 @@ pub struct DramStore {
     transport: TransportModel,
     clock: SimClock,
     rng: SimRng,
-    stats: StoreStats,
+    stats: StoreCounters,
 }
 
 impl DramStore {
@@ -50,7 +51,7 @@ impl DramStore {
             transport: TransportModel::local(),
             clock,
             rng,
-            stats: StoreStats::default(),
+            stats: StoreCounters::new(),
         }
     }
 }
@@ -69,7 +70,8 @@ impl KeyValueStore for DramStore {
             return Err(KvError::OutOfCapacity);
         }
         self.map.insert(key.raw(), value);
-        self.stats.puts += 1;
+        self.stats.puts.inc();
+        self.stats.put_latency.observe(cost);
         Ok(())
     }
 
@@ -78,12 +80,13 @@ impl KeyValueStore for DramStore {
         self.clock.advance(cost);
         let existed = self.map.remove(&key.raw()).is_some();
         if existed {
-            self.stats.deletes += 1;
+            self.stats.deletes.inc();
         }
         existed
     }
 
     fn begin_get(&mut self, key: ExternalKey) -> PendingGet {
+        let issued_at = self.clock.now();
         let top = self.transport.sample_top_half(&mut self.rng);
         self.clock.advance(top);
         let flight = self.transport.sample_flight(&mut self.rng, PAGE_SIZE);
@@ -94,6 +97,7 @@ impl KeyValueStore for DramStore {
         PendingGet {
             key,
             result,
+            issued_at,
             completes_at: self.clock.now() + flight,
         }
     }
@@ -102,13 +106,16 @@ impl KeyValueStore for DramStore {
         self.clock.advance_to(pending.completes_at);
         let bottom = self.transport.sample_bottom_half(&mut self.rng);
         self.clock.advance(bottom);
+        self.stats
+            .get_latency
+            .observe(self.clock.now() - pending.issued_at);
         match pending.result {
             Ok(v) => {
-                self.stats.gets += 1;
+                self.stats.gets.inc();
                 Ok(v)
             }
             Err(e) => {
-                self.stats.get_misses += 1;
+                self.stats.get_misses.inc();
                 Err(e)
             }
         }
@@ -119,6 +126,7 @@ impl KeyValueStore for DramStore {
         batch: Vec<(ExternalKey, PageContents)>,
     ) -> Result<PendingWrite, KvError> {
         let count = batch.len();
+        let issued_at = self.clock.now();
         let top = self.transport.sample_top_half(&mut self.rng);
         self.clock.advance(top);
         let flight = self
@@ -132,10 +140,11 @@ impl KeyValueStore for DramStore {
             self.map.insert(key.raw(), value);
             keys.push(key);
         }
-        self.stats.batched_puts += count as u64;
-        self.stats.multi_writes += 1;
+        self.stats.batched_puts.add(count as u64);
+        self.stats.multi_writes.inc();
         Ok(PendingWrite {
             keys,
+            issued_at,
             completes_at: self.clock.now() + flight,
         })
     }
@@ -144,6 +153,9 @@ impl KeyValueStore for DramStore {
         self.clock.advance_to(pending.completes_at);
         let bottom = self.transport.sample_bottom_half(&mut self.rng);
         self.clock.advance(bottom);
+        self.stats
+            .multi_write_latency
+            .observe(self.clock.now() - pending.issued_at);
     }
 
     fn drop_partition(&mut self, partition: PartitionId) -> u64 {
@@ -151,7 +163,7 @@ impl KeyValueStore for DramStore {
         self.map
             .retain(|&raw, _| raw & 0xFFF != u64::from(partition.raw()));
         let n = (before - self.map.len()) as u64;
-        self.stats.deletes += n;
+        self.stats.deletes.add(n);
         n
     }
 
@@ -164,7 +176,11 @@ impl KeyValueStore for DramStore {
     }
 
     fn stats(&self) -> StoreStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    fn instrument(&mut self, registry: &Registry) {
+        self.stats.register(registry, self.name());
     }
 }
 

@@ -38,6 +38,7 @@ use crate::pending::{PendingGet, PendingWrite};
 use crate::stats::StoreStats;
 use crate::store::KeyValueStore;
 use crate::transport::TransportModel;
+use fluidmem_telemetry::{consts, Counter, Registry};
 
 /// Wraps a store with deterministic transport-fault injection.
 ///
@@ -65,7 +66,9 @@ pub struct FaultInjectingStore {
     clock: SimClock,
     deadline: SimDuration,
     ops: u64,
-    faults: StoreStats,
+    faults_injected: Counter,
+    timeouts: Counter,
+    unavailables: Counter,
 }
 
 impl FaultInjectingStore {
@@ -78,7 +81,9 @@ impl FaultInjectingStore {
             clock,
             deadline: SimDuration::from_micros(400),
             ops: 0,
-            faults: StoreStats::default(),
+            faults_injected: Counter::new(),
+            timeouts: Counter::new(),
+            unavailables: Counter::new(),
         }
     }
 
@@ -125,7 +130,7 @@ impl FaultInjectingStore {
         let fault = self.plan.decide(self.ops);
         self.ops += 1;
         if fault.is_some() {
-            self.faults.faults_injected += 1;
+            self.faults_injected.inc();
         }
         fault
     }
@@ -154,14 +159,14 @@ impl KeyValueStore for FaultInjectingStore {
             None => self.inner.put(key, value),
             Some(FaultKind::Drop) => {
                 self.clock.advance(self.deadline);
-                self.faults.timeouts += 1;
+                self.timeouts.inc();
                 Err(KvError::Timeout)
             }
             Some(FaultKind::Timeout) => {
                 let issued_at = self.clock.now();
                 self.inner.put(key, value)?;
                 self.clock.advance_to(issued_at + self.deadline);
-                self.faults.timeouts += 1;
+                self.timeouts.inc();
                 Err(KvError::Timeout)
             }
             Some(FaultKind::Duplicate) => {
@@ -178,7 +183,7 @@ impl KeyValueStore for FaultInjectingStore {
             }
             Some(FaultKind::TransientError) => {
                 self.clock.advance(self.refusal_cost());
-                self.faults.unavailables += 1;
+                self.unavailables.inc();
                 Err(KvError::Unavailable)
             }
         }
@@ -194,10 +199,11 @@ impl KeyValueStore for FaultInjectingStore {
             // Reads have no server-side effect, so a lost request and a
             // lost response are client-identical: the deadline expires.
             Some(FaultKind::Drop) | Some(FaultKind::Timeout) => {
-                self.faults.timeouts += 1;
+                self.timeouts.inc();
                 PendingGet {
                     key,
                     result: Err(KvError::Timeout),
+                    issued_at: self.clock.now(),
                     completes_at: self.clock.now() + self.deadline,
                 }
             }
@@ -210,10 +216,11 @@ impl KeyValueStore for FaultInjectingStore {
                 pending
             }
             Some(FaultKind::TransientError) => {
-                self.faults.unavailables += 1;
+                self.unavailables.inc();
                 PendingGet {
                     key,
                     result: Err(KvError::Unavailable),
+                    issued_at: self.clock.now(),
                     completes_at: self.clock.now() + self.refusal_cost(),
                 }
             }
@@ -232,7 +239,7 @@ impl KeyValueStore for FaultInjectingStore {
             None => self.inner.begin_multi_write(batch),
             Some(FaultKind::Drop) => {
                 self.clock.advance(self.deadline);
-                self.faults.timeouts += 1;
+                self.timeouts.inc();
                 Err(KvError::Timeout)
             }
             Some(FaultKind::Timeout) => {
@@ -241,7 +248,7 @@ impl KeyValueStore for FaultInjectingStore {
                 let pending = self.inner.begin_multi_write(batch)?;
                 self.inner.finish_write(pending);
                 self.clock.advance_to(issued_at + self.deadline);
-                self.faults.timeouts += 1;
+                self.timeouts.inc();
                 Err(KvError::Timeout)
             }
             Some(FaultKind::Duplicate) => {
@@ -256,7 +263,7 @@ impl KeyValueStore for FaultInjectingStore {
             }
             Some(FaultKind::TransientError) => {
                 self.clock.advance(self.refusal_cost());
-                self.faults.unavailables += 1;
+                self.unavailables.inc();
                 Err(KvError::Unavailable)
             }
         }
@@ -280,10 +287,25 @@ impl KeyValueStore for FaultInjectingStore {
 
     fn stats(&self) -> StoreStats {
         let mut stats = self.inner.stats();
-        stats.faults_injected += self.faults.faults_injected;
-        stats.timeouts += self.faults.timeouts;
-        stats.unavailables += self.faults.unavailables;
+        stats.faults_injected += self.faults_injected.get();
+        stats.timeouts += self.timeouts.get();
+        stats.unavailables += self.unavailables.get();
         stats
+    }
+
+    fn instrument(&mut self, registry: &Registry) {
+        self.inner.instrument(registry);
+        for (counter, op) in [
+            (&self.faults_injected, "fault_injected"),
+            (&self.timeouts, "timeout"),
+            (&self.unavailables, "unavailable"),
+        ] {
+            registry.adopt_counter(
+                consts::STORE_OPS,
+                &[(consts::LABEL_STORE, self.name()), (consts::LABEL_OP, op)],
+                counter,
+            );
+        }
     }
 }
 

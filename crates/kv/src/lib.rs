@@ -50,6 +50,6 @@ pub use ramcloud::RamCloudStore;
 pub use replicated::ReplicatedStore;
 pub use retry::{run_with_retries, RetryPolicy};
 pub use shared::SharedStore;
-pub use stats::StoreStats;
+pub use stats::{StoreCounters, StoreStats};
 pub use store::KeyValueStore;
 pub use transport::TransportModel;

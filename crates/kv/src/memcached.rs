@@ -9,9 +9,10 @@ use fluidmem_sim::{SimClock, SimRng};
 use crate::error::KvError;
 use crate::key::ExternalKey;
 use crate::pending::{PendingGet, PendingWrite};
-use crate::stats::StoreStats;
+use crate::stats::{StoreCounters, StoreStats};
 use crate::store::KeyValueStore;
 use crate::transport::TransportModel;
+use fluidmem_telemetry::Registry;
 
 /// Item overhead (memcached's per-item header + key).
 const ITEM_OVERHEAD: usize = 56;
@@ -64,7 +65,7 @@ pub struct MemcachedStore {
     transport: TransportModel,
     clock: SimClock,
     rng: SimRng,
-    stats: StoreStats,
+    stats: StoreCounters,
 }
 
 impl MemcachedStore {
@@ -104,7 +105,7 @@ impl MemcachedStore {
             transport,
             clock,
             rng,
-            stats: StoreStats::default(),
+            stats: StoreCounters::new(),
         }
     }
 
@@ -151,7 +152,7 @@ impl MemcachedStore {
             match victim {
                 Some(v) => {
                     self.remove_item(v);
-                    self.stats.evictions += 1;
+                    self.stats.evictions.inc();
                 }
                 None => return Err(KvError::OutOfCapacity),
             }
@@ -190,7 +191,8 @@ impl KeyValueStore for MemcachedStore {
             + self.transport.sample_bottom_half(&mut self.rng);
         self.clock.advance(cost);
         self.insert_item(key, value)?;
-        self.stats.puts += 1;
+        self.stats.puts.inc();
+        self.stats.put_latency.observe(cost);
         Ok(())
     }
 
@@ -200,12 +202,13 @@ impl KeyValueStore for MemcachedStore {
         self.clock.advance(cost);
         let existed = self.remove_item(key).is_some();
         if existed {
-            self.stats.deletes += 1;
+            self.stats.deletes.inc();
         }
         existed
     }
 
     fn begin_get(&mut self, key: ExternalKey) -> PendingGet {
+        let issued_at = self.clock.now();
         let top = self.transport.sample_top_half(&mut self.rng);
         self.clock.advance(top);
         let flight = self
@@ -221,6 +224,7 @@ impl KeyValueStore for MemcachedStore {
         PendingGet {
             key,
             result,
+            issued_at,
             completes_at: self.clock.now() + flight,
         }
     }
@@ -229,13 +233,16 @@ impl KeyValueStore for MemcachedStore {
         self.clock.advance_to(pending.completes_at);
         let bottom = self.transport.sample_bottom_half(&mut self.rng);
         self.clock.advance(bottom);
+        self.stats
+            .get_latency
+            .observe(self.clock.now() - pending.issued_at);
         match pending.result {
             Ok(v) => {
-                self.stats.gets += 1;
+                self.stats.gets.inc();
                 Ok(v)
             }
             Err(e) => {
-                self.stats.get_misses += 1;
+                self.stats.get_misses.inc();
                 Err(e)
             }
         }
@@ -248,6 +255,7 @@ impl KeyValueStore for MemcachedStore {
         // Memcached has no multiWrite; the client pipelines sets on one
         // connection, paying one round trip plus per-item server time.
         let count = batch.len();
+        let issued_at = self.clock.now();
         let top = self.transport.sample_top_half(&mut self.rng);
         self.clock.advance(top);
         let flight =
@@ -258,10 +266,11 @@ impl KeyValueStore for MemcachedStore {
             self.insert_item(key, value)?;
             keys.push(key);
         }
-        self.stats.batched_puts += count as u64;
-        self.stats.multi_writes += 1;
+        self.stats.batched_puts.add(count as u64);
+        self.stats.multi_writes.inc();
         Ok(PendingWrite {
             keys,
+            issued_at,
             completes_at: self.clock.now() + flight,
         })
     }
@@ -270,6 +279,9 @@ impl KeyValueStore for MemcachedStore {
         self.clock.advance_to(pending.completes_at);
         let bottom = self.transport.sample_bottom_half(&mut self.rng);
         self.clock.advance(bottom);
+        self.stats
+            .multi_write_latency
+            .observe(self.clock.now() - pending.issued_at);
     }
 
     fn drop_partition(&mut self, partition: PartitionId) -> u64 {
@@ -283,7 +295,7 @@ impl KeyValueStore for MemcachedStore {
         for key in doomed {
             self.remove_item(key);
         }
-        self.stats.deletes += n;
+        self.stats.deletes.add(n);
         n
     }
 
@@ -296,7 +308,11 @@ impl KeyValueStore for MemcachedStore {
     }
 
     fn stats(&self) -> StoreStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    fn instrument(&mut self, registry: &Registry) {
+        self.stats.register(registry, self.name());
     }
 }
 

@@ -16,6 +16,7 @@ use crate::key::ExternalKey;
 pub struct PendingGet {
     pub(crate) key: ExternalKey,
     pub(crate) result: Result<PageContents, KvError>,
+    pub(crate) issued_at: SimInstant,
     pub(crate) completes_at: SimInstant,
 }
 
@@ -23,6 +24,11 @@ impl PendingGet {
     /// The key being read.
     pub fn key(&self) -> ExternalKey {
         self.key
+    }
+
+    /// When the request was issued (the top half's start).
+    pub fn issued_at(&self) -> SimInstant {
+        self.issued_at
     }
 
     /// When the response is available to the bottom half.
@@ -36,6 +42,7 @@ impl PendingGet {
 #[must_use = "an issued write must be finished with KeyValueStore::finish_write"]
 pub struct PendingWrite {
     pub(crate) keys: Vec<ExternalKey>,
+    pub(crate) issued_at: SimInstant,
     pub(crate) completes_at: SimInstant,
 }
 
@@ -43,6 +50,11 @@ impl PendingWrite {
     /// The keys being written.
     pub fn keys(&self) -> &[ExternalKey] {
         &self.keys
+    }
+
+    /// When the batch was issued (the top half's start).
+    pub fn issued_at(&self) -> SimInstant {
+        self.issued_at
     }
 
     /// When the write is durable at the server.

@@ -9,9 +9,10 @@ use fluidmem_sim::{SimClock, SimRng};
 use crate::error::KvError;
 use crate::key::ExternalKey;
 use crate::pending::{PendingGet, PendingWrite};
-use crate::stats::StoreStats;
+use crate::stats::{StoreCounters, StoreStats};
 use crate::store::KeyValueStore;
 use crate::transport::TransportModel;
+use fluidmem_telemetry::Registry;
 
 /// Logical bytes one page record occupies in the log (payload + header).
 const RECORD_BYTES: usize = PAGE_SIZE + 100;
@@ -85,7 +86,7 @@ pub struct RamCloudStore {
     transport: TransportModel,
     clock: SimClock,
     rng: SimRng,
-    stats: StoreStats,
+    stats: StoreCounters,
 }
 
 impl RamCloudStore {
@@ -122,7 +123,7 @@ impl RamCloudStore {
             transport,
             clock,
             rng,
-            stats: StoreStats::default(),
+            stats: StoreCounters::new(),
         }
     }
 
@@ -133,7 +134,7 @@ impl RamCloudStore {
     /// the log size; later records win replay conflicts, so the recovered
     /// index is exactly the pre-crash one.
     pub fn crash_and_recover(&mut self) -> fluidmem_sim::SimDuration {
-        self.stats.recoveries += 1;
+        self.stats.recoveries.inc();
         let t0 = self.clock.now();
         self.index.clear();
         // Replay: ~0.6 µs per log record (hash insert + checksum), spread
@@ -206,7 +207,7 @@ impl RamCloudStore {
     /// space by relocating their live records to fresh segments. Runs on
     /// the server's spare cores, so it charges no monitor time.
     fn clean(&mut self) {
-        self.stats.cleanings += 1;
+        self.stats.cleanings.inc();
         // Collect live records from sealed segments with < 90% utilization.
         let mut survivors: Vec<(ExternalKey, PageContents)> = Vec::new();
         let mut freed = 0usize;
@@ -267,7 +268,8 @@ impl KeyValueStore for RamCloudStore {
         self.clock.advance(top + flight + bottom);
         self.kill_existing(key);
         self.append(key, value)?;
-        self.stats.puts += 1;
+        self.stats.puts.inc();
+        self.stats.put_latency.observe(top + flight + bottom);
         Ok(())
     }
 
@@ -278,12 +280,13 @@ impl KeyValueStore for RamCloudStore {
         let existed = self.index.contains_key(&key.raw());
         self.kill_existing(key);
         if existed {
-            self.stats.deletes += 1;
+            self.stats.deletes.inc();
         }
         existed
     }
 
     fn begin_get(&mut self, key: ExternalKey) -> PendingGet {
+        let issued_at = self.clock.now();
         let top = self.transport.sample_top_half(&mut self.rng);
         self.clock.advance(top);
         let flight = self.transport.sample_flight(&mut self.rng, RECORD_BYTES);
@@ -296,6 +299,7 @@ impl KeyValueStore for RamCloudStore {
         PendingGet {
             key,
             result,
+            issued_at,
             completes_at: self.clock.now() + flight,
         }
     }
@@ -304,13 +308,16 @@ impl KeyValueStore for RamCloudStore {
         self.clock.advance_to(pending.completes_at);
         let bottom = self.transport.sample_bottom_half(&mut self.rng);
         self.clock.advance(bottom);
+        self.stats
+            .get_latency
+            .observe(self.clock.now() - pending.issued_at);
         match pending.result {
             Ok(v) => {
-                self.stats.gets += 1;
+                self.stats.gets.inc();
                 Ok(v)
             }
             Err(e) => {
-                self.stats.get_misses += 1;
+                self.stats.get_misses.inc();
                 Err(e)
             }
         }
@@ -321,6 +328,7 @@ impl KeyValueStore for RamCloudStore {
         batch: Vec<(ExternalKey, PageContents)>,
     ) -> Result<PendingWrite, KvError> {
         let count = batch.len();
+        let issued_at = self.clock.now();
         let top = self.transport.sample_top_half(&mut self.rng);
         self.clock.advance(top);
         let flight = self
@@ -332,10 +340,11 @@ impl KeyValueStore for RamCloudStore {
             self.append(key, value)?;
             keys.push(key);
         }
-        self.stats.batched_puts += count as u64;
-        self.stats.multi_writes += 1;
+        self.stats.batched_puts.add(count as u64);
+        self.stats.multi_writes.inc();
         Ok(PendingWrite {
             keys,
+            issued_at,
             completes_at: self.clock.now() + flight,
         })
     }
@@ -344,6 +353,9 @@ impl KeyValueStore for RamCloudStore {
         self.clock.advance_to(pending.completes_at);
         let bottom = self.transport.sample_bottom_half(&mut self.rng);
         self.clock.advance(bottom);
+        self.stats
+            .multi_write_latency
+            .observe(self.clock.now() - pending.issued_at);
     }
 
     fn drop_partition(&mut self, partition: PartitionId) -> u64 {
@@ -362,7 +374,7 @@ impl KeyValueStore for RamCloudStore {
                 self.live_records -= 1;
             }
         }
-        self.stats.deletes += n;
+        self.stats.deletes.add(n);
         n
     }
 
@@ -375,7 +387,11 @@ impl KeyValueStore for RamCloudStore {
     }
 
     fn stats(&self) -> StoreStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    fn instrument(&mut self, registry: &Registry) {
+        self.stats.register(registry, self.name());
     }
 }
 

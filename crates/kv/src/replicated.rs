@@ -9,6 +9,7 @@ use crate::key::ExternalKey;
 use crate::pending::{PendingGet, PendingWrite};
 use crate::stats::StoreStats;
 use crate::store::KeyValueStore;
+use fluidmem_telemetry::{consts, Counter, Registry};
 
 /// A store that mirrors every page across multiple remote servers, so a
 /// store-server failure does not lose VM memory.
@@ -57,7 +58,7 @@ pub struct ReplicatedStore {
     /// acknowledge (it was dead, or the write dropped / was refused).
     /// Answers for these keys are untrusted until read-repair heals them.
     stale: Vec<std::collections::HashSet<u64>>,
-    failovers: u64,
+    failovers: Counter,
     repairs: u64,
 }
 
@@ -78,7 +79,7 @@ impl ReplicatedStore {
             replicas,
             alive,
             stale,
-            failovers: 0,
+            failovers: Counter::new(),
             repairs: 0,
         }
     }
@@ -100,7 +101,7 @@ impl ReplicatedStore {
 
     /// Reads served by a non-primary replica.
     pub fn failovers(&self) -> u64 {
-        self.failovers
+        self.failovers.get()
     }
 
     /// Pages re-written to lagging replicas by read-repair.
@@ -209,7 +210,7 @@ impl KeyValueStore for ReplicatedStore {
                 continue;
             }
             if let Ok(v) = self.replicas[i].get(key) {
-                self.failovers += 1;
+                self.failovers.inc();
                 if needs_repair && self.replicas[primary].put(key, v.clone()).is_ok() {
                     self.stale[primary].remove(&key.raw());
                     self.repairs += 1;
@@ -253,7 +254,7 @@ impl KeyValueStore for ReplicatedStore {
         }
         let (lead, lead_pending) = accepted.remove(0);
         if lead != primary {
-            self.failovers += 1;
+            self.failovers.inc();
         }
         for (i, p) in accepted {
             self.replicas[i].finish_write(p);
@@ -295,8 +296,23 @@ impl KeyValueStore for ReplicatedStore {
             .first_alive()
             .map(|i| self.replicas[i].stats())
             .unwrap_or_default();
-        stats.failovers += self.failovers;
+        stats.failovers += self.failovers.get();
         stats
+    }
+
+    // Replicas are deliberately not instrumented: identical backend
+    // names would collide on metric keys, with the last registration
+    // silently winning. Only the wrapper's own failover counter is
+    // exported.
+    fn instrument(&mut self, registry: &Registry) {
+        registry.adopt_counter(
+            consts::STORE_OPS,
+            &[
+                (consts::LABEL_STORE, self.name()),
+                (consts::LABEL_OP, "failover"),
+            ],
+            &self.failovers,
+        );
     }
 }
 
@@ -305,7 +321,7 @@ impl std::fmt::Debug for ReplicatedStore {
         f.debug_struct("ReplicatedStore")
             .field("replicas", &self.replicas.len())
             .field("alive", &self.alive)
-            .field("failovers", &self.failovers)
+            .field("failovers", &self.failovers.get())
             .finish()
     }
 }

@@ -11,6 +11,7 @@ use crate::key::ExternalKey;
 use crate::pending::{PendingGet, PendingWrite};
 use crate::stats::StoreStats;
 use crate::store::KeyValueStore;
+use fluidmem_telemetry::Registry;
 
 /// A cheaply clonable handle to a single underlying store, so multiple
 /// monitors — e.g. the source and destination hypervisors of a live
@@ -103,6 +104,10 @@ impl KeyValueStore for SharedStore {
 
     fn stats(&self) -> StoreStats {
         self.inner.borrow().stats()
+    }
+
+    fn instrument(&mut self, registry: &Registry) {
+        self.inner.borrow_mut().instrument(registry)
     }
 }
 

@@ -1,6 +1,16 @@
 //! Per-store operation counters.
+//!
+//! Store backends increment [`StoreCounters`] — shared telemetry
+//! handles — and [`StoreStats`] is the point-in-time snapshot those
+//! handles produce. Registering a store's counters
+//! ([`KeyValueStore::instrument`](crate::KeyValueStore::instrument))
+//! exports the same handles under
+//! [`consts::STORE_OPS`](fluidmem_telemetry::consts::STORE_OPS), so the
+//! stats surface and the metrics endpoint cannot drift apart.
 
-/// Counters maintained by every store backend.
+use fluidmem_telemetry::{consts, Counter, Histogram, Registry};
+
+/// A point-in-time snapshot of a store backend's counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Successful reads.
@@ -48,9 +58,87 @@ impl StoreStats {
     }
 }
 
+macro_rules! store_counters {
+    ($(($field:ident, $op:literal, $doc:literal)),+ $(,)?) => {
+        /// A store backend's live counter handles (see the module docs),
+        /// plus client-observed latency histograms for the three
+        /// round-trip operations.
+        #[derive(Debug, Clone, Default)]
+        pub struct StoreCounters {
+            $(#[doc = $doc] pub $field: Counter,)+
+            /// Full get round-trip latency (issue → bottom half done).
+            pub get_latency: Histogram,
+            /// Single-object put round-trip latency.
+            pub put_latency: Histogram,
+            /// Batch multi-write round-trip latency.
+            pub multi_write_latency: Histogram,
+        }
+
+        impl StoreCounters {
+            /// Fresh detached counters (not exported anywhere).
+            pub fn new() -> Self {
+                Self::default()
+            }
+
+            /// Registers every counter in `registry` under
+            /// [`consts::STORE_OPS`] and every latency histogram under
+            /// [`consts::STORE_OP_LATENCY_US`], labeled by `store` and
+            /// the operation. Accumulated values carry over: the
+            /// registry adopts the live handles.
+            pub fn register(&self, registry: &Registry, store: &str) {
+                $(registry.adopt_counter(
+                    consts::STORE_OPS,
+                    &[(consts::LABEL_STORE, store), (consts::LABEL_OP, $op)],
+                    &self.$field,
+                );)+
+                registry.adopt_histogram(
+                    consts::STORE_OP_LATENCY_US,
+                    &[(consts::LABEL_STORE, store), (consts::LABEL_OP, "get")],
+                    &self.get_latency,
+                );
+                registry.adopt_histogram(
+                    consts::STORE_OP_LATENCY_US,
+                    &[(consts::LABEL_STORE, store), (consts::LABEL_OP, "put")],
+                    &self.put_latency,
+                );
+                registry.adopt_histogram(
+                    consts::STORE_OP_LATENCY_US,
+                    &[(consts::LABEL_STORE, store), (consts::LABEL_OP, "multi_write")],
+                    &self.multi_write_latency,
+                );
+            }
+
+            /// A point-in-time snapshot of every counter.
+            pub fn snapshot(&self) -> StoreStats {
+                StoreStats {
+                    $($field: self.$field.get(),)+
+                }
+            }
+        }
+    };
+}
+
+store_counters! {
+    (gets, "get", "Successful reads."),
+    (get_misses, "get_miss", "Reads that missed (not found / evicted)."),
+    (puts, "put", "Single-object writes."),
+    (batched_puts, "batched_put", "Objects written through batch operations."),
+    (multi_writes, "multi_write", "Batch operations issued."),
+    (deletes, "delete", "Objects removed by `delete`."),
+    (evictions, "eviction", "Objects dropped by cache eviction — data loss."),
+    (cleanings, "cleaning", "Log-cleaner passes (RAMCloud)."),
+    (recoveries, "recovery", "Crash-recovery replays (RAMCloud)."),
+    (faults_injected, "fault_injected", "Faults injected by a fault-injecting wrapper."),
+    (timeouts, "timeout", "Operations that returned a timeout."),
+    (unavailables, "unavailable", "Operations refused as unavailable."),
+    (retries, "retry", "Retry attempts issued by a retry policy."),
+    (failovers, "failover", "Operations redirected to another replica."),
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fluidmem_sim::SimDuration;
 
     #[test]
     fn total_puts_sums_both_paths() {
@@ -60,5 +148,37 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.total_puts(), 10);
+    }
+
+    #[test]
+    fn snapshot_reads_live_handles() {
+        let c = StoreCounters::new();
+        c.gets.add(5);
+        c.multi_writes.inc();
+        let s = c.snapshot();
+        assert_eq!(s.gets, 5);
+        assert_eq!(s.multi_writes, 1);
+        assert_eq!(s.puts, 0);
+    }
+
+    #[test]
+    fn registered_counters_are_the_same_handles() {
+        let c = StoreCounters::new();
+        c.puts.add(2);
+        c.get_latency.observe(SimDuration::from_micros(12));
+        let reg = Registry::new();
+        c.register(&reg, "dram");
+        let puts = reg.counter(
+            consts::STORE_OPS,
+            &[(consts::LABEL_STORE, "dram"), (consts::LABEL_OP, "put")],
+        );
+        assert_eq!(puts.get(), 2);
+        c.puts.inc();
+        assert_eq!(puts.get(), 3);
+        let lat = reg.histogram(
+            consts::STORE_OP_LATENCY_US,
+            &[(consts::LABEL_STORE, "dram"), (consts::LABEL_OP, "get")],
+        );
+        assert_eq!(lat.snapshot().count, 1);
     }
 }

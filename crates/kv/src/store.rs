@@ -1,6 +1,7 @@
 //! The generic key-value store API (paper §IV).
 
 use fluidmem_mem::PageContents;
+use fluidmem_telemetry::Registry;
 
 use crate::error::KvError;
 use crate::key::ExternalKey;
@@ -104,6 +105,12 @@ pub trait KeyValueStore {
 
     /// Operation counters.
     fn stats(&self) -> StoreStats;
+
+    /// Registers this store's live counters in `registry` (see
+    /// [`StoreCounters::register`](crate::StoreCounters::register)).
+    /// Wrapper stores forward to what they wrap; the default is a no-op
+    /// so simple test doubles need not care.
+    fn instrument(&mut self, _registry: &Registry) {}
 }
 
 #[cfg(test)]

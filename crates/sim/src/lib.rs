@@ -56,4 +56,4 @@ pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanStats};
 pub use rng::SimRng;
 pub use series::TimeSeries;
 pub use time::{SimDuration, SimInstant};
-pub use trace::{TraceEvent, Tracer};
+pub use trace::{TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY};

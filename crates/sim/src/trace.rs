@@ -1,8 +1,16 @@
 //! Lightweight event tracing for debugging simulated schedules.
 
+use std::collections::VecDeque;
 use std::fmt;
 
 use crate::SimInstant;
+
+/// Default ring-buffer capacity for an enabled [`Tracer`].
+///
+/// Long-running scenarios (the bench binaries fault millions of pages)
+/// previously grew the trace without bound; a bounded ring keeps the
+/// most recent window, which is what post-mortem debugging wants anyway.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
 
 /// One traced event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,10 +29,13 @@ impl fmt::Display for TraceEvent {
     }
 }
 
-/// An opt-in event recorder.
+/// An opt-in event recorder backed by a bounded ring buffer.
 ///
 /// Disabled tracers skip formatting entirely, so traces can stay in hot
-/// paths without cost when off.
+/// paths without cost when off. Enabled tracers keep the most recent
+/// [`DEFAULT_TRACE_CAPACITY`] events (configurable via
+/// [`Tracer::set_capacity`]); older events are discarded and counted in
+/// [`Tracer::dropped`].
 ///
 /// # Example
 ///
@@ -39,10 +50,18 @@ impl fmt::Display for TraceEvent {
 /// off.emit(SimInstant::EPOCH, "monitor", || unreachable!());
 /// assert!(off.events().is_empty());
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Tracer {
     enabled: bool,
-    events: Vec<TraceEvent>,
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
 }
 
 impl Tracer {
@@ -50,7 +69,9 @@ impl Tracer {
     pub fn enabled() -> Self {
         Tracer {
             enabled: true,
-            events: Vec::new(),
+            capacity: DEFAULT_TRACE_CAPACITY,
+            events: VecDeque::new(),
+            dropped: 0,
         }
     }
 
@@ -58,13 +79,36 @@ impl Tracer {
     pub fn disabled() -> Self {
         Tracer {
             enabled: false,
-            events: Vec::new(),
+            capacity: DEFAULT_TRACE_CAPACITY,
+            events: VecDeque::new(),
+            dropped: 0,
         }
     }
 
     /// Whether events are being recorded.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// The maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Changes the ring capacity, evicting the oldest events if the
+    /// buffer already exceeds the new bound. A capacity of zero retains
+    /// nothing (every emit is counted as dropped).
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.events.len() > capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+    }
+
+    /// How many events have been evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Records an event; the message closure is only invoked when enabled.
@@ -74,21 +118,30 @@ impl Tracer {
         component: &'static str,
         message: F,
     ) {
-        if self.enabled {
-            self.events.push(TraceEvent {
-                at,
-                component,
-                message: message(),
-            });
+        if !self.enabled {
+            return;
         }
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            at,
+            component,
+            message: message(),
+        });
     }
 
-    /// All recorded events, in order.
-    pub fn events(&self) -> &[TraceEvent] {
+    /// All retained events, oldest first.
+    pub fn events(&self) -> &VecDeque<TraceEvent> {
         &self.events
     }
 
-    /// Drops all recorded events.
+    /// Drops all recorded events (the dropped counter is kept).
     pub fn clear(&mut self) {
         self.events.clear();
     }
@@ -124,5 +177,40 @@ mod tests {
         });
         assert!(!called);
         assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_events() {
+        let mut t = Tracer::enabled();
+        t.set_capacity(3);
+        for i in 0..5 {
+            t.emit(SimInstant::EPOCH, "x", || format!("e{i}"));
+        }
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.events()[0].message, "e2");
+        assert_eq!(t.events()[2].message, "e4");
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_oldest() {
+        let mut t = Tracer::enabled();
+        for i in 0..4 {
+            t.emit(SimInstant::EPOCH, "x", || format!("e{i}"));
+        }
+        t.set_capacity(2);
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.events()[0].message, "e2");
+        t.set_capacity(0);
+        t.emit(SimInstant::EPOCH, "x", || "gone".into());
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 5);
+    }
+
+    #[test]
+    fn default_capacity_is_bounded() {
+        let t = Tracer::enabled();
+        assert_eq!(t.capacity(), DEFAULT_TRACE_CAPACITY);
     }
 }

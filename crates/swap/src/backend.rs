@@ -12,7 +12,7 @@ use fluidmem_sim::{SimClock, SimDuration, SimInstant, SimRng};
 use crate::config::{DiskCacheMode, SwapConfig};
 use crate::lru::TwoListLru;
 use crate::slots::SlotAllocator;
-use crate::stats::SwapStats;
+use crate::stats::{SwapCounters, SwapStats};
 
 /// The balloon driver's maximum inflation leaves this much resident
 /// (64 MB, per the paper's Table III "Max VM balloon size" row).
@@ -85,7 +85,7 @@ pub struct SwapBackedMemory {
     from_vm: bool,
     label: String,
     counters: AccessCounters,
-    stats: SwapStats,
+    stats: SwapCounters,
 }
 
 impl SwapBackedMemory {
@@ -120,7 +120,7 @@ impl SwapBackedMemory {
             from_vm: true,
             label,
             counters: AccessCounters::default(),
-            stats: SwapStats::default(),
+            stats: SwapCounters::new(),
         }
     }
 
@@ -130,8 +130,16 @@ impl SwapBackedMemory {
     }
 
     /// Swap-subsystem counters.
-    pub fn swap_stats(&self) -> &SwapStats {
-        &self.stats
+    pub fn swap_stats(&self) -> SwapStats {
+        self.stats.snapshot()
+    }
+
+    /// Registers the swap counters and both block devices' counters in
+    /// a shared telemetry registry.
+    pub fn attach_telemetry(&mut self, telemetry: &fluidmem_telemetry::Telemetry) {
+        self.stats.register(telemetry.registry());
+        self.swap_dev.instrument(telemetry.registry());
+        self.fs_dev.instrument(telemetry.registry());
     }
 
     /// The swap configuration in use.
@@ -238,7 +246,7 @@ impl SwapBackedMemory {
             PageClass::Anonymous => {
                 if let Some(slot) = self.clean_slot.remove(&vpn) {
                     // Device copy still valid: no write needed.
-                    self.stats.clean_evictions += 1;
+                    self.stats.clean_evictions.inc();
                     self.swapped_out.insert(
                         vpn,
                         SwappedInfo {
@@ -266,7 +274,7 @@ impl SwapBackedMemory {
                             .expect("slot within device");
                         Some(c.at)
                     };
-                    self.stats.swap_outs += 1;
+                    self.stats.swap_outs.inc();
                     self.swapped_out.insert(
                         vpn,
                         SwappedInfo {
@@ -279,7 +287,7 @@ impl SwapBackedMemory {
             PageClass::FileBacked => {
                 if dirty {
                     let block = self.fs_block_of(vpn);
-                    self.stats.fs_writes += 1;
+                    self.stats.fs_writes.inc();
                     if direct {
                         let c = self
                             .fs_dev
@@ -305,7 +313,7 @@ impl SwapBackedMemory {
     /// kswapd has fallen behind.
     fn ensure_frames(&mut self, n: u64) {
         while self.frames.free_frames() < n {
-            self.stats.direct_reclaims += 1;
+            self.stats.direct_reclaims.inc();
             if !self.reclaim_one(true) {
                 panic!(
                     "guest OOM: {} frames, nothing reclaimable",
@@ -321,7 +329,7 @@ impl SwapBackedMemory {
         if self.frames.free_frames() >= low {
             return;
         }
-        self.stats.kswapd_runs += 1;
+        self.stats.kswapd_runs.inc();
         let high = (self.config.dram_pages as f64 * self.config.watermark_high) as u64;
         let mut batch = self.config.kswapd_batch;
         while self.frames.free_frames() < high && batch > 0 {
@@ -377,7 +385,7 @@ impl SwapBackedMemory {
             self.swapped_out.remove(&vpn);
             self.swap_cache.insert(vpn, frame);
             self.swap_cache_order.push_back(vpn);
-            self.stats.readahead_pages += 1;
+            self.stats.readahead_pages.inc();
         }
     }
 
@@ -401,7 +409,7 @@ impl SwapBackedMemory {
                     }
                     self.pt.map(vpn, frame, flags);
                     self.lru.insert(vpn);
-                    self.stats.swap_cache_hits += 1;
+                    self.stats.swap_cache_hits.inc();
                     self.kswapd();
                     return AccessOutcome::MinorFault;
                 }
@@ -412,7 +420,7 @@ impl SwapBackedMemory {
                         // Writeback still in flight: wait for it before
                         // reading the slot back.
                         if self.clock.advance_to(t) > SimDuration::ZERO {
-                            self.stats.writeback_collisions += 1;
+                            self.stats.writeback_collisions.inc();
                         }
                     }
                     self.ensure_frames(1);
@@ -433,7 +441,7 @@ impl SwapBackedMemory {
                         self.clean_slot.insert(vpn, info.slot);
                     }
                     self.lru.insert(vpn);
-                    self.stats.major_faults += 1;
+                    self.stats.major_faults.inc();
                     self.kswapd();
                     return AccessOutcome::MajorFault;
                 }
@@ -442,7 +450,7 @@ impl SwapBackedMemory {
                 self.charge(&self.config.costs.first_touch.clone());
                 self.map_new_frame(vpn, PageContents::Zero, write);
                 self.lru.insert(vpn);
-                self.stats.first_touch_faults += 1;
+                self.stats.first_touch_faults.inc();
                 self.kswapd();
                 AccessOutcome::MinorFault
             }
@@ -456,7 +464,7 @@ impl SwapBackedMemory {
                 self.charge(&self.config.costs.swapin_setup.clone());
                 self.map_new_frame(vpn, completion.data, write);
                 self.lru.insert(vpn);
-                self.stats.fs_reads += 1;
+                self.stats.fs_reads.inc();
                 self.kswapd();
                 AccessOutcome::MajorFault
             }

@@ -39,4 +39,4 @@ pub use backend::SwapBackedMemory;
 pub use config::{DiskCacheMode, SwapConfig, SwapCosts};
 pub use lru::TwoListLru;
 pub use slots::SlotAllocator;
-pub use stats::SwapStats;
+pub use stats::{SwapCounters, SwapStats};

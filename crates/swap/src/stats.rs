@@ -1,6 +1,14 @@
 //! Swap-subsystem counters.
+//!
+//! The swap backend increments [`SwapCounters`] — shared telemetry
+//! handles — and [`SwapStats`] is the point-in-time snapshot those
+//! handles produce. Registering the counters exports the same handles
+//! under [`consts::SWAP_EVENTS`](fluidmem_telemetry::consts::SWAP_EVENTS).
 
-/// Counters kept by [`SwapBackedMemory`](crate::SwapBackedMemory).
+use fluidmem_telemetry::{consts, Counter, Registry};
+
+/// A point-in-time snapshot of the counters kept by
+/// [`SwapBackedMemory`](crate::SwapBackedMemory).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SwapStats {
     /// Faults served from the swap device (page was swapped out).
@@ -29,6 +37,56 @@ pub struct SwapStats {
     pub writeback_collisions: u64,
 }
 
+macro_rules! swap_counters {
+    ($(($field:ident, $event:literal, $doc:literal)),+ $(,)?) => {
+        /// The swap backend's live counter handles (see the module docs).
+        #[derive(Debug, Clone, Default)]
+        pub struct SwapCounters {
+            $(#[doc = $doc] pub $field: Counter,)+
+        }
+
+        impl SwapCounters {
+            /// Fresh detached counters (not exported anywhere).
+            pub fn new() -> Self {
+                Self::default()
+            }
+
+            /// Registers every counter in `registry` under
+            /// [`consts::SWAP_EVENTS`], keyed by an `event` label.
+            /// Accumulated values carry over: the registry adopts the
+            /// live handles.
+            pub fn register(&self, registry: &Registry) {
+                $(registry.adopt_counter(
+                    consts::SWAP_EVENTS,
+                    &[(consts::LABEL_EVENT, $event)],
+                    &self.$field,
+                );)+
+            }
+
+            /// A point-in-time snapshot of every counter.
+            pub fn snapshot(&self) -> SwapStats {
+                SwapStats {
+                    $($field: self.$field.get(),)+
+                }
+            }
+        }
+    };
+}
+
+swap_counters! {
+    (major_faults, "major_fault", "Faults served from the swap device."),
+    (swap_cache_hits, "swap_cache_hit", "Faults served from the swap cache (readahead hit)."),
+    (first_touch_faults, "first_touch_fault", "First-touch anonymous faults (zero-fill)."),
+    (swap_outs, "swap_out", "Pages written to the swap device."),
+    (clean_evictions, "clean_eviction", "Evictions that skipped the write (clean slot copy)."),
+    (readahead_pages, "readahead_page", "Pages pulled in speculatively by readahead."),
+    (kswapd_runs, "kswapd_run", "kswapd background reclaim passes."),
+    (direct_reclaims, "direct_reclaim", "Pages reclaimed on the allocation critical path."),
+    (fs_reads, "fs_read", "File-backed pages refaulted from the filesystem."),
+    (fs_writes, "fs_write", "Dirty file-backed pages written back."),
+    (writeback_collisions, "writeback_collision", "Faults that waited on an in-flight writeback."),
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -37,6 +95,18 @@ mod tests {
     fn default_is_zeroed() {
         let s = SwapStats::default();
         assert_eq!(s.major_faults, 0);
-        assert_eq!(s, SwapStats::default());
+        assert_eq!(SwapCounters::new().snapshot(), SwapStats::default());
+    }
+
+    #[test]
+    fn registered_counters_are_the_same_handles() {
+        let c = SwapCounters::new();
+        c.swap_outs.add(4);
+        let reg = Registry::new();
+        c.register(&reg);
+        let outs = reg.counter(consts::SWAP_EVENTS, &[(consts::LABEL_EVENT, "swap_out")]);
+        assert_eq!(outs.get(), 4);
+        c.swap_outs.inc();
+        assert_eq!(outs.get(), 5);
     }
 }

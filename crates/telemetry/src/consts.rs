@@ -1,0 +1,148 @@
+//! The single source of truth for metric names, label keys, span track
+//! names, and the histogram bucket scheme.
+//!
+//! Bench binaries, tests, and the instrumented crates all reference these
+//! constants instead of scattering string-typed metric names — renaming a
+//! metric is a one-line change here, and exporter snapshot tests pin the
+//! wire format.
+
+/// Monitor event counter (labeled by [`LABEL_EVENT`]): faults, zero
+/// fills, remote reads, steals, retries, …
+pub const MONITOR_EVENTS: &str = "fluidmem_monitor_events_total";
+
+/// Key-value store operation counter (labeled by [`LABEL_STORE`] and
+/// [`LABEL_OP`]).
+pub const STORE_OPS: &str = "fluidmem_store_ops_total";
+
+/// Key-value store operation latency histogram (labeled by
+/// [`LABEL_STORE`] and [`LABEL_OP`]): full client-observed round trips,
+/// including any overlapped flight time.
+pub const STORE_OP_LATENCY_US: &str = "fluidmem_store_op_latency_us";
+
+/// Swap-subsystem event counter (labeled by [`LABEL_EVENT`]): major
+/// faults, kswapd runs, readahead hits, reclaims, …
+pub const SWAP_EVENTS: &str = "fluidmem_swap_events_total";
+
+/// Block-device operation counter (labeled by [`LABEL_DEVICE`] and
+/// [`LABEL_OP`]).
+pub const BLOCK_OPS: &str = "fluidmem_block_ops_total";
+
+/// Coordination-service event counter (labeled by [`LABEL_EVENT`]).
+pub const COORD_EVENTS: &str = "fluidmem_coord_events_total";
+
+/// Guest-VM event counter (labeled by [`LABEL_EVENT`]): balloon
+/// operations, service requests, …
+pub const VM_EVENTS: &str = "fluidmem_vm_events_total";
+
+/// Pages currently resident in the monitor's LRU buffer (gauge).
+pub const LRU_RESIDENT_PAGES: &str = "fluidmem_lru_resident_pages";
+
+/// The monitor's configured LRU capacity (gauge).
+pub const LRU_CAPACITY_PAGES: &str = "fluidmem_lru_capacity_pages";
+
+/// Pages waiting on the asynchronous write list (gauge).
+pub const WRITE_LIST_PENDING: &str = "fluidmem_write_list_pending_pages";
+
+/// Per-code-path latency histogram (labeled by [`LABEL_PATH`]) — the
+/// registry-backed source of the paper's Table I.
+pub const CODEPATH_LATENCY_US: &str = "fluidmem_codepath_latency_us";
+
+/// Guest-observed fault latency histogram (labeled by
+/// [`LABEL_RESOLUTION`]).
+pub const FAULT_LATENCY_US: &str = "fluidmem_fault_latency_us";
+
+/// Label key for event-style counters.
+pub const LABEL_EVENT: &str = "event";
+/// Label key naming a key-value store backend.
+pub const LABEL_STORE: &str = "store";
+/// Label key naming a block device.
+pub const LABEL_DEVICE: &str = "device";
+/// Label key naming an operation.
+pub const LABEL_OP: &str = "op";
+/// Label key naming a monitor code path (Table I row).
+pub const LABEL_PATH: &str = "path";
+/// Label key naming a fault resolution kind.
+pub const LABEL_RESOLUTION: &str = "resolution";
+
+/// Span track for the guest / workload side.
+pub const TRACK_GUEST: &str = "guest";
+/// Span track for the monitor's fault-handling thread.
+pub const TRACK_MONITOR: &str = "monitor";
+/// Span track for key-value store transport activity (async flights).
+pub const TRACK_KV: &str = "kv";
+/// Span track for kernel-side work (TLB shootdowns, kswapd).
+pub const TRACK_KERNEL: &str = "kernel";
+
+/// Stable Chrome-trace thread ids per track, in display order. Unlisted
+/// tracks are assigned ids after these, in first-use order.
+pub const TRACK_TIDS: [(&str, u64); 4] = [
+    (TRACK_GUEST, 1),
+    (TRACK_MONITOR, 2),
+    (TRACK_KV, 3),
+    (TRACK_KERNEL, 4),
+];
+
+/// Number of finite histogram buckets. Bucket `i` has upper bound
+/// [`bucket_bound_ns`]`(i)`; one extra `+Inf` bucket catches the rest.
+pub const HIST_BUCKETS: usize = 40;
+
+/// Upper bound of the first histogram bucket, in nanoseconds. Bounds
+/// double per bucket (250 ns, 500 ns, 1 µs, … ≈ 76 h), so two histograms
+/// recorded under the same scheme merge exactly, bucket by bucket.
+pub const HIST_FIRST_BOUND_NS: u64 = 250;
+
+/// Per-histogram cap on retained percentile samples; past it, spans are
+/// systematically subsampled so memory stays bounded while percentiles
+/// remain representative (the scheme the Table I profiler has always
+/// used).
+pub const HIST_SAMPLE_CAP: u64 = 1 << 18;
+
+/// Default capacity of the span ring buffer (completed spans retained).
+pub const SPAN_RING_CAPACITY: usize = 1 << 16;
+
+/// The inclusive upper bound of histogram bucket `i`, in nanoseconds.
+#[inline]
+pub const fn bucket_bound_ns(i: usize) -> u64 {
+    HIST_FIRST_BOUND_NS << i
+}
+
+/// The bucket index a latency of `ns` nanoseconds falls into;
+/// [`HIST_BUCKETS`] means the `+Inf` overflow bucket.
+#[inline]
+pub fn bucket_index(ns: u64) -> usize {
+    let mut i = 0;
+    while i < HIST_BUCKETS {
+        if ns <= bucket_bound_ns(i) {
+            return i;
+        }
+        i += 1;
+    }
+    HIST_BUCKETS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_double() {
+        assert_eq!(bucket_bound_ns(0), 250);
+        assert_eq!(bucket_bound_ns(1), 500);
+        assert_eq!(bucket_bound_ns(2), 1_000);
+        assert_eq!(bucket_bound_ns(12), 1_024_000);
+    }
+
+    #[test]
+    fn index_is_monotone_and_clamped() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(250), 0);
+        assert_eq!(bucket_index(251), 1);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS);
+        let mut last = 0;
+        for ns in [1u64, 300, 1_000, 50_000, 10_000_000, 1 << 60] {
+            let i = bucket_index(ns);
+            assert!(i >= last);
+            last = i;
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Prometheus text exposition (version 0.0.4).
+
+use std::fmt::Write as _;
+
+use crate::registry::RegistrySnapshot;
+
+use super::fmt_us;
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn type_line(out: &mut String, emitted: &mut Vec<String>, name: &str, kind: &str) {
+    if !emitted.iter().any(|n| n == name) {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        emitted.push(name.to_string());
+    }
+}
+
+/// Renders a registry snapshot in the Prometheus text format.
+///
+/// Output is fully deterministic: metrics are sorted by name then
+/// labels, and every float uses plain fixed-point formatting.
+pub fn prometheus_text(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    let mut emitted: Vec<String> = Vec::new();
+
+    for ((name, labels), value) in &snapshot.counters {
+        type_line(&mut out, &mut emitted, name, "counter");
+        let _ = writeln!(out, "{name}{} {value}", label_block(labels, None));
+    }
+    for ((name, labels), value) in &snapshot.gauges {
+        type_line(&mut out, &mut emitted, name, "gauge");
+        let _ = writeln!(out, "{name}{} {value}", label_block(labels, None));
+    }
+    for ((name, labels), hist) in &snapshot.histograms {
+        type_line(&mut out, &mut emitted, name, "histogram");
+        for (bound, cum) in hist.cumulative_buckets() {
+            let le = match bound {
+                Some(us) => fmt_us(us),
+                None => "+Inf".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{name}_bucket{} {cum}",
+                label_block(labels, Some(("le", &le)))
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{name}_sum{} {}",
+            label_block(labels, None),
+            fmt_us(hist.sum_us)
+        );
+        let _ = writeln!(
+            out,
+            "{name}_count{} {}",
+            label_block(labels, None),
+            hist.count
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use fluidmem_sim::SimDuration;
+
+    #[test]
+    fn snapshot_format_is_pinned() {
+        let reg = Registry::new();
+        reg.counter("fluidmem_monitor_events_total", &[("event", "fault")])
+            .add(3);
+        reg.gauge("fluidmem_lru_resident_pages", &[]).set(42);
+        let text = prometheus_text(&reg.snapshot());
+        assert_eq!(
+            text,
+            "# TYPE fluidmem_monitor_events_total counter\n\
+             fluidmem_monitor_events_total{event=\"fault\"} 3\n\
+             # TYPE fluidmem_lru_resident_pages gauge\n\
+             fluidmem_lru_resident_pages 42\n"
+        );
+    }
+
+    #[test]
+    fn histogram_emits_buckets_sum_count() {
+        let reg = Registry::new();
+        reg.histogram("lat_us", &[("path", "READ_PAGE")])
+            .observe(SimDuration::from_nanos(300));
+        let text = prometheus_text(&reg.snapshot());
+        assert!(text.starts_with("# TYPE lat_us histogram\n"));
+        assert!(text.contains("lat_us_bucket{path=\"READ_PAGE\",le=\"0.25\"} 0\n"));
+        assert!(text.contains("lat_us_bucket{path=\"READ_PAGE\",le=\"0.5\"} 1\n"));
+        assert!(text.contains("lat_us_bucket{path=\"READ_PAGE\",le=\"+Inf\"} 1\n"));
+        assert!(text.contains("lat_us_sum{path=\"READ_PAGE\"} 0.3\n"));
+        assert!(text.ends_with("lat_us_count{path=\"READ_PAGE\"} 1\n"));
+    }
+
+    #[test]
+    fn type_line_appears_once_per_family() {
+        let reg = Registry::new();
+        reg.counter("ops", &[("op", "get")]).inc();
+        reg.counter("ops", &[("op", "put")]).inc();
+        let text = prometheus_text(&reg.snapshot());
+        assert_eq!(text.matches("# TYPE ops counter").count(), 1);
+    }
+}

@@ -1,0 +1,423 @@
+//! The metrics registry: labeled counters, gauges, and log-bucketed
+//! virtual-time histograms.
+//!
+//! Instruments are cheap handles (`Arc` underneath) resolved once at
+//! registration time, so hot paths touch an atomic (counters, gauges) or
+//! one short mutex section (histograms) — never a name lookup. The
+//! registry itself only holds the shared handles for export; exporters
+//! iterate a `BTreeMap`, which makes every export byte-deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use fluidmem_sim::stats::{Sample, Summary};
+use fluidmem_sim::SimDuration;
+
+use crate::consts::{bucket_bound_ns, bucket_index, HIST_BUCKETS, HIST_SAMPLE_CAP};
+
+/// A metric's identity: name plus sorted `(key, value)` labels.
+pub type MetricKey = (String, Vec<(String, String)>);
+
+fn metric_key(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+    let mut l: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    l.sort();
+    (name.to_string(), l)
+}
+
+/// A monotonically increasing counter handle.
+///
+/// Detached counters ([`Counter::new`]) work standalone; adopting them
+/// into a [`Registry`] makes the same handle exportable.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a detached counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a value that can go up and down.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Creates a detached gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Exact streaming moments, in microseconds.
+    summary: Summary,
+    /// Bounded systematic subsample for precise percentiles.
+    sample: Sample,
+    /// Total observations ever recorded (drives the subsampling).
+    recorded: u64,
+    /// Log-bucketed counts under the fixed [`crate::consts`] scheme;
+    /// the last slot is the `+Inf` overflow bucket.
+    buckets: Vec<u64>,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            summary: Summary::new(),
+            sample: Sample::new(),
+            recorded: 0,
+            buckets: vec![0; HIST_BUCKETS + 1],
+        }
+    }
+}
+
+/// A latency histogram over virtual time.
+///
+/// The bucket scheme is fixed (see [`crate::consts`]) so two histograms
+/// merge exactly; means and standard deviations are exact (streaming
+/// moments), and percentiles come from a bounded systematic subsample —
+/// the same retention scheme the Table I profiler has always used, so a
+/// registry-backed profile reports identical numbers.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<Mutex<HistogramCore>>);
+
+impl Histogram {
+    /// Creates a detached, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency observation.
+    pub fn observe(&self, d: SimDuration) {
+        let mut c = self.0.lock().expect("histogram lock");
+        c.summary.record_duration(d);
+        c.recorded += 1;
+        let n = c.recorded;
+        if n <= HIST_SAMPLE_CAP || n.is_multiple_of(1 + n / HIST_SAMPLE_CAP) {
+            c.sample.record_duration(d);
+        }
+        let b = bucket_index(d.as_nanos());
+        c.buckets[b] += 1;
+    }
+
+    /// A point-in-time copy of the histogram's statistics.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let c = self.0.lock().expect("histogram lock");
+        let mut sample = c.sample.clone();
+        HistogramSnapshot {
+            count: c.summary.count(),
+            sum_us: c.summary.mean() * c.summary.count() as f64,
+            mean_us: c.summary.mean(),
+            stdev_us: c.summary.stdev(),
+            min_us: c.summary.min(),
+            max_us: c.summary.max(),
+            p50_us: sample.percentile(0.5),
+            p99_us: sample.percentile(0.99),
+            buckets: c.buckets.clone(),
+        }
+    }
+
+    /// Drops all recorded observations.
+    pub fn reset(&self) {
+        *self.0.lock().expect("histogram lock") = HistogramCore::default();
+    }
+}
+
+/// A point-in-time view of one [`Histogram`].
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations (µs).
+    pub sum_us: f64,
+    /// Exact mean (µs).
+    pub mean_us: f64,
+    /// Exact sample standard deviation (µs).
+    pub stdev_us: f64,
+    /// Smallest observation (µs).
+    pub min_us: f64,
+    /// Largest observation (µs).
+    pub max_us: f64,
+    /// Median from the percentile subsample (µs).
+    pub p50_us: f64,
+    /// 99th percentile from the percentile subsample (µs).
+    pub p99_us: f64,
+    /// Per-bucket counts; the last slot is `+Inf`.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Cumulative bucket counts paired with their upper bounds in
+    /// microseconds (`None` for the `+Inf` bucket), as Prometheus
+    /// exposition wants them.
+    pub fn cumulative_buckets(&self) -> Vec<(Option<f64>, u64)> {
+        let mut cum = 0u64;
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                cum += c;
+                let bound = if i < HIST_BUCKETS {
+                    Some(bucket_bound_ns(i) as f64 / 1_000.0)
+                } else {
+                    None
+                };
+                (bound, cum)
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<MetricKey, Counter>,
+    gauges: BTreeMap<MetricKey, Gauge>,
+    histograms: BTreeMap<MetricKey, Histogram>,
+}
+
+/// The shared metrics registry.
+///
+/// Clones share the same underlying maps. Instruments obtained twice
+/// under the same name and labels are the same handle.
+///
+/// # Example
+///
+/// ```
+/// use fluidmem_telemetry::Registry;
+///
+/// let reg = Registry::new();
+/// let faults = reg.counter("faults_total", &[("kind", "minor")]);
+/// faults.inc();
+/// assert_eq!(reg.counter("faults_total", &[("kind", "minor")]).get(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or creates a counter under `name` and `labels`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = metric_key(name, labels);
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.counters.entry(key).or_default().clone()
+    }
+
+    /// Gets or creates a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = metric_key(name, labels);
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.gauges.entry(key).or_default().clone()
+    }
+
+    /// Gets or creates a histogram.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let key = metric_key(name, labels);
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.histograms.entry(key).or_default().clone()
+    }
+
+    /// Registers an *existing* counter handle (and its accumulated
+    /// value) under `name`/`labels`, replacing any previous registration.
+    /// Lets components instrument themselves after construction without
+    /// losing counts.
+    pub fn adopt_counter(&self, name: &str, labels: &[(&str, &str)], counter: &Counter) {
+        let key = metric_key(name, labels);
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.counters.insert(key, counter.clone());
+    }
+
+    /// Registers an existing gauge handle.
+    pub fn adopt_gauge(&self, name: &str, labels: &[(&str, &str)], gauge: &Gauge) {
+        let key = metric_key(name, labels);
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.gauges.insert(key, gauge.clone());
+    }
+
+    /// Registers an existing histogram handle.
+    pub fn adopt_histogram(&self, name: &str, labels: &[(&str, &str)], histogram: &Histogram) {
+        let key = metric_key(name, labels);
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.histograms.insert(key, histogram.clone());
+    }
+
+    /// A deterministic point-in-time copy of every registered metric,
+    /// sorted by name then labels.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.inner.lock().expect("registry lock");
+        RegistrySnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, g)| (k.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A deterministic copy of a [`Registry`]'s contents for export.
+#[derive(Clone, Debug, Default)]
+pub struct RegistrySnapshot {
+    /// Counters, sorted by key.
+    pub counters: Vec<(MetricKey, u64)>,
+    /// Gauges, sorted by key.
+    pub gauges: Vec<(MetricKey, i64)>,
+    /// Histograms, sorted by key.
+    pub histograms: Vec<(MetricKey, HistogramSnapshot)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_is_same_handle() {
+        let reg = Registry::new();
+        let a = reg.counter("x", &[("l", "1")]);
+        let b = reg.counter("x", &[("l", "1")]);
+        a.add(3);
+        assert_eq!(b.get(), 3);
+        let other = reg.counter("x", &[("l", "2")]);
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let reg = Registry::new();
+        reg.counter("x", &[("a", "1"), ("b", "2")]).inc();
+        assert_eq!(reg.counter("x", &[("b", "2"), ("a", "1")]).get(), 1);
+    }
+
+    #[test]
+    fn adopted_counter_keeps_its_value() {
+        let reg = Registry::new();
+        let c = Counter::new();
+        c.add(7);
+        reg.adopt_counter("pre", &[], &c);
+        assert_eq!(reg.counter("pre", &[]).get(), 7);
+        c.inc();
+        assert_eq!(reg.snapshot().counters[0].1, 8);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_moments_are_exact() {
+        let h = Histogram::new();
+        for us in [10u64, 20, 30] {
+            h.observe(SimDuration::from_micros(us));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert!((s.mean_us - 20.0).abs() < 1e-9);
+        assert!((s.stdev_us - 10.0).abs() < 1e-9);
+        assert!((s.sum_us - 60.0).abs() < 1e-9);
+        assert_eq!(s.min_us, 10.0);
+        assert_eq!(s.max_us, 30.0);
+    }
+
+    #[test]
+    fn histogram_buckets_accumulate_and_merge_exactly() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.observe(SimDuration::from_nanos(100)); // bucket 0
+        a.observe(SimDuration::from_micros(1)); // 1000 ns -> bucket 2
+        b.observe(SimDuration::from_micros(1));
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        assert_eq!(sa.buckets[0], 1);
+        assert_eq!(sa.buckets[2], 1);
+        assert_eq!(sb.buckets[2], 1);
+        // Fixed scheme: merging is element-wise addition.
+        let merged: Vec<u64> = sa
+            .buckets
+            .iter()
+            .zip(&sb.buckets)
+            .map(|(x, y)| x + y)
+            .collect();
+        assert_eq!(merged[2], 2);
+        let cum = sa.cumulative_buckets();
+        assert_eq!(cum.last().unwrap().1, 2, "+Inf bucket is cumulative total");
+        assert!(cum.last().unwrap().0.is_none());
+    }
+
+    #[test]
+    fn histogram_reset_clears() {
+        let h = Histogram::new();
+        h.observe(SimDuration::from_micros(5));
+        h.reset();
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let reg = Registry::new();
+        reg.counter("zzz", &[]).inc();
+        reg.counter("aaa", &[]).inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters[0].0 .0, "aaa");
+        assert_eq!(snap.counters[1].0 .0, "zzz");
+    }
+}

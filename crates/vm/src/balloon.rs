@@ -18,6 +18,7 @@ use fluidmem_mem::MemoryBackend;
 #[derive(Debug, Default)]
 pub struct Balloon {
     inflated_to: Option<u64>,
+    inflations: fluidmem_telemetry::Counter,
 }
 
 impl Balloon {
@@ -29,9 +30,21 @@ impl Balloon {
     /// Inflates toward `target_resident_pages`; returns the footprint
     /// actually achieved (bounded by the mechanism's floor).
     pub fn inflate(&mut self, backend: &mut dyn MemoryBackend, target_resident_pages: u64) -> u64 {
+        self.inflations.inc();
         let achieved = backend.balloon_reclaim(target_resident_pages);
         self.inflated_to = Some(target_resident_pages);
         achieved
+    }
+
+    /// Registers the balloon's inflation counter in a shared telemetry
+    /// registry.
+    pub fn attach_telemetry(&mut self, telemetry: &fluidmem_telemetry::Telemetry) {
+        use fluidmem_telemetry::consts;
+        telemetry.registry().adopt_counter(
+            consts::VM_EVENTS,
+            &[(consts::LABEL_EVENT, "balloon_inflate")],
+            &self.inflations,
+        );
     }
 
     /// The last inflation target, if any.

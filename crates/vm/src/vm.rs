@@ -51,6 +51,8 @@ pub struct Vm {
     os: GuestOs,
     mode: VirtualizationMode,
     idle_step: u64,
+    idle_ticks: fluidmem_telemetry::Counter,
+    workload_allocs: fluidmem_telemetry::Counter,
 }
 
 impl Vm {
@@ -66,6 +68,20 @@ impl Vm {
             os,
             mode: VirtualizationMode::Kvm,
             idle_step: 0,
+            idle_ticks: fluidmem_telemetry::Counter::new(),
+            workload_allocs: fluidmem_telemetry::Counter::new(),
+        }
+    }
+
+    /// Registers the VM's event counters in a shared telemetry registry.
+    pub fn attach_telemetry(&mut self, telemetry: &fluidmem_telemetry::Telemetry) {
+        use fluidmem_telemetry::consts;
+        let registry = telemetry.registry();
+        for (counter, event) in [
+            (&self.idle_ticks, "idle_tick"),
+            (&self.workload_allocs, "workload_alloc"),
+        ] {
+            registry.adopt_counter(consts::VM_EVENTS, &[(consts::LABEL_EVENT, event)], counter);
         }
     }
 
@@ -108,12 +124,14 @@ impl Vm {
     /// Allocates an anonymous workload region (an application starting in
     /// the guest).
     pub fn alloc_workload(&mut self, pages: u64) -> Region {
+        self.workload_allocs.inc();
         self.backend.map_region(pages, PageClass::Anonymous)
     }
 
     /// One idle-OS tick (a timer interrupt's worth of background memory
     /// traffic).
     pub fn idle_tick(&mut self) {
+        self.idle_ticks.inc();
         self.os.idle_tick(self.backend.as_mut(), self.idle_step);
         self.idle_step += 1;
     }

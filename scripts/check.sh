@@ -11,7 +11,20 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo build --all-targets (examples + benches included)"
+cargo build -q --workspace --all-targets
+
 echo "==> cargo test"
 cargo test -q --workspace
+
+echo "==> telemetry smoke: fluidmem trace --scenario pmbench"
+trace_file="$(mktemp)"
+cargo run -q --bin fluidmem -- trace --scenario pmbench --out "$trace_file" > /dev/null
+test -s "$trace_file" || { echo "telemetry smoke: empty trace" >&2; exit 1; }
+grep -q '"kv.read.flight"' "$trace_file" || {
+    echo "telemetry smoke: no kv.read.flight spans in trace" >&2
+    exit 1
+}
+rm -f "$trace_file"
 
 echo "==> all checks passed"

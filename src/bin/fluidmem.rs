@@ -1,0 +1,14 @@
+//! `fluidmem`: alias binary for `fluidmemctl`.
+//!
+//! See `fluidmem::cli` for the commands; run `fluidmem help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match fluidmem::cli::parse(&args) {
+        Ok(command) => fluidmem::cli::execute(command),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -8,7 +8,7 @@
 //! fluidmemctl pmbench --backend fluidmem-ramcloud --overcommit 4
 //! fluidmemctl graph500 --backend swap-nvmeof --scale 13 --ratio 2.4
 //! fluidmemctl resize --from 4096 --to 180
-//! fluidmemctl trace
+//! fluidmem trace --scenario pmbench --out trace.json
 //! ```
 //!
 //! The parser is dependency-free and unit-tested; the binary in
@@ -17,10 +17,42 @@
 use crate::testbed::{BackendKind, Testbed};
 use fluidmem_coord::PartitionId;
 use fluidmem_core::{FluidMemMemory, MonitorConfig};
-use fluidmem_kv::RamCloudStore;
+use fluidmem_kv::{KeyValueStore, RamCloudStore};
 use fluidmem_mem::{MemoryBackend, PageClass};
 use fluidmem_sim::{SimClock, SimDuration, SimRng};
+use fluidmem_telemetry::Telemetry;
 use fluidmem_workloads::pmbench::{self, PmbenchConfig};
+
+/// Builds a FluidMem-backed memory for tracing, on the store the backend
+/// kind names.
+fn traced_fluidmem(
+    backend: BackendKind,
+    local_pages: u64,
+    clock: SimClock,
+    seed: u64,
+) -> FluidMemMemory {
+    let store_rng = SimRng::seed_from_u64(seed.wrapping_add(1));
+    let store: Box<dyn KeyValueStore> = match backend {
+        BackendKind::FluidMemDram => Box::new(fluidmem_kv::DramStore::new(
+            1 << 30,
+            clock.clone(),
+            store_rng,
+        )),
+        BackendKind::FluidMemMemcached => Box::new(fluidmem_kv::MemcachedStore::new(
+            1 << 30,
+            clock.clone(),
+            store_rng,
+        )),
+        _ => Box::new(RamCloudStore::new(1 << 30, clock.clone(), store_rng)),
+    };
+    FluidMemMemory::new(
+        MonitorConfig::new(local_pages),
+        store,
+        PartitionId::new(0),
+        clock,
+        SimRng::seed_from_u64(seed.wrapping_add(2)),
+    )
+}
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,8 +88,19 @@ pub enum CliCommand {
         /// Target capacity in pages.
         to: u64,
     },
-    /// Print a traced fault-handling timeline.
-    Trace,
+    /// Run a scenario with spans enabled; print a timeline or write a
+    /// Chrome trace-event file loadable in Perfetto / `chrome://tracing`.
+    Trace {
+        /// What to run: `timeline` (a hand-sized fault sequence printed
+        /// as text) or `pmbench` (the microbenchmark, exported as JSON).
+        scenario: String,
+        /// Which FluidMem configuration to trace.
+        backend: BackendKind,
+        /// Where to write the Chrome trace JSON (pmbench scenario).
+        out: Option<String>,
+        /// Seed.
+        seed: u64,
+    },
     /// Show usage.
     Help,
 }
@@ -70,8 +113,11 @@ USAGE:
   fluidmemctl pmbench  [--backend <name>] [--overcommit <x>] [--local-pages <n>] [--seed <n>]
   fluidmemctl graph500 [--backend <name>] [--scale <n>] [--ratio <x>] [--seed <n>]
   fluidmemctl resize   [--from <pages>] [--to <pages>]
-  fluidmemctl trace
+  fluidmemctl trace    [--scenario timeline|pmbench] [--backend <name>] [--out <file>] [--seed <n>]
   fluidmemctl help
+
+The `fluidmem` binary is an alias for `fluidmemctl`:
+  fluidmem trace --scenario pmbench --out trace.json
 
 BACKENDS:
   fluidmem-dram | fluidmem-ramcloud | fluidmem-memcached
@@ -117,7 +163,43 @@ pub fn parse(args: &[String]) -> Result<CliCommand, String> {
     match command.as_str() {
         "help" | "--help" | "-h" => Ok(CliCommand::Help),
         "backends" => Ok(CliCommand::Backends),
-        "trace" => Ok(CliCommand::Trace),
+        "trace" => {
+            let mut scenario = "timeline".to_string();
+            let mut backend = BackendKind::FluidMemRamCloud;
+            let mut out = None;
+            let mut seed = 42;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--scenario" => scenario = take_value(args, &mut i, "--scenario")?.to_string(),
+                    "--backend" => backend = parse_backend(take_value(args, &mut i, "--backend")?)?,
+                    "--out" => out = Some(take_value(args, &mut i, "--out")?.to_string()),
+                    "--seed" => {
+                        seed = take_value(args, &mut i, "--seed")?
+                            .parse()
+                            .map_err(|_| "--seed expects an integer".to_string())?
+                    }
+                    other => return Err(format!("unknown flag {other:?} for trace")),
+                }
+                i += 1;
+            }
+            if !matches!(scenario.as_str(), "timeline" | "pmbench") {
+                return Err(format!(
+                    "unknown scenario {scenario:?}; valid: timeline, pmbench"
+                ));
+            }
+            if !backend.is_fluidmem() {
+                return Err(
+                    "trace needs a fluidmem-* backend (spans come from the monitor)".to_string(),
+                );
+            }
+            Ok(CliCommand::Trace {
+                scenario,
+                backend,
+                out,
+                seed,
+            })
+        }
         "pmbench" => {
             let mut backend = BackendKind::FluidMemRamCloud;
             let mut overcommit = 4.0;
@@ -316,27 +398,59 @@ pub fn execute(command: CliCommand) {
                 vm.monitor().stats().evictions,
             );
         }
-        CliCommand::Trace => {
-            let clock = SimClock::new();
-            let store = RamCloudStore::new(1 << 26, clock.clone(), SimRng::seed_from_u64(1));
-            let mut vm = FluidMemMemory::new(
-                MonitorConfig::new(2),
-                Box::new(store),
-                PartitionId::new(0),
-                clock,
-                SimRng::seed_from_u64(2),
-            );
-            vm.monitor_mut().enable_tracing();
-            let region = vm.map_region(8, PageClass::Anonymous);
-            for i in 0..4 {
-                vm.access(region.page(i), true);
+        CliCommand::Trace {
+            scenario,
+            backend,
+            out,
+            seed,
+        } => match scenario.as_str() {
+            "timeline" => {
+                let clock = SimClock::new();
+                let mut vm = traced_fluidmem(backend, 2, clock, seed);
+                vm.monitor_mut().enable_tracing();
+                let region = vm.map_region(8, PageClass::Anonymous);
+                for i in 0..4 {
+                    vm.access(region.page(i), true);
+                }
+                vm.drain_writes();
+                vm.access(region.page(0), false);
+                for event in vm.monitor().tracer().events() {
+                    println!("{event}");
+                }
             }
-            vm.drain_writes();
-            vm.access(region.page(0), false);
-            for event in vm.monitor().tracer().events() {
-                println!("{event}");
+            "pmbench" => {
+                let clock = SimClock::new();
+                let local_pages = 512;
+                let mut vm = traced_fluidmem(backend, local_pages, clock, seed);
+                let telemetry = Telemetry::new(vm.clock().clone());
+                telemetry.enable_spans();
+                vm.attach_telemetry(&telemetry);
+                let config = PmbenchConfig {
+                    wss_pages: local_pages * 2,
+                    duration: SimDuration::from_secs(1),
+                    read_ratio: 0.5,
+                    max_accesses: 20_000,
+                };
+                let mut rng = SimRng::seed_from_u64(seed);
+                let report = pmbench::run(&mut vm, &config, &mut rng);
+                let json = telemetry.export_chrome_trace();
+                let events = fluidmem_telemetry::validate_chrome_trace(&json)
+                    .expect("exported trace must be valid Chrome trace JSON");
+                let path = out.unwrap_or_else(|| "trace.json".to_string());
+                if let Err(e) = std::fs::write(&path, &json) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!(
+                    "{}: {} accesses traced, avg {:.2}\u{b5}s; {events} spans -> {path}",
+                    backend.label(),
+                    report.accesses,
+                    report.avg_latency_us(),
+                );
+                println!("open in https://ui.perfetto.dev or chrome://tracing");
             }
-        }
+            other => unreachable!("parser rejects scenario {other:?}"),
+        },
     }
 }
 
@@ -358,7 +472,32 @@ mod tests {
     #[test]
     fn backends_and_trace_parse() {
         assert_eq!(parse(&argv("backends")), Ok(CliCommand::Backends));
-        assert_eq!(parse(&argv("trace")), Ok(CliCommand::Trace));
+        assert_eq!(
+            parse(&argv("trace")),
+            Ok(CliCommand::Trace {
+                scenario: "timeline".to_string(),
+                backend: BackendKind::FluidMemRamCloud,
+                out: None,
+                seed: 42
+            })
+        );
+        assert_eq!(
+            parse(&argv(
+                "trace --scenario pmbench --backend fluidmem-dram --out t.json --seed 7"
+            )),
+            Ok(CliCommand::Trace {
+                scenario: "pmbench".to_string(),
+                backend: BackendKind::FluidMemDram,
+                out: Some("t.json".to_string()),
+                seed: 7
+            })
+        );
+        assert!(parse(&argv("trace --scenario frob"))
+            .unwrap_err()
+            .contains("unknown scenario"));
+        assert!(parse(&argv("trace --backend swap-ssd"))
+            .unwrap_err()
+            .contains("fluidmem-*"));
     }
 
     #[test]

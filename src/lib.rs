@@ -21,6 +21,7 @@ pub use fluidmem_kv as kv;
 pub use fluidmem_mem as mem;
 pub use fluidmem_sim as sim;
 pub use fluidmem_swap as swap;
+pub use fluidmem_telemetry as telemetry;
 pub use fluidmem_uffd as uffd;
 pub use fluidmem_vm as vm;
 pub use fluidmem_workloads as workloads;

@@ -111,7 +111,7 @@ fn no_data_loss_under_chaotic_transport() {
             "seed {seed}: write list must drain"
         );
 
-        let stats = *backend.monitor().stats();
+        let stats = backend.monitor().stats();
         let store = backend.monitor().store().stats();
         assert_eq!(stats.lost_pages, 0, "seed {seed}: faults are not data loss");
         // Bounded recovery effort: retries can't exceed the attempt
@@ -143,7 +143,7 @@ fn chaos_runs_are_deterministic() {
         let mut backend = chaotic_backend(12, seed);
         run_against_model(&mut backend, 64, &ops);
         backend.drain_writes();
-        let stats = *backend.monitor().stats();
+        let stats = backend.monitor().stats();
         let store = backend.monitor().store().stats();
         (backend.clock().now(), stats, store)
     };
@@ -208,7 +208,7 @@ fn replicated_store_fails_over_without_data_loss() {
         run_against_model(&mut backend, 64, &ops);
         backend.drain_writes();
 
-        let stats = *backend.monitor().stats();
+        let stats = backend.monitor().stats();
         let store = backend.monitor().store().stats();
         assert_eq!(
             stats.lost_pages, 0,

@@ -1,0 +1,123 @@
+//! Telemetry acceptance tests: exports are deterministic, stats views
+//! agree with the registry, and the exported trace shows the §V-B
+//! overlap — the async KV read's flight running concurrently with
+//! `UFFD_REMAP` on the monitor track.
+
+use fluidmem::coord::PartitionId;
+use fluidmem::core::{FluidMemMemory, MonitorConfig};
+use fluidmem::kv::RamCloudStore;
+use fluidmem::sim::{SimClock, SimDuration, SimRng};
+use fluidmem::telemetry::{consts, validate_chrome_trace, SpanRecord, Telemetry};
+use fluidmem::workloads::pmbench::{self, PmbenchConfig};
+
+/// Builds a traced FluidMem VM, runs a short pmbench, and returns the
+/// telemetry handle it recorded into.
+fn traced_run(seed: u64) -> (Telemetry, FluidMemMemory) {
+    let clock = SimClock::new();
+    let store = RamCloudStore::new(1 << 28, clock.clone(), SimRng::seed_from_u64(seed ^ 0x4B56));
+    let mut vm = FluidMemMemory::new(
+        MonitorConfig::new(64),
+        Box::new(store),
+        PartitionId::new(0),
+        clock.clone(),
+        SimRng::seed_from_u64(seed),
+    );
+    let telemetry = Telemetry::new(clock);
+    telemetry.enable_spans();
+    vm.attach_telemetry(&telemetry);
+    let config = PmbenchConfig {
+        wss_pages: 256,
+        duration: SimDuration::from_secs(1),
+        read_ratio: 0.5,
+        max_accesses: 1_500,
+    };
+    let mut rng = SimRng::seed_from_u64(seed.wrapping_mul(3));
+    pmbench::run(&mut vm, &config, &mut rng);
+    vm.drain_writes();
+    (telemetry, vm)
+}
+
+#[test]
+fn exports_are_deterministic_across_runs() {
+    let (a, _vm_a) = traced_run(42);
+    let (b, _vm_b) = traced_run(42);
+    assert_eq!(
+        a.export_chrome_trace(),
+        b.export_chrome_trace(),
+        "same seed must give a byte-identical Chrome trace"
+    );
+    assert_eq!(
+        a.export_prometheus(),
+        b.export_prometheus(),
+        "same seed must give a byte-identical Prometheus export"
+    );
+    assert_eq!(a.export_jsonl(), b.export_jsonl());
+}
+
+#[test]
+fn chrome_trace_validates_and_shows_async_overlap() {
+    let (telemetry, _vm) = traced_run(7);
+    let json = telemetry.export_chrome_trace();
+    let events = validate_chrome_trace(&json).expect("export must be valid Chrome trace JSON");
+    assert!(events > 0, "trace must contain events");
+
+    let records = telemetry.spans().records();
+    let flights: Vec<&SpanRecord> = records
+        .iter()
+        .filter(|r| r.track == consts::TRACK_KV && r.name == "kv.read.flight")
+        .collect();
+    let remaps: Vec<&SpanRecord> = records
+        .iter()
+        .filter(|r| r.track == consts::TRACK_MONITOR && r.name == "UFFD_REMAP")
+        .collect();
+    assert!(!flights.is_empty(), "async reads must record flight spans");
+    assert!(!remaps.is_empty(), "Remap eviction must record UFFD_REMAP");
+    let overlapping = flights
+        .iter()
+        .any(|f| remaps.iter().any(|r| f.start < r.end && r.start < f.end));
+    assert!(
+        overlapping,
+        "§V-B: some KV read flight must overlap a UFFD_REMAP span"
+    );
+}
+
+#[test]
+fn stats_views_match_registry_counters() {
+    let (telemetry, vm) = traced_run(11);
+    let registry = telemetry.registry();
+    let stats = vm.monitor().stats();
+    let remote_reads = registry
+        .counter(
+            consts::MONITOR_EVENTS,
+            &[(consts::LABEL_EVENT, "remote_read")],
+        )
+        .get();
+    assert_eq!(
+        stats.remote_reads, remote_reads,
+        "MonitorStats must be a registry view"
+    );
+
+    let store_stats = vm.monitor().store().stats();
+    let gets = registry
+        .counter(
+            consts::STORE_OPS,
+            &[(consts::LABEL_STORE, "ramcloud"), (consts::LABEL_OP, "get")],
+        )
+        .get();
+    assert_eq!(store_stats.gets, gets, "StoreStats must be a registry view");
+    assert!(store_stats.gets > 0, "the run must actually hit the store");
+}
+
+#[test]
+fn fault_latency_histograms_populate_by_resolution() {
+    let (telemetry, _vm) = traced_run(23);
+    let hist = telemetry.registry().histogram(
+        consts::FAULT_LATENCY_US,
+        &[(consts::LABEL_RESOLUTION, "remote_read")],
+    );
+    let snap = hist.snapshot();
+    assert!(
+        snap.count > 0,
+        "an over-capacity working set must produce remote reads"
+    );
+}
