@@ -1,0 +1,299 @@
+//! `scaling` — multi-VM hosting: how fault latency and throughput hold
+//! up as one host's DRAM is shared by more VMs with bigger aggregate
+//! working sets, plus the DRAM-arbiter policy face-off on a skewed
+//! fleet.
+//!
+//! The paper evaluates one VM per host; its §IV partitioning exists so
+//! many VMs can share one store. This harness measures that deployment:
+//!
+//! * **Sweep** — fleets of N ∈ {2, 4, 8, 16} VMs whose aggregate
+//!   working set is 0.5×–4× host DRAM, under the proportional arbiter.
+//!   Reports per-cell aggregate p50/p99 fault latency, throughput, and
+//!   degradation relative to the best cell at the same fleet size
+//!   (per-VM detail goes to `--json`).
+//! * **Face-off** — one hot VM (weight 4) among three cold ones, run
+//!   under each [`ArbiterPolicy`]. Static quota starves the hot VM at
+//!   its even share; the demand-driven policies route the cold VMs'
+//!   surplus to it, collapsing the host-wide tail.
+//!
+//! Runs are fully deterministic: a fixed `--seed` reproduces the JSON
+//! output byte for byte.
+//!
+//! Usage: `scaling [--smoke] [--seed N] [--json FILE]`
+
+use std::path::PathBuf;
+
+use fluidmem_bench::json::{write_json_line, Json};
+use fluidmem_bench::{banner, f2, pct, TextTable};
+use fluidmem_host::{ArbiterPolicy, HostAgent, HostConfig, VmSpec};
+use fluidmem_kv::RamCloudStore;
+use fluidmem_sim::{SimClock, SimRng};
+
+struct Args {
+    smoke: bool,
+    seed: u64,
+    json_path: Option<PathBuf>,
+}
+
+/// Hand-rolled parsing (not `HarnessArgs`): this harness has no
+/// `--scale` notion — `--smoke` selects the reduced grid instead.
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        seed: 42,
+        json_path: None,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--smoke" => args.smoke = true,
+            "--seed" => {
+                i += 1;
+                args.seed = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or(42);
+            }
+            "--json" => {
+                i += 1;
+                args.json_path = argv.get(i).map(PathBuf::from);
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn emit(args: &Args, record: &Json) {
+    if let Some(path) = &args.json_path {
+        if let Err(e) = write_json_line(path, record) {
+            eprintln!("failed to write {path:?}: {e}");
+        }
+    }
+}
+
+struct CellResult {
+    n: usize,
+    factor: f64,
+    ops: u64,
+    faults: u64,
+    p50_us: f64,
+    p99_us: f64,
+    throughput: f64,
+    per_vm: Vec<(String, u64, u64, f64, f64)>,
+}
+
+fn build_host(
+    n: usize,
+    specs: Vec<VmSpec>,
+    dram: u64,
+    policy: ArbiterPolicy,
+    interval: u64,
+    seed: u64,
+) -> HostAgent {
+    let clock = SimClock::new();
+    let store = RamCloudStore::new(1 << 30, clock.clone(), SimRng::seed_from_u64(seed));
+    let config = HostConfig::new(dram)
+        .policy(policy)
+        .min_pages((dram / (4 * n as u64)).max(8))
+        .rebalance_interval(interval);
+    let mut host = HostAgent::new(
+        config,
+        Box::new(store),
+        clock,
+        SimRng::seed_from_u64(seed ^ 0x9E37_79B9),
+    );
+    for spec in specs {
+        host.add_vm(spec);
+    }
+    host
+}
+
+fn run_cell(n: usize, factor: f64, dram: u64, interval: u64, seed: u64) -> CellResult {
+    let aggregate_wss = ((dram as f64) * factor) as u64;
+    let per_vm_wss = (aggregate_wss / n as u64).max(4);
+    let specs = (0..n)
+        .map(|i| VmSpec::new(format!("vm{i:02}"), per_vm_wss))
+        .collect();
+    let mut host = build_host(
+        n,
+        specs,
+        dram,
+        ArbiterPolicy::FaultRateProportional,
+        interval,
+        seed,
+    );
+    host.run(aggregate_wss * 2);
+    host.reset_measurements();
+    let measure = (aggregate_wss * 4).max(4_000);
+    host.run(measure);
+    let window_s = host.measurement_window().as_micros_f64() / 1e6;
+    host.drain();
+
+    let per_vm: Vec<(String, u64, u64, f64, f64)> = (0..n)
+        .map(|i| {
+            (
+                host.vm_name(i).to_string(),
+                host.vm_ops(i),
+                host.vm_faults(i),
+                host.vm_fault_percentile(i, 0.50),
+                host.vm_fault_percentile(i, 0.99),
+            )
+        })
+        .collect();
+    CellResult {
+        n,
+        factor,
+        ops: host.total_measured_ops(),
+        faults: per_vm.iter().map(|v| v.2).sum(),
+        p50_us: host.aggregate_fault_percentile(0.50),
+        p99_us: host.aggregate_fault_percentile(0.99),
+        throughput: if window_s > 0.0 {
+            host.total_measured_ops() as f64 / window_s
+        } else {
+            0.0
+        },
+        per_vm,
+    }
+}
+
+fn sweep(args: &Args, dram: u64, interval: u64) {
+    let (fleet_sizes, factors): (&[usize], &[f64]) = if args.smoke {
+        (&[2, 4, 8], &[0.5, 2.0])
+    } else {
+        (&[2, 4, 8, 16], &[0.5, 1.0, 2.0, 4.0])
+    };
+    banner(
+        "Multi-VM scaling sweep",
+        &format!(
+            "host DRAM {dram} pages, proportional arbiter, aggregate WSS = factor x DRAM \
+             (seed {})",
+            args.seed
+        ),
+    );
+    let mut table = TextTable::new(vec![
+        "VMs",
+        "WSS factor",
+        "ops",
+        "faults",
+        "fault p50 (us)",
+        "fault p99 (us)",
+        "ops/s (sim)",
+        "vs best at N",
+    ]);
+    for &n in fleet_sizes {
+        let cells: Vec<CellResult> = factors
+            .iter()
+            .map(|&factor| run_cell(n, factor, dram, interval, args.seed))
+            .collect();
+        let best = cells.iter().map(|c| c.throughput).fold(0.0, f64::max);
+        for cell in &cells {
+            let degradation = if best > 0.0 {
+                cell.throughput / best
+            } else {
+                0.0
+            };
+            table.row(vec![
+                cell.n.to_string(),
+                format!("{:.1}x", cell.factor),
+                cell.ops.to_string(),
+                cell.faults.to_string(),
+                f2(cell.p50_us),
+                f2(cell.p99_us),
+                f2(cell.throughput),
+                pct(degradation),
+            ]);
+            let per_vm = cell
+                .per_vm
+                .iter()
+                .map(|(name, ops, faults, p50, p99)| {
+                    Json::object()
+                        .field("name", name.as_str())
+                        .field("ops", *ops)
+                        .field("faults", *faults)
+                        .field("fault_p50_us", *p50)
+                        .field("fault_p99_us", *p99)
+                })
+                .collect::<Vec<Json>>();
+            emit(
+                args,
+                &Json::object()
+                    .field("bench", "scaling")
+                    .field("seed", args.seed)
+                    .field("n_vms", cell.n as u64)
+                    .field("wss_factor", cell.factor)
+                    .field("dram_pages", dram)
+                    .field("ops", cell.ops)
+                    .field("faults", cell.faults)
+                    .field("fault_p50_us", cell.p50_us)
+                    .field("fault_p99_us", cell.p99_us)
+                    .field("throughput_ops_per_s", cell.throughput)
+                    .field("throughput_vs_best", degradation)
+                    .field("per_vm", per_vm),
+            );
+        }
+    }
+    table.print();
+}
+
+fn faceoff(args: &Args, dram: u64, interval: u64) {
+    banner(
+        "Arbiter policy face-off (skewed fleet)",
+        "one hot VM (weight 4, WSS 5/8 of DRAM) vs three cold VMs (WSS 1/16 each)",
+    );
+    let mut table = TextTable::new(vec![
+        "policy",
+        "hot VM grant",
+        "faults",
+        "access p99 (us)",
+        "fault p99 (us)",
+    ]);
+    let hot_wss = dram * 5 / 8;
+    let cold_wss = (dram / 16).max(4);
+    for policy in ArbiterPolicy::ALL {
+        let specs = vec![
+            VmSpec::new("hot", hot_wss).weight(4),
+            VmSpec::new("cold-a", cold_wss),
+            VmSpec::new("cold-b", cold_wss),
+            VmSpec::new("cold-c", cold_wss),
+        ];
+        let mut host = build_host(4, specs, dram, policy, interval, args.seed);
+        host.run(dram * 6);
+        host.reset_measurements();
+        host.run(dram * 12);
+        host.drain();
+        let faults: u64 = (0..4).map(|i| host.vm_faults(i)).sum();
+        let access_p99 = host.aggregate_access_percentile(0.99);
+        let fault_p99 = host.aggregate_fault_percentile(0.99);
+        table.row(vec![
+            policy.label().to_string(),
+            host.vm_capacity(0).to_string(),
+            faults.to_string(),
+            f2(access_p99),
+            f2(fault_p99),
+        ]);
+        emit(
+            args,
+            &Json::object()
+                .field("bench", "scaling_policy")
+                .field("seed", args.seed)
+                .field("policy", policy.label())
+                .field("dram_pages", dram)
+                .field("hot_capacity_pages", host.vm_capacity(0))
+                .field("faults", faults)
+                .field("access_p99_us", access_p99)
+                .field("fault_p99_us", fault_p99),
+        );
+    }
+    table.print();
+    println!(
+        "\nStatic quota pins the hot VM at its even share; the demand-driven \
+         policies feed it the cold VMs' surplus and the host-wide tail drops."
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    let (dram, interval) = if args.smoke { (256, 128) } else { (2048, 512) };
+    sweep(&args, dram, interval);
+    faceoff(&args, dram, interval);
+}

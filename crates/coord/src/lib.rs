@@ -24,6 +24,7 @@
 mod cluster;
 mod error;
 mod log;
+mod membership;
 mod partition;
 mod watch;
 mod znode;
@@ -31,6 +32,7 @@ mod znode;
 pub use cluster::{CoordCluster, ReplicaId, SessionId};
 pub use error::CoordError;
 pub use log::{LogEntry, OpResult, WriteOp};
+pub use membership::{HostDirectory, VmLease};
 pub use partition::{PartitionId, PartitionTable, VmIdentity};
 pub use watch::{WatchEvent, WatchKind};
 pub use znode::{Znode, ZnodeTree};

@@ -119,6 +119,34 @@ impl FluidMemMemory {
         self.monitor.attach_telemetry(telemetry);
     }
 
+    /// Attaches a shared telemetry handle with every monitor instrument
+    /// keyed by a `vm` label, so N backends can share one registry (see
+    /// [`Monitor::attach_telemetry_labeled`]).
+    pub fn attach_telemetry_labeled(
+        &mut self,
+        telemetry: &fluidmem_telemetry::Telemetry,
+        vm: &str,
+    ) {
+        self.monitor.attach_telemetry_labeled(telemetry, vm);
+    }
+
+    /// The arbiter-facing snapshot of this VM's memory behavior: access
+    /// and fault counters plus residency/capacity/write-back gauges.
+    pub fn signals(&self) -> crate::VmSignals {
+        let access = self.counters();
+        let stats = self.monitor.stats();
+        crate::VmSignals {
+            accesses: access.total(),
+            hits: access.hits,
+            minor_faults: access.minor_faults,
+            major_faults: access.major_faults,
+            remote_reads: stats.remote_reads,
+            resident_pages: self.monitor.resident_pages(),
+            capacity_pages: self.monitor.capacity(),
+            pending_writes: self.monitor.pending_writes() as u64,
+        }
+    }
+
     /// Mutable monitor access (profile clearing, drains).
     pub fn monitor_mut(&mut self) -> &mut Monitor {
         &mut self.monitor

@@ -36,6 +36,7 @@ mod lru_buffer;
 mod monitor;
 mod page_tracker;
 mod profile;
+mod signals;
 mod stats;
 mod write_list;
 
@@ -48,5 +49,6 @@ pub use lru_buffer::LruBuffer;
 pub use monitor::Monitor;
 pub use page_tracker::PageTracker;
 pub use profile::{CodePath, PathStats, ProfileTable};
+pub use signals::VmSignals;
 pub use stats::MonitorStats;
 pub use write_list::{StealOutcome, WriteList};

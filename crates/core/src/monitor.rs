@@ -164,6 +164,45 @@ impl Monitor {
         self.update_gauges();
     }
 
+    /// Like [`Monitor::attach_telemetry`], but every monitor-owned
+    /// instrument is additionally keyed by a `vm` label so N monitors can
+    /// share one registry (multi-VM hosting) without clobbering each
+    /// other — adoption replaces identically-keyed entries, so unlabeled
+    /// registration from several monitors would leave only the last one
+    /// visible.
+    ///
+    /// The Table I code-path profile is *not* registered here: its rows
+    /// are monitor-global by construction and only meaningful when a
+    /// single monitor owns the registry.
+    pub fn attach_telemetry_labeled(&mut self, telemetry: &Telemetry, vm: &str) {
+        let telemetry = telemetry.clone();
+        {
+            let registry = telemetry.registry();
+            self.stats.register_labeled(registry, vm);
+            self.store.instrument(registry);
+            let vm_label = [(consts::LABEL_VM, vm)];
+            registry.adopt_gauge(consts::LRU_RESIDENT_PAGES, &vm_label, &self.lru_resident);
+            registry.adopt_gauge(consts::LRU_CAPACITY_PAGES, &vm_label, &self.lru_capacity);
+            registry.adopt_gauge(
+                consts::WRITE_LIST_PENDING,
+                &vm_label,
+                &self.write_list_pending,
+            );
+            for r in Resolution::ALL {
+                registry.adopt_histogram(
+                    consts::FAULT_LATENCY_US,
+                    &[
+                        (consts::LABEL_RESOLUTION, r.label()),
+                        (consts::LABEL_VM, vm),
+                    ],
+                    &self.fault_latency[r.index()],
+                );
+            }
+        }
+        self.telemetry = telemetry;
+        self.update_gauges();
+    }
+
     /// The telemetry handle spans and metrics flow through.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
@@ -480,11 +519,28 @@ impl Monitor {
                     if uffd.copy(pt, pm, candidate, contents).is_ok() {
                         self.lru.insert(candidate);
                         self.stats.prefetched_pages.inc();
+                    } else {
+                        // The page got mapped while the read was in
+                        // flight; the fetched copy is redundant, not
+                        // lost, but it must not vanish unaccounted.
+                        self.stats.prefetch_copy_skips.inc();
+                        self.trace(|| {
+                            format!("prefetch of {candidate} skipped: page already mapped")
+                        });
                     }
                 }
-                Err(_) => {
+                Err(KvError::NotFound(_)) => {
                     self.stats.prefetch_misses.inc();
                 }
+                Err(e) if e.is_retryable() => {
+                    // Speculative work doesn't spend the retry budget: if
+                    // the guest actually faults on the page it is fetched
+                    // with full retries; here the attempt is just dropped
+                    // and counted as transient, not as a miss.
+                    self.stats.prefetch_transient_errors.inc();
+                    self.trace(|| format!("prefetch of {candidate} hit a transient error ({e})"));
+                }
+                Err(e) => panic!("store failure on prefetch: {e}"),
             }
         }
         self.evict_to_capacity(uffd, pt, pm);
@@ -826,14 +882,44 @@ impl Monitor {
 
     /// Forgets all monitor state for a region (VM shutdown) and drops its
     /// pages from the store. Returns how many pages were forgotten.
+    ///
+    /// The store cleanup must be scoped to *this region's* keys: bulk
+    /// `drop_partition` is only safe when the region owned a dedicated
+    /// registered partition no other region still routes to; otherwise
+    /// (the region shares the monitor's default partition, or a sibling
+    /// region shares the registered one) dropping the partition would
+    /// wipe other regions' pages, so the region's keys are deleted
+    /// individually instead.
     pub fn remove_region(&mut self, region: &Region) -> usize {
-        let partition = self.partition_of(region.start());
         let removed = self.tracker.remove_where(|vpn| region.contains(vpn));
         for vpn in region.iter_pages() {
             self.lru.remove(vpn);
         }
-        self.store.drop_partition(partition);
-        self.region_partitions.remove(&region.start().raw());
+        let dedicated = self
+            .region_partitions
+            .remove(&region.start().raw())
+            .map(|(_, partition)| partition);
+        match dedicated {
+            Some(partition)
+                if partition != self.partition
+                    && !self
+                        .region_partitions
+                        .values()
+                        .any(|(_, p)| *p == partition) =>
+            {
+                self.store.drop_partition(partition);
+            }
+            Some(partition) => {
+                for vpn in region.iter_pages() {
+                    self.store.delete(ExternalKey::new(vpn, partition));
+                }
+            }
+            None => {
+                for vpn in region.iter_pages() {
+                    self.store.delete(ExternalKey::new(vpn, self.partition));
+                }
+            }
+        }
         removed
     }
 
@@ -1314,5 +1400,153 @@ mod tests {
             r.monitor.stats().flushes > 0,
             "stale timer should have flushed"
         );
+    }
+
+    #[test]
+    fn prefetch_transients_are_counted_apart_from_misses() {
+        use fluidmem_sim::FaultPlan;
+        // The inner DRAM store never loses data, so any prefetch failure
+        // is transport-injected, never a genuine miss.
+        let plan = FaultPlan::new(SimRng::seed_from_u64(51))
+            .with_timeout(0.25)
+            .with_transient_error(0.15);
+        let config =
+            MonitorConfig::new(16).prefetch(crate::PrefetchPolicy::Sequential { window: 4 });
+        let mut r = faulty_rig(config, plan);
+        for i in 0..64 {
+            fault(&mut r, i, true);
+        }
+        r.monitor.drain_writes();
+        // Spread refaults so each one has evicted successors to prefetch.
+        for i in [0, 8, 16, 24, 32, 40] {
+            fault(&mut r, i, false);
+        }
+        let stats = r.monitor.stats();
+        assert!(
+            stats.prefetch_transient_errors > 0,
+            "a ~40% fault rate must hit some prefetch reads: {stats:?}"
+        );
+        assert_eq!(
+            stats.prefetch_misses, 0,
+            "transport faults must not masquerade as misses: {stats:?}"
+        );
+        assert!(stats.prefetched_pages > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn adjacent_regions_route_to_their_own_partitions() {
+        let mut r = rig(64, None);
+        let a = Region::new(Vpn::new(0x1000), 32, PageClass::Anonymous);
+        let b = Region::new(Vpn::new(0x1020), 32, PageClass::Anonymous);
+        r.monitor.register_partition(a, PartitionId::new(1));
+        r.monitor.register_partition(b, PartitionId::new(2));
+        // Interior and both boundaries of each region.
+        assert_eq!(
+            r.monitor.partition_of(Vpn::new(0x1000)),
+            PartitionId::new(1)
+        );
+        assert_eq!(
+            r.monitor.partition_of(Vpn::new(0x101f)),
+            PartitionId::new(1)
+        );
+        assert_eq!(
+            r.monitor.partition_of(Vpn::new(0x1020)),
+            PartitionId::new(2)
+        );
+        assert_eq!(
+            r.monitor.partition_of(Vpn::new(0x103f)),
+            PartitionId::new(2)
+        );
+        // Past the last region: the range lookup finds `b`, but the
+        // containment check must reject it and fall back to the default.
+        assert_eq!(
+            r.monitor.partition_of(Vpn::new(0x1040)),
+            PartitionId::new(0)
+        );
+    }
+
+    #[test]
+    fn fault_past_removed_region_uses_default_partition() {
+        let mut r = rig(4, None);
+        let a = Region::new(Vpn::new(0x1000), 8, PageClass::Anonymous);
+        let b = Region::new(Vpn::new(0x1008), 8, PageClass::Anonymous);
+        r.monitor.register_partition(a, PartitionId::new(3));
+        r.monitor.register_partition(b, PartitionId::new(4));
+        r.monitor.remove_region(&a);
+        // VPNs inside and past the removed region must not resolve to a
+        // neighboring (or stale) partition.
+        assert_eq!(
+            r.monitor.partition_of(Vpn::new(0x1002)),
+            PartitionId::new(0)
+        );
+        assert_eq!(
+            r.monitor.partition_of(Vpn::new(0x1009)),
+            PartitionId::new(4)
+        );
+        // A fault in the removed range is a fresh first touch whose key,
+        // once evicted and drained, lands in the default partition.
+        for i in 0..6 {
+            fault(&mut r, i, true);
+        }
+        r.monitor.drain_writes();
+        assert!(r
+            .monitor
+            .store()
+            .contains(ExternalKey::new(Vpn::new(0x1000), PartitionId::new(0))));
+        assert!(!r
+            .monitor
+            .store()
+            .contains(ExternalKey::new(Vpn::new(0x1000), PartitionId::new(3))));
+    }
+
+    #[test]
+    fn remove_region_spares_siblings_on_the_shared_partition() {
+        let mut r = rig(4, None);
+        // Two sub-ranges, both keyed under the monitor's default
+        // partition (no register_partition call — the FluidMemMemory
+        // shape).
+        let a = Region::new(Vpn::new(0x1000), 8, PageClass::Anonymous);
+        let b = Region::new(Vpn::new(0x1008), 8, PageClass::Anonymous);
+        for i in 0..16 {
+            fault(&mut r, i, true);
+        }
+        r.monitor.drain_writes();
+        // Pages 0..12 were evicted: all 8 of `a`'s and 4 of `b`'s.
+        assert_eq!(r.monitor.store().len(), 12);
+        r.monitor.remove_region(&a);
+        assert_eq!(
+            r.monitor.store().len(),
+            4,
+            "removing `a` must not wipe `b`'s pages off the shared partition"
+        );
+        // `b`'s evicted pages are still readable.
+        assert!(r
+            .monitor
+            .store()
+            .contains(ExternalKey::new(b.start(), PartitionId::new(0))));
+        let res = fault(&mut r, 8, false);
+        assert_eq!(res.resolution, Resolution::RemoteRead);
+        assert_eq!(r.monitor.stats().lost_pages, 0);
+    }
+
+    #[test]
+    fn remove_region_drops_a_dedicated_partition_wholesale() {
+        let mut r = rig(4, None);
+        let a = Region::new(Vpn::new(0x1000), 8, PageClass::Anonymous);
+        let b = Region::new(Vpn::new(0x1008), 8, PageClass::Anonymous);
+        r.monitor.register_partition(a, PartitionId::new(5));
+        r.monitor.register_partition(b, PartitionId::new(6));
+        for i in 0..16 {
+            fault(&mut r, i, true);
+        }
+        r.monitor.drain_writes();
+        assert_eq!(r.monitor.store().len(), 12);
+        r.monitor.remove_region(&a);
+        // Partition 5 was `a`'s alone: bulk-dropped. Partition 6 intact.
+        assert_eq!(r.monitor.store().len(), 4);
+        assert!(r
+            .monitor
+            .store()
+            .contains(ExternalKey::new(Vpn::new(0x1008), PartitionId::new(6))));
     }
 }

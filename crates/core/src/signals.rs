@@ -1,0 +1,137 @@
+//! The per-VM signals a host-level DRAM arbiter reads.
+//!
+//! A host agent running N monitors over one shared store (the
+//! `fluidmem-host` crate) periodically decides how to split host DRAM
+//! between the VMs' LRU buffers. [`VmSignals`] is the snapshot it reads
+//! per VM: access/fault counters, residency, and write-back pressure —
+//! everything needed to compute fault rates and hit ratios over a
+//! rebalance window via [`VmSignals::window_since`].
+
+/// A point-in-time snapshot of one VM's memory behavior, as seen by the
+/// backend ([`FluidMemMemory::signals`](crate::FluidMemMemory::signals)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmSignals {
+    /// Guest accesses observed in total (hits + faults).
+    pub accesses: u64,
+    /// Accesses served without any monitor involvement.
+    pub hits: u64,
+    /// Minor faults (CoW breaks, zero fills, write-list steals).
+    pub minor_faults: u64,
+    /// Major faults (the monitor had to consult the remote store path).
+    pub major_faults: u64,
+    /// Faults that performed an actual remote read.
+    pub remote_reads: u64,
+    /// Pages currently resident in the VM's LRU buffer.
+    pub resident_pages: u64,
+    /// The LRU capacity currently granted to this VM.
+    pub capacity_pages: u64,
+    /// Pages waiting on the VM's asynchronous write list.
+    pub pending_writes: u64,
+}
+
+impl VmSignals {
+    /// Fraction of accesses served locally; `1.0` when idle (an idle VM
+    /// should look cheap to the arbiter, not pathological).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Faults per access (minor + major); `0.0` when idle.
+    pub fn fault_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            (self.minor_faults + self.major_faults) as f64 / self.accesses as f64
+        }
+    }
+
+    /// Major faults per access; `0.0` when idle. Major faults are the
+    /// signal capacity can actually buy down, so this is what the
+    /// fault-rate-proportional arbiter weighs.
+    pub fn major_fault_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.major_faults as f64 / self.accesses as f64
+        }
+    }
+
+    /// The delta of the monotone counters since `baseline`, carrying the
+    /// instantaneous gauges (residency, capacity, pending writes) from
+    /// `self`. This is the per-window view an arbiter rebalances on.
+    pub fn window_since(&self, baseline: &VmSignals) -> VmSignals {
+        VmSignals {
+            accesses: self.accesses.saturating_sub(baseline.accesses),
+            hits: self.hits.saturating_sub(baseline.hits),
+            minor_faults: self.minor_faults.saturating_sub(baseline.minor_faults),
+            major_faults: self.major_faults.saturating_sub(baseline.major_faults),
+            remote_reads: self.remote_reads.saturating_sub(baseline.remote_reads),
+            resident_pages: self.resident_pages,
+            capacity_pages: self.capacity_pages,
+            pending_writes: self.pending_writes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_vm_looks_cheap() {
+        let s = VmSignals::default();
+        assert_eq!(s.hit_ratio(), 1.0);
+        assert_eq!(s.fault_rate(), 0.0);
+        assert_eq!(s.major_fault_rate(), 0.0);
+    }
+
+    #[test]
+    fn ratios() {
+        let s = VmSignals {
+            accesses: 10,
+            hits: 6,
+            minor_faults: 1,
+            major_faults: 3,
+            remote_reads: 2,
+            ..Default::default()
+        };
+        assert!((s.hit_ratio() - 0.6).abs() < 1e-12);
+        assert!((s.fault_rate() - 0.4).abs() < 1e-12);
+        assert!((s.major_fault_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_subtracts_counters_and_keeps_gauges() {
+        let base = VmSignals {
+            accesses: 100,
+            hits: 80,
+            minor_faults: 5,
+            major_faults: 15,
+            remote_reads: 12,
+            resident_pages: 32,
+            capacity_pages: 64,
+            pending_writes: 3,
+        };
+        let now = VmSignals {
+            accesses: 150,
+            hits: 110,
+            minor_faults: 10,
+            major_faults: 30,
+            remote_reads: 25,
+            resident_pages: 48,
+            capacity_pages: 64,
+            pending_writes: 1,
+        };
+        let w = now.window_since(&base);
+        assert_eq!(w.accesses, 50);
+        assert_eq!(w.hits, 30);
+        assert_eq!(w.major_faults, 15);
+        assert_eq!(w.resident_pages, 48);
+        assert_eq!(w.capacity_pages, 64);
+        assert_eq!(w.pending_writes, 1);
+    }
+}

@@ -39,6 +39,13 @@ pub struct MonitorStats {
     pub prefetched_pages: u64,
     /// Prefetch attempts that found nothing in the store.
     pub prefetch_misses: u64,
+    /// Prefetches abandoned on a retryable store error (timeout /
+    /// transient refusal). Speculative reads are not retried — the page
+    /// is fetched with the full retry budget if the guest faults on it.
+    pub prefetch_transient_errors: u64,
+    /// Prefetched pages discarded because the post-fetch `uffd` copy-in
+    /// failed (the page got mapped while the read was in flight).
+    pub prefetch_copy_skips: u64,
     /// Store reads retried after a retryable error (timeout /
     /// transient refusal). Backoff time is charged to the fault.
     pub read_retries: u64,
@@ -76,6 +83,18 @@ macro_rules! monitor_counters {
                 );)+
             }
 
+            /// Like [`MonitorCounters::register`], but additionally keyed
+            /// by a [`consts::LABEL_VM`] label so several monitors can
+            /// share one registry without clobbering each other (adoption
+            /// replaces an identically-keyed entry).
+            pub fn register_labeled(&self, registry: &Registry, vm: &str) {
+                $(registry.adopt_counter(
+                    consts::MONITOR_EVENTS,
+                    &[(consts::LABEL_EVENT, $event), (consts::LABEL_VM, vm)],
+                    &self.$field,
+                );)+
+            }
+
             /// A point-in-time snapshot of every counter.
             pub fn snapshot(&self) -> MonitorStats {
                 MonitorStats {
@@ -99,6 +118,8 @@ monitor_counters! {
     (lost_pages, "lost_page", "Pages the store reported missing."),
     (prefetched_pages, "prefetched_page", "Pages pulled in proactively by prefetch."),
     (prefetch_misses, "prefetch_miss", "Prefetch attempts that found nothing."),
+    (prefetch_transient_errors, "prefetch_transient_error", "Prefetches abandoned on a retryable store error."),
+    (prefetch_copy_skips, "prefetch_copy_skip", "Prefetched pages discarded because the copy-in failed."),
     (read_retries, "read_retry", "Store reads retried after a retryable error."),
     (write_retries, "write_retry", "Store writes retried after a retryable error."),
     (flush_failures, "flush_failure", "Flushes whose multi-write failed retryably."),

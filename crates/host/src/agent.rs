@@ -1,0 +1,843 @@
+//! The host agent: N VMs' monitors multiplexed over one shared store.
+//!
+//! This is the deployment the paper describes but never packages: a
+//! cloud host runs many VMs, each with its own FluidMem monitor, all of
+//! them keyed into **one** key-value store through per-VM partitions
+//! (§IV: "multiple VMs [share] the same key-value store"). The agent
+//! owns the pieces that make that safe and fast:
+//!
+//! * a [`SharedStore`] handle per VM, so every monitor really does hit
+//!   the same remote memory;
+//! * coordination state: each VM's [`PartitionId`] comes from the
+//!   replicated [`PartitionTable`], and its liveness is a lease znode
+//!   under the host's [`HostDirectory`] (watch-driven membership);
+//! * a deterministic interleave of the VMs' fault streams on the shared
+//!   [`SimClock`] — smooth weighted round-robin, so a weight-4 VM issues
+//!   4/7 of the accesses in a 4:1:1:1 fleet without bursts;
+//! * the [DRAM arbiter](crate::plan): every `rebalance_interval` host
+//!   ops the agent snapshots each VM's windowed [`VmSignals`], plans new
+//!   capacities under the configured [`ArbiterPolicy`], and applies them
+//!   through `Monitor::resize` — shrinks before grows, so the host is
+//!   never over-committed mid-apply.
+//!
+//! Everything is driven by `SimClock`/`SimRng`; two runs with the same
+//! seeds are bit-identical, which the scaling bench relies on.
+
+use fluidmem_coord::{
+    CoordCluster, HostDirectory, PartitionId, PartitionTable, VmIdentity, VmLease,
+};
+use fluidmem_core::{FluidMemMemory, MonitorConfig, VmSignals};
+use fluidmem_kv::{KeyValueStore, SharedStore, StoreStats};
+use fluidmem_mem::{AccessOutcome, MemoryBackend, PageClass, Region};
+use fluidmem_sim::stats::Sample;
+use fluidmem_sim::{SimClock, SimDuration, SimInstant, SimRng};
+use fluidmem_telemetry::{consts, Counter, Gauge, Registry, Telemetry};
+use fluidmem_vm::Balloon;
+
+use crate::arbiter::{self, ArbiterConfig, ArbiterPolicy, VmDemand};
+
+/// Host-wide configuration.
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// Hypervisor id, used for partition identities and the coord
+    /// membership directory.
+    pub host_id: u64,
+    /// Host DRAM available to VM LRU buffers, in pages.
+    pub dram_pages: u64,
+    /// Per-VM minimum capacity guarantee (see [`ArbiterConfig`]).
+    pub min_pages_per_vm: u64,
+    /// The arbiter policy.
+    pub policy: ArbiterPolicy,
+    /// Rebalance every this many host ops (`0` disables the arbiter).
+    pub rebalance_interval: u64,
+    /// The per-VM monitor configuration (capacity is overridden by the
+    /// arbiter's grants).
+    pub monitor: MonitorConfig,
+}
+
+impl HostConfig {
+    /// A default host: proportional arbiter, min guarantee 16 pages,
+    /// rebalance every 1024 ops.
+    pub fn new(dram_pages: u64) -> Self {
+        HostConfig {
+            host_id: 1,
+            dram_pages,
+            min_pages_per_vm: 16,
+            policy: ArbiterPolicy::FaultRateProportional,
+            rebalance_interval: 1024,
+            monitor: MonitorConfig::new(dram_pages),
+        }
+    }
+
+    /// Sets the arbiter policy.
+    pub fn policy(mut self, policy: ArbiterPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the per-VM minimum guarantee.
+    pub fn min_pages(mut self, pages: u64) -> Self {
+        self.min_pages_per_vm = pages;
+        self
+    }
+
+    /// Sets the rebalance cadence in host ops (`0` disables).
+    pub fn rebalance_interval(mut self, ops: u64) -> Self {
+        self.rebalance_interval = ops;
+        self
+    }
+
+    /// Sets the hypervisor id.
+    pub fn host_id(mut self, id: u64) -> Self {
+        self.host_id = id;
+        self
+    }
+
+    /// Sets the per-VM monitor configuration.
+    pub fn monitor(mut self, monitor: MonitorConfig) -> Self {
+        self.monitor = monitor;
+        self
+    }
+}
+
+/// One VM's workload description.
+#[derive(Debug, Clone)]
+pub struct VmSpec {
+    /// Unique VM name (telemetry label, RNG fork key).
+    pub name: String,
+    /// Working-set size in pages; accesses are uniform over it.
+    pub wss_pages: u64,
+    /// Round-robin weight: a weight-4 VM among weight-1 peers issues
+    /// 4/7 of the host's accesses.
+    pub weight: u64,
+    /// Fraction of accesses that are writes.
+    pub write_fraction: f64,
+}
+
+impl VmSpec {
+    /// A weight-1, 30%-write VM.
+    pub fn new(name: impl Into<String>, wss_pages: u64) -> Self {
+        VmSpec {
+            name: name.into(),
+            wss_pages,
+            weight: 1,
+            write_fraction: 0.3,
+        }
+    }
+
+    /// Sets the round-robin weight.
+    pub fn weight(mut self, weight: u64) -> Self {
+        self.weight = weight.max(1);
+        self
+    }
+
+    /// Sets the write fraction.
+    pub fn write_fraction(mut self, fraction: f64) -> Self {
+        self.write_fraction = fraction;
+        self
+    }
+}
+
+/// Host-level event counters, exported as `fluidmem_host_events_total`.
+#[derive(Debug, Default)]
+struct HostCounters {
+    rebalances: Counter,
+    grants: Counter,
+    shrinks: Counter,
+    balloon_clamps: Counter,
+    membership_events: Counter,
+}
+
+impl HostCounters {
+    fn register(&self, registry: &Registry) {
+        for (event, counter) in [
+            ("rebalance", &self.rebalances),
+            ("grant", &self.grants),
+            ("shrink", &self.shrinks),
+            ("balloon_clamp", &self.balloon_clamps),
+            ("membership_event", &self.membership_events),
+        ] {
+            registry.adopt_counter(
+                consts::HOST_EVENTS,
+                &[(consts::LABEL_EVENT, event)],
+                counter,
+            );
+        }
+    }
+}
+
+/// One hosted VM: its backend, lease, balloon, and measurement state.
+struct VmSlot {
+    spec: VmSpec,
+    pid: u64,
+    partition: PartitionId,
+    lease: String,
+    vm: FluidMemMemory,
+    region: Region,
+    balloon: Balloon,
+    /// Signals snapshot at the start of the current rebalance window.
+    baseline: VmSignals,
+    /// Latency of every measured access (hits are zero).
+    access_lat: Sample,
+    /// Latency of measured faults only.
+    fault_lat: Sample,
+    measured_ops: u64,
+    capacity_gauge: Gauge,
+    workload_rng: SimRng,
+    /// Smooth weighted round-robin accumulator.
+    wrr: i64,
+}
+
+/// The multi-VM host agent. See the module docs.
+pub struct HostAgent {
+    config: HostConfig,
+    store: SharedStore,
+    coord: CoordCluster,
+    directory: HostDirectory,
+    members: Vec<VmLease>,
+    slots: Vec<VmSlot>,
+    telemetry: Telemetry,
+    counters: HostCounters,
+    clock: SimClock,
+    rng: SimRng,
+    next_pid: u64,
+    ops_done: u64,
+    measure_start: SimInstant,
+}
+
+impl HostAgent {
+    /// Stands up a host over `store`: wraps it for sharing, boots a
+    /// 3-replica coordination cluster, initializes the partition table,
+    /// and registers the host's membership directory.
+    pub fn new(
+        config: HostConfig,
+        store: Box<dyn KeyValueStore>,
+        clock: SimClock,
+        rng: SimRng,
+    ) -> Self {
+        let mut coord = CoordCluster::new(3, clock.clone(), rng.fork("coord"));
+        PartitionTable::init(&mut coord).expect("fresh cluster initializes");
+        let directory =
+            HostDirectory::register(&mut coord, config.host_id).expect("fresh cluster registers");
+        directory
+            .watch_membership(&mut coord)
+            .expect("fresh cluster watches");
+        let telemetry = Telemetry::new(clock.clone());
+        let counters = HostCounters::default();
+        counters.register(telemetry.registry());
+        let measure_start = clock.now();
+        HostAgent {
+            config,
+            store: SharedStore::new(store),
+            coord,
+            directory,
+            members: Vec::new(),
+            slots: Vec::new(),
+            telemetry,
+            counters,
+            clock,
+            rng,
+            next_pid: 1000,
+            ops_done: 0,
+            measure_start,
+        }
+    }
+
+    /// Adds a VM: allocates its partition through the replicated table,
+    /// registers its lease, maps its working set, and re-splits initial
+    /// capacities evenly across the fleet.
+    pub fn add_vm(&mut self, spec: VmSpec) -> usize {
+        assert!(
+            self.slots.iter().all(|s| s.spec.name != spec.name),
+            "VM names must be unique (RNG fork key, telemetry label)"
+        );
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        let partition = PartitionTable::allocate(
+            &mut self.coord,
+            VmIdentity {
+                pid,
+                hypervisor: self.config.host_id,
+            },
+        )
+        .expect("partition allocation on a healthy cluster");
+        let lease = self
+            .directory
+            .register_vm(&mut self.coord, pid, partition)
+            .expect("lease registration on a healthy cluster");
+
+        let mut monitor_config = self.config.monitor.clone();
+        monitor_config.lru_capacity = self
+            .config
+            .dram_pages
+            .checked_div(self.slots.len() as u64 + 1)
+            .unwrap_or(self.config.dram_pages)
+            .max(1);
+        let mut vm = FluidMemMemory::new(
+            monitor_config,
+            Box::new(self.store.handle()),
+            partition,
+            self.clock.clone(),
+            self.rng.fork(&format!("vm-{}", spec.name)),
+        );
+        vm.attach_telemetry_labeled(&self.telemetry, &spec.name);
+        let region = vm.map_region(spec.wss_pages, PageClass::Anonymous);
+        let baseline = vm.signals();
+        let capacity_gauge = Gauge::new();
+        self.telemetry.registry().adopt_gauge(
+            consts::HOST_VM_CAPACITY_PAGES,
+            &[(consts::LABEL_VM, &spec.name)],
+            &capacity_gauge,
+        );
+        let workload_rng = self.rng.fork(&format!("workload-{}", spec.name));
+        self.slots.push(VmSlot {
+            spec,
+            pid,
+            partition,
+            lease,
+            vm,
+            region,
+            balloon: Balloon::new(),
+            baseline,
+            access_lat: Sample::new(),
+            fault_lat: Sample::new(),
+            measured_ops: 0,
+            capacity_gauge,
+            workload_rng,
+            wrr: 0,
+        });
+        self.split_evenly();
+        self.refresh_membership();
+        self.slots.len() - 1
+    }
+
+    /// Removes a VM: unregisters its region (dropping its pages from
+    /// the shared store), deletes its lease, and releases its partition.
+    pub fn remove_vm(&mut self, index: usize) {
+        let mut slot = self.slots.remove(index);
+        slot.vm.drain_writes();
+        let region = slot.region;
+        slot.vm.unregister_region(&region);
+        self.directory
+            .deregister_vm(&mut self.coord, &slot.lease)
+            .expect("lease exists until deregistered");
+        PartitionTable::release(&mut self.coord, slot.partition)
+            .expect("partition held until released");
+        self.refresh_membership();
+        if !self.slots.is_empty() {
+            self.split_evenly();
+        }
+    }
+
+    /// Drives `ops` accesses across the fleet, interleaved by smooth
+    /// weighted round-robin, rebalancing at the configured cadence.
+    pub fn run(&mut self, ops: u64) {
+        assert!(!self.slots.is_empty(), "add VMs before running");
+        let total_weight: i64 = self.slots.iter().map(|s| s.spec.weight as i64).sum();
+        for _ in 0..ops {
+            let mut best = 0;
+            for i in 0..self.slots.len() {
+                self.slots[i].wrr += self.slots[i].spec.weight as i64;
+                if self.slots[i].wrr > self.slots[best].wrr {
+                    best = i;
+                }
+            }
+            self.slots[best].wrr -= total_weight;
+            self.step(best);
+            self.ops_done += 1;
+            if self.config.rebalance_interval > 0
+                && self.ops_done.is_multiple_of(self.config.rebalance_interval)
+            {
+                self.rebalance_now();
+            }
+        }
+    }
+
+    fn step(&mut self, i: usize) {
+        let slot = &mut self.slots[i];
+        let page = slot.workload_rng.gen_index(slot.spec.wss_pages);
+        let write = slot.workload_rng.gen_bool(slot.spec.write_fraction);
+        let report = slot.vm.access(slot.region.page(page), write);
+        slot.measured_ops += 1;
+        slot.access_lat.record_duration(report.latency);
+        if report.outcome != AccessOutcome::Hit {
+            slot.fault_lat.record_duration(report.latency);
+        }
+    }
+
+    /// Runs one arbiter round immediately: collect windowed demands,
+    /// plan, apply (shrinks before grows), roll the window baselines.
+    pub fn rebalance_now(&mut self) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let policy_label = self.config.policy.label();
+        let n = self.slots.len();
+        let span = self
+            .telemetry
+            .begin_with(consts::TRACK_HOST, "rebalance", || {
+                vec![("policy", policy_label.to_string()), ("vms", n.to_string())]
+            });
+        self.counters.rebalances.inc();
+        let demands: Vec<VmDemand> = self
+            .slots
+            .iter()
+            .map(|slot| {
+                let now = slot.vm.signals();
+                let window = now.window_since(&slot.baseline);
+                VmDemand {
+                    major_faults: window.major_faults,
+                    hit_ratio: window.hit_ratio(),
+                    balloon_target: slot.balloon.target(),
+                    current_pages: now.capacity_pages,
+                }
+            })
+            .collect();
+        let plan = arbiter::plan(
+            &ArbiterConfig {
+                total_pages: self.config.dram_pages,
+                min_pages: self.config.min_pages_per_vm,
+                policy: self.config.policy,
+            },
+            &demands,
+        );
+        // Shrinks first: the freed pages cover the grows, so the host's
+        // aggregate resident never exceeds the budget mid-apply.
+        for pass in 0..2 {
+            for (i, &target) in plan.capacities.iter().enumerate() {
+                let current = self.slots[i].vm.local_capacity_pages();
+                let apply = if pass == 0 {
+                    target < current
+                } else {
+                    target > current
+                };
+                if apply {
+                    self.slots[i]
+                        .vm
+                        .set_local_capacity(target)
+                        .expect("FluidMem resizes freely");
+                    if pass == 0 {
+                        self.counters.shrinks.inc();
+                    } else {
+                        self.counters.grants.inc();
+                    }
+                }
+            }
+        }
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if plan.balloon_clamped[i] {
+                self.counters.balloon_clamps.inc();
+            }
+            slot.capacity_gauge
+                .set(slot.vm.local_capacity_pages() as i64);
+            slot.baseline = slot.vm.signals();
+        }
+        self.telemetry.end(span);
+    }
+
+    /// Announces an operator balloon target for a VM (or clears it with
+    /// `None`); the arbiter clamps the VM's grant from the next round.
+    pub fn set_balloon_target(&mut self, index: usize, target: Option<u64>) {
+        match target {
+            Some(pages) => self.slots[index].balloon.request(pages),
+            None => self.slots[index].balloon.deflate(),
+        }
+    }
+
+    /// Clears measurement state (latency samples, op counts) and starts
+    /// a fresh measurement window — call after warm-up.
+    pub fn reset_measurements(&mut self) {
+        for slot in &mut self.slots {
+            slot.access_lat = Sample::new();
+            slot.fault_lat = Sample::new();
+            slot.measured_ops = 0;
+            slot.baseline = slot.vm.signals();
+        }
+        self.measure_start = self.clock.now();
+    }
+
+    /// Flushes every VM's outstanding writes.
+    pub fn drain(&mut self) {
+        for slot in &mut self.slots {
+            slot.vm.drain_writes();
+        }
+    }
+
+    /// Swaps in a shared telemetry handle: re-registers host counters,
+    /// every VM's labeled instruments, and the per-VM capacity gauges.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
+        self.counters.register(self.telemetry.registry());
+        for slot in &mut self.slots {
+            slot.vm
+                .attach_telemetry_labeled(&self.telemetry, &slot.spec.name);
+            self.telemetry.registry().adopt_gauge(
+                consts::HOST_VM_CAPACITY_PAGES,
+                &[(consts::LABEL_VM, &slot.spec.name)],
+                &slot.capacity_gauge,
+            );
+        }
+    }
+
+    fn split_evenly(&mut self) {
+        let n = self.slots.len() as u64;
+        let even = arbiter::plan(
+            &ArbiterConfig {
+                total_pages: self.config.dram_pages,
+                min_pages: self.config.dram_pages / n.max(1),
+                policy: ArbiterPolicy::StaticQuota,
+            },
+            &vec![VmDemand::default(); self.slots.len()],
+        );
+        for (i, &cap) in even.capacities.iter().enumerate() {
+            self.slots[i]
+                .vm
+                .set_local_capacity(cap)
+                .expect("FluidMem resizes freely");
+            self.slots[i].capacity_gauge.set(cap as i64);
+        }
+    }
+
+    fn refresh_membership(&mut self) {
+        let events = self.directory.membership_events(&mut self.coord);
+        self.counters.membership_events.add(events.len() as u64);
+        self.members = self.directory.live_vms(&mut self.coord);
+        self.directory
+            .watch_membership(&mut self.coord)
+            .expect("re-arming watches on a healthy cluster");
+    }
+
+    /// Number of hosted VMs.
+    pub fn vm_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// A VM's name.
+    pub fn vm_name(&self, index: usize) -> &str {
+        &self.slots[index].spec.name
+    }
+
+    /// A VM's PID (as leased in the membership directory).
+    pub fn vm_pid(&self, index: usize) -> u64 {
+        self.slots[index].pid
+    }
+
+    /// A VM's store partition.
+    pub fn vm_partition(&self, index: usize) -> PartitionId {
+        self.slots[index].partition
+    }
+
+    /// A VM's current capacity grant, in pages.
+    pub fn vm_capacity(&self, index: usize) -> u64 {
+        self.slots[index].vm.local_capacity_pages()
+    }
+
+    /// A VM's cumulative signals snapshot.
+    pub fn vm_signals(&self, index: usize) -> VmSignals {
+        self.slots[index].vm.signals()
+    }
+
+    /// Measured ops for a VM since the last reset.
+    pub fn vm_ops(&self, index: usize) -> u64 {
+        self.slots[index].measured_ops
+    }
+
+    /// Measured fault count for a VM since the last reset.
+    pub fn vm_faults(&self, index: usize) -> u64 {
+        self.slots[index].fault_lat.count() as u64
+    }
+
+    /// Percentile of a VM's measured *fault* latencies, in µs
+    /// (`0.0` if the VM faulted zero times in the window).
+    pub fn vm_fault_percentile(&mut self, index: usize, p: f64) -> f64 {
+        self.slots[index].fault_lat.percentile(p)
+    }
+
+    /// Percentile of a VM's measured *access* latencies (hits are
+    /// zero), in µs.
+    pub fn vm_access_percentile(&mut self, index: usize, p: f64) -> f64 {
+        self.slots[index].access_lat.percentile(p)
+    }
+
+    /// Percentile over every VM's measured access latencies, in µs —
+    /// the host-wide tail a tenant-blind arbiter inflates.
+    pub fn aggregate_access_percentile(&mut self, p: f64) -> f64 {
+        let mut merged = Sample::new();
+        for slot in &self.slots {
+            for &v in slot.access_lat.values() {
+                merged.record(v);
+            }
+        }
+        merged.percentile(p)
+    }
+
+    /// Percentile over every VM's measured fault latencies, in µs.
+    pub fn aggregate_fault_percentile(&mut self, p: f64) -> f64 {
+        let mut merged = Sample::new();
+        for slot in &self.slots {
+            for &v in slot.fault_lat.values() {
+                merged.record(v);
+            }
+        }
+        merged.percentile(p)
+    }
+
+    /// Total measured ops since the last reset.
+    pub fn total_measured_ops(&self) -> u64 {
+        self.slots.iter().map(|s| s.measured_ops).sum()
+    }
+
+    /// Simulated time elapsed in the current measurement window.
+    pub fn measurement_window(&self) -> SimDuration {
+        self.clock.now() - self.measure_start
+    }
+
+    /// The shared store's aggregate stats (all VMs combined).
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// Another handle to the shared store.
+    pub fn store(&self) -> SharedStore {
+        self.store.handle()
+    }
+
+    /// The live membership directory contents, as of the last refresh.
+    pub fn members(&self) -> &[VmLease] {
+        &self.members
+    }
+
+    /// The host's telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Host ops driven so far (warm-up included).
+    pub fn ops_done(&self) -> u64 {
+        self.ops_done
+    }
+}
+
+impl std::fmt::Debug for HostAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostAgent")
+            .field("host", &self.config.host_id)
+            .field("vms", &self.slots.len())
+            .field("policy", &self.config.policy)
+            .field("dram_pages", &self.config.dram_pages)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluidmem_kv::{DramStore, RamCloudStore};
+
+    fn host(config: HostConfig, seed: u64) -> HostAgent {
+        let clock = SimClock::new();
+        let store = DramStore::new(1 << 30, clock.clone(), SimRng::seed_from_u64(seed));
+        HostAgent::new(
+            config,
+            Box::new(store),
+            clock,
+            SimRng::seed_from_u64(seed + 1),
+        )
+    }
+
+    fn skewed_host(policy: ArbiterPolicy) -> HostAgent {
+        let clock = SimClock::new();
+        let store = RamCloudStore::new(1 << 28, clock.clone(), SimRng::seed_from_u64(11));
+        let config = HostConfig::new(512)
+            .policy(policy)
+            .min_pages(48)
+            .rebalance_interval(256);
+        let mut agent = HostAgent::new(config, Box::new(store), clock, SimRng::seed_from_u64(12));
+        agent.add_vm(VmSpec::new("hot", 320).weight(4));
+        agent.add_vm(VmSpec::new("cold-a", 40));
+        agent.add_vm(VmSpec::new("cold-b", 40));
+        agent.add_vm(VmSpec::new("cold-c", 40));
+        agent
+    }
+
+    #[test]
+    fn registration_flows_through_coord() {
+        let mut agent = host(HostConfig::new(256), 1);
+        agent.add_vm(VmSpec::new("a", 64));
+        agent.add_vm(VmSpec::new("b", 64));
+        agent.add_vm(VmSpec::new("c", 64));
+        assert_eq!(agent.vm_count(), 3);
+        assert_eq!(agent.members().len(), 3);
+        // Partitions are distinct and the leases carry them.
+        let partitions: Vec<PartitionId> = (0..3).map(|i| agent.vm_partition(i)).collect();
+        assert_eq!(partitions.len(), 3);
+        assert!(partitions[0] != partitions[1] && partitions[1] != partitions[2]);
+        for (i, lease) in agent.members().to_vec().iter().enumerate() {
+            assert_eq!(lease.pid, agent.vm_pid(i));
+            assert_eq!(lease.partition, agent.vm_partition(i));
+        }
+        // Registration fired membership watches.
+        assert!(agent.counters.membership_events.get() > 0);
+
+        agent.run(600);
+        agent.remove_vm(1);
+        assert_eq!(agent.vm_count(), 2);
+        assert_eq!(agent.members().len(), 2);
+        assert_eq!(agent.vm_name(1), "c");
+    }
+
+    #[test]
+    fn capacities_stay_within_the_host_budget() {
+        let mut agent = host(HostConfig::new(200).min_pages(10).rebalance_interval(64), 3);
+        agent.add_vm(VmSpec::new("x", 150));
+        agent.add_vm(VmSpec::new("y", 150));
+        agent.add_vm(VmSpec::new("z", 150));
+        agent.run(3000);
+        let granted: u64 = (0..3).map(|i| agent.vm_capacity(i)).sum();
+        assert!(granted <= 200, "over-committed: {granted} > 200");
+        let resident: u64 = (0..3).map(|i| agent.vm_signals(i).resident_pages).sum();
+        assert!(resident <= 200, "resident {resident} exceeds host DRAM");
+    }
+
+    #[test]
+    fn proportional_beats_static_on_a_skewed_fleet() {
+        // The acceptance scenario: one hot VM (wss 320, weight 4) and
+        // three cold ones on 512 host pages. Static quota grants the hot
+        // VM 128 pages — it thrashes. The proportional arbiter routes
+        // the idle VMs' surplus to it, so its working set fits and the
+        // host-wide access tail collapses.
+        let mut stat = skewed_host(ArbiterPolicy::StaticQuota);
+        stat.run(8_000);
+        stat.reset_measurements();
+        stat.run(16_000);
+        let static_p99 = stat.aggregate_access_percentile(0.99);
+
+        let mut prop = skewed_host(ArbiterPolicy::FaultRateProportional);
+        prop.run(8_000);
+        prop.reset_measurements();
+        prop.run(16_000);
+        let prop_p99 = prop.aggregate_access_percentile(0.99);
+
+        assert!(
+            prop_p99 < static_p99,
+            "proportional p99 {prop_p99}µs must beat static p99 {static_p99}µs"
+        );
+        // The hot VM's grant actually moved.
+        assert!(prop.vm_capacity(0) > stat.vm_capacity(0));
+        // And the guarantee held for the cold VMs.
+        for i in 1..4 {
+            assert!(prop.vm_capacity(i) >= 48);
+        }
+    }
+
+    #[test]
+    fn work_stealing_also_relieves_the_hot_vm() {
+        let mut agent = skewed_host(ArbiterPolicy::MinGuaranteeWorkStealing);
+        agent.run(12_000);
+        assert!(
+            agent.vm_capacity(0) > 128,
+            "stealing should have grown the hot VM past its even share, got {}",
+            agent.vm_capacity(0)
+        );
+    }
+
+    #[test]
+    fn identical_seeds_are_bit_identical() {
+        // Eight VMs whose aggregate WSS is 2x host DRAM — the scaling
+        // bench's stress point, shrunk for a unit test.
+        let build = || {
+            let mut agent = host(
+                HostConfig::new(256).min_pages(8).rebalance_interval(128),
+                42,
+            );
+            for i in 0..8 {
+                agent.add_vm(VmSpec::new(format!("vm{i}"), 64));
+            }
+            agent.run(4_000);
+            agent.drain();
+            agent
+        };
+        let mut a = build();
+        let mut b = build();
+        assert_eq!(a.clock().now(), b.clock().now(), "virtual time diverged");
+        for i in 0..8 {
+            assert_eq!(a.vm_signals(i), b.vm_signals(i), "vm{i} signals diverged");
+            assert_eq!(
+                a.vm_fault_percentile(i, 0.99).to_bits(),
+                b.vm_fault_percentile(i, 0.99).to_bits(),
+                "vm{i} p99 diverged"
+            );
+        }
+        assert_eq!(a.store_stats().puts, b.store_stats().puts);
+        assert_eq!(a.store_stats().gets, b.store_stats().gets);
+        assert_eq!(
+            a.aggregate_access_percentile(0.999).to_bits(),
+            b.aggregate_access_percentile(0.999).to_bits()
+        );
+    }
+
+    #[test]
+    fn balloon_target_clamps_the_grant() {
+        let mut agent = host(HostConfig::new(256).min_pages(8).rebalance_interval(0), 7);
+        agent.add_vm(VmSpec::new("a", 100));
+        agent.add_vm(VmSpec::new("b", 100));
+        assert_eq!(agent.vm_capacity(0), 128);
+        agent.run(1000);
+        agent.set_balloon_target(0, Some(40));
+        agent.rebalance_now();
+        assert!(
+            agent.vm_capacity(0) <= 40,
+            "balloon ignored: {}",
+            agent.vm_capacity(0)
+        );
+        assert!(agent.counters.balloon_clamps.get() >= 1);
+        // The freed pages went to the other VM.
+        assert!(agent.vm_capacity(1) > 128);
+        // Deflating releases the clamp at the next round.
+        agent.set_balloon_target(0, None);
+        agent.run(2000);
+        agent.rebalance_now();
+        assert!(agent.vm_capacity(0) > 40);
+    }
+
+    #[test]
+    fn telemetry_exports_host_track_and_per_vm_series() {
+        let clock = SimClock::new();
+        let store = DramStore::new(1 << 30, clock.clone(), SimRng::seed_from_u64(5));
+        let mut agent = HostAgent::new(
+            HostConfig::new(128).rebalance_interval(256),
+            Box::new(store),
+            clock.clone(),
+            SimRng::seed_from_u64(6),
+        );
+        let telemetry = Telemetry::new(clock);
+        telemetry.enable_spans();
+        agent.attach_telemetry(&telemetry);
+        agent.add_vm(VmSpec::new("alpha", 96));
+        agent.add_vm(VmSpec::new("beta", 96));
+        agent.run(2_000);
+        agent.drain();
+
+        let prom = telemetry.export_prometheus();
+        assert!(prom.contains("fluidmem_host_events_total"), "{prom}");
+        assert!(
+            prom.contains("fluidmem_host_vm_capacity_pages{vm=\"alpha\"}"),
+            "{prom}"
+        );
+        assert!(prom.contains("vm=\"beta\""), "{prom}");
+        // The monitors' labeled series landed in the same registry.
+        assert!(
+            prom.contains("fluidmem_monitor_events_total{event=\"fault\",vm=\"alpha\"}")
+                || prom.contains("vm=\"alpha\",event=\"fault\""),
+            "per-VM monitor series missing: {prom}"
+        );
+        let trace = telemetry.export_chrome_trace();
+        assert!(trace.contains("rebalance"), "{trace}");
+        assert!(trace.contains("host"), "{trace}");
+    }
+}

@@ -1,0 +1,411 @@
+//! The DRAM arbiter: how host DRAM is split between N VMs' LRU buffers.
+//!
+//! The arbiter is a *pure, deterministic* planning function: given the
+//! host's total page budget and one [`VmDemand`] per VM (fault counts
+//! over the last rebalance window, hit ratio, balloon target, current
+//! grant), [`plan`] returns the next per-VM capacities. All arithmetic
+//! is integer (largest-remainder apportionment), no randomness, no
+//! clock — so a host run is reproducible bit-for-bit and the planner
+//! can be unit-tested exhaustively.
+//!
+//! Three policies (the knob the paper's §VI-E "flexibility" experiments
+//! imply but never build):
+//!
+//! * [`ArbiterPolicy::StaticQuota`] — the baseline: an even, demand-blind
+//!   split. What a hot VM thrashes against.
+//! * [`ArbiterPolicy::FaultRateProportional`] — every VM keeps a minimum
+//!   guarantee; the remaining pool is apportioned proportionally to each
+//!   VM's major faults in the window (the misses capacity can buy down).
+//! * [`ArbiterPolicy::MinGuaranteeWorkStealing`] — incremental: VMs
+//!   faulting below the fleet mean donate half of their surplus above
+//!   the guarantee; the pool is re-granted to above-mean VMs. Converges
+//!   toward the proportional split without large step changes.
+//!
+//! Balloon targets are authoritative clamps in every policy: if the
+//! operator asked a VM to shrink to `B` pages, the arbiter never grants
+//! it more than `B`, and re-offers the freed pages to the other VMs.
+
+/// How the arbiter splits host DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArbiterPolicy {
+    /// Demand-blind even split of the total budget.
+    StaticQuota,
+    /// Minimum guarantee plus a pool apportioned by window major faults.
+    FaultRateProportional,
+    /// Below-mean faulters donate half their surplus to above-mean ones.
+    MinGuaranteeWorkStealing,
+}
+
+impl ArbiterPolicy {
+    /// The `policy` label value (telemetry, bench output).
+    pub fn label(self) -> &'static str {
+        match self {
+            ArbiterPolicy::StaticQuota => "static_quota",
+            ArbiterPolicy::FaultRateProportional => "fault_rate_proportional",
+            ArbiterPolicy::MinGuaranteeWorkStealing => "min_guarantee_work_stealing",
+        }
+    }
+
+    /// Every policy, in label order.
+    pub const ALL: [ArbiterPolicy; 3] = [
+        ArbiterPolicy::StaticQuota,
+        ArbiterPolicy::FaultRateProportional,
+        ArbiterPolicy::MinGuaranteeWorkStealing,
+    ];
+}
+
+/// One VM's demand signals over the last rebalance window.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VmDemand {
+    /// Major faults in the window — the pressure capacity relieves.
+    pub major_faults: u64,
+    /// Hit ratio over the window (`1.0` when idle).
+    pub hit_ratio: f64,
+    /// Operator-requested footprint ceiling, if any.
+    pub balloon_target: Option<u64>,
+    /// The capacity currently granted.
+    pub current_pages: u64,
+}
+
+/// The arbiter's configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ArbiterConfig {
+    /// Host DRAM available to VM LRU buffers, in pages.
+    pub total_pages: u64,
+    /// Per-VM minimum guarantee (clamped to `total/n` if infeasible).
+    pub min_pages: u64,
+    /// The active policy.
+    pub policy: ArbiterPolicy,
+}
+
+/// The outcome of one planning round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArbiterPlan {
+    /// Next capacity per VM, index-aligned with the input demands.
+    pub capacities: Vec<u64>,
+    /// Whether each VM's grant was clamped by its balloon target.
+    pub balloon_clamped: Vec<bool>,
+}
+
+impl ArbiterPlan {
+    /// Sum of all grants (never exceeds the configured total).
+    pub fn granted(&self) -> u64 {
+        self.capacities.iter().sum()
+    }
+}
+
+/// Splits `pool` across `weights` by largest-remainder apportionment:
+/// exact floors first, then one extra page each to the largest
+/// remainders (ties to the lowest index). Zero total weight means an
+/// even split. Deterministic, sums exactly to `pool`.
+fn apportion(pool: u64, weights: &[u64]) -> Vec<u64> {
+    let n = weights.len();
+    if n == 0 || pool == 0 {
+        return vec![0; n];
+    }
+    let total: u128 = weights.iter().map(|&w| u128::from(w)).sum();
+    if total == 0 {
+        let base = pool / n as u64;
+        let extra = (pool % n as u64) as usize;
+        return (0..n).map(|i| base + u64::from(i < extra)).collect();
+    }
+    let mut shares: Vec<u64> = Vec::with_capacity(n);
+    let mut remainders: Vec<(u128, usize)> = Vec::with_capacity(n);
+    for (i, &w) in weights.iter().enumerate() {
+        let exact = u128::from(pool) * u128::from(w);
+        shares.push((exact / total) as u64);
+        remainders.push((exact % total, i));
+    }
+    let assigned: u64 = shares.iter().sum();
+    let mut leftover = pool - assigned;
+    // Largest remainder first; ties broken by the lower index.
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for &(_, i) in &remainders {
+        if leftover == 0 {
+            break;
+        }
+        shares[i] += 1;
+        leftover -= 1;
+    }
+    shares
+}
+
+/// Computes the next per-VM capacities. See the module docs for policy
+/// semantics. The returned grants never sum above `config.total_pages`.
+pub fn plan(config: &ArbiterConfig, demands: &[VmDemand]) -> ArbiterPlan {
+    let n = demands.len();
+    if n == 0 {
+        return ArbiterPlan {
+            capacities: Vec::new(),
+            balloon_clamped: Vec::new(),
+        };
+    }
+    let total = config.total_pages;
+    let min = config.min_pages.min(total / n as u64);
+    let weights: Vec<u64> = demands.iter().map(|d| d.major_faults).collect();
+
+    let mut capacities: Vec<u64> = match config.policy {
+        ArbiterPolicy::StaticQuota => apportion(total, &vec![1; n]),
+        ArbiterPolicy::FaultRateProportional => {
+            let guaranteed = min * n as u64;
+            let pool = total - guaranteed;
+            apportion(pool, &weights)
+                .into_iter()
+                .map(|share| min + share)
+                .collect()
+        }
+        ArbiterPolicy::MinGuaranteeWorkStealing => {
+            // Start from the current grants, normalized to fit: an
+            // incremental policy must not invent pages.
+            let current: Vec<u64> = demands.iter().map(|d| d.current_pages.max(min)).collect();
+            let current_sum: u64 = current.iter().sum();
+            let mut caps = if current_sum > total || current_sum == 0 {
+                apportion(total, &vec![1; n])
+            } else {
+                current
+            };
+            let total_faults: u64 = weights.iter().sum();
+            if total_faults > 0 {
+                // Strictly-below-mean VMs donate half their surplus over
+                // the guarantee; above-mean VMs split the pool by their
+                // fault counts.
+                let mut pool = 0u64;
+                let mut takers: Vec<usize> = Vec::new();
+                for (i, &w) in weights.iter().enumerate() {
+                    if u128::from(w) * (n as u128) < u128::from(total_faults) {
+                        let donation = caps[i].saturating_sub(min) / 2;
+                        caps[i] -= donation;
+                        pool += donation;
+                    } else {
+                        takers.push(i);
+                    }
+                }
+                if !takers.is_empty() && pool > 0 {
+                    let taker_weights: Vec<u64> = takers.iter().map(|&i| weights[i]).collect();
+                    let grants = apportion(pool, &taker_weights);
+                    for (k, &i) in takers.iter().enumerate() {
+                        caps[i] += grants[k];
+                    }
+                }
+            }
+            caps
+        }
+    };
+
+    // Balloon targets clamp in every policy; freed pages are re-offered
+    // to unclamped VMs in one apportionment round (by fault weight).
+    let mut balloon_clamped = vec![false; n];
+    for (i, d) in demands.iter().enumerate() {
+        if let Some(target) = d.balloon_target {
+            if capacities[i] > target {
+                capacities[i] = target;
+                balloon_clamped[i] = true;
+            }
+        }
+    }
+    if config.policy != ArbiterPolicy::StaticQuota {
+        let granted: u64 = capacities.iter().sum();
+        let freed = total.saturating_sub(granted);
+        let open: Vec<usize> = (0..n).filter(|&i| !balloon_clamped[i]).collect();
+        if freed > 0 && !open.is_empty() {
+            let open_weights: Vec<u64> = open.iter().map(|&i| weights[i]).collect();
+            let grants = apportion(freed, &open_weights);
+            for (k, &i) in open.iter().enumerate() {
+                let mut grant = grants[k];
+                if let Some(target) = demands[i].balloon_target {
+                    grant = grant.min(target.saturating_sub(capacities[i]));
+                }
+                capacities[i] += grant;
+            }
+        }
+    }
+
+    debug_assert!(capacities.iter().sum::<u64>() <= total);
+    ArbiterPlan {
+        capacities,
+        balloon_clamped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(major_faults: u64, current: u64) -> VmDemand {
+        VmDemand {
+            major_faults,
+            hit_ratio: 0.9,
+            balloon_target: None,
+            current_pages: current,
+        }
+    }
+
+    #[test]
+    fn apportion_is_exact_and_deterministic() {
+        assert_eq!(apportion(10, &[1, 1, 1]), vec![4, 3, 3]);
+        assert_eq!(apportion(100, &[0, 0]), vec![50, 50]);
+        assert_eq!(apportion(7, &[5, 0, 2]), vec![5, 0, 2]);
+        assert_eq!(apportion(1, &[3, 3]), vec![1, 0], "tie goes to index 0");
+        let a = apportion(1000, &[7, 13, 29, 1]);
+        assert_eq!(a.iter().sum::<u64>(), 1000);
+        assert_eq!(a, apportion(1000, &[7, 13, 29, 1]));
+    }
+
+    #[test]
+    fn static_quota_splits_evenly_regardless_of_demand() {
+        let cfg = ArbiterConfig {
+            total_pages: 100,
+            min_pages: 10,
+            policy: ArbiterPolicy::StaticQuota,
+        };
+        let p = plan(
+            &cfg,
+            &[
+                demand(1_000, 25),
+                demand(0, 25),
+                demand(0, 25),
+                demand(0, 25),
+            ],
+        );
+        assert_eq!(p.capacities, vec![25, 25, 25, 25]);
+        assert_eq!(p.granted(), 100);
+    }
+
+    #[test]
+    fn proportional_feeds_the_hot_vm_but_keeps_the_guarantee() {
+        let cfg = ArbiterConfig {
+            total_pages: 512,
+            min_pages: 48,
+            policy: ArbiterPolicy::FaultRateProportional,
+        };
+        let p = plan(
+            &cfg,
+            &[
+                demand(900, 128),
+                demand(50, 128),
+                demand(50, 128),
+                demand(0, 128),
+            ],
+        );
+        assert_eq!(p.granted(), 512);
+        assert!(p.capacities[0] > 300, "{:?}", p.capacities);
+        for &c in &p.capacities {
+            assert!(c >= 48, "guarantee violated: {:?}", p.capacities);
+        }
+        // An idle VM holds exactly the guarantee.
+        assert_eq!(p.capacities[3], 48);
+    }
+
+    #[test]
+    fn proportional_with_no_faults_is_an_even_split() {
+        let cfg = ArbiterConfig {
+            total_pages: 120,
+            min_pages: 10,
+            policy: ArbiterPolicy::FaultRateProportional,
+        };
+        let p = plan(&cfg, &[demand(0, 40), demand(0, 40), demand(0, 40)]);
+        assert_eq!(p.capacities, vec![40, 40, 40]);
+    }
+
+    #[test]
+    fn work_stealing_moves_surplus_toward_the_faulter() {
+        let cfg = ArbiterConfig {
+            total_pages: 400,
+            min_pages: 20,
+            policy: ArbiterPolicy::MinGuaranteeWorkStealing,
+        };
+        let demands = [
+            demand(800, 100),
+            demand(10, 100),
+            demand(10, 100),
+            demand(10, 100),
+        ];
+        let p = plan(&cfg, &demands);
+        assert!(p.granted() <= 400);
+        assert!(p.capacities[0] > 100, "{:?}", p.capacities);
+        for i in 1..4 {
+            assert!(
+                p.capacities[i] >= 20 && p.capacities[i] < 100,
+                "{:?}",
+                p.capacities
+            );
+        }
+        // Iterating converges further toward the hot VM without ever
+        // exceeding the budget.
+        let again = plan(
+            &cfg,
+            &[
+                VmDemand {
+                    current_pages: p.capacities[0],
+                    ..demands[0]
+                },
+                VmDemand {
+                    current_pages: p.capacities[1],
+                    ..demands[1]
+                },
+                VmDemand {
+                    current_pages: p.capacities[2],
+                    ..demands[2]
+                },
+                VmDemand {
+                    current_pages: p.capacities[3],
+                    ..demands[3]
+                },
+            ],
+        );
+        assert!(again.capacities[0] >= p.capacities[0]);
+        assert!(again.granted() <= 400);
+    }
+
+    #[test]
+    fn work_stealing_idles_when_nobody_faults() {
+        let cfg = ArbiterConfig {
+            total_pages: 300,
+            min_pages: 10,
+            policy: ArbiterPolicy::MinGuaranteeWorkStealing,
+        };
+        let p = plan(&cfg, &[demand(0, 150), demand(0, 150)]);
+        assert_eq!(p.capacities, vec![150, 150], "no faults, no movement");
+    }
+
+    #[test]
+    fn balloon_target_clamps_and_frees_pages() {
+        let cfg = ArbiterConfig {
+            total_pages: 200,
+            min_pages: 10,
+            policy: ArbiterPolicy::FaultRateProportional,
+        };
+        let mut hot = demand(500, 100);
+        hot.balloon_target = Some(40);
+        let p = plan(&cfg, &[hot, demand(500, 100)]);
+        assert_eq!(p.capacities[0], 40, "balloon beats demand");
+        assert!(p.balloon_clamped[0]);
+        assert!(!p.balloon_clamped[1]);
+        // The freed pages flowed to the unclamped VM.
+        assert_eq!(p.capacities[1], 160);
+    }
+
+    #[test]
+    fn infeasible_min_is_scaled_down() {
+        let cfg = ArbiterConfig {
+            total_pages: 30,
+            min_pages: 100,
+            policy: ArbiterPolicy::FaultRateProportional,
+        };
+        let p = plan(&cfg, &[demand(5, 10), demand(5, 10), demand(5, 10)]);
+        assert_eq!(p.granted(), 30);
+        for &c in &p.capacities {
+            assert!(c >= 10);
+        }
+    }
+
+    #[test]
+    fn empty_fleet_plans_nothing() {
+        let cfg = ArbiterConfig {
+            total_pages: 100,
+            min_pages: 10,
+            policy: ArbiterPolicy::StaticQuota,
+        };
+        assert_eq!(plan(&cfg, &[]).capacities.len(), 0);
+    }
+}

@@ -158,4 +158,89 @@ mod tests {
         assert_eq!(shared.handle().stats().puts, 1);
         assert_eq!(shared.len(), 1);
     }
+
+    #[test]
+    fn two_handle_stats_aggregate_without_double_counting() {
+        use fluidmem_telemetry::consts;
+
+        let clock = SimClock::new();
+        let shared = SharedStore::new(Box::new(DramStore::new(
+            1 << 20,
+            clock,
+            SimRng::seed_from_u64(1),
+        )));
+        let mut a = shared.handle();
+        let mut b = shared.handle();
+
+        // Each handle attaches its own registry — the multi-monitor
+        // shape, where every monitor instruments its store clone.
+        let reg_a = Registry::new();
+        let reg_b = Registry::new();
+        a.instrument(&reg_a);
+        b.instrument(&reg_b);
+
+        // 3 puts + 2 gets through `a`, 5 puts + 4 gets through `b`.
+        let key = |i: u64| ExternalKey::new(Vpn::new(i), PartitionId::new(0));
+        for i in 0..3 {
+            a.put(key(i), PageContents::Token(i)).unwrap();
+        }
+        for i in 3..8 {
+            b.put(key(i), PageContents::Token(i)).unwrap();
+        }
+        for i in 0..2 {
+            a.get(key(i)).unwrap();
+        }
+        for i in 2..6 {
+            b.get(key(i)).unwrap();
+        }
+
+        // One inner store, one set of counters: every view agrees on the
+        // sum of per-handle issued ops.
+        let stats = shared.stats();
+        assert_eq!(stats.puts, 3 + 5);
+        assert_eq!(stats.gets, 2 + 4);
+        let labels = |op: &'static str| [(consts::LABEL_STORE, "dram"), (consts::LABEL_OP, op)];
+        for reg in [&reg_a, &reg_b] {
+            assert_eq!(reg.counter(consts::STORE_OPS, &labels("put")).get(), 8);
+            assert_eq!(reg.counter(consts::STORE_OPS, &labels("get")).get(), 6);
+            // Latency histograms adopt the same handles: one observation
+            // per issued op, not one per attached handle.
+            let h = reg.histogram(consts::STORE_OP_LATENCY_US, &labels("get"));
+            assert_eq!(h.snapshot().count, 6);
+        }
+    }
+
+    #[test]
+    fn reattaching_a_handle_neither_resets_nor_clobbers_counts() {
+        use fluidmem_telemetry::consts;
+
+        let clock = SimClock::new();
+        let shared = SharedStore::new(Box::new(DramStore::new(
+            1 << 20,
+            clock,
+            SimRng::seed_from_u64(1),
+        )));
+        let mut a = shared.handle();
+        let mut b = shared.handle();
+
+        let key = ExternalKey::new(Vpn::new(9), PartitionId::new(0));
+        a.put(key, PageContents::Zero).unwrap();
+        a.get(key).unwrap();
+
+        // Both handles attach to the SAME registry, the second one after
+        // ops already flowed: adoption must be idempotent (same live
+        // handles), carrying accumulated values instead of replacing
+        // them with fresh zeroed instruments.
+        let reg = Registry::new();
+        a.instrument(&reg);
+        b.instrument(&reg);
+        let gets = reg.counter(
+            consts::STORE_OPS,
+            &[(consts::LABEL_STORE, "dram"), (consts::LABEL_OP, "get")],
+        );
+        assert_eq!(gets.get(), 1, "pre-attach ops carried over exactly once");
+        b.get(key).unwrap();
+        assert_eq!(gets.get(), 2, "post-attach ops flow through either handle");
+        assert_eq!(shared.stats().gets, 2);
+    }
 }

@@ -34,6 +34,15 @@ pub const COORD_EVENTS: &str = "fluidmem_coord_events_total";
 /// operations, service requests, …
 pub const VM_EVENTS: &str = "fluidmem_vm_events_total";
 
+/// Host-agent event counter (labeled by [`LABEL_EVENT`], and by
+/// [`LABEL_VM`] for per-VM decisions): arbiter rebalances, capacity
+/// grants/shrinks, balloon clamps, membership events.
+pub const HOST_EVENTS: &str = "fluidmem_host_events_total";
+
+/// The DRAM capacity the host arbiter currently grants a VM's LRU
+/// (gauge, labeled by [`LABEL_VM`]).
+pub const HOST_VM_CAPACITY_PAGES: &str = "fluidmem_host_vm_capacity_pages";
+
 /// Pages currently resident in the monitor's LRU buffer (gauge).
 pub const LRU_RESIDENT_PAGES: &str = "fluidmem_lru_resident_pages";
 
@@ -63,6 +72,10 @@ pub const LABEL_OP: &str = "op";
 pub const LABEL_PATH: &str = "path";
 /// Label key naming a fault resolution kind.
 pub const LABEL_RESOLUTION: &str = "resolution";
+/// Label key naming a guest VM (multi-VM hosting).
+pub const LABEL_VM: &str = "vm";
+/// Label key naming an arbiter policy.
+pub const LABEL_POLICY: &str = "policy";
 
 /// Span track for the guest / workload side.
 pub const TRACK_GUEST: &str = "guest";
@@ -72,14 +85,17 @@ pub const TRACK_MONITOR: &str = "monitor";
 pub const TRACK_KV: &str = "kv";
 /// Span track for kernel-side work (TLB shootdowns, kswapd).
 pub const TRACK_KERNEL: &str = "kernel";
+/// Span track for the host agent (arbiter rebalances, VM membership).
+pub const TRACK_HOST: &str = "host";
 
 /// Stable Chrome-trace thread ids per track, in display order. Unlisted
 /// tracks are assigned ids after these, in first-use order.
-pub const TRACK_TIDS: [(&str, u64); 4] = [
+pub const TRACK_TIDS: [(&str, u64); 5] = [
     (TRACK_GUEST, 1),
     (TRACK_MONITOR, 2),
     (TRACK_KV, 3),
     (TRACK_KERNEL, 4),
+    (TRACK_HOST, 5),
 ];
 
 /// Number of finite histogram buckets. Bucket `i` has upper bound

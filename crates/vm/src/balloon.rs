@@ -51,6 +51,24 @@ impl Balloon {
     pub fn target(&self) -> Option<u64> {
         self.inflated_to
     }
+
+    /// Records a balloon target *without* reclaiming through a backend.
+    ///
+    /// This is the host-arbiter handshake: the cloud operator announces
+    /// the footprint it wants a VM to shrink toward, the arbiter reads
+    /// [`Balloon::target`] and clamps the VM's granted LRU capacity, and
+    /// the actual reclaim happens through the monitor's resize — no
+    /// guest cooperation needed (the paper's point about FluidMem vs.
+    /// ballooning, §VII).
+    pub fn request(&mut self, target_resident_pages: u64) {
+        self.inflations.inc();
+        self.inflated_to = Some(target_resident_pages);
+    }
+
+    /// Deflates: clears the target, releasing the arbiter's clamp.
+    pub fn deflate(&mut self) {
+        self.inflated_to = None;
+    }
 }
 
 #[cfg(test)]
@@ -84,5 +102,15 @@ mod tests {
             "balloon floor is 64 MB = 20480 pages (Table III)"
         );
         assert_eq!(balloon.target(), Some(0));
+    }
+
+    #[test]
+    fn request_records_a_target_without_a_backend() {
+        let mut balloon = Balloon::new();
+        assert_eq!(balloon.target(), None);
+        balloon.request(128);
+        assert_eq!(balloon.target(), Some(128));
+        balloon.deflate();
+        assert_eq!(balloon.target(), None);
     }
 }

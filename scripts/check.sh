@@ -27,4 +27,20 @@ grep -q '"kv.read.flight"' "$trace_file" || {
 }
 rm -f "$trace_file"
 
+echo "==> multi-VM smoke: scaling --smoke (twice, JSON must be byte-identical)"
+scaling_a="$(mktemp)"
+scaling_b="$(mktemp)"
+cargo run -q --release -p fluidmem-bench --bin scaling -- --smoke --json "$scaling_a" > /dev/null
+cargo run -q --release -p fluidmem-bench --bin scaling -- --smoke --json "$scaling_b" > /dev/null
+test -s "$scaling_a" || { echo "scaling smoke: empty JSON output" >&2; exit 1; }
+cmp "$scaling_a" "$scaling_b" || {
+    echo "scaling smoke: JSON output not deterministic" >&2
+    exit 1
+}
+grep -q '"bench":"scaling_policy"' "$scaling_a" || {
+    echo "scaling smoke: policy face-off records missing" >&2
+    exit 1
+}
+rm -f "$scaling_a" "$scaling_b"
+
 echo "==> all checks passed"

@@ -17,6 +17,7 @@
 pub use fluidmem_block as block;
 pub use fluidmem_coord as coord;
 pub use fluidmem_core as core;
+pub use fluidmem_host as host;
 pub use fluidmem_kv as kv;
 pub use fluidmem_mem as mem;
 pub use fluidmem_sim as sim;

@@ -6,7 +6,9 @@
 
 use fluidmem::coord::PartitionId;
 use fluidmem::core::{FluidMemMemory, MonitorConfig, Optimizations};
-use fluidmem::kv::{FaultInjectingStore, RamCloudStore, ReplicatedStore};
+use fluidmem::kv::{
+    FaultInjectingStore, KeyValueStore, RamCloudStore, ReplicatedStore, SharedStore,
+};
 use fluidmem::mem::{MemoryBackend, PageClass, PageContents};
 use fluidmem::sim::{FaultPlan, SimClock, SimRng};
 
@@ -175,6 +177,126 @@ fn chaotic_clock_stays_monotone() {
             assert!(now >= last, "seed {seed}: clock went backwards");
             last = now;
         }
+    }
+}
+
+/// Per-VM monitor counters captured at the end of a multi-VM run:
+/// (faults, remote reads, evictions, read retries).
+type VmCounters = (u64, u64, u64, u64);
+
+/// Drives three VMs over handles to *one* fault-injecting store, each
+/// keyed under its own partition, with per-VM last-write models.
+/// Asserts no VM ever reads another VM's value space, and returns a
+/// run fingerprint (per-VM counters, store puts, store gets) for
+/// replay comparison.
+fn multi_vm_fingerprint(seed: u64) -> (Vec<VmCounters>, u64, u64) {
+    const VMS: usize = 3;
+    const PAGES: u64 = 48;
+    let clock = SimClock::new();
+    let inner = RamCloudStore::new(1 << 26, clock.clone(), SimRng::seed_from_u64(seed));
+    let shared = SharedStore::new(Box::new(FaultInjectingStore::new(
+        Box::new(inner),
+        chaotic_plan(seed),
+        clock.clone(),
+    )));
+    let mut vms: Vec<FluidMemMemory> = (0..VMS)
+        .map(|v| {
+            FluidMemMemory::new(
+                MonitorConfig::new(8).optimizations(Optimizations::full()),
+                Box::new(shared.handle()),
+                PartitionId::new(v as u16 + 1),
+                clock.clone(),
+                SimRng::seed_from_u64(seed * 10 + v as u64),
+            )
+        })
+        .collect();
+    let regions: Vec<_> = vms
+        .iter_mut()
+        .map(|vm| vm.map_region(PAGES, PageClass::Anonymous))
+        .collect();
+    // Each VM writes tokens in its own value band: (v+1) million plus a
+    // page- and version-specific residue. Reading a token outside your
+    // band means the shared store leaked another tenant's page.
+    let band = |v: usize| (v as u64 + 1) * 1_000_000;
+    let mut models: Vec<std::collections::BTreeMap<u64, u64>> =
+        vec![std::collections::BTreeMap::new(); VMS];
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xD15A);
+    for _ in 0..900 {
+        let v = rng.gen_index(VMS as u64) as usize;
+        let p = rng.gen_index(PAGES);
+        match rng.gen_index(3) {
+            0 => {
+                let val = band(v) + p * 1_000 + rng.gen_index(1_000);
+                vms[v].write_page(regions[v].page(p), PageContents::Token(val));
+                models[v].insert(p, val);
+            }
+            1 => {
+                let (contents, _) = vms[v].read_page(regions[v].page(p));
+                if let PageContents::Token(t) = contents {
+                    assert_eq!(
+                        t / 1_000_000,
+                        v as u64 + 1,
+                        "seed {seed}: vm{v} read a token from band {}",
+                        t / 1_000_000
+                    );
+                }
+                match models[v].get(&p) {
+                    Some(val) => assert_eq!(
+                        contents,
+                        PageContents::Token(*val),
+                        "seed {seed}: vm{v} page {p} lost or stale under faults"
+                    ),
+                    None => assert!(
+                        matches!(contents, PageContents::Zero),
+                        "seed {seed}: vm{v} unwritten page {p} must read zero, got {contents:?}"
+                    ),
+                }
+            }
+            _ => {
+                vms[v].access(regions[v].page(p), false);
+            }
+        }
+    }
+    // Final sweep and drain: every VM's data intact, nothing lost.
+    for v in 0..VMS {
+        for (p, val) in &models[v] {
+            let (contents, _) = vms[v].read_page(regions[v].page(*p));
+            assert_eq!(
+                contents,
+                PageContents::Token(*val),
+                "seed {seed}: vm{v} page {p} lost in sweep"
+            );
+        }
+        vms[v].drain_writes();
+        assert_eq!(vms[v].monitor().pending_writes(), 0);
+        assert_eq!(vms[v].monitor().stats().lost_pages, 0);
+    }
+    let per_vm = vms
+        .iter()
+        .map(|vm| {
+            let s = vm.monitor().stats();
+            (s.faults, s.remote_reads, s.evictions, s.read_retries)
+        })
+        .collect();
+    let store = shared.stats();
+    (per_vm, store.puts, store.gets)
+}
+
+/// Multi-VM chaos: N monitors on one fault-injecting shared store stay
+/// isolated by partition and replay bit-identically for every seed.
+#[test]
+fn multi_vm_chaos_is_isolated_and_deterministic() {
+    for &seed in &SEEDS {
+        let first = multi_vm_fingerprint(seed);
+        assert!(
+            first.0.iter().any(|&(faults, ..)| faults > 0),
+            "seed {seed}: the fleet must actually fault"
+        );
+        assert_eq!(
+            first,
+            multi_vm_fingerprint(seed),
+            "seed {seed}: multi-VM chaos must replay identically"
+        );
     }
 }
 
