@@ -1,0 +1,189 @@
+//! `pipeline` — the staged fault pipeline's depth sweep: throughput and
+//! fault-latency tails as the monitor holds 1→16 faults in flight.
+//!
+//! The paper's monitor is multi-threaded: each faulting vCPU blocks in
+//! the kernel while a handler resolves its page, so several store round
+//! trips overlap each other and the evictor. The reproduction's
+//! call-return path (`Monitor::handle_fault`) serializes those round
+//! trips; the staged pipeline (`Monitor::submit_fault` /
+//! `Monitor::complete_next`) overlaps them on a deterministic event
+//! queue. This harness measures what that buys:
+//!
+//! * a fleet of vCPUs over one RamCloud-class store, working set 4× the
+//!   local buffer so most accesses refault from the store;
+//! * depths 1, 2, 4, 8, 16 with the *same* seed and the *same* access
+//!   sequence — the depth is the only variable;
+//! * per-depth throughput (accesses per virtual ms), speedup over depth
+//!   1, fault mix (parked / coalesced), and fault-latency p50/p99.
+//!
+//! Depth 1 is the call-return degenerate case (byte-identical to
+//! `handle_fault`); depth ≥ 4 must beat it on throughput — the §V-B
+//! asynchrony argument, extended from one overlapped read to many.
+//!
+//! Runs are fully deterministic: a fixed `--seed` reproduces the output
+//! byte for byte (the check.sh gate runs the smoke sweep twice and
+//! `cmp`s).
+//!
+//! Usage: `pipeline [--smoke] [--seed N] [--json FILE]`
+
+use std::path::PathBuf;
+
+use fluidmem_bench::json::{write_json_line, Json};
+use fluidmem_bench::{banner, f2, TextTable};
+use fluidmem_coord::PartitionId;
+use fluidmem_core::{FluidMemMemory, MonitorConfig};
+use fluidmem_kv::RamCloudStore;
+use fluidmem_sim::{SimClock, SimRng};
+use fluidmem_vm::VcpuSet;
+
+struct Args {
+    smoke: bool,
+    seed: u64,
+    json_path: Option<PathBuf>,
+}
+
+/// Hand-rolled parsing (not `HarnessArgs`): this harness has no
+/// `--scale` notion — `--smoke` selects the reduced sizes instead.
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        seed: 42,
+        json_path: None,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--smoke" => args.smoke = true,
+            "--seed" => {
+                i += 1;
+                args.seed = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or(42);
+            }
+            "--json" => {
+                i += 1;
+                args.json_path = argv.get(i).map(PathBuf::from);
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn emit(args: &Args, record: &Json) {
+    if let Some(path) = &args.json_path {
+        if let Err(e) = write_json_line(path, record) {
+            eprintln!("failed to write {path:?}: {e}");
+        }
+    }
+}
+
+struct Sizes {
+    capacity: u64,
+    wss_pages: u64,
+    vcpus: u64,
+    warmup_ops: u64,
+    measured_ops: u64,
+}
+
+fn main() {
+    let args = parse_args();
+    let sizes = if args.smoke {
+        Sizes {
+            capacity: 256,
+            wss_pages: 1024,
+            vcpus: 8,
+            warmup_ops: 2_000,
+            measured_ops: 6_000,
+        }
+    } else {
+        Sizes {
+            capacity: 2048,
+            wss_pages: 8192,
+            vcpus: 16,
+            warmup_ops: 16_000,
+            measured_ops: 48_000,
+        }
+    };
+
+    banner(
+        "pipeline — staged fault pipeline depth sweep",
+        &format!(
+            "{} vCPUs, WSS {} pages over a {}-page buffer (4x oversubscribed), \
+             RamCloud-class store, seed {}",
+            sizes.vcpus, sizes.wss_pages, sizes.capacity, args.seed
+        ),
+    );
+
+    let mut table = TextTable::new(vec![
+        "depth",
+        "ops/ms",
+        "speedup",
+        "faults",
+        "parked",
+        "coalesced",
+        "p50 µs",
+        "p99 µs",
+    ]);
+    let mut depth1_ops_per_ms = 0.0;
+    for depth in [1usize, 2, 4, 8, 16] {
+        let clock = SimClock::new();
+        let store = RamCloudStore::new(1 << 30, clock.clone(), SimRng::seed_from_u64(args.seed));
+        let vm = FluidMemMemory::new(
+            MonitorConfig::new(sizes.capacity).inflight(depth),
+            Box::new(store),
+            PartitionId::new(0),
+            clock,
+            SimRng::seed_from_u64(args.seed ^ 0x9E37_79B9),
+        );
+        // The same workload seed at every depth: identical access
+        // sequences, so the pipeline depth is the only variable.
+        let mut set = VcpuSet::new(vm, sizes.vcpus, sizes.wss_pages).workload_seed(args.seed);
+        set.run(sizes.warmup_ops);
+        let mut stats = set.run(sizes.measured_ops);
+        set.vm_mut().drain_writes();
+
+        let ops_per_ms = stats.ops_per_ms();
+        if depth == 1 {
+            depth1_ops_per_ms = ops_per_ms;
+        }
+        let speedup = if depth1_ops_per_ms > 0.0 {
+            ops_per_ms / depth1_ops_per_ms
+        } else {
+            0.0
+        };
+        let p50 = stats.fault_latency.percentile(0.50);
+        let p99 = stats.fault_latency.percentile(0.99);
+        table.row(vec![
+            depth.to_string(),
+            f2(ops_per_ms),
+            format!("{:.2}x", speedup),
+            stats.faults.to_string(),
+            stats.parked.to_string(),
+            stats.coalesced.to_string(),
+            f2(p50),
+            f2(p99),
+        ]);
+        emit(
+            &args,
+            &Json::object()
+                .field("bench", "pipeline")
+                .field("seed", args.seed as i64)
+                .field("depth", depth as i64)
+                .field("ops", stats.ops as i64)
+                .field("faults", stats.faults as i64)
+                .field("parked", stats.parked as i64)
+                .field("coalesced", stats.coalesced as i64)
+                .field("elapsed_ms", stats.elapsed.as_nanos() as f64 / 1e6)
+                .field("ops_per_ms", ops_per_ms)
+                .field("speedup_vs_depth1", speedup)
+                .field("fault_p50_us", p50)
+                .field("fault_p99_us", p99),
+        );
+    }
+    table.print();
+    println!(
+        "\nDepth 1 is the call-return path; deeper rows overlap store round\n\
+         trips (and coalesce duplicate fetches) on the event queue."
+    );
+}

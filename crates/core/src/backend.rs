@@ -12,7 +12,19 @@ use fluidmem_sim::{SimClock, SimDuration, SimRng};
 use fluidmem_uffd::{RegionId, Userfaultfd};
 
 use crate::config::MonitorConfig;
-use crate::monitor::{Monitor, Resolution};
+use crate::monitor::{CompletedFault, Monitor, Resolution, SubmitOutcome};
+
+/// The outcome of [`FluidMemMemory::submit_access`].
+#[derive(Debug, Clone, Copy)]
+pub enum PipelineSubmit {
+    /// The access resolved inline — a mapped-page hit, a CoW break, or a
+    /// fault the pipeline completed without parking (first touch,
+    /// write-list steal). The report is final and already counted.
+    Ready(AccessReport),
+    /// The access parked (or coalesced) in the monitor's in-flight
+    /// table; [`FluidMemMemory::complete_next_access`] finishes it.
+    Pending(SubmitOutcome),
+}
 
 /// The state handed from a migration source to its destination: the
 /// guest's region layout and the monitor's seen-page set. The pages
@@ -223,32 +235,39 @@ impl FluidMemMemory {
         vm
     }
 
+    /// Resolves an access to an already-mapped page (hit or CoW break);
+    /// `None` means the page is unmapped and must fault to the monitor.
+    fn try_mapped_access(&mut self, vpn: Vpn, write: bool) -> Option<AccessReport> {
+        let entry = self.pt.get_mut(vpn)?;
+        if write && entry.flags.contains(PteFlags::ZERO_PAGE) {
+            // Kernel-side copy-on-write break (footnote 1 of the
+            // paper): a regular minor fault, invisible to the
+            // monitor.
+            let t0 = self.clock.now();
+            self.uffd
+                .break_cow(&mut self.pt, &mut self.pm, vpn)
+                .expect("zero-page mapping breaks cleanly");
+            self.counters.record(AccessOutcome::MinorFault);
+            return Some(AccessReport {
+                outcome: AccessOutcome::MinorFault,
+                latency: self.clock.now() - t0,
+            });
+        }
+        entry.flags.insert(PteFlags::REFERENCED);
+        if write {
+            entry.flags.insert(PteFlags::DIRTY);
+        }
+        self.counters.record(AccessOutcome::Hit);
+        Some(AccessReport {
+            outcome: AccessOutcome::Hit,
+            latency: SimDuration::ZERO,
+        })
+    }
+
     fn do_access(&mut self, addr: VirtAddr, write: bool) -> AccessReport {
         let vpn = addr.vpn();
-        if let Some(entry) = self.pt.get_mut(vpn) {
-            if write && entry.flags.contains(PteFlags::ZERO_PAGE) {
-                // Kernel-side copy-on-write break (footnote 1 of the
-                // paper): a regular minor fault, invisible to the
-                // monitor.
-                let t0 = self.clock.now();
-                self.uffd
-                    .break_cow(&mut self.pt, &mut self.pm, vpn)
-                    .expect("zero-page mapping breaks cleanly");
-                self.counters.record(AccessOutcome::MinorFault);
-                return AccessReport {
-                    outcome: AccessOutcome::MinorFault,
-                    latency: self.clock.now() - t0,
-                };
-            }
-            entry.flags.insert(PteFlags::REFERENCED);
-            if write {
-                entry.flags.insert(PteFlags::DIRTY);
-            }
-            self.counters.record(AccessOutcome::Hit);
-            return AccessReport {
-                outcome: AccessOutcome::Hit,
-                latency: SimDuration::ZERO,
-            };
+        if let Some(report) = self.try_mapped_access(vpn, write) {
+            return report;
         }
 
         let t0 = self.clock.now();
@@ -277,6 +296,78 @@ impl FluidMemMemory {
         };
         self.counters.record(outcome);
         AccessReport { outcome, latency }
+    }
+
+    /// Submits one guest access from `vcpu_pid` to the monitor's staged
+    /// pipeline. Hits and CoW breaks resolve inline, as do faults the
+    /// pipeline completes without parking (first touch, write-list
+    /// steal); a fault that must wait on the store parks in the
+    /// in-flight table — the vCPU stays blocked in the (simulated)
+    /// userfaultfd until [`FluidMemMemory::complete_next_access`]
+    /// resolves its page.
+    ///
+    /// The caller is responsible for keeping the submission depth within
+    /// [`MonitorConfig::max_inflight`] by completing between submits
+    /// (see [`Monitor::submit_fault`]).
+    pub fn submit_access(&mut self, vcpu_pid: u64, addr: VirtAddr, write: bool) -> PipelineSubmit {
+        let vpn = addr.vpn();
+        if let Some(report) = self.try_mapped_access(vpn, write) {
+            return PipelineSubmit::Ready(report);
+        }
+
+        let t0 = self.clock.now();
+        self.uffd
+            .raise_fault(addr, write, vcpu_pid, self.from_vm)
+            .unwrap_or_else(|e| panic!("access to unregistered address {addr}: {e}"));
+        let _event = self.uffd.poll().expect("fault was queued");
+        match self
+            .monitor
+            .submit_fault(&mut self.uffd, &mut self.pt, &mut self.pm, vpn, write)
+        {
+            SubmitOutcome::Completed(res) => {
+                let mut latency = res.wake_at - t0;
+                // A write resolved with the zero page breaks CoW when the
+                // guest retries the instruction — same as the call-return
+                // path.
+                if write && self.pt.has_flags(vpn, PteFlags::ZERO_PAGE) {
+                    let before = self.clock.now();
+                    self.uffd
+                        .break_cow(&mut self.pt, &mut self.pm, vpn)
+                        .expect("zero-page mapping breaks cleanly");
+                    latency += self.clock.now() - before;
+                }
+                let outcome = match res.resolution {
+                    Resolution::ZeroFill | Resolution::WriteListSteal => AccessOutcome::MinorFault,
+                    Resolution::RemoteRead | Resolution::InflightWait => AccessOutcome::MajorFault,
+                };
+                self.counters.record(outcome);
+                PipelineSubmit::Ready(AccessReport { outcome, latency })
+            }
+            parked => PipelineSubmit::Pending(parked),
+        }
+    }
+
+    /// Finishes the earliest in-flight pipelined access: resolves the
+    /// page, wakes the blocked vCPU(s), and records one access outcome
+    /// per fault sharing the operation (the submitter plus any coalesced
+    /// waiters). Returns `None` when nothing is in flight.
+    pub fn complete_next_access(&mut self) -> Option<CompletedFault> {
+        let done = self
+            .monitor
+            .complete_next(&mut self.uffd, &mut self.pt, &mut self.pm)?;
+        let outcome = match done.resolution {
+            Resolution::ZeroFill | Resolution::WriteListSteal => AccessOutcome::MinorFault,
+            Resolution::RemoteRead | Resolution::InflightWait => AccessOutcome::MajorFault,
+        };
+        for _ in 0..=done.waiters {
+            self.counters.record(outcome);
+        }
+        Some(done)
+    }
+
+    /// Faults currently parked in the monitor's in-flight table.
+    pub fn inflight_len(&self) -> usize {
+        self.monitor.inflight_len()
     }
 }
 

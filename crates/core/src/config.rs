@@ -187,6 +187,16 @@ pub struct MonitorConfig {
     /// refusals) are retried. Backoff waits are charged to the virtual
     /// clock, so retried faults honestly extend the observed latency.
     pub retry: RetryPolicy,
+    /// How many faults the monitor's pipelined entry points
+    /// ([`Monitor::submit_fault`](crate::Monitor::submit_fault) /
+    /// [`Monitor::complete_next`](crate::Monitor::complete_next)) may
+    /// hold in flight at once. `1` (the default) degenerates to the
+    /// call-return path: each fault completes before the next is
+    /// admitted, byte-identical to
+    /// [`Monitor::handle_fault`](crate::Monitor::handle_fault). Larger
+    /// values model FluidMem's multi-threaded monitor, where several
+    /// store round trips and the evictor overlap.
+    pub max_inflight: usize,
 }
 
 impl MonitorConfig {
@@ -204,6 +214,7 @@ impl MonitorConfig {
             costs: MonitorCosts::default(),
             from_vm: true,
             retry: RetryPolicy::default_remote(),
+            max_inflight: 1,
         }
     }
 
@@ -247,6 +258,13 @@ impl MonitorConfig {
     /// Sets the store retry policy.
     pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
         self.retry = policy;
+        self
+    }
+
+    /// Sets the outstanding-fault depth for the pipelined entry points
+    /// (clamped to at least 1).
+    pub fn inflight(mut self, depth: usize) -> Self {
+        self.max_inflight = depth.max(1);
         self
     }
 }

@@ -40,13 +40,13 @@ mod signals;
 mod stats;
 mod write_list;
 
-pub use backend::{FluidMemMemory, MigrationImage};
+pub use backend::{FluidMemMemory, MigrationImage, PipelineSubmit};
 pub use config::{
     EvictionMechanism, LruPolicy, MonitorConfig, MonitorCosts, Optimizations, PrefetchPolicy,
 };
 pub use hypervisor::{FluidMemHypervisor, SharedVm, VmHandle};
 pub use lru_buffer::LruBuffer;
-pub use monitor::Monitor;
+pub use monitor::{CompletedFault, Monitor, SubmitOutcome};
 pub use page_tracker::PageTracker;
 pub use profile::{CodePath, PathStats, ProfileTable};
 pub use signals::VmSignals;

@@ -1,0 +1,224 @@
+//! The evictor and flusher stages: moving pages out of the local buffer
+//! and onto the write list, and flushing the write list to the store.
+//!
+//! These run *during* read flights on the pipelined path (§V-B: the
+//! eviction happens "at a time when the vCPU thread was already
+//! suspended"), and inline on the call-return path.
+
+use fluidmem_kv::KvError;
+use fluidmem_mem::{PageTable, PhysicalMemory};
+use fluidmem_sim::SimInstant;
+use fluidmem_telemetry::consts;
+use fluidmem_uffd::Userfaultfd;
+
+use super::Monitor;
+use crate::config::EvictionMechanism;
+use crate::profile::CodePath;
+
+impl Monitor {
+    /// Evicts while the buffer is at/over capacity ("triggered ... when
+    /// the number of pages reaches the configured maximum size and
+    /// another page fault arrives").
+    ///
+    /// Runs *before* the faulted page is inserted, so it compares with
+    /// `>=`: an at-capacity buffer makes room for the incoming page. The
+    /// capacity is intentionally not clamped to 1 — a zero-page quota
+    /// (capability-style revocation, §VI-E) must drain the buffer
+    /// completely rather than pinning one resident page forever.
+    pub(in crate::monitor) fn evict_while_full(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+    ) {
+        while self.lru.len() >= self.lru.capacity() {
+            if !self.evict_one(uffd, pt, pm) {
+                break;
+            }
+        }
+    }
+
+    /// Evicts until the buffer is back under capacity (post-resize or
+    /// post-insert).
+    pub fn evict_to_capacity(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+    ) {
+        while self.lru.over_capacity() {
+            if !self.evict_one(uffd, pt, pm) {
+                break;
+            }
+        }
+    }
+
+    /// Evicts one page from the top of the LRU. Returns `false` if the
+    /// buffer is empty.
+    fn evict_one(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+    ) -> bool {
+        let Some(victim) = self.lru.pop_victim() else {
+            return false;
+        };
+        self.trace(|| format!("evicting {victim} from the top of the LRU via UFFD_REMAP"));
+        let key = self.key(victim);
+
+        let t0 = self.clock.now();
+        let span = self
+            .telemetry
+            .begin_with(consts::TRACK_MONITOR, "UFFD_REMAP", || {
+                vec![("vpn", format!("{victim}"))]
+            });
+        let (contents, handle) = uffd
+            .remap(pt, pm, victim)
+            .expect("LRU pages are mapped in the VM");
+        if self.config.eviction == EvictionMechanism::Remap {
+            // The cross-CPU TLB shootdown completes in the background.
+            self.telemetry.record_span(
+                consts::TRACK_KERNEL,
+                "tlb.shootdown",
+                t0,
+                handle.completes_at(),
+            );
+        }
+        let ready_at = match self.config.eviction {
+            EvictionMechanism::Remap => handle.completes_at(),
+            EvictionMechanism::Copy => {
+                // Zero-copy ablation: UFFD_COPY-style eviction copies the
+                // page out instead; no cross-CPU wait, but a 4 KB copy.
+                let copy_cost = uffd.costs().copy.sample(&mut self.rng);
+                self.clock.advance(copy_cost);
+                self.clock.now()
+            }
+        };
+        if !self.config.optimizations.async_write
+            && self.config.eviction == EvictionMechanism::Remap
+        {
+            // Synchronous writes need the shootdown done before staging.
+            uffd.wait_remap(handle);
+        }
+        self.telemetry.end(span);
+        self.profile
+            .record(CodePath::UffdRemap, self.clock.now() - t0);
+
+        self.stats.evictions.inc();
+
+        if self.config.optimizations.async_write {
+            self.charge(&self.config.costs.write_list_push.clone());
+            self.write_list.push(key, contents, ready_at);
+            self.trace(|| format!("{} queued on the write list", key));
+        } else {
+            self.charge(&self.config.costs.sync_write_staging.clone());
+            let t0 = self.clock.now();
+            self.put_with_retries(key, contents);
+            self.profile
+                .record(CodePath::WritePage, self.clock.now() - t0);
+        }
+        true
+    }
+
+    /// Flushes the write list when it is long enough or stale enough
+    /// (§V-B: "a separate thread periodically flushes the write list ...
+    /// when its size has reached a configured batch size of pages or a
+    /// stale file descriptor has been found").
+    pub fn maybe_flush(&mut self) {
+        let now = self.clock.now();
+        self.write_list.retire(now);
+        let stale = self
+            .write_list
+            .oldest_pending()
+            .is_some_and(|t| now.saturating_since(t) > self.config.flush_interval);
+        if self.write_list.pending_len() >= self.config.write_batch_size || stale {
+            self.flush_batch();
+        }
+        self.write_list_pending
+            .set(self.write_list.pending_len() as i64);
+    }
+
+    fn flush_batch(&mut self) {
+        let batch = self
+            .write_list
+            .take_batch(self.config.write_batch_size, self.clock.now());
+        if batch.is_empty() {
+            return;
+        }
+        let retained = batch.clone();
+        match self.store.begin_multi_write(batch) {
+            Ok(pending) => {
+                let completes_at = pending.completes_at();
+                // The flusher thread owns the bottom half; the critical
+                // path only remembers the batch for stealing.
+                self.write_list.mark_inflight(retained, completes_at);
+                self.stats.flushes.inc();
+                self.trace(|| "flusher: batch multi-written to the key-value store".to_string());
+            }
+            Err(e) if e.is_retryable() => {
+                // The batch goes back on the write list (already past its
+                // TLB shootdown, so immediately flushable again); the next
+                // flush opportunity retries it. Page writes are
+                // idempotent, so a timed-out-but-applied batch re-flushing
+                // is harmless. No data is lost either way: the freshest
+                // copy stays local and stealable.
+                self.stats.flush_failures.inc();
+                self.trace(|| format!("flusher: multi-write failed ({e}); batch requeued"));
+                let now = self.clock.now();
+                for (key, contents) in retained {
+                    self.write_list.push(key, contents, now);
+                }
+            }
+            Err(e) => panic!("store failure on flush: {e}"),
+        }
+    }
+
+    /// Flushes and waits for every outstanding write (shutdown, or test
+    /// synchronization).
+    pub fn drain_writes(&mut self) {
+        let policy = self.config.retry;
+        loop {
+            // Waiting for pending shootdowns makes everything flushable.
+            if let Some(t) = self.write_list.oldest_pending() {
+                self.clock.advance_to(t);
+            }
+            let batch = self.write_list.take_batch(usize::MAX, self.clock.now());
+            if batch.is_empty() {
+                break;
+            }
+            let mut tries = 0u32;
+            let result: Result<(), KvError> = {
+                let Monitor {
+                    store,
+                    clock,
+                    rng,
+                    stats,
+                    tracer,
+                    ..
+                } = self;
+                let clock = &*clock;
+                fluidmem_kv::run_with_retries_from(
+                    &policy,
+                    clock,
+                    rng,
+                    0,
+                    |_, e| {
+                        tries += 1;
+                        stats.write_retries.inc();
+                        tracer.emit(clock.now(), "monitor", || {
+                            format!("drain: multi-write failed ({e}); retrying")
+                        });
+                    },
+                    |_| store.multi_write(batch.clone()),
+                )
+            };
+            if let Err(e) = result {
+                panic!("store failure on drain after {tries} retries: {e}");
+            }
+            self.stats.flushes.inc();
+        }
+        self.write_list.retire(SimInstant::from_nanos(u64::MAX));
+        self.update_gauges();
+    }
+}

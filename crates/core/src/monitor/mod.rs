@@ -1,0 +1,473 @@
+//! The monitor process: FluidMem's user-space page-fault handler.
+//!
+//! The monitor is decomposed into pipeline stages, mirroring the paper's
+//! thread split (fault handlers, the evictor draining the write list,
+//! and the §V-B asynchronous read whose store round trip overlaps
+//! `UFFD_REMAP`/bookkeeping):
+//!
+//! * `stages` — fault intake, first-touch and refault resolution, the
+//!   split top/bottom-half read, and prefetch.
+//! * `evict` — the evictor: `UFFD_REMAP` eviction, write-list flushes,
+//!   and the shutdown drain.
+//! * `pipeline` — the staged entry points
+//!   ([`Monitor::submit_fault`] / [`Monitor::complete_next`]) that hold
+//!   up to [`MonitorConfig::max_inflight`] faults in flight on a
+//!   deterministic [`EventQueue`](fluidmem_sim::EventQueue).
+//!
+//! [`Monitor::handle_fault`] remains the call-return path: intake,
+//! resolution, and wake in one call, with at most one store operation
+//! outstanding. It is byte-identical to a pipelined run at
+//! `max_inflight = 1` because both are built from the same stage
+//! functions, invoked in the same order.
+
+mod evict;
+mod pipeline;
+mod stages;
+#[cfg(test)]
+mod tests;
+
+pub use pipeline::{CompletedFault, SubmitOutcome};
+
+use fluidmem_coord::PartitionId;
+use fluidmem_kv::{ExternalKey, KeyValueStore};
+use fluidmem_mem::{PageTable, PhysicalMemory, Region, Vpn};
+use fluidmem_sim::{SimClock, SimInstant, SimRng, Tracer};
+use fluidmem_uffd::Userfaultfd;
+
+use crate::config::MonitorConfig;
+use crate::lru_buffer::LruBuffer;
+use crate::page_tracker::PageTracker;
+use crate::profile::ProfileTable;
+use crate::stats::{MonitorCounters, MonitorStats};
+use crate::write_list::WriteList;
+use fluidmem_telemetry::{consts, Gauge, Histogram, SpanId, Telemetry};
+
+use pipeline::InflightTable;
+
+/// How a fault was resolved by the monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// First access: `UFFD_ZEROPAGE`, no remote read (Figure 2).
+    ZeroFill,
+    /// Page read back from the key-value store.
+    RemoteRead,
+    /// Page stolen from the pending write list (§V-B).
+    WriteListSteal,
+    /// Page was in an in-flight write; the fault waited for the write to
+    /// complete and then used the buffered copy (§V-B).
+    InflightWait,
+}
+
+impl Resolution {
+    /// The `resolution` label value this kind is exported under.
+    pub fn label(self) -> &'static str {
+        match self {
+            Resolution::ZeroFill => "zero_fill",
+            Resolution::RemoteRead => "remote_read",
+            Resolution::WriteListSteal => "write_list_steal",
+            Resolution::InflightWait => "inflight_wait",
+        }
+    }
+
+    /// Every resolution kind, in label order.
+    pub const ALL: [Resolution; 4] = [
+        Resolution::ZeroFill,
+        Resolution::RemoteRead,
+        Resolution::WriteListSteal,
+        Resolution::InflightWait,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Resolution::ZeroFill => 0,
+            Resolution::RemoteRead => 1,
+            Resolution::WriteListSteal => 2,
+            Resolution::InflightWait => 3,
+        }
+    }
+}
+
+/// The outcome of [`Monitor::handle_fault`].
+#[derive(Debug, Clone, Copy)]
+pub struct FaultResolution {
+    /// How the fault was resolved.
+    pub resolution: Resolution,
+    /// The instant the guest vCPU was woken. Work the monitor performs
+    /// after this (asynchronous eviction, flushes) advances the clock but
+    /// does not extend the guest-observed fault latency.
+    pub wake_at: SimInstant,
+}
+
+/// The result of the fault-intake stage: the admission timestamp, the
+/// open fault span, and whether the page has been seen before.
+pub(in crate::monitor) struct FaultIntake {
+    pub(in crate::monitor) t0: SimInstant,
+    pub(in crate::monitor) span: SpanId,
+    pub(in crate::monitor) seen: bool,
+}
+
+/// FluidMem's monitor process (paper §V).
+///
+/// "Its primary responsibility is to watch for page faults and resolve
+/// them before waking up the faulting process." The monitor owns the
+/// page tracker, the resizable LRU buffer, the write list, and the
+/// key-value store client; the kernel-side objects (userfaultfd, page
+/// table, physical memory) are passed in per call because they belong to
+/// the hypervisor.
+///
+/// See [`FluidMemMemory`](crate::FluidMemMemory) for the packaged
+/// `MemoryBackend`, which is the usual way to drive a monitor.
+pub struct Monitor {
+    pub(in crate::monitor) config: MonitorConfig,
+    pub(in crate::monitor) tracker: PageTracker,
+    pub(in crate::monitor) lru: LruBuffer,
+    pub(in crate::monitor) write_list: WriteList,
+    pub(in crate::monitor) store: Box<dyn KeyValueStore>,
+    partition: PartitionId,
+    /// Per-region partition overrides (multi-VM hosting): region start →
+    /// (region, partition).
+    region_partitions: std::collections::BTreeMap<u64, (Region, PartitionId)>,
+    /// In-flight operation table for the pipelined entry points.
+    pub(in crate::monitor) inflight: InflightTable,
+    pub(in crate::monitor) profile: ProfileTable,
+    pub(in crate::monitor) stats: MonitorCounters,
+    pub(in crate::monitor) telemetry: Telemetry,
+    /// Guest-observed fault latency, one histogram per [`Resolution`].
+    pub(in crate::monitor) fault_latency: [Histogram; 4],
+    lru_resident: Gauge,
+    lru_capacity: Gauge,
+    pub(in crate::monitor) write_list_pending: Gauge,
+    pub(in crate::monitor) tracer: Tracer,
+    pub(in crate::monitor) clock: SimClock,
+    pub(in crate::monitor) rng: SimRng,
+}
+
+impl Monitor {
+    /// Creates a monitor over a key-value store, using `partition` for
+    /// this VM's keys.
+    pub fn new(
+        config: MonitorConfig,
+        store: Box<dyn KeyValueStore>,
+        partition: PartitionId,
+        clock: SimClock,
+        rng: SimRng,
+    ) -> Self {
+        let lru = LruBuffer::new(config.lru_capacity);
+        let telemetry = Telemetry::new(clock.clone());
+        let monitor = Monitor {
+            config,
+            tracker: PageTracker::new(),
+            lru,
+            write_list: WriteList::new(),
+            store,
+            partition,
+            region_partitions: std::collections::BTreeMap::new(),
+            inflight: InflightTable::new(),
+            profile: ProfileTable::new(),
+            stats: MonitorCounters::new(),
+            telemetry,
+            fault_latency: Default::default(),
+            lru_resident: Gauge::new(),
+            lru_capacity: Gauge::new(),
+            write_list_pending: Gauge::new(),
+            tracer: Tracer::disabled(),
+            clock,
+            rng,
+        };
+        monitor.update_gauges();
+        monitor
+    }
+
+    /// Swaps in a shared telemetry handle and registers every live
+    /// instrument in its registry: the monitor's event counters, the
+    /// Table I code-path profile, the fault-latency histograms, the LRU
+    /// and write-list gauges, and the store's own counters. Accumulated
+    /// values carry over.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        let telemetry = telemetry.clone();
+        {
+            let registry = telemetry.registry();
+            self.stats.register(registry);
+            self.profile.register(registry);
+            self.store.instrument(registry);
+            registry.adopt_gauge(consts::LRU_RESIDENT_PAGES, &[], &self.lru_resident);
+            registry.adopt_gauge(consts::LRU_CAPACITY_PAGES, &[], &self.lru_capacity);
+            registry.adopt_gauge(consts::WRITE_LIST_PENDING, &[], &self.write_list_pending);
+            for r in Resolution::ALL {
+                registry.adopt_histogram(
+                    consts::FAULT_LATENCY_US,
+                    &[(consts::LABEL_RESOLUTION, r.label())],
+                    &self.fault_latency[r.index()],
+                );
+            }
+        }
+        self.telemetry = telemetry;
+        self.update_gauges();
+    }
+
+    /// Like [`Monitor::attach_telemetry`], but every monitor-owned
+    /// instrument is additionally keyed by a `vm` label so N monitors can
+    /// share one registry (multi-VM hosting) without clobbering each
+    /// other — adoption replaces identically-keyed entries, so unlabeled
+    /// registration from several monitors would leave only the last one
+    /// visible.
+    ///
+    /// The Table I code-path profile is *not* registered here: its rows
+    /// are monitor-global by construction and only meaningful when a
+    /// single monitor owns the registry.
+    pub fn attach_telemetry_labeled(&mut self, telemetry: &Telemetry, vm: &str) {
+        let telemetry = telemetry.clone();
+        {
+            let registry = telemetry.registry();
+            self.stats.register_labeled(registry, vm);
+            self.store.instrument(registry);
+            let vm_label = [(consts::LABEL_VM, vm)];
+            registry.adopt_gauge(consts::LRU_RESIDENT_PAGES, &vm_label, &self.lru_resident);
+            registry.adopt_gauge(consts::LRU_CAPACITY_PAGES, &vm_label, &self.lru_capacity);
+            registry.adopt_gauge(
+                consts::WRITE_LIST_PENDING,
+                &vm_label,
+                &self.write_list_pending,
+            );
+            for r in Resolution::ALL {
+                registry.adopt_histogram(
+                    consts::FAULT_LATENCY_US,
+                    &[
+                        (consts::LABEL_RESOLUTION, r.label()),
+                        (consts::LABEL_VM, vm),
+                    ],
+                    &self.fault_latency[r.index()],
+                );
+            }
+        }
+        self.telemetry = telemetry;
+        self.update_gauges();
+    }
+
+    /// The telemetry handle spans and metrics flow through.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    pub(in crate::monitor) fn update_gauges(&self) {
+        self.lru_resident.set(self.lru.len() as i64);
+        self.lru_capacity.set(self.lru.capacity() as i64);
+        self.write_list_pending
+            .set(self.write_list.pending_len() as i64);
+    }
+
+    /// Turns on event tracing (for the Figure 2 timeline and debugging).
+    pub fn enable_tracing(&mut self) {
+        self.tracer = Tracer::enabled();
+    }
+
+    /// The recorded trace events.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    pub(in crate::monitor) fn trace(&mut self, message: impl FnOnce() -> String) {
+        let now = self.clock.now();
+        self.tracer.emit(now, "monitor", message);
+    }
+
+    /// The monitor's configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// A snapshot of the monitor's counters.
+    pub fn stats(&self) -> MonitorStats {
+        self.stats.snapshot()
+    }
+
+    /// Per-code-path profile (Table I).
+    pub fn profile(&self) -> &ProfileTable {
+        &self.profile
+    }
+
+    /// Clears the profile (e.g. after warm-up).
+    pub fn clear_profile(&mut self) {
+        self.profile.clear();
+    }
+
+    /// Pages currently resident (the VM's footprint).
+    pub fn resident_pages(&self) -> u64 {
+        self.lru.len()
+    }
+
+    /// The LRU capacity.
+    pub fn capacity(&self) -> u64 {
+        self.lru.capacity()
+    }
+
+    /// Pages the monitor has ever seen.
+    pub fn seen_pages(&self) -> usize {
+        self.tracker.len()
+    }
+
+    /// Pages awaiting writeback.
+    pub fn pending_writes(&self) -> usize {
+        self.write_list.pending_len()
+    }
+
+    /// The store (for inspection in tests and benches).
+    pub fn store(&self) -> &dyn KeyValueStore {
+        self.store.as_ref()
+    }
+
+    /// This VM's partition.
+    pub fn partition(&self) -> PartitionId {
+        self.partition
+    }
+
+    /// Routes a region's keys to a specific partition (one hypervisor
+    /// monitor serving several VMs, paper §IV).
+    pub fn register_partition(&mut self, region: Region, partition: PartitionId) {
+        self.region_partitions
+            .insert(region.start().raw(), (region, partition));
+    }
+
+    /// The partition a page's key falls under.
+    pub fn partition_of(&self, vpn: Vpn) -> PartitionId {
+        if let Some((_, (region, partition))) =
+            self.region_partitions.range(..=vpn.raw()).next_back()
+        {
+            if region.contains(vpn) {
+                return *partition;
+            }
+        }
+        self.partition
+    }
+
+    /// How many of `region`'s pages are currently resident.
+    pub fn resident_in(&self, region: &Region) -> u64 {
+        self.lru.count_in(region.start(), region.end())
+    }
+
+    pub(in crate::monitor) fn key(&self, vpn: Vpn) -> ExternalKey {
+        ExternalKey::new(vpn, self.partition_of(vpn))
+    }
+
+    pub(in crate::monitor) fn charge(&mut self, model: &fluidmem_sim::LatencyModel) {
+        let d = model.sample(&mut self.rng);
+        self.clock.advance(d);
+    }
+
+    /// Handles one page fault for `vpn` on the call-return path: intake,
+    /// resolution, and wake complete before the call returns, with at
+    /// most one store operation in flight. The caller (the backend) has
+    /// already charged fault-trap and event-delivery costs via the
+    /// userfaultfd object.
+    ///
+    /// This is the `max_inflight = 1` degenerate case of the staged
+    /// pipeline: it runs the same stage functions as
+    /// [`Monitor::submit_fault`] / [`Monitor::complete_next`], in the
+    /// same order.
+    pub fn handle_fault(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+        vpn: Vpn,
+        write: bool,
+    ) -> FaultResolution {
+        let intake = self.fault_intake(pt, vpn, write);
+        let res = if !intake.seen {
+            self.trace(|| format!("pagetracker: {vpn} unseen -> zero-page path"));
+            self.handle_first_touch(uffd, pt, pm, vpn)
+        } else {
+            self.trace(|| format!("pagetracker: {vpn} seen before -> read path"));
+            self.handle_refault(uffd, pt, pm, vpn, write)
+        };
+        self.finalize_fault(intake.span, intake.t0, res.resolution, res.wake_at);
+        res
+    }
+
+    /// Resizes the local buffer (the §VI-E capability swap lacks),
+    /// evicting down to the new capacity on the spot.
+    pub fn resize(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+        capacity: u64,
+    ) {
+        self.lru.set_capacity(capacity);
+        self.stats.resizes.inc();
+        self.evict_to_capacity(uffd, pt, pm);
+        self.maybe_flush();
+        self.update_gauges();
+    }
+
+    /// Forgets all monitor state for a region (VM shutdown) and drops its
+    /// pages from the store. Returns how many pages were forgotten.
+    ///
+    /// The store cleanup must be scoped to *this region's* keys: bulk
+    /// `drop_partition` is only safe when the region owned a dedicated
+    /// registered partition no other region still routes to; otherwise
+    /// (the region shares the monitor's default partition, or a sibling
+    /// region shares the registered one) dropping the partition would
+    /// wipe other regions' pages, so the region's keys are deleted
+    /// individually instead.
+    pub fn remove_region(&mut self, region: &Region) -> usize {
+        let removed = self.tracker.remove_where(|vpn| region.contains(vpn));
+        for vpn in region.iter_pages() {
+            self.lru.remove(vpn);
+        }
+        let dedicated = self
+            .region_partitions
+            .remove(&region.start().raw())
+            .map(|(_, partition)| partition);
+        match dedicated {
+            Some(partition)
+                if partition != self.partition
+                    && !self
+                        .region_partitions
+                        .values()
+                        .any(|(_, p)| *p == partition) =>
+            {
+                self.store.drop_partition(partition);
+            }
+            Some(partition) => {
+                for vpn in region.iter_pages() {
+                    self.store.delete(ExternalKey::new(vpn, partition));
+                }
+            }
+            None => {
+                for vpn in region.iter_pages() {
+                    self.store.delete(ExternalKey::new(vpn, self.partition));
+                }
+            }
+        }
+        removed
+    }
+
+    /// Exports the page-tracker state for live migration: the set of
+    /// pages the monitor has seen (everything else is first-touch on the
+    /// destination). Call after evicting to zero and draining, so every
+    /// page is in the shared store.
+    pub fn export_seen(&self) -> Vec<Vpn> {
+        self.tracker.export()
+    }
+
+    /// Imports a migrated page-tracker state on the destination monitor.
+    pub fn import_seen(&mut self, pages: impl IntoIterator<Item = Vpn>) {
+        for vpn in pages {
+            self.tracker.insert(vpn);
+        }
+    }
+}
+
+impl std::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monitor")
+            .field("store", &self.store.name())
+            .field("resident", &self.lru.len())
+            .field("capacity", &self.lru.capacity())
+            .field("seen", &self.tracker.len())
+            .field("pending_writes", &self.write_list.pending_len())
+            .field("inflight", &self.inflight.len())
+            .finish()
+    }
+}

@@ -1,0 +1,316 @@
+//! The staged fault pipeline: explicit in-flight operations on a
+//! deterministic event queue.
+//!
+//! The call-return path ([`Monitor::handle_fault`]) holds at most one
+//! store operation outstanding. FluidMem's real monitor is multi-
+//! threaded: several fault handlers block in store reads while the
+//! evictor drains the write list. This module models that overlap
+//! without threads. [`Monitor::submit_fault`] runs a fault's intake and
+//! issue stages and, if the fault needs to wait on the store (or on an
+//! in-flight write), parks it in the [`InflightTable`] keyed by its
+//! completion instant; [`Monitor::complete_next`] pops the earliest
+//! completion off the [`EventQueue`] and runs the placement, wake, and
+//! post-wake stages.
+//!
+//! Determinism: the queue orders strictly by `(completes_at, seq)`, seq
+//! being submission order, so the schedule is a pure function of the
+//! seed — two runs with the same seed interleave identically. At
+//! `max_inflight = 1` every fault completes before the next is
+//! submitted, which makes the pipelined path byte-identical (same clock
+//! charges, same RNG draws, same telemetry) to `handle_fault`.
+
+use fluidmem_mem::{PageContents, PageTable, PhysicalMemory, Vpn};
+use fluidmem_sim::{EventQueue, SimInstant};
+use fluidmem_telemetry::SpanId;
+use fluidmem_uffd::Userfaultfd;
+
+use super::stages::ReadFlight;
+use super::{FaultIntake, FaultResolution, Monitor, Resolution};
+use crate::write_list::StealOutcome;
+
+/// Where a parked fault is in the pipeline.
+enum FaultStage {
+    /// The §V-B read top half is issued; the bottom half lands at the
+    /// flight's completion instant.
+    Fetch(ReadFlight),
+    /// The page is in an in-flight write; the fault waits until `until`
+    /// and then installs the buffered copy.
+    WaitWrite {
+        until: SimInstant,
+        contents: PageContents,
+    },
+}
+
+/// A fault that attached to an already-in-flight operation on the same
+/// page (a second vCPU touching the page mid-fetch). It shares the
+/// operation's outcome and wake instant but keeps its own span and
+/// admission time for latency accounting.
+struct Waiter {
+    t0: SimInstant,
+    span: SpanId,
+    write: bool,
+}
+
+/// One in-flight fault operation.
+struct InflightFault {
+    id: u64,
+    vpn: Vpn,
+    write: bool,
+    submitted_at: SimInstant,
+    span: SpanId,
+    stage: FaultStage,
+    waiters: Vec<Waiter>,
+}
+
+/// The in-flight operation table: live operations plus the completion
+/// queue that orders them.
+pub(in crate::monitor) struct InflightTable {
+    ops: Vec<InflightFault>,
+    queue: EventQueue<u64>,
+    next_id: u64,
+}
+
+impl InflightTable {
+    pub(in crate::monitor) fn new() -> Self {
+        InflightTable {
+            ops: Vec::new(),
+            queue: EventQueue::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Live (parked) operations.
+    pub(in crate::monitor) fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    fn park(
+        &mut self,
+        vpn: Vpn,
+        write: bool,
+        intake: FaultIntake,
+        stage: FaultStage,
+        completes_at: SimInstant,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.ops.push(InflightFault {
+            id,
+            vpn,
+            write,
+            submitted_at: intake.t0,
+            span: intake.span,
+            stage,
+            waiters: Vec::new(),
+        });
+        self.queue.push(completes_at, id);
+        id
+    }
+
+    fn by_vpn_mut(&mut self, vpn: Vpn) -> Option<&mut InflightFault> {
+        self.ops.iter_mut().find(|op| op.vpn == vpn)
+    }
+
+    fn take(&mut self, id: u64) -> Option<InflightFault> {
+        let i = self.ops.iter().position(|op| op.id == id)?;
+        Some(self.ops.remove(i))
+    }
+}
+
+/// What [`Monitor::submit_fault`] did with the fault.
+#[derive(Debug, Clone, Copy)]
+pub enum SubmitOutcome {
+    /// The fault resolved inline (first touch, write-list steal) without
+    /// parking; the guest is already woken.
+    Completed(FaultResolution),
+    /// The fault parked in the in-flight table with this operation id;
+    /// a later [`Monitor::complete_next`] finishes it.
+    Parked(u64),
+    /// The fault attached as a waiter to the already-in-flight operation
+    /// with this id (same page, fetch still pending).
+    Coalesced(u64),
+}
+
+/// A fault operation finished by [`Monitor::complete_next`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompletedFault {
+    /// The operation id [`SubmitOutcome::Parked`] returned.
+    pub id: u64,
+    /// The faulted page.
+    pub vpn: Vpn,
+    /// How the fault was resolved.
+    pub resolution: Resolution,
+    /// When the fault was submitted.
+    pub submitted_at: SimInstant,
+    /// When the guest vCPU was woken.
+    pub wake_at: SimInstant,
+    /// How many coalesced waiters shared this operation.
+    pub waiters: u32,
+}
+
+impl Monitor {
+    /// Submits one page fault to the staged pipeline. Inline-resolvable
+    /// faults (first touch, write-list steal) complete before returning;
+    /// faults that must wait on the store or on an in-flight write park
+    /// in the in-flight table and are finished by
+    /// [`Monitor::complete_next`] in completion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the in-flight table is already at
+    /// [`MonitorConfig::max_inflight`](crate::MonitorConfig::max_inflight)
+    /// — drain with [`Monitor::complete_next`] first.
+    pub fn submit_fault(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+        vpn: Vpn,
+        write: bool,
+    ) -> SubmitOutcome {
+        let depth = self.config.max_inflight.max(1);
+        assert!(
+            self.inflight.len() < depth,
+            "submit_fault: in-flight table full (depth {depth}); call complete_next first"
+        );
+        let intake = self.fault_intake(pt, vpn, write);
+
+        // A second vCPU faulting on a page whose fetch is already in
+        // flight coalesces onto the pending operation instead of issuing
+        // a duplicate read.
+        if let Some(op) = self.inflight.by_vpn_mut(vpn) {
+            let id = op.id;
+            op.waiters.push(Waiter {
+                t0: intake.t0,
+                span: intake.span,
+                write,
+            });
+            self.stats.coalesced_faults.inc();
+            self.trace(|| format!("fault on {vpn} coalesced onto in-flight op {id}"));
+            return SubmitOutcome::Coalesced(id);
+        }
+
+        if !intake.seen {
+            self.trace(|| format!("pagetracker: {vpn} unseen -> zero-page path"));
+            let res = self.handle_first_touch(uffd, pt, pm, vpn);
+            self.finalize_fault(intake.span, intake.t0, res.resolution, res.wake_at);
+            return SubmitOutcome::Completed(res);
+        }
+        self.trace(|| format!("pagetracker: {vpn} seen before -> read path"));
+        let key = self.key(vpn);
+        match self.stage_steal_check(key) {
+            StealOutcome::Stolen(contents) => {
+                self.stats.write_list_steals.inc();
+                // Make room (the page is coming back in).
+                self.evict_while_full(uffd, pt, pm);
+                let wake_at = self.stage_place_and_wake(uffd, pt, pm, vpn, write, contents);
+                self.stage_post_wake(uffd, pt, pm, vpn);
+                let res = FaultResolution {
+                    resolution: Resolution::WriteListSteal,
+                    wake_at,
+                };
+                self.finalize_fault(intake.span, intake.t0, res.resolution, res.wake_at);
+                SubmitOutcome::Completed(res)
+            }
+            StealOutcome::WaitInflight { until, contents } => {
+                let id = self.inflight.park(
+                    vpn,
+                    write,
+                    intake,
+                    FaultStage::WaitWrite { until, contents },
+                    until,
+                );
+                SubmitOutcome::Parked(id)
+            }
+            StealOutcome::Miss => {
+                let flight = self.stage_issue_read(uffd, pt, pm, key);
+                let completes_at = flight.completes_at();
+                let id =
+                    self.inflight
+                        .park(vpn, write, intake, FaultStage::Fetch(flight), completes_at);
+                SubmitOutcome::Parked(id)
+            }
+        }
+    }
+
+    /// Finishes the in-flight operation with the earliest completion
+    /// instant: runs the read bottom half (or the write wait), installs
+    /// the page, wakes the faulting vCPU and every coalesced waiter, and
+    /// runs the post-wake stage. Returns `None` when nothing is in
+    /// flight.
+    pub fn complete_next(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+    ) -> Option<CompletedFault> {
+        let (_, id) = self.inflight.queue.pop_next()?;
+        let op = self.inflight.take(id).expect("queued operation is live");
+        let InflightFault {
+            id,
+            vpn,
+            write,
+            submitted_at,
+            span,
+            stage,
+            waiters,
+        } = op;
+
+        let (contents, resolution) = match stage {
+            FaultStage::WaitWrite { until, contents } => {
+                self.stage_wait_write(uffd, pt, pm, until);
+                (contents, Resolution::InflightWait)
+            }
+            FaultStage::Fetch(flight) => {
+                let contents = self.stage_complete_read(flight);
+                self.stats.remote_reads.inc();
+                (contents, Resolution::RemoteRead)
+            }
+        };
+
+        let effective_write = write || waiters.iter().any(|w| w.write);
+        let wake_at = self.stage_place_and_wake(uffd, pt, pm, vpn, effective_write, contents);
+        // One UFFDIO_WAKE per coalesced waiter's vCPU.
+        for _ in &waiters {
+            uffd.wake_page(vpn);
+        }
+        self.stage_post_wake(uffd, pt, pm, vpn);
+
+        self.finalize_fault(span, submitted_at, resolution, wake_at);
+        for w in &waiters {
+            self.finalize_fault(w.span, w.t0, resolution, wake_at);
+        }
+        Some(CompletedFault {
+            id,
+            vpn,
+            resolution,
+            submitted_at,
+            wake_at,
+            waiters: waiters.len() as u32,
+        })
+    }
+
+    /// Finishes every in-flight operation, in completion order.
+    pub fn drain_inflight(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+    ) -> Vec<CompletedFault> {
+        let mut done = Vec::new();
+        while let Some(c) = self.complete_next(uffd, pt, pm) {
+            done.push(c);
+        }
+        done
+    }
+
+    /// Faults currently parked in the in-flight table.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// The virtual instant the next in-flight operation completes.
+    pub fn next_completion_at(&self) -> Option<SimInstant> {
+        self.inflight.queue.peek_time()
+    }
+}

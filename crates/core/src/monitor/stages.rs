@@ -1,0 +1,520 @@
+//! Fault-handler stages.
+//!
+//! Each stage is one step of the fault pipeline: intake, first-touch
+//! resolution, the steal check, the split top/bottom-half read, page
+//! placement + wake, and post-wake work. [`Monitor::handle_fault`] runs
+//! them back-to-back (the call-return path); the `pipeline` module runs
+//! the same functions with the read flight parked in the in-flight table
+//! between the issue and completion stages. Sharing the stage bodies is
+//! what makes a `max_inflight = 1` pipelined run byte-identical to the
+//! call-return path.
+
+use fluidmem_kv::{ExternalKey, KvError, PendingGet};
+use fluidmem_mem::{PageContents, PageTable, PhysicalMemory, PteFlags, Vpn};
+use fluidmem_sim::SimInstant;
+use fluidmem_telemetry::{consts, SpanId};
+use fluidmem_uffd::Userfaultfd;
+
+use super::{FaultIntake, FaultResolution, Monitor, Resolution};
+use crate::config::{LruPolicy, PrefetchPolicy};
+use crate::profile::CodePath;
+use crate::write_list::StealOutcome;
+
+/// A store read in flight: the §V-B top half has been issued and the
+/// overlapped evictor work has run; the bottom half completes at
+/// [`ReadFlight::completes_at`].
+pub(in crate::monitor) struct ReadFlight {
+    t0: SimInstant,
+    span: SpanId,
+    key: ExternalKey,
+    pending: PendingGet,
+}
+
+impl ReadFlight {
+    /// When the store round trip completes.
+    pub(in crate::monitor) fn completes_at(&self) -> SimInstant {
+        self.pending.completes_at()
+    }
+}
+
+impl Monitor {
+    /// Fault intake: opens the fault span, retires completed writes,
+    /// runs the LRU policy's per-fault maintenance, and looks the page
+    /// up in the page tracker.
+    pub(in crate::monitor) fn fault_intake(
+        &mut self,
+        pt: &mut PageTable,
+        vpn: Vpn,
+        write: bool,
+    ) -> FaultIntake {
+        let t0 = self.clock.now();
+        let span = self
+            .telemetry
+            .begin_with(consts::TRACK_MONITOR, "fault", || {
+                vec![("vpn", format!("{vpn}")), ("write", write.to_string())]
+            });
+        self.stats.faults.inc();
+        self.write_list.retire(self.clock.now());
+        self.run_lru_policy(pt);
+
+        // "The monitor keeps a list of already seen pages to avoid reads
+        // from the remote key-value store for first-time accesses."
+        self.trace(|| format!("userfaultfd event: fault at {vpn} (write={write})"));
+        let lookup = self
+            .telemetry
+            .begin(consts::TRACK_MONITOR, "page_hash_lookup");
+        self.charge(&self.config.costs.hash_lookup.clone());
+        let seen = self.tracker.contains(vpn);
+        self.telemetry.end(lookup);
+        FaultIntake { t0, span, seen }
+    }
+
+    /// Fault completion: closes the fault span at the wake instant and
+    /// records the guest-observed latency.
+    pub(in crate::monitor) fn finalize_fault(
+        &mut self,
+        span: SpanId,
+        t0: SimInstant,
+        resolution: Resolution,
+        wake_at: SimInstant,
+    ) {
+        // The guest-observed latency ends at the wake, not at the end of
+        // post-wake work (which has already advanced the clock).
+        self.telemetry.end_at(span, wake_at);
+        self.telemetry
+            .instant_at(consts::TRACK_GUEST, "wake", wake_at);
+        self.fault_latency[resolution.index()].observe(wake_at - t0);
+        self.update_gauges();
+    }
+
+    /// Figure 2's fast path: zero-fill, wake, then evict asynchronously.
+    pub(in crate::monitor) fn handle_first_touch(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+        vpn: Vpn,
+    ) -> FaultResolution {
+        let t0 = self.clock.now();
+        let span = self.telemetry.begin(consts::TRACK_MONITOR, "UFFD_ZEROPAGE");
+        uffd.zeropage(pt, vpn).expect("first touch maps cleanly");
+        self.telemetry.end(span);
+        self.profile
+            .record(CodePath::UffdZeropage, self.clock.now() - t0);
+
+        let t0 = self.clock.now();
+        let span = self
+            .telemetry
+            .begin(consts::TRACK_MONITOR, "insert_page_hash");
+        self.charge(&self.config.costs.insert_page_hash.clone());
+        self.tracker.insert(vpn);
+        self.telemetry.end(span);
+        self.profile
+            .record(CodePath::InsertPageHashNode, self.clock.now() - t0);
+
+        let t0 = self.clock.now();
+        let span = self.telemetry.begin(consts::TRACK_MONITOR, "insert_lru");
+        self.charge(&self.config.costs.insert_lru.clone());
+        self.lru.insert(vpn);
+        self.telemetry.end(span);
+        self.profile
+            .record(CodePath::InsertLruCacheNode, self.clock.now() - t0);
+
+        uffd.wake_page(vpn);
+        let wake_at = self.clock.now();
+        self.trace(|| format!("UFFD_ZEROPAGE resolved {vpn}; guest woken (end of critical path)"));
+        self.stats.zero_fills.inc();
+
+        // Asynchronous (post-wake) eviction — the blue path of Figure 2.
+        self.evict_to_capacity(uffd, pt, pm);
+        self.maybe_flush();
+        FaultResolution {
+            resolution: Resolution::ZeroFill,
+            wake_at,
+        }
+    }
+
+    /// The read path: the page was evicted earlier and must come back.
+    pub(in crate::monitor) fn handle_refault(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+        vpn: Vpn,
+        write: bool,
+    ) -> FaultResolution {
+        let key = self.key(vpn);
+        let steal = self.stage_steal_check(key);
+        let (contents, resolution) = match steal {
+            StealOutcome::Stolen(contents) => {
+                self.stats.write_list_steals.inc();
+                // Make room (the page is coming back in).
+                self.evict_while_full(uffd, pt, pm);
+                (contents, Resolution::WriteListSteal)
+            }
+            StealOutcome::WaitInflight { until, contents } => {
+                self.stage_wait_write(uffd, pt, pm, until);
+                (contents, Resolution::InflightWait)
+            }
+            StealOutcome::Miss => {
+                let contents = if self.config.optimizations.async_read {
+                    let flight = self.stage_issue_read(uffd, pt, pm, key);
+                    self.stage_complete_read(flight)
+                } else {
+                    self.read_sync(uffd, pt, pm, key)
+                };
+                self.stats.remote_reads.inc();
+                (contents, Resolution::RemoteRead)
+            }
+        };
+        let wake_at = self.stage_place_and_wake(uffd, pt, pm, vpn, write, contents);
+        self.stage_post_wake(uffd, pt, pm, vpn);
+        FaultResolution {
+            resolution,
+            wake_at,
+        }
+    }
+
+    /// §V-B: "the page fault handler can steal pages from the pending
+    /// write list ... and shortcut two round trips".
+    pub(in crate::monitor) fn stage_steal_check(&mut self, key: ExternalKey) -> StealOutcome {
+        let span = self.telemetry.begin(consts::TRACK_MONITOR, "steal_check");
+        self.charge(&self.config.costs.steal_check.clone());
+        let steal = self.write_list.steal(key, self.clock.now());
+        self.telemetry.end(span);
+        steal
+    }
+
+    /// Waits out an in-flight write of the faulted page: "there is no
+    /// other choice than to wait for the write to complete", after which
+    /// the buffered copy is used.
+    pub(in crate::monitor) fn stage_wait_write(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+        until: SimInstant,
+    ) {
+        self.clock.advance_to(until);
+        self.write_list.retire(self.clock.now());
+        self.stats.inflight_waits.inc();
+        self.evict_while_full(uffd, pt, pm);
+    }
+
+    /// Issues the asynchronous read's top half (§V-B) and runs the work
+    /// that overlaps the flight: eviction (`UFFD_REMAP` "at a time when
+    /// the vCPU thread was already suspended") and cache bookkeeping —
+    /// the evictor stage running during the store round trip.
+    pub(in crate::monitor) fn stage_issue_read(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+        key: ExternalKey,
+    ) -> ReadFlight {
+        let t0 = self.clock.now();
+        let span = self.telemetry.begin(consts::TRACK_MONITOR, "kv.read");
+        self.trace(|| format!("async read top half issued for {key}"));
+        let pending = self.store.begin_get(key);
+        // The in-flight window on the kv track: its span visibly overlaps
+        // the UFFD_REMAP / bookkeeping the monitor does meanwhile (§V-B).
+        self.telemetry.record_span(
+            consts::TRACK_KV,
+            "kv.read.flight",
+            pending.issued_at(),
+            pending.completes_at(),
+        );
+
+        self.evict_while_full(uffd, pt, pm);
+        self.bookkeeping_update_cache();
+        ReadFlight {
+            t0,
+            span,
+            key,
+            pending,
+        }
+    }
+
+    /// Completes a read flight's bottom half. A retryable failure falls
+    /// back to synchronous retries with backoff — the extra wait lands on
+    /// this fault's latency, as it would in reality.
+    pub(in crate::monitor) fn stage_complete_read(&mut self, flight: ReadFlight) -> PageContents {
+        let ReadFlight {
+            t0,
+            span,
+            key,
+            pending,
+        } = flight;
+        let contents = match self.store.finish_get(pending) {
+            Ok(c) => c,
+            Err(KvError::NotFound(_)) => {
+                self.stats.lost_pages.inc();
+                PageContents::Zero
+            }
+            Err(e) if e.is_retryable() => {
+                self.stats.read_retries.inc();
+                self.trace(|| format!("async read of {key} failed ({e}); retrying"));
+                let wait = self.config.retry.backoff(0, &mut self.rng);
+                self.clock.advance(wait);
+                self.fetch_with_retries(key, 1)
+            }
+            Err(e) => panic!("store failure on read: {e}"),
+        };
+        self.telemetry.end(span);
+        self.profile
+            .record(CodePath::ReadPage, self.clock.now() - t0);
+        contents
+    }
+
+    /// Installs the page with `UFFD_COPY`, inserts it into the LRU, and
+    /// wakes the faulting vCPU. Returns the wake instant (the end of the
+    /// guest-observed critical path).
+    pub(in crate::monitor) fn stage_place_and_wake(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+        vpn: Vpn,
+        write: bool,
+        contents: PageContents,
+    ) -> SimInstant {
+        let t0 = self.clock.now();
+        let span = self.telemetry.begin(consts::TRACK_MONITOR, "UFFD_COPY");
+        uffd.copy(pt, pm, vpn, contents)
+            .expect("refault destination is unmapped");
+        self.telemetry.end(span);
+        self.profile
+            .record(CodePath::UffdCopy, self.clock.now() - t0);
+        if write {
+            pt.set_flags(vpn, PteFlags::DIRTY);
+        }
+
+        let t0 = self.clock.now();
+        let span = self.telemetry.begin(consts::TRACK_MONITOR, "insert_lru");
+        self.charge(&self.config.costs.insert_lru.clone());
+        self.lru.insert(vpn);
+        self.telemetry.end(span);
+        self.profile
+            .record(CodePath::InsertLruCacheNode, self.clock.now() - t0);
+
+        uffd.wake_page(vpn);
+        let wake_at = self.clock.now();
+        self.trace(|| format!("{vpn} installed via UFFD_COPY; guest woken (end of critical path)"));
+        wake_at
+    }
+
+    /// Post-wake work on the read path: honor the capacity budget, then
+    /// prefetch and flush.
+    pub(in crate::monitor) fn stage_post_wake(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+        vpn: Vpn,
+    ) {
+        // A zero (or just-shrunk) quota must be honored on the read path
+        // too: the refault insert may have pushed the buffer over budget
+        // with no later fault guaranteed to correct it. A no-op whenever
+        // the buffer is within capacity.
+        self.evict_to_capacity(uffd, pt, pm);
+        // Post-wake proactive work: prefetch successors of the faulting
+        // page (overlapping asynchronous reads), then flush.
+        self.maybe_prefetch(uffd, pt, pm, vpn);
+        self.maybe_flush();
+    }
+
+    /// Pulls sequential successors of a refaulted page back from the
+    /// store before the guest asks for them.
+    fn maybe_prefetch(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+        vpn: Vpn,
+    ) {
+        let PrefetchPolicy::Sequential { window } = self.config.prefetch else {
+            return;
+        };
+        // Issue every read first so the flights overlap.
+        let mut pendings = Vec::new();
+        for i in 1..=window {
+            let candidate = vpn.offset(i);
+            if !self.tracker.contains(candidate)
+                || self.lru.contains(candidate)
+                || pt.get(candidate).is_some()
+                || uffd.region_containing(candidate).is_none()
+            {
+                continue;
+            }
+            let key = self.key(candidate);
+            if self.write_list.is_tracked(key) {
+                continue; // its freshest copy is local, not in the store
+            }
+            pendings.push((candidate, self.store.begin_get(key)));
+        }
+        for (candidate, pending) in pendings {
+            match self.store.finish_get(pending) {
+                Ok(contents) => {
+                    if uffd.copy(pt, pm, candidate, contents).is_ok() {
+                        self.lru.insert(candidate);
+                        self.stats.prefetched_pages.inc();
+                    } else {
+                        // The page got mapped while the read was in
+                        // flight; the fetched copy is redundant, not
+                        // lost, but it must not vanish unaccounted.
+                        self.stats.prefetch_copy_skips.inc();
+                        self.trace(|| {
+                            format!("prefetch of {candidate} skipped: page already mapped")
+                        });
+                    }
+                }
+                Err(KvError::NotFound(_)) => {
+                    self.stats.prefetch_misses.inc();
+                }
+                Err(e) if e.is_retryable() => {
+                    // Speculative work doesn't spend the retry budget: if
+                    // the guest actually faults on the page it is fetched
+                    // with full retries; here the attempt is just dropped
+                    // and counted as transient, not as a miss.
+                    self.stats.prefetch_transient_errors.inc();
+                    self.trace(|| format!("prefetch of {candidate} hit a transient error ({e})"));
+                }
+                Err(e) => panic!("store failure on prefetch: {e}"),
+            }
+        }
+        self.evict_to_capacity(uffd, pt, pm);
+    }
+
+    /// Synchronous read (Table II "Default"): the full store round trip
+    /// sits on the critical path, then the eviction runs.
+    fn read_sync(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+        key: ExternalKey,
+    ) -> PageContents {
+        self.charge(&self.config.costs.sync_read_staging.clone());
+        let t0 = self.clock.now();
+        let span = self.telemetry.begin(consts::TRACK_MONITOR, "kv.read");
+        let contents = self.fetch_with_retries(key, 0);
+        self.telemetry.end(span);
+        self.profile
+            .record(CodePath::ReadPage, self.clock.now() - t0);
+
+        self.evict_while_full(uffd, pt, pm);
+        self.bookkeeping_update_cache();
+        contents
+    }
+
+    /// Reads `key` synchronously, retrying retryable store failures
+    /// under the configured policy via [`fluidmem_kv::run_with_retries_from`].
+    /// `prior_attempts` counts tries already spent on this fault (the
+    /// async top-half path).
+    pub(in crate::monitor) fn fetch_with_retries(
+        &mut self,
+        key: ExternalKey,
+        prior_attempts: u32,
+    ) -> PageContents {
+        let policy = self.config.retry;
+        let mut tries = 0u32;
+        let result = {
+            let Monitor {
+                store,
+                clock,
+                rng,
+                stats,
+                tracer,
+                ..
+            } = self;
+            let clock = &*clock;
+            fluidmem_kv::run_with_retries_from(
+                &policy,
+                clock,
+                rng,
+                prior_attempts,
+                |attempt, e| {
+                    tries += 1;
+                    stats.read_retries.inc();
+                    tracer.emit(clock.now(), "monitor", || {
+                        format!("read of {key} failed ({e}); retry {}", attempt + 1)
+                    });
+                },
+                |_| store.get(key),
+            )
+        };
+        match result {
+            Ok(c) => c,
+            Err(KvError::NotFound(_)) => {
+                self.stats.lost_pages.inc();
+                PageContents::Zero
+            }
+            Err(e) => panic!("store failure on read after {tries} retries: {e}"),
+        }
+    }
+
+    /// Writes `key` synchronously with retries (the sync-eviction path),
+    /// via the same shared retry helper.
+    pub(in crate::monitor) fn put_with_retries(
+        &mut self,
+        key: ExternalKey,
+        contents: PageContents,
+    ) {
+        let policy = self.config.retry;
+        let mut tries = 0u32;
+        let result = {
+            let Monitor {
+                store,
+                clock,
+                rng,
+                stats,
+                tracer,
+                ..
+            } = self;
+            let clock = &*clock;
+            fluidmem_kv::run_with_retries_from(
+                &policy,
+                clock,
+                rng,
+                0,
+                |attempt, e| {
+                    tries += 1;
+                    stats.write_retries.inc();
+                    tracer.emit(clock.now(), "monitor", || {
+                        format!("write of {key} failed ({e}); retry {}", attempt + 1)
+                    });
+                },
+                |_| store.put(key, contents.clone()),
+            )
+        };
+        if let Err(e) = result {
+            panic!("store failure on eviction write after {tries} retries: {e}");
+        }
+    }
+
+    pub(in crate::monitor) fn bookkeeping_update_cache(&mut self) {
+        let t0 = self.clock.now();
+        let span = self
+            .telemetry
+            .begin(consts::TRACK_MONITOR, "update_page_cache");
+        self.charge(&self.config.costs.update_page_cache.clone());
+        self.telemetry.end(span);
+        self.profile
+            .record(CodePath::UpdatePageCache, self.clock.now() - t0);
+    }
+
+    /// Applies the configured LRU policy's per-fault maintenance.
+    fn run_lru_policy(&mut self, pt: &mut PageTable) {
+        if let LruPolicy::ScanReferenced { scan_batch } = self.config.lru_policy {
+            let head = self.lru.peek_head(scan_batch);
+            for vpn in head {
+                // Sample-and-clear the guest referenced bit; hot pages
+                // rotate away from the eviction end.
+                if pt.has_flags(vpn, PteFlags::REFERENCED) {
+                    pt.clear_flags(vpn, PteFlags::REFERENCED);
+                    self.lru.rotate_to_tail(vpn);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,723 @@
+//! Unit tests for the monitor (call-return path, stages, evictor,
+//! and the staged pipeline).
+
+use super::*;
+use crate::config::LruPolicy;
+use fluidmem_kv::DramStore;
+use fluidmem_mem::{PageClass, PageContents, PteFlags, Region};
+use fluidmem_sim::SimDuration;
+
+struct Rig {
+    uffd: Userfaultfd,
+    pt: PageTable,
+    pm: PhysicalMemory,
+    monitor: Monitor,
+    region: Region,
+    clock: SimClock,
+}
+
+fn rig(capacity: u64, config: Option<MonitorConfig>) -> Rig {
+    let clock = SimClock::new();
+    let mut uffd = Userfaultfd::new(clock.clone(), SimRng::seed_from_u64(1));
+    let region = Region::new(Vpn::new(0x1000), 4096, PageClass::Anonymous);
+    uffd.register(region).unwrap();
+    let store = DramStore::new(1 << 30, clock.clone(), SimRng::seed_from_u64(2));
+    let monitor = Monitor::new(
+        config.unwrap_or_else(|| MonitorConfig::new(capacity)),
+        Box::new(store),
+        PartitionId::new(0),
+        clock.clone(),
+        SimRng::seed_from_u64(3),
+    );
+    Rig {
+        uffd,
+        pt: PageTable::new(),
+        pm: PhysicalMemory::new(1 << 24),
+        monitor,
+        region,
+        clock,
+    }
+}
+
+fn fault(r: &mut Rig, i: u64, write: bool) -> FaultResolution {
+    let vpn = r.region.page(i).vpn();
+    r.monitor
+        .handle_fault(&mut r.uffd, &mut r.pt, &mut r.pm, vpn, write)
+}
+
+#[test]
+fn first_touch_resolves_with_zero_page_no_store_read() {
+    let mut r = rig(16, None);
+    let res = fault(&mut r, 0, false);
+    assert_eq!(res.resolution, Resolution::ZeroFill);
+    assert_eq!(r.monitor.stats().zero_fills, 1);
+    assert_eq!(r.monitor.store().stats().gets, 0, "no remote read");
+    assert!(r.pt.has_flags(r.region.page(0).vpn(), PteFlags::ZERO_PAGE));
+}
+
+#[test]
+fn capacity_bound_is_enforced() {
+    let mut r = rig(8, None);
+    for i in 0..64 {
+        fault(&mut r, i, true);
+    }
+    assert!(r.monitor.resident_pages() <= 8);
+    assert!(r.monitor.stats().evictions >= 56);
+}
+
+#[test]
+fn refault_reads_from_store_after_drain() {
+    let mut r = rig(4, None);
+    for i in 0..8 {
+        fault(&mut r, i, true);
+    }
+    r.monitor.drain_writes();
+    let res = fault(&mut r, 0, false);
+    assert_eq!(res.resolution, Resolution::RemoteRead);
+    assert_eq!(r.monitor.stats().remote_reads, 1);
+}
+
+#[test]
+fn write_list_steal_shortcuts_the_store() {
+    let mut r = rig(4, MonitorConfig::new(4).write_batch(1000).into());
+    for i in 0..6 {
+        fault(&mut r, i, true);
+    }
+    // Pages 0..2 were evicted to the (unflushed) write list; a
+    // refault must steal, not read.
+    let gets_before = r.monitor.store().stats().gets;
+    let res = fault(&mut r, 0, false);
+    assert_eq!(res.resolution, Resolution::WriteListSteal);
+    assert_eq!(r.monitor.store().stats().gets, gets_before);
+    assert!(r.monitor.stats().write_list_steals == 1);
+}
+
+#[test]
+fn inflight_write_forces_wait() {
+    let mut r = rig(4, MonitorConfig::new(4).write_batch(2).into());
+    for i in 0..8 {
+        fault(&mut r, i, true);
+    }
+    // Find a page that is in flight right now: flush just happened;
+    // batches complete a few µs in the future. Fault one immediately.
+    // (Evictions are in first-touch order: page 0 went out first.)
+    let res = fault(&mut r, 0, false);
+    assert!(
+        matches!(
+            res.resolution,
+            Resolution::InflightWait | Resolution::RemoteRead | Resolution::WriteListSteal
+        ),
+        "got {:?}",
+        res.resolution
+    );
+}
+
+#[test]
+fn wake_precedes_post_fault_work_on_zero_path() {
+    let mut r = rig(2, None);
+    fault(&mut r, 0, false);
+    fault(&mut r, 1, false);
+    // Third fault: insert + wake, then async eviction after wake.
+    let res = fault(&mut r, 2, false);
+    assert!(
+        res.wake_at <= r.clock.now(),
+        "eviction work may continue past the wake"
+    );
+}
+
+#[test]
+fn data_round_trips_through_store() {
+    let mut r = rig(2, None);
+    // Touch page 0 and give it real contents via CoW + frame store.
+    fault(&mut r, 0, true);
+    let vpn = r.region.page(0).vpn();
+    let frame = {
+        // Break the CoW so the page has a private frame.
+        r.uffd.break_cow(&mut r.pt, &mut r.pm, vpn).unwrap()
+    };
+    r.pm.store(frame, PageContents::from_byte_fill(0x7E));
+    // Push it out.
+    fault(&mut r, 1, true);
+    fault(&mut r, 2, true);
+    fault(&mut r, 3, true);
+    assert!(r.pt.get(vpn).is_none(), "page 0 must be evicted");
+    r.monitor.drain_writes();
+    // Bring it back and check the bytes survived.
+    let res = fault(&mut r, 0, false);
+    assert_eq!(res.resolution, Resolution::RemoteRead);
+    let entry = r.pt.get(vpn).unwrap();
+    assert_eq!(r.pm.load(entry.frame), &PageContents::from_byte_fill(0x7E));
+}
+
+#[test]
+fn async_read_is_faster_than_sync() {
+    let run = |opts: crate::Optimizations| {
+        let clock = SimClock::new();
+        let mut uffd = Userfaultfd::new(clock.clone(), SimRng::seed_from_u64(1));
+        let region = Region::new(Vpn::new(0x1000), 512, PageClass::Anonymous);
+        uffd.register(region).unwrap();
+        // RAMCloud-class latency makes the overlap matter.
+        let store =
+            fluidmem_kv::RamCloudStore::new(1 << 30, clock.clone(), SimRng::seed_from_u64(2));
+        let mut monitor = Monitor::new(
+            MonitorConfig::new(64).optimizations(opts),
+            Box::new(store),
+            PartitionId::new(0),
+            clock.clone(),
+            SimRng::seed_from_u64(3),
+        );
+        let mut pt = PageTable::new();
+        let mut pm = PhysicalMemory::new(1 << 20);
+        // Warm: touch 256 pages (cap 64) then measure refaults.
+        for i in 0..256 {
+            monitor.handle_fault(&mut uffd, &mut pt, &mut pm, region.page(i).vpn(), true);
+        }
+        monitor.drain_writes();
+        let mut total = fluidmem_sim::SimDuration::ZERO;
+        let mut n = 0u32;
+        for i in 0..128 {
+            let t0 = clock.now();
+            let res =
+                monitor.handle_fault(&mut uffd, &mut pt, &mut pm, region.page(i).vpn(), false);
+            if res.resolution == Resolution::RemoteRead {
+                total += res.wake_at - t0;
+                n += 1;
+            }
+        }
+        total.as_micros_f64() / n.max(1) as f64
+    };
+    let sync_us = run(crate::Optimizations::none());
+    let async_us = run(crate::Optimizations::full());
+    assert!(
+        async_us + 5.0 < sync_us,
+        "async {async_us:.1}µs should beat sync {sync_us:.1}µs by several µs"
+    );
+}
+
+#[test]
+fn resize_down_evicts_then_recovers() {
+    let mut r = rig(64, None);
+    for i in 0..64 {
+        fault(&mut r, i, false);
+    }
+    assert_eq!(r.monitor.resident_pages(), 64);
+    r.monitor.resize(&mut r.uffd, &mut r.pt, &mut r.pm, 8);
+    assert!(r.monitor.resident_pages() <= 8);
+    assert_eq!(r.monitor.stats().resizes, 1);
+    // Size back up: no eviction needed, future faults fill it again.
+    r.monitor.resize(&mut r.uffd, &mut r.pt, &mut r.pm, 64);
+    r.monitor.drain_writes();
+    let res = fault(&mut r, 0, false);
+    assert!(matches!(
+        res.resolution,
+        Resolution::RemoteRead | Resolution::WriteListSteal
+    ));
+}
+
+#[test]
+fn scan_referenced_policy_protects_hot_pages() {
+    let config = MonitorConfig::new(8).lru_policy(LruPolicy::ScanReferenced { scan_batch: 4 });
+    let mut r = rig(8, Some(config));
+    for i in 0..8 {
+        fault(&mut r, i, false);
+    }
+    // Keep page 0 hot via its referenced bit, then overflow the
+    // buffer; page 0 should survive longer than FIFO would allow.
+    for i in 8..12 {
+        r.pt.set_flags(r.region.page(0).vpn(), PteFlags::REFERENCED);
+        fault(&mut r, i, false);
+    }
+    assert!(
+        r.pt.get(r.region.page(0).vpn()).is_some(),
+        "hot page rotated away from eviction"
+    );
+}
+
+#[test]
+fn lost_page_detected_as_zero_fill() {
+    // A tiny memcached evicts pages; the monitor must notice.
+    let clock = SimClock::new();
+    let mut uffd = Userfaultfd::new(clock.clone(), SimRng::seed_from_u64(1));
+    let region = Region::new(Vpn::new(0x1000), 256, PageClass::Anonymous);
+    uffd.register(region).unwrap();
+    let store =
+        fluidmem_kv::MemcachedStore::new(40 * 4096, clock.clone(), SimRng::seed_from_u64(2));
+    let mut monitor = Monitor::new(
+        MonitorConfig::new(8).write_batch(4),
+        Box::new(store),
+        PartitionId::new(0),
+        clock.clone(),
+        SimRng::seed_from_u64(3),
+    );
+    let mut pt = PageTable::new();
+    let mut pm = PhysicalMemory::new(1 << 20);
+    for i in 0..256 {
+        monitor.handle_fault(&mut uffd, &mut pt, &mut pm, region.page(i).vpn(), true);
+    }
+    monitor.drain_writes();
+    // 248 pages went to a 40-page cache: most are gone.
+    let mut lost_seen = false;
+    for i in 0..64 {
+        monitor.handle_fault(&mut uffd, &mut pt, &mut pm, region.page(i).vpn(), false);
+        if monitor.stats().lost_pages > 0 {
+            lost_seen = true;
+            break;
+        }
+    }
+    assert!(lost_seen, "memcached eviction must surface as lost pages");
+}
+
+#[test]
+fn sequential_prefetch_pulls_successors() {
+    let clock = SimClock::new();
+    let mut uffd = Userfaultfd::new(clock.clone(), SimRng::seed_from_u64(1));
+    let region = Region::new(Vpn::new(0x1000), 256, PageClass::Anonymous);
+    uffd.register(region).unwrap();
+    let store = DramStore::new(1 << 26, clock.clone(), SimRng::seed_from_u64(2));
+    let mut monitor = Monitor::new(
+        MonitorConfig::new(16).prefetch(crate::PrefetchPolicy::Sequential { window: 4 }),
+        Box::new(store),
+        PartitionId::new(0),
+        clock,
+        SimRng::seed_from_u64(3),
+    );
+    let mut pt = PageTable::new();
+    let mut pm = PhysicalMemory::new(1 << 20);
+    // Populate and spill 64 pages, then drain so the store has them.
+    for i in 0..64 {
+        monitor.handle_fault(&mut uffd, &mut pt, &mut pm, region.page(i).vpn(), true);
+    }
+    monitor.drain_writes();
+    // Refault page 0: pages 1..=4 should be prefetched.
+    monitor.handle_fault(&mut uffd, &mut pt, &mut pm, region.page(0).vpn(), false);
+    assert!(
+        monitor.stats().prefetched_pages >= 3,
+        "{:?}",
+        monitor.stats()
+    );
+    // A sequential walk now mostly hits.
+    for i in 1..4 {
+        assert!(
+            pt.get(region.page(i).vpn()).is_some(),
+            "page {i} should be resident after prefetch"
+        );
+    }
+}
+
+fn faulty_rig(config: MonitorConfig, plan: fluidmem_sim::FaultPlan) -> Rig {
+    let clock = SimClock::new();
+    let mut uffd = Userfaultfd::new(clock.clone(), SimRng::seed_from_u64(1));
+    let region = Region::new(Vpn::new(0x1000), 4096, PageClass::Anonymous);
+    uffd.register(region).unwrap();
+    let inner = DramStore::new(1 << 30, clock.clone(), SimRng::seed_from_u64(2));
+    let store = fluidmem_kv::FaultInjectingStore::new(Box::new(inner), plan, clock.clone());
+    let monitor = Monitor::new(
+        config,
+        Box::new(store),
+        PartitionId::new(0),
+        clock.clone(),
+        SimRng::seed_from_u64(3),
+    );
+    Rig {
+        uffd,
+        pt: PageTable::new(),
+        pm: PhysicalMemory::new(1 << 24),
+        monitor,
+        region,
+        clock,
+    }
+}
+
+#[test]
+fn failed_flush_requeues_the_batch() {
+    use fluidmem_sim::{FaultEvent, FaultKind, FaultPlan};
+    // The first store op is the first flush's multi-write: refuse it.
+    let plan = FaultPlan::new(SimRng::seed_from_u64(11)).script(FaultEvent {
+        at_op: 0,
+        kind: FaultKind::TransientError,
+    });
+    let mut r = faulty_rig(MonitorConfig::new(4).write_batch(2), plan);
+    for i in 0..8 {
+        fault(&mut r, i, true);
+    }
+    assert!(
+        r.monitor.stats().flush_failures >= 1,
+        "{:?}",
+        r.monitor.stats()
+    );
+    // Nothing was lost: the refused batch went back on the write list
+    // and a later flush (or the drain) writes it out.
+    r.monitor.drain_writes();
+    assert_eq!(r.monitor.pending_writes(), 0);
+    let evicted_and_stored = r.monitor.store().len();
+    assert!(
+        evicted_and_stored >= 4,
+        "refused pages must reach the store eventually, got {evicted_and_stored}"
+    );
+}
+
+#[test]
+fn reads_retry_through_transport_faults() {
+    use fluidmem_sim::FaultPlan;
+    let plan = FaultPlan::new(SimRng::seed_from_u64(21))
+        .with_drop(0.15)
+        .with_transient_error(0.15)
+        .with_slow_replica(0.10);
+    let mut r = faulty_rig(MonitorConfig::new(4), plan);
+    for i in 0..16 {
+        fault(&mut r, i, true);
+    }
+    r.monitor.drain_writes();
+    for i in 0..16 {
+        fault(&mut r, i, false);
+    }
+    let stats = r.monitor.stats();
+    assert!(stats.remote_reads > 0, "{stats:?}");
+    assert!(
+        stats.read_retries > 0,
+        "a ~30% fault rate must force read retries: {stats:?}"
+    );
+    assert_eq!(stats.lost_pages, 0, "transport faults are not data loss");
+}
+
+#[test]
+fn sync_eviction_writes_retry_instead_of_panicking() {
+    use fluidmem_sim::{FaultEvent, FaultKind, FaultPlan};
+    let plan = FaultPlan::new(SimRng::seed_from_u64(31)).script(FaultEvent {
+        at_op: 0,
+        kind: FaultKind::Timeout,
+    });
+    let config = MonitorConfig::new(2).optimizations(crate::Optimizations::none());
+    let mut r = faulty_rig(config, plan);
+    // Three first touches: the third evicts synchronously; its put
+    // times out once (op 0) and the retry succeeds.
+    for i in 0..3 {
+        fault(&mut r, i, true);
+    }
+    assert!(
+        r.monitor.stats().write_retries >= 1,
+        "{:?}",
+        r.monitor.stats()
+    );
+    assert!(!r.monitor.store().is_empty(), "the eviction must land");
+}
+
+#[test]
+fn drain_retries_failed_multi_writes() {
+    use fluidmem_sim::FaultPlan;
+    let plan = FaultPlan::new(SimRng::seed_from_u64(41))
+        .with_drop(0.3)
+        .with_transient_error(0.2);
+    let mut r = faulty_rig(MonitorConfig::new(4).write_batch(64), plan);
+    for i in 0..32 {
+        fault(&mut r, i, true);
+    }
+    r.monitor.drain_writes();
+    assert_eq!(r.monitor.pending_writes(), 0, "drain must finish the list");
+    // Every evicted page is durable despite the ~50% fault rate.
+    assert_eq!(r.monitor.store().len(), 32 - 4);
+}
+
+#[test]
+fn flush_interval_forces_stale_flush() {
+    let mut config = MonitorConfig::new(4).write_batch(1000);
+    config.flush_interval = SimDuration::from_micros(50);
+    let mut r = rig(4, Some(config));
+    for i in 0..6 {
+        fault(&mut r, i, true);
+    }
+    assert!(r.monitor.pending_writes() > 0);
+    // Let virtual time pass, then any fault triggers the stale flush.
+    r.clock.advance(SimDuration::from_millis(1));
+    fault(&mut r, 20, false);
+    assert!(
+        r.monitor.stats().flushes > 0,
+        "stale timer should have flushed"
+    );
+}
+
+#[test]
+fn prefetch_transients_are_counted_apart_from_misses() {
+    use fluidmem_sim::FaultPlan;
+    // The inner DRAM store never loses data, so any prefetch failure
+    // is transport-injected, never a genuine miss.
+    let plan = FaultPlan::new(SimRng::seed_from_u64(51))
+        .with_timeout(0.25)
+        .with_transient_error(0.15);
+    let config = MonitorConfig::new(16).prefetch(crate::PrefetchPolicy::Sequential { window: 4 });
+    let mut r = faulty_rig(config, plan);
+    for i in 0..64 {
+        fault(&mut r, i, true);
+    }
+    r.monitor.drain_writes();
+    // Spread refaults so each one has evicted successors to prefetch.
+    for i in [0, 8, 16, 24, 32, 40] {
+        fault(&mut r, i, false);
+    }
+    let stats = r.monitor.stats();
+    assert!(
+        stats.prefetch_transient_errors > 0,
+        "a ~40% fault rate must hit some prefetch reads: {stats:?}"
+    );
+    assert_eq!(
+        stats.prefetch_misses, 0,
+        "transport faults must not masquerade as misses: {stats:?}"
+    );
+    assert!(stats.prefetched_pages > 0, "{stats:?}");
+}
+
+#[test]
+fn adjacent_regions_route_to_their_own_partitions() {
+    let mut r = rig(64, None);
+    let a = Region::new(Vpn::new(0x1000), 32, PageClass::Anonymous);
+    let b = Region::new(Vpn::new(0x1020), 32, PageClass::Anonymous);
+    r.monitor.register_partition(a, PartitionId::new(1));
+    r.monitor.register_partition(b, PartitionId::new(2));
+    // Interior and both boundaries of each region.
+    assert_eq!(
+        r.monitor.partition_of(Vpn::new(0x1000)),
+        PartitionId::new(1)
+    );
+    assert_eq!(
+        r.monitor.partition_of(Vpn::new(0x101f)),
+        PartitionId::new(1)
+    );
+    assert_eq!(
+        r.monitor.partition_of(Vpn::new(0x1020)),
+        PartitionId::new(2)
+    );
+    assert_eq!(
+        r.monitor.partition_of(Vpn::new(0x103f)),
+        PartitionId::new(2)
+    );
+    // Past the last region: the range lookup finds `b`, but the
+    // containment check must reject it and fall back to the default.
+    assert_eq!(
+        r.monitor.partition_of(Vpn::new(0x1040)),
+        PartitionId::new(0)
+    );
+}
+
+#[test]
+fn fault_past_removed_region_uses_default_partition() {
+    let mut r = rig(4, None);
+    let a = Region::new(Vpn::new(0x1000), 8, PageClass::Anonymous);
+    let b = Region::new(Vpn::new(0x1008), 8, PageClass::Anonymous);
+    r.monitor.register_partition(a, PartitionId::new(3));
+    r.monitor.register_partition(b, PartitionId::new(4));
+    r.monitor.remove_region(&a);
+    // VPNs inside and past the removed region must not resolve to a
+    // neighboring (or stale) partition.
+    assert_eq!(
+        r.monitor.partition_of(Vpn::new(0x1002)),
+        PartitionId::new(0)
+    );
+    assert_eq!(
+        r.monitor.partition_of(Vpn::new(0x1009)),
+        PartitionId::new(4)
+    );
+    // A fault in the removed range is a fresh first touch whose key,
+    // once evicted and drained, lands in the default partition.
+    for i in 0..6 {
+        fault(&mut r, i, true);
+    }
+    r.monitor.drain_writes();
+    assert!(r
+        .monitor
+        .store()
+        .contains(ExternalKey::new(Vpn::new(0x1000), PartitionId::new(0))));
+    assert!(!r
+        .monitor
+        .store()
+        .contains(ExternalKey::new(Vpn::new(0x1000), PartitionId::new(3))));
+}
+
+#[test]
+fn remove_region_spares_siblings_on_the_shared_partition() {
+    let mut r = rig(4, None);
+    // Two sub-ranges, both keyed under the monitor's default
+    // partition (no register_partition call — the FluidMemMemory
+    // shape).
+    let a = Region::new(Vpn::new(0x1000), 8, PageClass::Anonymous);
+    let b = Region::new(Vpn::new(0x1008), 8, PageClass::Anonymous);
+    for i in 0..16 {
+        fault(&mut r, i, true);
+    }
+    r.monitor.drain_writes();
+    // Pages 0..12 were evicted: all 8 of `a`'s and 4 of `b`'s.
+    assert_eq!(r.monitor.store().len(), 12);
+    r.monitor.remove_region(&a);
+    assert_eq!(
+        r.monitor.store().len(),
+        4,
+        "removing `a` must not wipe `b`'s pages off the shared partition"
+    );
+    // `b`'s evicted pages are still readable.
+    assert!(r
+        .monitor
+        .store()
+        .contains(ExternalKey::new(b.start(), PartitionId::new(0))));
+    let res = fault(&mut r, 8, false);
+    assert_eq!(res.resolution, Resolution::RemoteRead);
+    assert_eq!(r.monitor.stats().lost_pages, 0);
+}
+
+#[test]
+fn remove_region_drops_a_dedicated_partition_wholesale() {
+    let mut r = rig(4, None);
+    let a = Region::new(Vpn::new(0x1000), 8, PageClass::Anonymous);
+    let b = Region::new(Vpn::new(0x1008), 8, PageClass::Anonymous);
+    r.monitor.register_partition(a, PartitionId::new(5));
+    r.monitor.register_partition(b, PartitionId::new(6));
+    for i in 0..16 {
+        fault(&mut r, i, true);
+    }
+    r.monitor.drain_writes();
+    assert_eq!(r.monitor.store().len(), 12);
+    r.monitor.remove_region(&a);
+    // Partition 5 was `a`'s alone: bulk-dropped. Partition 6 intact.
+    assert_eq!(r.monitor.store().len(), 4);
+    assert!(r
+        .monitor
+        .store()
+        .contains(ExternalKey::new(Vpn::new(0x1008), PartitionId::new(6))));
+}
+
+// ---------------------------------------------------------------------------
+// Staged pipeline (submit_fault / complete_next) and the capacity clamp.
+// ---------------------------------------------------------------------------
+
+/// Drives one fault through the staged pipeline, completing parked
+/// operations first whenever the in-flight table is at depth.
+fn pipelined_fault(r: &mut Rig, i: u64, write: bool) -> SubmitOutcome {
+    let vpn = r.region.page(i).vpn();
+    while r.monitor.inflight_len() >= r.monitor.config().max_inflight {
+        r.monitor.complete_next(&mut r.uffd, &mut r.pt, &mut r.pm);
+    }
+    r.monitor
+        .submit_fault(&mut r.uffd, &mut r.pt, &mut r.pm, vpn, write)
+}
+
+#[test]
+fn zero_capacity_quota_evicts_the_refaulted_page() {
+    // Regression: a refault under a zero-page quota used to leave the
+    // page resident forever — the read path only made room *before* its
+    // LRU insert, never after, so the last fault's page leaked past a
+    // full revocation (§VI-E capability-style resize to zero).
+    let mut r = rig(2, None);
+    for i in 0..4 {
+        fault(&mut r, i, true);
+    }
+    r.monitor.drain_writes();
+    r.monitor.resize(&mut r.uffd, &mut r.pt, &mut r.pm, 0);
+    assert_eq!(r.monitor.resident_pages(), 0, "resize drains the buffer");
+
+    let res = fault(&mut r, 0, false);
+    assert_eq!(res.resolution, Resolution::RemoteRead);
+    assert_eq!(
+        r.monitor.resident_pages(),
+        0,
+        "a zero quota must evict the refaulted page post-wake, not pin it"
+    );
+    r.monitor.drain_writes();
+    assert_eq!(r.monitor.resident_pages(), 0);
+}
+
+#[test]
+fn depth_one_pipeline_is_byte_identical_to_call_return() {
+    // The same fault schedule through handle_fault and through
+    // submit/complete at max_inflight = 1 must produce identical stats,
+    // an identical virtual clock, and byte-identical telemetry exports:
+    // the pipeline is a pure re-staging of the call-return path.
+    let drive = |pipelined: bool| {
+        let mut r = rig(4, None);
+        r.monitor.telemetry().enable_spans();
+        let schedule: Vec<(u64, bool)> = (0..12)
+            .map(|i| (i, i % 3 == 0))
+            .chain((0..12).map(|i| (i, i % 2 == 0)))
+            .collect();
+        for (i, write) in schedule {
+            if pipelined {
+                pipelined_fault(&mut r, i, write);
+                r.monitor.drain_inflight(&mut r.uffd, &mut r.pt, &mut r.pm);
+            } else {
+                fault(&mut r, i, write);
+            }
+        }
+        r.monitor.drain_writes();
+        (
+            r.monitor.stats(),
+            r.clock.now(),
+            r.monitor.telemetry().export_prometheus(),
+            r.monitor.telemetry().export_chrome_trace(),
+        )
+    };
+    let (sync_stats, sync_now, sync_prom, sync_trace) = drive(false);
+    let (pipe_stats, pipe_now, pipe_prom, pipe_trace) = drive(true);
+    assert_eq!(sync_stats, pipe_stats);
+    assert_eq!(sync_now, pipe_now);
+    assert_eq!(sync_prom, pipe_prom);
+    assert_eq!(sync_trace, pipe_trace);
+}
+
+#[test]
+fn deeper_pipeline_overlaps_store_reads() {
+    let deep = MonitorConfig::new(16).inflight(4);
+    let mut r = rig(16, Some(deep));
+    for i in 0..8 {
+        fault(&mut r, i, true);
+    }
+    // Push every page out to the store so refaults take the read path.
+    r.monitor.resize(&mut r.uffd, &mut r.pt, &mut r.pm, 0);
+    r.monitor.drain_writes();
+    r.monitor.resize(&mut r.uffd, &mut r.pt, &mut r.pm, 16);
+
+    let a = pipelined_fault(&mut r, 0, false);
+    let b = pipelined_fault(&mut r, 1, false);
+    let c = pipelined_fault(&mut r, 2, false);
+    assert!(matches!(a, SubmitOutcome::Parked(_)));
+    assert!(matches!(b, SubmitOutcome::Parked(_)));
+    assert!(matches!(c, SubmitOutcome::Parked(_)));
+    assert_eq!(r.monitor.inflight_len(), 3, "three reads in flight at once");
+    assert!(r.monitor.next_completion_at().is_some());
+
+    let done = r.monitor.drain_inflight(&mut r.uffd, &mut r.pt, &mut r.pm);
+    assert_eq!(done.len(), 3);
+    assert!(done.iter().all(|c| c.resolution == Resolution::RemoteRead));
+    // Completion order is completion-time order: wakes never go backwards.
+    assert!(done.windows(2).all(|w| w[0].wake_at <= w[1].wake_at));
+    assert_eq!(r.monitor.inflight_len(), 0);
+    assert_eq!(r.monitor.stats().remote_reads, 3);
+}
+
+#[test]
+fn fault_on_inflight_page_coalesces_onto_the_pending_read() {
+    let deep = MonitorConfig::new(16).inflight(4);
+    let mut r = rig(16, Some(deep));
+    for i in 0..4 {
+        fault(&mut r, i, true);
+    }
+    r.monitor.resize(&mut r.uffd, &mut r.pt, &mut r.pm, 0);
+    r.monitor.drain_writes();
+    r.monitor.resize(&mut r.uffd, &mut r.pt, &mut r.pm, 16);
+
+    let first = pipelined_fault(&mut r, 0, false);
+    let SubmitOutcome::Parked(id) = first else {
+        panic!("first fault should park on the store read");
+    };
+    // A second vCPU touches the same page while the fetch is in flight —
+    // and with a write, so the shared completion must dirty the page.
+    let second = pipelined_fault(&mut r, 0, true);
+    assert!(matches!(second, SubmitOutcome::Coalesced(got) if got == id));
+    assert_eq!(r.monitor.stats().coalesced_faults, 1);
+    assert_eq!(r.monitor.inflight_len(), 1, "no duplicate read was issued");
+
+    let done = r.monitor.drain_inflight(&mut r.uffd, &mut r.pt, &mut r.pm);
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].waiters, 1);
+    assert_eq!(r.monitor.stats().remote_reads, 1);
+    assert!(
+        r.pt.has_flags(r.region.page(0).vpn(), PteFlags::DIRTY),
+        "the coalesced writer's dirty bit lands on the shared install"
+    );
+}

@@ -55,6 +55,11 @@ pub struct MonitorStats {
     /// Write-list flushes whose multi-write failed retryably; the batch
     /// stays on the write list and is re-flushed later.
     pub flush_failures: u64,
+    /// Pipelined faults coalesced onto an already in-flight read of the
+    /// same page (a second vCPU touching a page whose fetch is pending).
+    /// Always zero on the call-return path, where at most one fault is
+    /// outstanding.
+    pub coalesced_faults: u64,
 }
 
 macro_rules! monitor_counters {
@@ -123,6 +128,7 @@ monitor_counters! {
     (read_retries, "read_retry", "Store reads retried after a retryable error."),
     (write_retries, "write_retry", "Store writes retried after a retryable error."),
     (flush_failures, "flush_failure", "Flushes whose multi-write failed retryably."),
+    (coalesced_faults, "coalesced_fault", "Pipelined faults coalesced onto an in-flight read."),
 }
 
 #[cfg(test)]

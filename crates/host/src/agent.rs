@@ -30,7 +30,7 @@ use fluidmem_core::{FluidMemMemory, MonitorConfig, VmSignals};
 use fluidmem_kv::{KeyValueStore, SharedStore, StoreStats};
 use fluidmem_mem::{AccessOutcome, MemoryBackend, PageClass, Region};
 use fluidmem_sim::stats::Sample;
-use fluidmem_sim::{SimClock, SimDuration, SimInstant, SimRng};
+use fluidmem_sim::{EventQueue, SimClock, SimDuration, SimInstant, SimRng};
 use fluidmem_telemetry::{consts, Counter, Gauge, Registry, Telemetry};
 use fluidmem_vm::Balloon;
 
@@ -329,10 +329,25 @@ impl HostAgent {
         }
     }
 
-    /// Drives `ops` accesses across the fleet, interleaved by smooth
-    /// weighted round-robin, rebalancing at the configured cadence.
+    /// Drives `ops` accesses across the fleet, rebalancing at the
+    /// configured cadence.
+    ///
+    /// With the default `monitor.max_inflight = 1` the interleave is
+    /// smooth weighted round-robin: a weight-4 VM issues 4/7 of the
+    /// accesses in a 4:1:1:1 fleet, without bursts. When the monitor
+    /// config pipelines (`max_inflight > 1`), the agent switches to a
+    /// completion-ordered interleave on a deterministic [`EventQueue`]:
+    /// each VM holds `weight` slots in the queue and re-enters at its
+    /// access's completion instant, so the VM whose previous fault
+    /// resolved earliest goes next — the schedule the paper's
+    /// multi-threaded monitor produces, and still a pure function of the
+    /// seed.
     pub fn run(&mut self, ops: u64) {
         assert!(!self.slots.is_empty(), "add VMs before running");
+        if self.config.monitor.max_inflight > 1 {
+            self.run_completion_ordered(ops);
+            return;
+        }
         let total_weight: i64 = self.slots.iter().map(|s| s.spec.weight as i64).sum();
         for _ in 0..ops {
             let mut best = 0;
@@ -345,15 +360,44 @@ impl HostAgent {
             self.slots[best].wrr -= total_weight;
             self.step(best);
             self.ops_done += 1;
-            if self.config.rebalance_interval > 0
-                && self.ops_done.is_multiple_of(self.config.rebalance_interval)
-            {
-                self.rebalance_now();
-            }
+            self.maybe_rebalance();
         }
     }
 
-    fn step(&mut self, i: usize) {
+    /// The pipelined interleave: VMs re-enter the ready queue at the
+    /// completion instant of their previous access, FIFO among ties
+    /// (queue order is `(instant, submission seq)`), so two runs with
+    /// the same seed interleave identically.
+    fn run_completion_ordered(&mut self, ops: u64) {
+        let mut ready: EventQueue<usize> = EventQueue::new();
+        let now = self.clock.now();
+        for (i, slot) in self.slots.iter().enumerate() {
+            for _ in 0..slot.spec.weight.max(1) {
+                ready.push(now, i);
+            }
+        }
+        for _ in 0..ops {
+            let (ready_at, i) = ready.pop_next().expect("every VM holds a queue slot");
+            // No-op if this VM's completion is already in the past
+            // relative to work other VMs did meanwhile.
+            self.clock.advance_to(ready_at);
+            let t0 = self.clock.now();
+            let latency = self.step(i);
+            ready.push(t0 + latency, i);
+            self.ops_done += 1;
+            self.maybe_rebalance();
+        }
+    }
+
+    fn maybe_rebalance(&mut self) {
+        if self.config.rebalance_interval > 0
+            && self.ops_done.is_multiple_of(self.config.rebalance_interval)
+        {
+            self.rebalance_now();
+        }
+    }
+
+    fn step(&mut self, i: usize) -> SimDuration {
         let slot = &mut self.slots[i];
         let page = slot.workload_rng.gen_index(slot.spec.wss_pages);
         let write = slot.workload_rng.gen_bool(slot.spec.write_fraction);
@@ -363,6 +407,7 @@ impl HostAgent {
         if report.outcome != AccessOutcome::Hit {
             slot.fault_lat.record_duration(report.latency);
         }
+        report.latency
     }
 
     /// Runs one arbiter round immediately: collect windowed demands,
@@ -779,6 +824,39 @@ mod tests {
             a.aggregate_access_percentile(0.999).to_bits(),
             b.aggregate_access_percentile(0.999).to_bits()
         );
+    }
+
+    #[test]
+    fn completion_ordered_interleave_is_deterministic() {
+        // A pipelining monitor config flips the host to the
+        // completion-ordered interleave; the schedule must still be a
+        // pure function of the seed, and every VM must make progress.
+        let build = || {
+            let clock = SimClock::new();
+            let store = RamCloudStore::new(1 << 28, clock.clone(), SimRng::seed_from_u64(21));
+            let config = HostConfig::new(256)
+                .min_pages(16)
+                .rebalance_interval(128)
+                .monitor(MonitorConfig::new(256).inflight(4));
+            let mut agent =
+                HostAgent::new(config, Box::new(store), clock, SimRng::seed_from_u64(22));
+            agent.add_vm(VmSpec::new("hot", 160).weight(4));
+            agent.add_vm(VmSpec::new("cold", 40));
+            agent.run(4_000);
+            agent.drain();
+            agent
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.clock().now(), b.clock().now(), "virtual time diverged");
+        for i in 0..2 {
+            assert_eq!(a.vm_signals(i), b.vm_signals(i), "vm{i} signals diverged");
+        }
+        assert_eq!(a.store_stats().gets, b.store_stats().gets);
+        // Both VMs ran, with the heavier VM issuing the majority.
+        assert!(a.vm_ops(0) > a.vm_ops(1));
+        assert!(a.vm_ops(1) > 0);
+        assert_eq!(a.vm_ops(0) + a.vm_ops(1), 4_000);
     }
 
     #[test]

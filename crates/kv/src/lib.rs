@@ -48,7 +48,7 @@ pub use memcached::MemcachedStore;
 pub use pending::{PendingGet, PendingWrite};
 pub use ramcloud::RamCloudStore;
 pub use replicated::ReplicatedStore;
-pub use retry::{run_with_retries, RetryPolicy};
+pub use retry::{run_with_retries, run_with_retries_from, RetryPolicy};
 pub use shared::SharedStore;
 pub use stats::{StoreCounters, StoreStats};
 pub use store::KeyValueStore;

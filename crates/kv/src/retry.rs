@@ -111,22 +111,49 @@ pub fn run_with_retries<T>(
     clock: &SimClock,
     rng: &mut SimRng,
     retries: &mut u64,
+    op: impl FnMut(u32) -> Result<T, KvError>,
+) -> Result<T, KvError> {
+    run_with_retries_from(policy, clock, rng, 0, |_, _| *retries += 1, op)
+}
+
+/// The general form of [`run_with_retries`]: the clock-charging retry
+/// loop shared by every store client (reads, eviction writes, the
+/// flush/drain path).
+///
+/// `prior_attempts` counts tries already spent on this operation by an
+/// earlier phase (e.g. an asynchronous top-half read that failed); it
+/// shrinks the remaining attempt budget and shifts the backoff schedule
+/// so retry number `n` here waits as retry `prior_attempts + n` would.
+/// `on_retry` runs once per retryable failure that will be retried,
+/// *before* the backoff wait is charged — the hook point for counters
+/// and trace lines. Fatal errors (`NotFound`, `OutOfCapacity`) return
+/// immediately; a retryable error on the last attempt surfaces as the
+/// final `Err`.
+pub fn run_with_retries_from<T>(
+    policy: &RetryPolicy,
+    clock: &SimClock,
+    rng: &mut SimRng,
+    prior_attempts: u32,
+    mut on_retry: impl FnMut(u32, &KvError),
     mut op: impl FnMut(u32) -> Result<T, KvError>,
 ) -> Result<T, KvError> {
-    let attempts = policy.max_attempts.max(1);
-    let mut last = KvError::Timeout;
-    for attempt in 0..attempts {
+    let budget = policy
+        .max_attempts
+        .max(1)
+        .saturating_sub(prior_attempts)
+        .max(1);
+    let mut attempt = 0u32;
+    loop {
         match op(attempt) {
             Ok(v) => return Ok(v),
-            Err(e) if e.is_retryable() && attempt + 1 < attempts => {
-                *retries += 1;
-                clock.advance(policy.backoff(attempt, rng));
-                last = e;
+            Err(e) if e.is_retryable() && attempt + 1 < budget => {
+                on_retry(attempt, &e);
+                clock.advance(policy.backoff(prior_attempts + attempt, rng));
+                attempt += 1;
             }
             Err(e) => return Err(e),
         }
     }
-    Err(last)
 }
 
 #[cfg(test)]

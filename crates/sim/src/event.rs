@@ -1,0 +1,159 @@
+//! A deterministic discrete-event queue over virtual time.
+//!
+//! The pipeline refactor turns call-return interactions (a store fetch,
+//! a TLB shootdown, a write-list batch) into *events* that complete at a
+//! known [`SimInstant`]. [`EventQueue`] is the scheduler substrate: a
+//! priority queue ordered by `(virtual_time, seq)` where `seq` is a
+//! monotonically increasing insertion counter. The tiebreak makes the
+//! pop order a pure function of the push history — two runs that push
+//! the same events in the same order pop them in the same order, which
+//! is what keeps pipelined experiments bit-for-bit reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimInstant;
+
+/// One scheduled entry: the payload is excluded from the ordering so it
+/// needs no `Ord` of its own.
+struct Entry<T> {
+    at: SimInstant,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic min-queue of `(SimInstant, payload)` events.
+///
+/// Events at equal instants pop in push order (FIFO), so the schedule is
+/// fully determined by the sequence of pushes — no dependence on heap
+/// internals, hash order, or wall-clock time.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to complete at `at`. Returns the event's
+    /// sequence number (its FIFO rank among same-instant events).
+    pub fn push(&mut self, at: SimInstant, payload: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, payload }));
+        seq
+    }
+
+    /// The completion time of the earliest event, if any.
+    pub fn peek_time(&self) -> Option<SimInstant> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Removes and returns the earliest event as `(completes_at,
+    /// payload)`. Ties pop in push order.
+    pub fn pop_next(&mut self) -> Option<(SimInstant, T)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.payload))
+    }
+
+    /// Removes and returns the earliest event only if it completes at or
+    /// before `now` (a non-blocking poll).
+    pub fn pop_ready(&mut self, now: SimInstant) -> Option<(SimInstant, T)> {
+        if self.peek_time()? <= now {
+            self.pop_next()
+        } else {
+            None
+        }
+    }
+
+    /// How many events are scheduled.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimInstant::from_nanos(30), "c");
+        q.push(SimInstant::from_nanos(10), "a");
+        q.push(SimInstant::from_nanos(20), "b");
+        assert_eq!(q.pop_next(), Some((SimInstant::from_nanos(10), "a")));
+        assert_eq!(q.pop_next(), Some((SimInstant::from_nanos(20), "b")));
+        assert_eq!(q.pop_next(), Some((SimInstant::from_nanos(30), "c")));
+        assert_eq!(q.pop_next(), None);
+    }
+
+    #[test]
+    fn equal_instants_pop_in_push_order() {
+        let mut q = EventQueue::new();
+        let t = SimInstant::from_nanos(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop_next(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn pop_ready_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(SimInstant::from_nanos(100), 1u32);
+        assert_eq!(q.pop_ready(SimInstant::from_nanos(99)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(
+            q.pop_ready(SimInstant::from_nanos(100)),
+            Some((SimInstant::from_nanos(100), 1))
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimInstant::from_nanos(7), ());
+        assert_eq!(q.peek_time(), Some(SimInstant::from_nanos(7)));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -15,6 +15,9 @@
 //!   newtypes with ordinary arithmetic.
 //! * [`SimClock`] — a cheaply-clonable shared clock handle.
 //! * [`SimRng`] — a seedable, forkable random number generator.
+//! * [`EventQueue`] — a deterministic discrete-event queue ordered by
+//!   `(virtual_time, seq)`, the substrate for pipelined (multiple
+//!   outstanding operations) experiments.
 //! * [`LatencyModel`] — composable latency distributions (constant, uniform,
 //!   normal, log-normal, spiked) used to calibrate component costs to the
 //!   paper's Table I/II measurements.
@@ -42,6 +45,7 @@
 
 mod clock;
 mod dist;
+mod event;
 mod fault;
 pub mod prop;
 mod rng;
@@ -52,6 +56,7 @@ mod trace;
 
 pub use clock::SimClock;
 pub use dist::LatencyModel;
+pub use event::EventQueue;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanStats};
 pub use rng::SimRng;
 pub use series::TimeSeries;

@@ -71,6 +71,10 @@ pub struct Userfaultfd {
     by_id: HashMap<RegionId, Region>,
     next_region: u64,
     events: VecDeque<UffdEvent>,
+    /// vCPU threads currently parked on an unresolved fault, in fault
+    /// order: `(faulting page, pid)`. The pipelined monitor resolves
+    /// faults out of order, so waking is by page, not by position.
+    blocked: VecDeque<(Vpn, u64)>,
     costs: UffdCosts,
     tlb: TlbModel,
     clock: SimClock,
@@ -90,6 +94,7 @@ impl Userfaultfd {
             by_id: HashMap::new(),
             next_region: 0,
             events: VecDeque::new(),
+            blocked: VecDeque::new(),
             costs,
             tlb,
             clock,
@@ -142,6 +147,7 @@ impl Userfaultfd {
         self.by_start.remove(&region.start().raw());
         // Drop queued faults for the dead region, as the kernel does.
         self.events.retain(|e| e.region() != id);
+        self.blocked.retain(|(vpn, _)| !region.contains(*vpn));
         self.events.push_back(UffdEvent::Unregister { region: id });
         Ok(())
     }
@@ -185,6 +191,7 @@ impl Userfaultfd {
             cost += self.costs.vm_exit.sample(&mut self.rng);
         }
         self.clock.advance(cost);
+        self.blocked.push_back((addr.vpn(), pid));
         self.events.push_back(UffdEvent::PageFault {
             region,
             addr,
@@ -297,9 +304,37 @@ impl Userfaultfd {
         self.clock.advance_to(handle.completes_at)
     }
 
-    /// Wakes the faulting vCPU thread after resolution.
+    /// Wakes the oldest parked vCPU thread after resolution — the
+    /// call-return path, where at most one fault is outstanding so
+    /// "oldest" and "the one just resolved" coincide.
     pub fn wake(&mut self) {
         self.clock.advance(self.costs.wake.sample(&mut self.rng));
+        self.blocked.pop_front();
+    }
+
+    /// Wakes the vCPU thread parked on `vpn` specifically (the real
+    /// `UFFDIO_WAKE` takes a range). The pipelined monitor resolves
+    /// faults out of completion order, so the wake must be addressed to
+    /// the page, not to queue position. Charges the same wake cost as
+    /// [`Userfaultfd::wake`]; returns whether a parked thread was found.
+    pub fn wake_page(&mut self, vpn: Vpn) -> bool {
+        self.clock.advance(self.costs.wake.sample(&mut self.rng));
+        if let Some(i) = self.blocked.iter().position(|(v, _)| *v == vpn) {
+            self.blocked.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// How many vCPU threads are currently parked on unresolved faults.
+    pub fn blocked_count(&self) -> usize {
+        self.blocked.len()
+    }
+
+    /// Whether a vCPU thread is parked on `vpn`.
+    pub fn blocked_on(&self, vpn: Vpn) -> bool {
+        self.blocked.iter().any(|(v, _)| *v == vpn)
     }
 
     /// The kernel's ordinary copy-on-write break: the guest wrote to a
@@ -515,6 +550,37 @@ mod tests {
             uffd.copy(&mut pt, &mut pm, Vpn::new(1), PageContents::Zero),
             Err(UffdError::OutOfFrames)
         );
+    }
+
+    #[test]
+    fn wake_page_unparks_the_right_vcpu() {
+        let (mut uffd, _, _, region) = setup();
+        uffd.raise_fault(region.page(0), false, 1, true).unwrap();
+        uffd.raise_fault(region.page(1), false, 2, true).unwrap();
+        uffd.raise_fault(region.page(2), false, 3, true).unwrap();
+        assert_eq!(uffd.blocked_count(), 3);
+        // Out-of-order resolution: page 1's read completed first.
+        assert!(uffd.wake_page(region.page(1).vpn()));
+        assert_eq!(uffd.blocked_count(), 2);
+        assert!(!uffd.blocked_on(region.page(1).vpn()));
+        assert!(uffd.blocked_on(region.page(0).vpn()));
+        // Waking an unparked page reports false but still costs time.
+        let before = uffd.clock.now();
+        assert!(!uffd.wake_page(region.page(1).vpn()));
+        assert!(uffd.clock.now() > before);
+        // Positional wake drains the oldest (page 0).
+        uffd.wake();
+        assert!(!uffd.blocked_on(region.page(0).vpn()));
+        assert_eq!(uffd.blocked_count(), 1);
+    }
+
+    #[test]
+    fn unregister_unparks_blocked_vcpus() {
+        let (mut uffd, _, _, region) = setup();
+        uffd.raise_fault(region.page(0), false, 1, true).unwrap();
+        let id = uffd.region_containing(region.start()).unwrap();
+        uffd.unregister(id).unwrap();
+        assert_eq!(uffd.blocked_count(), 0);
     }
 
     #[test]

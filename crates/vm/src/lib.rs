@@ -26,9 +26,11 @@
 mod balloon;
 mod guest_os;
 mod services;
+mod vcpus;
 mod vm;
 
 pub use balloon::Balloon;
 pub use guest_os::{GuestOs, GuestOsProfile};
 pub use services::{IcmpService, ServiceError, SshService};
+pub use vcpus::{PipelineRunStats, VcpuSet};
 pub use vm::{VirtualizationMode, Vm};

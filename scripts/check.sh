@@ -43,4 +43,26 @@ grep -q '"bench":"scaling_policy"' "$scaling_a" || {
 }
 rm -f "$scaling_a" "$scaling_b"
 
+echo "==> pipeline smoke: depth sweep (twice, stdout + JSON must be byte-identical)"
+pipe_out_a="$(mktemp)"
+pipe_out_b="$(mktemp)"
+pipe_json_a="$(mktemp)"
+pipe_json_b="$(mktemp)"
+cargo run -q --release -p fluidmem-bench --bin pipeline -- --smoke --json "$pipe_json_a" > "$pipe_out_a"
+cargo run -q --release -p fluidmem-bench --bin pipeline -- --smoke --json "$pipe_json_b" > "$pipe_out_b"
+test -s "$pipe_json_a" || { echo "pipeline smoke: empty JSON output" >&2; exit 1; }
+cmp "$pipe_out_a" "$pipe_out_b" || {
+    echo "pipeline smoke: stdout not deterministic" >&2
+    exit 1
+}
+cmp "$pipe_json_a" "$pipe_json_b" || {
+    echo "pipeline smoke: JSON output not deterministic" >&2
+    exit 1
+}
+grep -q '"depth":16' "$pipe_json_a" || {
+    echo "pipeline smoke: depth sweep incomplete" >&2
+    exit 1
+}
+rm -f "$pipe_out_a" "$pipe_out_b" "$pipe_json_a" "$pipe_json_b"
+
 echo "==> all checks passed"

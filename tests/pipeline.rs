@@ -1,0 +1,230 @@
+//! Acceptance tests for the staged fault pipeline.
+//!
+//! Two properties anchor the refactor:
+//!
+//! * **Equivalence** — at `max_inflight = 1` the pipeline is the
+//!   call-return path re-staged, not re-implemented: the same access
+//!   sequence must leave byte-identical monitor stats, virtual clock,
+//!   and telemetry exports (Prometheus text + Chrome trace) for several
+//!   seeds.
+//! * **Chaos** — with several reads genuinely in flight, injected store
+//!   faults (drops, timeouts, transient errors) must not lose data:
+//!   every completed fault installs the last-written contents, retries
+//!   stay accounted, and the write list drains.
+
+use fluidmem::coord::PartitionId;
+use fluidmem::core::{FluidMemMemory, MonitorConfig, Optimizations, PipelineSubmit};
+use fluidmem::kv::{FaultInjectingStore, RamCloudStore};
+use fluidmem::mem::{AccessOutcome, MemoryBackend, PageClass, PageContents};
+use fluidmem::sim::{FaultPlan, SimClock, SimInstant, SimRng};
+use fluidmem::telemetry::Telemetry;
+use fluidmem::vm::VcpuSet;
+
+const SEEDS: [u64; 4] = [3, 17, 271, 65_537];
+
+/// The guest pid `FluidMemMemory::do_access` raises faults from; the
+/// pipelined run must use the same identity for byte-identical traces.
+const BACKEND_PID: u64 = 4242;
+
+fn traced_vm(seed: u64) -> (Telemetry, FluidMemMemory) {
+    let clock = SimClock::new();
+    let store = RamCloudStore::new(1 << 28, clock.clone(), SimRng::seed_from_u64(seed ^ 0x4B56));
+    let mut vm = FluidMemMemory::new(
+        MonitorConfig::new(48).optimizations(Optimizations::full()),
+        Box::new(store),
+        PartitionId::new(0),
+        clock.clone(),
+        SimRng::seed_from_u64(seed),
+    );
+    let telemetry = Telemetry::new(clock);
+    telemetry.enable_spans();
+    vm.attach_telemetry(&telemetry);
+    (telemetry, vm)
+}
+
+/// A working set ~4x the LRU capacity, so the schedule exercises every
+/// path: first touch, refault, steal, and inflight wait.
+fn schedule(seed: u64) -> Vec<(u64, bool)> {
+    let mut rng = SimRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
+    (0..600)
+        .map(|_| (rng.gen_index(192), rng.gen_bool(0.4)))
+        .collect()
+}
+
+type RunFingerprint = (fluidmem::core::MonitorStats, SimInstant, String, String);
+
+fn run_call_return(seed: u64) -> RunFingerprint {
+    let (telemetry, mut vm) = traced_vm(seed);
+    let region = vm.map_region(192, PageClass::Anonymous);
+    for (page, write) in schedule(seed) {
+        vm.access(region.page(page), write);
+    }
+    vm.drain_writes();
+    (
+        vm.monitor().stats(),
+        vm.clock().now(),
+        telemetry.export_prometheus(),
+        telemetry.export_chrome_trace(),
+    )
+}
+
+fn run_pipelined_depth_one(seed: u64) -> RunFingerprint {
+    let (telemetry, mut vm) = traced_vm(seed);
+    let region = vm.map_region(192, PageClass::Anonymous);
+    for (page, write) in schedule(seed) {
+        match vm.submit_access(BACKEND_PID, region.page(page), write) {
+            PipelineSubmit::Ready(_) => {}
+            PipelineSubmit::Pending(_) => {
+                // Depth 1: the parked fault is the only one in flight;
+                // completing it immediately reproduces the blocking call.
+                vm.complete_next_access().expect("one fault is in flight");
+            }
+        }
+        assert_eq!(vm.inflight_len(), 0, "depth 1 never holds a fault");
+    }
+    vm.drain_writes();
+    (
+        vm.monitor().stats(),
+        vm.clock().now(),
+        telemetry.export_prometheus(),
+        telemetry.export_chrome_trace(),
+    )
+}
+
+/// The headline equivalence property: for every seed, depth-1 pipelined
+/// execution is byte-identical to the call-return path — same stats,
+/// same virtual clock, same Prometheus text, same Chrome trace.
+#[test]
+fn depth_one_pipeline_matches_call_return_across_seeds() {
+    for &seed in &SEEDS {
+        let (sync_stats, sync_now, sync_prom, sync_trace) = run_call_return(seed);
+        let (pipe_stats, pipe_now, pipe_prom, pipe_trace) = run_pipelined_depth_one(seed);
+        assert_eq!(sync_stats, pipe_stats, "seed {seed}: stats diverged");
+        assert_eq!(sync_now, pipe_now, "seed {seed}: virtual clocks diverged");
+        assert_eq!(
+            sync_prom, pipe_prom,
+            "seed {seed}: Prometheus export diverged"
+        );
+        assert_eq!(sync_trace, pipe_trace, "seed {seed}: Chrome trace diverged");
+    }
+}
+
+/// Drop + timeout + transient-refusal mix on the store transport.
+fn chaotic_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(SimRng::seed_from_u64(seed ^ 0xFA_17))
+        .with_drop(0.08)
+        .with_timeout(0.06)
+        .with_transient_error(0.06)
+}
+
+fn chaotic_pipelined_vm(seed: u64, depth: usize) -> FluidMemMemory {
+    let clock = SimClock::new();
+    let inner = RamCloudStore::new(1 << 26, clock.clone(), SimRng::seed_from_u64(seed));
+    let store = FaultInjectingStore::new(Box::new(inner), chaotic_plan(seed), clock.clone());
+    FluidMemMemory::new(
+        MonitorConfig::new(16)
+            .inflight(depth)
+            .optimizations(Optimizations::full()),
+        Box::new(store),
+        PartitionId::new(0),
+        clock,
+        SimRng::seed_from_u64(seed + 1),
+    )
+}
+
+/// Chaos: store faults land while several reads are genuinely in
+/// flight. No read may surface stale or lost contents, retry accounting
+/// must light up, and the write list must drain afterwards.
+#[test]
+fn injected_store_faults_with_overlapping_reads_lose_nothing() {
+    let mut total_retries = 0u64;
+    for &seed in &SEEDS {
+        let mut vm = chaotic_pipelined_vm(seed, 4);
+        let pages = 64u64;
+        let region = vm.map_region(pages, PageClass::Anonymous);
+        let token = |p: u64| PageContents::Token(p * 31 + 7);
+
+        // Populate every page through the sync path, then push the
+        // working set out to the (faulty) store.
+        for p in 0..pages {
+            vm.write_page(region.page(p), token(p));
+        }
+        vm.drain_writes();
+
+        // Read everything back in waves of four pipelined faults.
+        let mut deepest = 0;
+        for wave in 0..pages / 4 {
+            let mut parked = 0;
+            for i in 0..4 {
+                let p = wave * 4 + i;
+                match vm.submit_access(9000 + p, region.page(p), false) {
+                    PipelineSubmit::Ready(report) => {
+                        assert_ne!(report.outcome, AccessOutcome::MajorFault);
+                    }
+                    PipelineSubmit::Pending(_) => parked += 1,
+                }
+                deepest = deepest.max(vm.inflight_len());
+            }
+            while vm.complete_next_access().is_some() {}
+            assert_eq!(vm.inflight_len(), 0, "seed {seed}: wave drained");
+            // Every page in the wave is now mapped with its last write.
+            for i in 0..4 {
+                let p = wave * 4 + i;
+                let (contents, report) = vm.read_page(region.page(p));
+                assert_eq!(
+                    contents,
+                    token(p),
+                    "seed {seed}: page {p} lost or corrupted under faults"
+                );
+                assert_eq!(
+                    report.outcome,
+                    AccessOutcome::Hit,
+                    "seed {seed}: completed page {p} must be resident"
+                );
+            }
+            let _ = parked;
+        }
+        assert!(
+            deepest >= 2,
+            "seed {seed}: the chaos run must overlap reads (deepest {deepest})"
+        );
+
+        let stats = vm.monitor().stats();
+        assert_eq!(stats.lost_pages, 0, "seed {seed}: faults are not data loss");
+        total_retries += stats.read_retries + stats.write_retries;
+
+        vm.drain_writes();
+        assert_eq!(
+            vm.monitor().pending_writes(),
+            0,
+            "seed {seed}: write list must drain over a faulty transport"
+        );
+    }
+    assert!(
+        total_retries > 0,
+        "the fault plan must actually force retries somewhere across seeds"
+    );
+}
+
+/// The vCPU-set driver is deterministic under chaos too: same seeds,
+/// same fault plan, bit-identical schedule and stats.
+#[test]
+fn chaotic_pipelined_vcpu_runs_are_deterministic() {
+    let run = || {
+        let vm = chaotic_pipelined_vm(11, 8);
+        let mut set = VcpuSet::new(vm, 8, 128).workload_seed(13);
+        let stats = set.run(2_500);
+        let vm = set.into_vm();
+        (
+            stats.faults,
+            stats.parked,
+            stats.coalesced,
+            stats.elapsed,
+            vm.monitor().stats(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "chaos + pipelining must stay deterministic");
+    assert!(a.1 > 0, "the oversubscribed run must park reads");
+}
