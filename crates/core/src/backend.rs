@@ -156,6 +156,9 @@ impl FluidMemMemory {
             resident_pages: self.monitor.resident_pages(),
             capacity_pages: self.monitor.capacity(),
             pending_writes: self.monitor.pending_writes() as u64,
+            refaults_measured: stats.refaults_measured,
+            thrash_refaults: stats.thrash_refaults,
+            wss_estimate_pages: self.monitor.wss_estimate_pages(),
         }
     }
 

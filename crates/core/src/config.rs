@@ -3,6 +3,8 @@
 use fluidmem_kv::RetryPolicy;
 use fluidmem_sim::{LatencyModel, SimDuration};
 
+use crate::workingset::WorkingSetConfig;
+
 /// The §V-B optimization toggles — the axes of Table II's ablation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Optimizations {
@@ -197,6 +199,12 @@ pub struct MonitorConfig {
     /// values model FluidMem's multi-threaded monitor, where several
     /// store round trips and the evictor overlap.
     pub max_inflight: usize,
+    /// Shadow-entry working-set estimation: how many nonresident entries
+    /// to retain and whether the estimate drives the LRU capacity
+    /// ([`WorkingSetMode::AdaptiveCapacity`](crate::WorkingSetMode)) or
+    /// only the observability surface (the default, passive mode —
+    /// bit-for-bit identical monitor behavior).
+    pub workingset: WorkingSetConfig,
 }
 
 impl MonitorConfig {
@@ -215,6 +223,7 @@ impl MonitorConfig {
             from_vm: true,
             retry: RetryPolicy::default_remote(),
             max_inflight: 1,
+            workingset: WorkingSetConfig::default(),
         }
     }
 
@@ -265,6 +274,12 @@ impl MonitorConfig {
     /// (clamped to at least 1).
     pub fn inflight(mut self, depth: usize) -> Self {
         self.max_inflight = depth.max(1);
+        self
+    }
+
+    /// Sets the working-set estimation config.
+    pub fn workingset(mut self, ws: WorkingSetConfig) -> Self {
+        self.workingset = ws;
         self
     }
 }

@@ -19,6 +19,10 @@
 //! * the **asynchronous read** optimization: the key-value store read is
 //!   split into top and bottom halves and the `UFFD_REMAP` eviction plus
 //!   cache bookkeeping run during the network wait (§V-B, Table II);
+//! * **working-set estimation** ([`WorkingSetEstimator`]): shadow-entry
+//!   refault-distance tracking in the style of Linux's
+//!   `mm/workingset.c`, feeding a WSS estimate, a thrash detector, and
+//!   an optional adaptive LRU capacity;
 //! * per-code-path **profiling** ([`CodePath`], [`ProfileTable`])
 //!   reproducing Table I.
 //!
@@ -38,6 +42,7 @@ mod page_tracker;
 mod profile;
 mod signals;
 mod stats;
+mod workingset;
 mod write_list;
 
 pub use backend::{FluidMemMemory, MigrationImage, PipelineSubmit};
@@ -51,4 +56,5 @@ pub use page_tracker::PageTracker;
 pub use profile::{CodePath, PathStats, ProfileTable};
 pub use signals::VmSignals;
 pub use stats::MonitorStats;
+pub use workingset::{Refault, WorkingSetConfig, WorkingSetEstimator, WorkingSetMode};
 pub use write_list::{StealOutcome, WriteList};

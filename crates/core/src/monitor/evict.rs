@@ -64,6 +64,10 @@ impl Monitor {
         let Some(victim) = self.lru.pop_victim() else {
             return false;
         };
+        // Shadow entry at pop time, exactly once per eviction: the
+        // store write below may fail and retry (or the flushed batch may
+        // be requeued), but the page leaves the LRU exactly here.
+        self.workingset.record_eviction(victim);
         self.trace(|| format!("evicting {victim} from the top of the LRU via UFFD_REMAP"));
         let key = self.key(victim);
 

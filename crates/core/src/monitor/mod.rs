@@ -39,6 +39,7 @@ use crate::lru_buffer::LruBuffer;
 use crate::page_tracker::PageTracker;
 use crate::profile::ProfileTable;
 use crate::stats::{MonitorCounters, MonitorStats};
+use crate::workingset::WorkingSetEstimator;
 use crate::write_list::WriteList;
 use fluidmem_telemetry::{consts, Gauge, Histogram, SpanId, Telemetry};
 
@@ -132,8 +133,14 @@ pub struct Monitor {
     pub(in crate::monitor) profile: ProfileTable,
     pub(in crate::monitor) stats: MonitorCounters,
     pub(in crate::monitor) telemetry: Telemetry,
+    /// Shadow-entry refault-distance tracking (working-set estimation).
+    pub(in crate::monitor) workingset: WorkingSetEstimator,
     /// Guest-observed fault latency, one histogram per [`Resolution`].
     pub(in crate::monitor) fault_latency: [Histogram; 4],
+    /// Refault distances in eviction counts (recorded unit-less).
+    pub(in crate::monitor) refault_distance: Histogram,
+    /// The current working-set-size estimate.
+    wss_estimate: Gauge,
     lru_resident: Gauge,
     lru_capacity: Gauge,
     pub(in crate::monitor) write_list_pending: Gauge,
@@ -154,6 +161,7 @@ impl Monitor {
     ) -> Self {
         let lru = LruBuffer::new(config.lru_capacity);
         let telemetry = Telemetry::new(clock.clone());
+        let workingset = WorkingSetEstimator::new(config.workingset);
         let monitor = Monitor {
             config,
             tracker: PageTracker::new(),
@@ -166,7 +174,10 @@ impl Monitor {
             profile: ProfileTable::new(),
             stats: MonitorCounters::new(),
             telemetry,
+            workingset,
             fault_latency: Default::default(),
+            refault_distance: Histogram::new(),
+            wss_estimate: Gauge::new(),
             lru_resident: Gauge::new(),
             lru_capacity: Gauge::new(),
             write_list_pending: Gauge::new(),
@@ -193,6 +204,8 @@ impl Monitor {
             registry.adopt_gauge(consts::LRU_RESIDENT_PAGES, &[], &self.lru_resident);
             registry.adopt_gauge(consts::LRU_CAPACITY_PAGES, &[], &self.lru_capacity);
             registry.adopt_gauge(consts::WRITE_LIST_PENDING, &[], &self.write_list_pending);
+            registry.adopt_gauge(consts::WSS_ESTIMATE_PAGES, &[], &self.wss_estimate);
+            registry.adopt_histogram(consts::REFAULT_DISTANCE_PAGES, &[], &self.refault_distance);
             for r in Resolution::ALL {
                 registry.adopt_histogram(
                     consts::FAULT_LATENCY_US,
@@ -228,6 +241,12 @@ impl Monitor {
                 consts::WRITE_LIST_PENDING,
                 &vm_label,
                 &self.write_list_pending,
+            );
+            registry.adopt_gauge(consts::WSS_ESTIMATE_PAGES, &vm_label, &self.wss_estimate);
+            registry.adopt_histogram(
+                consts::REFAULT_DISTANCE_PAGES,
+                &vm_label,
+                &self.refault_distance,
             );
             for r in Resolution::ALL {
                 registry.adopt_histogram(
@@ -289,6 +308,57 @@ impl Monitor {
     /// Clears the profile (e.g. after warm-up).
     pub fn clear_profile(&mut self) {
         self.profile.clear();
+    }
+
+    /// The working-set estimator (shadow entries, refault distances).
+    pub fn workingset(&self) -> &WorkingSetEstimator {
+        &self.workingset
+    }
+
+    /// The current working-set-size estimate, in pages.
+    pub fn wss_estimate_pages(&self) -> u64 {
+        self.workingset.wss_estimate()
+    }
+
+    /// Whether `vpn` is currently resident in the LRU buffer.
+    pub fn is_resident(&self, vpn: Vpn) -> bool {
+        self.lru.contains(vpn)
+    }
+
+    /// Shadow-entry bookkeeping on the refault path. Pure bookkeeping —
+    /// no clock advance, no RNG draw — so the default passive mode
+    /// leaves the monitor's observable behavior bit-for-bit unchanged.
+    pub(in crate::monitor) fn note_refault(&mut self, vpn: Vpn) {
+        let resident = self.lru.len();
+        if let Some(r) = self.workingset.note_refault(vpn, resident) {
+            self.stats.refaults_measured.inc();
+            if r.thrash {
+                self.stats.thrash_refaults.inc();
+            }
+            self.refault_distance.observe_value(r.distance);
+            self.wss_estimate.set(self.workingset.wss_estimate() as i64);
+        }
+    }
+
+    /// Applies a pending adaptive-capacity decision; a no-op in passive
+    /// mode. The caller's following `evict_to_capacity` performs any
+    /// shrink this sets up.
+    pub(in crate::monitor) fn maybe_adapt(&mut self) {
+        let Some(target) = self
+            .workingset
+            .take_adaptive_target(self.lru.len(), self.lru.capacity())
+        else {
+            return;
+        };
+        let from = self.lru.capacity();
+        let wss = self.workingset.wss_estimate();
+        if target > from {
+            self.stats.adaptive_grows.inc();
+        } else {
+            self.stats.adaptive_shrinks.inc();
+        }
+        self.trace(|| format!("workingset: adaptive capacity {from} -> {target} (wss {wss})"));
+        self.lru.set_capacity(target);
     }
 
     /// Pages currently resident (the VM's footprint).
@@ -415,6 +485,9 @@ impl Monitor {
         for vpn in region.iter_pages() {
             self.lru.remove(vpn);
         }
+        // Their refaults can never happen; drop the shadow entries so
+        // the nonresident accounting stays balanced.
+        self.workingset.forget_region(region);
         let dedicated = self
             .region_partitions
             .remove(&region.start().raw())

@@ -197,6 +197,9 @@ impl Monitor {
             return SubmitOutcome::Completed(res);
         }
         self.trace(|| format!("pagetracker: {vpn} seen before -> read path"));
+        // A refault, and not a coalesced one (those returned above):
+        // measure it against the shadow table exactly once.
+        self.note_refault(vpn);
         let key = self.key(vpn);
         match self.stage_steal_check(key) {
             StealOutcome::Stolen(contents) => {

@@ -143,6 +143,9 @@ impl Monitor {
         vpn: Vpn,
         write: bool,
     ) -> FaultResolution {
+        // A seen page faulting again is a refault: measure its distance
+        // against the shadow table before any resolution work.
+        self.note_refault(vpn);
         let key = self.key(vpn);
         let steal = self.stage_steal_check(key);
         let (contents, resolution) = match steal {
@@ -312,6 +315,9 @@ impl Monitor {
         pm: &mut PhysicalMemory,
         vpn: Vpn,
     ) {
+        // Adaptive working-set sizing (off in the default passive mode):
+        // any shrink it sets up is carried out by the eviction below.
+        self.maybe_adapt();
         // A zero (or just-shrunk) quota must be honored on the read path
         // too: the refault insert may have pushed the buffer over budget
         // with no later fault guaranteed to correct it. A no-op whenever
@@ -357,6 +363,11 @@ impl Monitor {
                 Ok(contents) => {
                     if uffd.copy(pt, pm, candidate, contents).is_ok() {
                         self.lru.insert(candidate);
+                        // The page came back without a fault, so its
+                        // refault distance will never be measured; drop
+                        // any shadow entry (counted as forgotten) so the
+                        // nonresident accounting stays balanced.
+                        self.workingset.forget(candidate);
                         self.stats.prefetched_pages.inc();
                     } else {
                         // The page got mapped while the read was in

@@ -27,6 +27,15 @@ pub struct VmSignals {
     pub capacity_pages: u64,
     /// Pages waiting on the VM's asynchronous write list.
     pub pending_writes: u64,
+    /// Refaults whose shadow entry was live (distance measured).
+    pub refaults_measured: u64,
+    /// Measured refaults inside the working-set estimate — the faults
+    /// extra capacity would actually have avoided. The
+    /// refault-proportional arbiter weighs this.
+    pub thrash_refaults: u64,
+    /// The monitor's working-set-size estimate in pages (a gauge, like
+    /// residency/capacity).
+    pub wss_estimate_pages: u64,
 }
 
 impl VmSignals {
@@ -73,6 +82,13 @@ impl VmSignals {
             resident_pages: self.resident_pages,
             capacity_pages: self.capacity_pages,
             pending_writes: self.pending_writes,
+            refaults_measured: self
+                .refaults_measured
+                .saturating_sub(baseline.refaults_measured),
+            thrash_refaults: self
+                .thrash_refaults
+                .saturating_sub(baseline.thrash_refaults),
+            wss_estimate_pages: self.wss_estimate_pages,
         }
     }
 }
@@ -115,6 +131,9 @@ mod tests {
             resident_pages: 32,
             capacity_pages: 64,
             pending_writes: 3,
+            refaults_measured: 8,
+            thrash_refaults: 4,
+            wss_estimate_pages: 70,
         };
         let now = VmSignals {
             accesses: 150,
@@ -125,6 +144,9 @@ mod tests {
             resident_pages: 48,
             capacity_pages: 64,
             pending_writes: 1,
+            refaults_measured: 20,
+            thrash_refaults: 13,
+            wss_estimate_pages: 90,
         };
         let w = now.window_since(&base);
         assert_eq!(w.accesses, 50);
@@ -133,5 +155,8 @@ mod tests {
         assert_eq!(w.resident_pages, 48);
         assert_eq!(w.capacity_pages, 64);
         assert_eq!(w.pending_writes, 1);
+        assert_eq!(w.refaults_measured, 12);
+        assert_eq!(w.thrash_refaults, 9);
+        assert_eq!(w.wss_estimate_pages, 90, "gauge carried, not subtracted");
     }
 }

@@ -60,6 +60,16 @@ pub struct MonitorStats {
     /// Always zero on the call-return path, where at most one fault is
     /// outstanding.
     pub coalesced_faults: u64,
+    /// Refaults whose shadow entry was still live, yielding a measured
+    /// refault distance.
+    pub refaults_measured: u64,
+    /// Measured refaults whose distance fell within the working-set
+    /// estimate — faults a right-sized buffer would have avoided.
+    pub thrash_refaults: u64,
+    /// Adaptive-capacity grows applied by the working-set estimator.
+    pub adaptive_grows: u64,
+    /// Adaptive-capacity shrinks applied by the working-set estimator.
+    pub adaptive_shrinks: u64,
 }
 
 macro_rules! monitor_counters {
@@ -129,6 +139,10 @@ monitor_counters! {
     (write_retries, "write_retry", "Store writes retried after a retryable error."),
     (flush_failures, "flush_failure", "Flushes whose multi-write failed retryably."),
     (coalesced_faults, "coalesced_fault", "Pipelined faults coalesced onto an in-flight read."),
+    (refaults_measured, "refault_measured", "Refaults with a live shadow entry (distance measured)."),
+    (thrash_refaults, "thrash_refault", "Measured refaults inside the working-set estimate."),
+    (adaptive_grows, "adaptive_grow", "Adaptive-capacity grows applied by the estimator."),
+    (adaptive_shrinks, "adaptive_shrink", "Adaptive-capacity shrinks applied by the estimator."),
 }
 
 #[cfg(test)]

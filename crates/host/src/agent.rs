@@ -432,6 +432,7 @@ impl HostAgent {
                 let window = now.window_since(&slot.baseline);
                 VmDemand {
                     major_faults: window.major_faults,
+                    thrash_refaults: window.thrash_refaults,
                     hit_ratio: window.hit_ratio(),
                     balloon_target: slot.balloon.target(),
                     current_pages: now.capacity_pages,

@@ -8,7 +8,7 @@
 //! clock — so a host run is reproducible bit-for-bit and the planner
 //! can be unit-tested exhaustively.
 //!
-//! Three policies (the knob the paper's §VI-E "flexibility" experiments
+//! Four policies (the knob the paper's §VI-E "flexibility" experiments
 //! imply but never build):
 //!
 //! * [`ArbiterPolicy::StaticQuota`] — the baseline: an even, demand-blind
@@ -20,6 +20,12 @@
 //!   faulting below the fleet mean donate half of their surplus above
 //!   the guarantee; the pool is re-granted to above-mean VMs. Converges
 //!   toward the proportional split without large step changes.
+//! * [`ArbiterPolicy::RefaultProportional`] — like the proportional
+//!   policy, but weighted by window *thrash refaults* (refaults whose
+//!   distance fell inside the VM's working-set estimate) instead of raw
+//!   major faults. Cold misses and streaming scans fault heavily but
+//!   refault never — raw fault counts overpay them; thrash refaults are
+//!   exactly the faults more DRAM would have avoided.
 //!
 //! Balloon targets are authoritative clamps in every policy: if the
 //! operator asked a VM to shrink to `B` pages, the arbiter never grants
@@ -34,6 +40,9 @@ pub enum ArbiterPolicy {
     FaultRateProportional,
     /// Below-mean faulters donate half their surplus to above-mean ones.
     MinGuaranteeWorkStealing,
+    /// Minimum guarantee plus a pool apportioned by window thrash
+    /// refaults (working-set pressure, not raw miss volume).
+    RefaultProportional,
 }
 
 impl ArbiterPolicy {
@@ -43,14 +52,16 @@ impl ArbiterPolicy {
             ArbiterPolicy::StaticQuota => "static_quota",
             ArbiterPolicy::FaultRateProportional => "fault_rate_proportional",
             ArbiterPolicy::MinGuaranteeWorkStealing => "min_guarantee_work_stealing",
+            ArbiterPolicy::RefaultProportional => "refault_proportional",
         }
     }
 
-    /// Every policy, in label order.
-    pub const ALL: [ArbiterPolicy; 3] = [
+    /// Every policy, in declaration order.
+    pub const ALL: [ArbiterPolicy; 4] = [
         ArbiterPolicy::StaticQuota,
         ArbiterPolicy::FaultRateProportional,
         ArbiterPolicy::MinGuaranteeWorkStealing,
+        ArbiterPolicy::RefaultProportional,
     ];
 }
 
@@ -59,6 +70,10 @@ impl ArbiterPolicy {
 pub struct VmDemand {
     /// Major faults in the window — the pressure capacity relieves.
     pub major_faults: u64,
+    /// Thrash refaults in the window — refaults whose distance fell
+    /// inside the VM's working-set estimate, i.e. the faults more DRAM
+    /// would actually have avoided. Weighs `RefaultProportional`.
+    pub thrash_refaults: u64,
     /// Hit ratio over the window (`1.0` when idle).
     pub hit_ratio: f64,
     /// Operator-requested footprint ceiling, if any.
@@ -142,11 +157,17 @@ pub fn plan(config: &ArbiterConfig, demands: &[VmDemand]) -> ArbiterPlan {
     }
     let total = config.total_pages;
     let min = config.min_pages.min(total / n as u64);
-    let weights: Vec<u64> = demands.iter().map(|d| d.major_faults).collect();
+    // The demand signal the policy weighs — raw major faults, or (for
+    // the refault policy) only the faults extra capacity would have
+    // avoided. The balloon re-offer below reuses the same weights.
+    let weights: Vec<u64> = match config.policy {
+        ArbiterPolicy::RefaultProportional => demands.iter().map(|d| d.thrash_refaults).collect(),
+        _ => demands.iter().map(|d| d.major_faults).collect(),
+    };
 
     let mut capacities: Vec<u64> = match config.policy {
         ArbiterPolicy::StaticQuota => apportion(total, &vec![1; n]),
-        ArbiterPolicy::FaultRateProportional => {
+        ArbiterPolicy::FaultRateProportional | ArbiterPolicy::RefaultProportional => {
             let guaranteed = min * n as u64;
             let pool = total - guaranteed;
             apportion(pool, &weights)
@@ -234,6 +255,7 @@ mod tests {
     fn demand(major_faults: u64, current: u64) -> VmDemand {
         VmDemand {
             major_faults,
+            thrash_refaults: 0,
             hit_ratio: 0.9,
             balloon_target: None,
             current_pages: current,
@@ -366,6 +388,45 @@ mod tests {
         };
         let p = plan(&cfg, &[demand(0, 150), demand(0, 150)]);
         assert_eq!(p.capacities, vec![150, 150], "no faults, no movement");
+    }
+
+    #[test]
+    fn refault_proportional_ignores_cold_miss_volume() {
+        let cfg = ArbiterConfig {
+            total_pages: 400,
+            min_pages: 40,
+            policy: ArbiterPolicy::RefaultProportional,
+        };
+        // VM 0 streams: a flood of major faults but zero refaults. VM 1
+        // thrashes a too-small working set: fewer faults, all thrash.
+        let mut streamer = demand(5_000, 100);
+        streamer.thrash_refaults = 0;
+        let mut thrasher = demand(600, 100);
+        thrasher.thrash_refaults = 550;
+        let p = plan(&cfg, &[streamer, thrasher]);
+        assert_eq!(p.granted(), 400);
+        assert_eq!(p.capacities[0], 40, "streamer holds only the guarantee");
+        assert_eq!(p.capacities[1], 360, "thrasher takes the whole pool");
+
+        // Fault-rate-proportional gets this backwards — the contrast the
+        // policy exists for.
+        let cfg_faults = ArbiterConfig {
+            policy: ArbiterPolicy::FaultRateProportional,
+            ..cfg
+        };
+        let p = plan(&cfg_faults, &[streamer, thrasher]);
+        assert!(p.capacities[0] > p.capacities[1], "{:?}", p.capacities);
+    }
+
+    #[test]
+    fn refault_proportional_with_no_refaults_splits_evenly() {
+        let cfg = ArbiterConfig {
+            total_pages: 120,
+            min_pages: 10,
+            policy: ArbiterPolicy::RefaultProportional,
+        };
+        let p = plan(&cfg, &[demand(500, 40), demand(0, 40), demand(9, 40)]);
+        assert_eq!(p.capacities, vec![40, 40, 40]);
     }
 
     #[test]

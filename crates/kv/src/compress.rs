@@ -16,8 +16,14 @@ use crate::stats::StoreStats;
 use crate::store::KeyValueStore;
 use fluidmem_telemetry::Registry;
 
-/// Magic byte tagging an RLE-compressed page.
+/// Frame tag of an RLE-compressed page.
 const RLE_MAGIC: u8 = 0xC7;
+
+/// Frame tag of a page stored raw because compression would not shrink
+/// it. Every byte payload leaving [`CompressedStore`] carries exactly
+/// one of the two tags, so decoding never has to guess from the page's
+/// own first byte (which can legally be `0xC7`).
+const RAW_MAGIC: u8 = 0xC8;
 
 /// Run-length encodes a 4 KB page. Returns `None` when compression would
 /// not shrink the page (incompressible data is stored raw, as real
@@ -42,22 +48,29 @@ pub fn rle_compress(page: &[u8]) -> Option<Vec<u8>> {
     Some(out)
 }
 
-/// Inverts [`rle_compress`].
-///
-/// # Panics
-///
-/// Panics if the buffer is not a valid RLE page (corruption).
-pub fn rle_decompress(data: &[u8]) -> Vec<u8> {
-    assert_eq!(data.first(), Some(&RLE_MAGIC), "not an RLE page");
+/// Inverts [`rle_compress`]. Returns [`KvError::Corruption`] instead of
+/// panicking when the buffer is damaged: a missing tag, a dangling
+/// half-pair (odd payload length), or a zero-length run (which the
+/// compressor never emits).
+pub fn rle_decompress(data: &[u8]) -> Result<Vec<u8>, KvError> {
+    if data.first() != Some(&RLE_MAGIC) {
+        return Err(KvError::Corruption("RLE frame tag missing"));
+    }
+    if data.len() % 2 != 1 {
+        return Err(KvError::Corruption("truncated RLE pair"));
+    }
     let mut out = Vec::with_capacity(PAGE_SIZE);
     let mut i = 1;
-    while i + 1 < data.len() + 1 && i < data.len() {
+    while i + 1 < data.len() {
         let run = data[i] as usize;
+        if run == 0 {
+            return Err(KvError::Corruption("zero-length RLE run"));
+        }
         let byte = data[i + 1];
         out.extend(std::iter::repeat_n(byte, run));
         i += 2;
     }
-    out
+    Ok(out)
 }
 
 fn compress_contents(contents: &PageContents) -> (PageContents, bool) {
@@ -65,19 +78,42 @@ fn compress_contents(contents: &PageContents) -> (PageContents, bool) {
         // Zero pages and token stand-ins are already minimal.
         PageContents::Zero => (PageContents::Zero, true),
         PageContents::Token(t) => (PageContents::Token(*t), false),
-        PageContents::Bytes(b) => match rle_compress(b) {
-            Some(c) => (PageContents::Bytes(c.into_boxed_slice()), true),
-            None => (PageContents::Bytes(b.clone()), false),
-        },
+        PageContents::Bytes(b) => {
+            // Only full pages go through RLE: the decoder validates the
+            // decoded length against `PAGE_SIZE`, so odd-sized payloads
+            // must take the length-preserving raw frame.
+            let compressed = if b.len() == PAGE_SIZE {
+                rle_compress(b)
+            } else {
+                None
+            };
+            match compressed {
+                Some(c) => (PageContents::Bytes(c.into_boxed_slice()), true),
+                None => {
+                    let mut framed = Vec::with_capacity(b.len() + 1);
+                    framed.push(RAW_MAGIC);
+                    framed.extend_from_slice(b);
+                    (PageContents::Bytes(framed.into_boxed_slice()), false)
+                }
+            }
+        }
     }
 }
 
-fn decompress_contents(contents: PageContents) -> PageContents {
+fn decompress_contents(contents: PageContents) -> Result<PageContents, KvError> {
     match contents {
-        PageContents::Bytes(b) if b.first() == Some(&RLE_MAGIC) => {
-            PageContents::from_bytes(&rle_decompress(&b))
-        }
-        other => other,
+        PageContents::Bytes(b) => match b.first() {
+            Some(&RLE_MAGIC) => {
+                let decoded = rle_decompress(&b)?;
+                if decoded.len() != PAGE_SIZE {
+                    return Err(KvError::Corruption("RLE page decoded to a non-page length"));
+                }
+                Ok(PageContents::Bytes(decoded.into_boxed_slice()))
+            }
+            Some(&RAW_MAGIC) => Ok(PageContents::Bytes(b[1..].to_vec().into_boxed_slice())),
+            _ => Err(KvError::Corruption("unknown page frame tag")),
+        },
+        other => Ok(other),
     }
 }
 
@@ -148,7 +184,7 @@ impl CompressedStore {
         out
     }
 
-    fn decompress(&mut self, contents: PageContents) -> PageContents {
+    fn decompress(&mut self, contents: PageContents) -> Result<PageContents, KvError> {
         let cost = self.decompress_cost.sample(&mut self.rng);
         self.clock.advance(cost);
         decompress_contents(contents)
@@ -175,7 +211,7 @@ impl KeyValueStore for CompressedStore {
 
     fn finish_get(&mut self, pending: PendingGet) -> Result<PageContents, KvError> {
         let raw = self.inner.finish_get(pending)?;
-        Ok(self.decompress(raw))
+        self.decompress(raw)
     }
 
     fn begin_multi_write(
@@ -249,7 +285,7 @@ mod tests {
             "4096 identical bytes pack tiny, got {}",
             c.len()
         );
-        assert_eq!(rle_decompress(&c), page);
+        assert_eq!(rle_decompress(&c).unwrap(), page);
     }
 
     #[test]
@@ -259,7 +295,7 @@ mod tests {
             page[i * 64] = i as u8;
         }
         let c = rle_compress(&page).expect("sparse page compresses");
-        assert_eq!(rle_decompress(&c), page);
+        assert_eq!(rle_decompress(&c).unwrap(), page);
     }
 
     #[test]
@@ -319,5 +355,147 @@ mod tests {
         s.multi_write(batch).unwrap();
         assert_eq!(s.pages_compressed(), 8);
         assert_eq!(s.get(key(3)).unwrap(), PageContents::from_byte_fill(3));
+    }
+
+    /// An incompressible page whose first byte equals the RLE magic used
+    /// to be "decompressed" into garbage on the way back.
+    #[test]
+    fn leading_magic_byte_round_trips_exactly() {
+        let mut page = noise_page(7);
+        page[0] = 0xC7;
+        assert!(rle_compress(&page).is_none(), "noise must not 'compress'");
+        let mut s = store();
+        s.put(key(1), PageContents::from_bytes(&page)).unwrap();
+        assert_eq!(s.get(key(1)).unwrap(), PageContents::from_bytes(&page));
+    }
+
+    #[test]
+    fn every_leading_byte_round_trips() {
+        for lead in 0..=255u8 {
+            let mut page = noise_page(u64::from(lead) + 1);
+            page[0] = lead;
+            let mut s = store();
+            s.put(key(1), PageContents::from_bytes(&page)).unwrap();
+            assert_eq!(
+                s.get(key(1)).unwrap(),
+                PageContents::from_bytes(&page),
+                "leading byte {lead:#04x} corrupted the round trip"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_rle_buffer_is_an_error_not_a_panic() {
+        // Dangling half-pair: a run byte with no value byte.
+        assert!(matches!(
+            rle_decompress(&[RLE_MAGIC, 5]),
+            Err(KvError::Corruption(_))
+        ));
+        assert!(matches!(
+            rle_decompress(&[RLE_MAGIC, 16, 7, 3]),
+            Err(KvError::Corruption(_))
+        ));
+        assert!(matches!(rle_decompress(&[]), Err(KvError::Corruption(_))));
+        assert!(matches!(
+            rle_decompress(&[0x00, 1, 2]),
+            Err(KvError::Corruption(_))
+        ));
+    }
+
+    /// Damaged bytes in the backing store surface as a `KvError` through
+    /// `CompressedStore::get`, never as a panic.
+    #[test]
+    fn corrupted_store_value_surfaces_kv_error() {
+        let clock = SimClock::new();
+        let mut inner = DramStore::new(1 << 24, clock.clone(), SimRng::seed_from_u64(1));
+        // Truncated RLE frame, an untagged payload, and a short decode.
+        inner
+            .put(key(1), PageContents::Bytes(vec![RLE_MAGIC, 9].into()))
+            .unwrap();
+        inner
+            .put(key(2), PageContents::Bytes(vec![0x01, 0x02, 0x03].into()))
+            .unwrap();
+        inner
+            .put(key(3), PageContents::Bytes(vec![RLE_MAGIC, 4, 7].into()))
+            .unwrap();
+        let mut s = CompressedStore::new(Box::new(inner), clock, SimRng::seed_from_u64(2));
+        for k in [key(1), key(2), key(3)] {
+            match s.get(k) {
+                Err(KvError::Corruption(_)) => {}
+                other => panic!("expected corruption error for {k}, got {other:?}"),
+            }
+        }
+    }
+
+    /// Deterministic LCG noise, incompressible by construction.
+    fn noise_page(seed: u64) -> Vec<u8> {
+        let mut page = Vec::with_capacity(PAGE_SIZE);
+        let mut x = seed.wrapping_mul(2862933555777941757).wrapping_add(1) | 1;
+        for _ in 0..PAGE_SIZE {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            page.push((x >> 56) as u8);
+        }
+        page
+    }
+
+    /// Adversarial pages — all-magic, leading-magic noise, pure noise,
+    /// and run-structured — must round-trip exactly through the store.
+    #[test]
+    fn prop_adversarial_pages_round_trip() {
+        fluidmem_sim::prop::forall("compressed-store-round-trip", 128, |rng| {
+            let mut page = match rng.gen_index(4) {
+                // Entirely the RLE magic byte: highly compressible.
+                0 => vec![RLE_MAGIC; PAGE_SIZE],
+                // Incompressible noise with an adversarial first byte.
+                1 => {
+                    let mut p = noise_page(rng.gen_u64());
+                    p[0] = if rng.gen_bool(0.5) {
+                        RLE_MAGIC
+                    } else {
+                        RAW_MAGIC
+                    };
+                    p
+                }
+                // Plain incompressible noise.
+                2 => noise_page(rng.gen_u64()),
+                // Run-structured: long runs of random bytes (compressible).
+                _ => {
+                    let mut p = Vec::with_capacity(PAGE_SIZE);
+                    while p.len() < PAGE_SIZE {
+                        let byte = (rng.gen_u64() >> 32) as u8;
+                        let run = rng.gen_range(32, 512) as usize;
+                        p.extend(std::iter::repeat_n(byte, run.min(PAGE_SIZE - p.len())));
+                    }
+                    p
+                }
+            };
+            // Occasionally plant the magic at the front regardless.
+            if rng.gen_bool(0.25) {
+                page[0] = RLE_MAGIC;
+            }
+            let mut s = store();
+            let contents = PageContents::from_bytes(&page);
+            s.put(key(1), contents.clone()).unwrap();
+            assert_eq!(s.get(key(1)).unwrap(), contents);
+        });
+    }
+
+    /// Truncating a valid compressed frame anywhere must yield an error
+    /// or a different page — never a silently-wrong success.
+    #[test]
+    fn prop_truncated_frames_never_decode_silently() {
+        fluidmem_sim::prop::forall("truncated-frame-detection", 64, |rng| {
+            let fill = (rng.gen_u64() >> 40) as u8;
+            let page = vec![fill; PAGE_SIZE];
+            let c = rle_compress(&page).expect("uniform page compresses");
+            let cut = rng.gen_range(0, c.len() as u64) as usize;
+            match decompress_contents(PageContents::Bytes(c[..cut].to_vec().into())) {
+                Err(KvError::Corruption(_)) => {}
+                Ok(decoded) => panic!("truncation at {cut} decoded silently: {decoded:?}"),
+                Err(e) => panic!("unexpected error kind: {e}"),
+            }
+        });
     }
 }

@@ -22,6 +22,11 @@ pub enum KvError {
     /// The server refused the request quickly (transient overload,
     /// replica mid-recovery). The operation was *not* applied.
     Unavailable,
+    /// The stored bytes are not a valid framed page (bad frame tag,
+    /// truncated run-length pairs, wrong decoded length). The data is
+    /// damaged in place — retrying would read the same bytes — so this
+    /// is fatal, like [`KvError::NotFound`].
+    Corruption(&'static str),
 }
 
 impl KvError {
@@ -43,6 +48,7 @@ impl fmt::Display for KvError {
             KvError::OutOfCapacity => write!(f, "store capacity exhausted"),
             KvError::Timeout => write!(f, "operation deadline expired"),
             KvError::Unavailable => write!(f, "store transiently unavailable"),
+            KvError::Corruption(detail) => write!(f, "page data corrupted: {detail}"),
         }
     }
 }
@@ -68,5 +74,6 @@ mod tests {
         assert!(KvError::Unavailable.is_retryable());
         assert!(!KvError::NotFound(k).is_retryable());
         assert!(!KvError::OutOfCapacity.is_retryable());
+        assert!(!KvError::Corruption("bad frame").is_retryable());
     }
 }

@@ -60,6 +60,17 @@ pub const CODEPATH_LATENCY_US: &str = "fluidmem_codepath_latency_us";
 /// [`LABEL_RESOLUTION`]).
 pub const FAULT_LATENCY_US: &str = "fluidmem_fault_latency_us";
 
+/// Refault-distance histogram: evictions that elapsed between a page
+/// leaving the LRU and faulting back in (shadow-entry tracking). The
+/// distance is a page count, recorded via
+/// [`Histogram::observe_value`](crate::Histogram::observe_value) — the
+/// bucket bounds read as plain counts, not nanoseconds.
+pub const REFAULT_DISTANCE_PAGES: &str = "fluidmem_refault_distance_pages";
+
+/// The monitor's estimated working-set size in pages (gauge), derived
+/// from refault distances.
+pub const WSS_ESTIMATE_PAGES: &str = "fluidmem_wss_estimate_pages";
+
 /// Label key for event-style counters.
 pub const LABEL_EVENT: &str = "event";
 /// Label key naming a key-value store backend.

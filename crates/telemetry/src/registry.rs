@@ -142,6 +142,17 @@ impl Histogram {
         c.buckets[b] += 1;
     }
 
+    /// Records one unit-less observation (a page count, a queue depth).
+    ///
+    /// The value lands in the same log-bucketed scheme as latencies, one
+    /// unit per nanosecond slot, so the bucket bounds read as plain
+    /// counts. Metrics recorded this way must say so in their name/docs
+    /// (e.g. [`crate::consts::REFAULT_DISTANCE_PAGES`]); mixing units in
+    /// one histogram would make its summary meaningless.
+    pub fn observe_value(&self, v: u64) {
+        self.observe(SimDuration::from_nanos(v));
+    }
+
     /// A point-in-time copy of the histogram's statistics.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let c = self.0.lock().expect("histogram lock");

@@ -65,4 +65,26 @@ grep -q '"depth":16' "$pipe_json_a" || {
 }
 rm -f "$pipe_out_a" "$pipe_out_b" "$pipe_json_a" "$pipe_json_b"
 
+echo "==> workingset smoke: WSS sweep (twice, stdout + JSON must be byte-identical)"
+ws_out_a="$(mktemp)"
+ws_out_b="$(mktemp)"
+ws_json_a="$(mktemp)"
+ws_json_b="$(mktemp)"
+cargo run -q --release -p fluidmem-bench --bin workingset -- --smoke --json "$ws_json_a" > "$ws_out_a"
+cargo run -q --release -p fluidmem-bench --bin workingset -- --smoke --json "$ws_json_b" > "$ws_out_b"
+test -s "$ws_json_a" || { echo "workingset smoke: empty JSON output" >&2; exit 1; }
+cmp "$ws_out_a" "$ws_out_b" || {
+    echo "workingset smoke: stdout not deterministic" >&2
+    exit 1
+}
+cmp "$ws_json_a" "$ws_json_b" || {
+    echo "workingset smoke: JSON output not deterministic" >&2
+    exit 1
+}
+grep -q '"bench":"workingset"' "$ws_json_a" || {
+    echo "workingset smoke: sweep records missing" >&2
+    exit 1
+}
+rm -f "$ws_out_a" "$ws_out_b" "$ws_json_a" "$ws_json_b"
+
 echo "==> all checks passed"

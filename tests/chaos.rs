@@ -300,6 +300,94 @@ fn multi_vm_chaos_is_isolated_and_deterministic() {
     }
 }
 
+/// Shadow-entry accounting under chaos: evictions whose store writes
+/// fail and retry (or whose flushed batches are requeued) must neither
+/// leak nor double-count nonresident entries. Every recorded eviction
+/// is exactly one of: still shadowed, consumed by a measured refault,
+/// dropped on table overflow, or explicitly forgotten — and the shadow
+/// table never tracks a page that is actually resident.
+#[test]
+fn shadow_accounting_survives_chaotic_retries() {
+    use fluidmem::core::{PrefetchPolicy, WorkingSetConfig};
+
+    // Sync writes (retries inline on the eviction path), async writes
+    // (flush failures requeue whole batches), and async + prefetch
+    // (pages return without a fault and must be forgotten). A tiny
+    // shadow bound forces overflow drops on top of the retry traffic.
+    let variants: [(&str, Optimizations, PrefetchPolicy, usize); 3] = [
+        ("sync", Optimizations::none(), PrefetchPolicy::None, 1 << 16),
+        ("async", Optimizations::full(), PrefetchPolicy::None, 24),
+        (
+            "async+prefetch",
+            Optimizations::full(),
+            PrefetchPolicy::Sequential { window: 2 },
+            1 << 16,
+        ),
+    ];
+    let mut any_refaults = 0u64;
+    for &seed in &SEEDS {
+        for (label, opts, prefetch, shadow_capacity) in &variants {
+            let clock = SimClock::new();
+            let inner = RamCloudStore::new(1 << 26, clock.clone(), SimRng::seed_from_u64(seed));
+            let store =
+                FaultInjectingStore::new(Box::new(inner), chaotic_plan(seed), clock.clone());
+            let mut backend = FluidMemMemory::new(
+                MonitorConfig::new(16)
+                    .optimizations(*opts)
+                    .prefetch(*prefetch)
+                    .workingset(WorkingSetConfig::default().shadow_capacity(*shadow_capacity)),
+                Box::new(store),
+                PartitionId::new(0),
+                clock,
+                SimRng::seed_from_u64(seed + 1),
+            );
+            let mut rng = SimRng::seed_from_u64(seed ^ 0x5EED);
+            let ops = gen_ops(&mut rng, 96, 600);
+            run_against_model(&mut backend, 96, &ops);
+            backend.drain_writes();
+
+            let stats = backend.monitor().stats();
+            let ws = backend.monitor().workingset();
+            assert!(
+                ws.accounting_balances(),
+                "seed {seed} ({label}): {} evictions != {} shadowed + {} refaulted \
+                 + {} overflowed + {} forgotten",
+                ws.evictions_recorded(),
+                ws.shadow_len(),
+                ws.refaults_measured(),
+                ws.overflow_drops(),
+                ws.forgotten()
+            );
+            assert_eq!(
+                ws.evictions_recorded(),
+                stats.evictions,
+                "seed {seed} ({label}): every eviction leaves exactly one shadow entry"
+            );
+            assert!(
+                ws.shadow_len() <= *shadow_capacity,
+                "seed {seed} ({label}): shadow table over its bound"
+            );
+            for vpn in ws.shadow_pages() {
+                assert!(
+                    !backend.monitor().is_resident(vpn),
+                    "seed {seed} ({label}): {vpn} is resident yet still shadowed"
+                );
+            }
+            if *shadow_capacity < 1 << 16 {
+                assert!(
+                    ws.overflow_drops() > 0,
+                    "seed {seed} ({label}): the tiny table must overflow"
+                );
+            }
+            any_refaults += ws.refaults_measured();
+        }
+    }
+    assert!(
+        any_refaults > 0,
+        "a 16-page buffer over 96 hot pages must measure refaults"
+    );
+}
+
 /// A replicated store whose primary suffers chaos: reads fail over to
 /// the healthy mirror and nothing is lost.
 #[test]
