@@ -31,7 +31,7 @@ use std::path::PathBuf;
 use fluidmem_bench::json::{write_json_line, Json};
 use fluidmem_bench::{banner, f2, TextTable};
 use fluidmem_coord::PartitionId;
-use fluidmem_core::{FluidMemMemory, MonitorConfig};
+use fluidmem_core::{FluidMemMemory, MonitorConfig, ReclaimConfig};
 use fluidmem_kv::RamCloudStore;
 use fluidmem_sim::{SimClock, SimRng};
 use fluidmem_vm::VcpuSet;
@@ -185,5 +185,85 @@ fn main() {
     println!(
         "\nDepth 1 is the call-return path; deeper rows overlap store round\n\
          trips (and coalesce duplicate fetches) on the event queue."
+    );
+
+    reclaim_sweep(&args, &sizes);
+}
+
+/// The background-reclaim sweep: the same harness per depth, inline
+/// eviction vs the watermark-driven background evictor. Inline eviction
+/// serializes `UFFD_REMAP` + write-list staging onto the monitor's
+/// timeline between faults; the background evictor does that work on
+/// its own virtual thread while vCPUs are suspended in read flights, so
+/// at depth ≥ 4 the fault-latency tail must come down.
+fn reclaim_sweep(args: &Args, sizes: &Sizes) {
+    banner(
+        "pipeline — background reclaim vs inline eviction",
+        "same fleet and seed per depth; kswapd-style watermark evictor on/off is the only variable",
+    );
+
+    let run = |depth: usize, reclaim: bool| {
+        let clock = SimClock::new();
+        let store = RamCloudStore::new(1 << 30, clock.clone(), SimRng::seed_from_u64(args.seed));
+        let mut config = MonitorConfig::new(sizes.capacity).inflight(depth);
+        if reclaim {
+            config = config.reclaim(ReclaimConfig::kswapd());
+        }
+        let vm = FluidMemMemory::new(
+            config,
+            Box::new(store),
+            PartitionId::new(0),
+            clock,
+            SimRng::seed_from_u64(args.seed ^ 0x9E37_79B9),
+        );
+        let mut set = VcpuSet::new(vm, sizes.vcpus, sizes.wss_pages).workload_seed(args.seed);
+        set.run(sizes.warmup_ops);
+        let mut stats = set.run(sizes.measured_ops);
+        set.vm_mut().drain_writes();
+        let p99 = stats.fault_latency.percentile(0.99);
+        let signals = set.vm().signals();
+        (p99, signals)
+    };
+
+    let mut table = TextTable::new(vec![
+        "depth",
+        "inline p99 µs",
+        "reclaim p99 µs",
+        "bg reclaims",
+        "direct",
+        "tail win",
+    ]);
+    for depth in [1usize, 4, 8, 16] {
+        let (inline_p99, _) = run(depth, false);
+        let (reclaim_p99, signals) = run(depth, true);
+        let tail_win = reclaim_p99 < inline_p99;
+        table.row(vec![
+            depth.to_string(),
+            f2(inline_p99),
+            f2(reclaim_p99),
+            signals.background_reclaims.to_string(),
+            signals.direct_reclaims.to_string(),
+            if tail_win { "yes" } else { "no" }.to_string(),
+        ]);
+        emit(
+            args,
+            &Json::object()
+                .field("bench", "pipeline_reclaim")
+                .field("seed", args.seed as i64)
+                .field("depth", depth as i64)
+                .field("inline_p99_us", inline_p99)
+                .field("reclaim_p99_us", reclaim_p99)
+                .field("background_reclaims", signals.background_reclaims as i64)
+                .field("direct_reclaims", signals.direct_reclaims as i64)
+                .field("tail_win", tail_win),
+        );
+    }
+    table.print();
+    println!(
+        "\nThe evictor wakes below {}% free headroom and reclaims to {}%\n\
+         on its own timeline; `direct` counts pages a fault still had to\n\
+         evict inline (the evictor fell behind).",
+        ReclaimConfig::kswapd().watermark_low * 100.0,
+        ReclaimConfig::kswapd().watermark_high * 100.0,
     );
 }

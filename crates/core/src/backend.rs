@@ -159,6 +159,8 @@ impl FluidMemMemory {
             refaults_measured: stats.refaults_measured,
             thrash_refaults: stats.thrash_refaults,
             wss_estimate_pages: self.monitor.wss_estimate_pages(),
+            background_reclaims: stats.background_reclaims,
+            direct_reclaims: stats.direct_reclaims,
         }
     }
 

@@ -82,6 +82,115 @@ pub enum PrefetchPolicy {
     },
 }
 
+/// Watermark-driven background reclaim: the monitor's kswapd.
+///
+/// When enabled, a background evictor watches the LRU's free headroom
+/// (`capacity − resident`). It wakes when headroom drops below the low
+/// watermark and evicts in batches — on its own virtual timeline, off
+/// the fault critical path — until headroom reaches the high watermark,
+/// mirroring `fluidmem-swap`'s `kswapd()`. An arriving fault only falls
+/// back to inline "direct reclaim" (`evict_while_full`, the analogue of
+/// `SwapBackend::ensure_frames`) when the evictor has fallen behind.
+///
+/// Off by default, and a no-op without
+/// [`Optimizations::async_write`] (background batches stage onto the
+/// write list): the default configuration is bit-for-bit identical to a
+/// monitor without the feature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReclaimConfig {
+    /// Master switch. Off by default: eviction stays inline on the
+    /// fault path.
+    pub enabled: bool,
+    /// The evictor wakes when free headroom drops below this fraction
+    /// of the LRU capacity.
+    pub watermark_low: f64,
+    /// Once awake, the evictor reclaims until headroom reaches this
+    /// fraction.
+    pub watermark_high: f64,
+    /// Maximum pages evicted per activation; each batch stages onto the
+    /// write list in one pass and flushes through `begin_multi_write`.
+    pub batch: usize,
+}
+
+impl ReclaimConfig {
+    /// Background reclaim off (the default).
+    pub fn disabled() -> Self {
+        ReclaimConfig {
+            enabled: false,
+            ..Self::kswapd()
+        }
+    }
+
+    /// Background reclaim on with kswapd-shaped defaults: wake below 4%
+    /// headroom, reclaim to 8%, 32 pages per batch.
+    pub fn kswapd() -> Self {
+        ReclaimConfig {
+            enabled: true,
+            watermark_low: 0.04,
+            watermark_high: 0.08,
+            batch: 32,
+        }
+    }
+
+    /// Background reclaim on with explicit watermark fractions.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < low < high <= 1`.
+    pub fn watermarks(low: f64, high: f64) -> Self {
+        let config = ReclaimConfig {
+            watermark_low: low,
+            watermark_high: high,
+            ..Self::kswapd()
+        };
+        config.validate();
+        config
+    }
+
+    /// The low watermark in pages for a given capacity: rounded up and
+    /// floored at 1, so small buffers still wake the evictor (the same
+    /// truncation bug `SwapConfig`'s watermarks had).
+    pub fn low_pages(&self, capacity: u64) -> u64 {
+        ((capacity as f64 * self.watermark_low).ceil() as u64).max(1)
+    }
+
+    /// The high watermark in pages: strictly above the low watermark so
+    /// every wakeup makes progress.
+    pub fn high_pages(&self, capacity: u64) -> u64 {
+        ((capacity as f64 * self.watermark_high).ceil() as u64).max(self.low_pages(capacity) + 1)
+    }
+
+    /// Checks the watermark fractions are ordered and sane.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < watermark_low < watermark_high <= 1`.
+    pub fn validate(&self) {
+        assert!(
+            self.watermark_low > 0.0,
+            "watermark_low must be positive (got {})",
+            self.watermark_low
+        );
+        assert!(
+            self.watermark_high > self.watermark_low,
+            "watermark_high ({}) must exceed watermark_low ({})",
+            self.watermark_high,
+            self.watermark_low
+        );
+        assert!(
+            self.watermark_high <= 1.0,
+            "watermark_high must be at most 1.0 (got {})",
+            self.watermark_high
+        );
+    }
+}
+
+impl Default for ReclaimConfig {
+    fn default() -> Self {
+        ReclaimConfig::disabled()
+    }
+}
+
 /// LRU-ordering policy for the monitor's buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LruPolicy {
@@ -205,6 +314,9 @@ pub struct MonitorConfig {
     /// only the observability surface (the default, passive mode —
     /// bit-for-bit identical monitor behavior).
     pub workingset: WorkingSetConfig,
+    /// Watermark-driven background reclaim (off by default; requires
+    /// [`Optimizations::async_write`] to take effect).
+    pub reclaim: ReclaimConfig,
 }
 
 impl MonitorConfig {
@@ -224,6 +336,7 @@ impl MonitorConfig {
             retry: RetryPolicy::default_remote(),
             max_inflight: 1,
             workingset: WorkingSetConfig::default(),
+            reclaim: ReclaimConfig::default(),
         }
     }
 
@@ -282,6 +395,19 @@ impl MonitorConfig {
         self.workingset = ws;
         self
     }
+
+    /// Sets the background-reclaim config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is enabled with unordered watermark fractions.
+    pub fn reclaim(mut self, cfg: ReclaimConfig) -> Self {
+        if cfg.enabled {
+            cfg.validate();
+        }
+        self.reclaim = cfg;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -320,6 +446,32 @@ mod tests {
         assert_eq!(c.write_batch_size, 1, "batch clamps to 1");
         assert_eq!(c.eviction, EvictionMechanism::Copy);
         assert!(!c.from_vm);
+    }
+
+    #[test]
+    fn reclaim_defaults_off_and_watermarks_never_truncate() {
+        let c = MonitorConfig::new(256);
+        assert!(!c.reclaim.enabled, "reclaim must default off");
+
+        let r = ReclaimConfig::kswapd();
+        // 16 × 0.04 = 0.64: truncation would give 0 and the evictor
+        // would never wake at small capacities.
+        assert_eq!(r.low_pages(16), 1);
+        assert!(r.high_pages(16) > r.low_pages(16));
+        assert_eq!(r.low_pages(256), 11); // ceil(10.24)
+        assert_eq!(r.high_pages(256), 21); // ceil(20.48)
+    }
+
+    #[test]
+    #[should_panic(expected = "watermark_high")]
+    fn reclaim_builder_rejects_inverted_watermarks() {
+        let bad = ReclaimConfig {
+            enabled: true,
+            watermark_low: 0.5,
+            watermark_high: 0.5,
+            batch: 32,
+        };
+        let _ = MonitorConfig::new(256).reclaim(bad);
     }
 
     #[test]

@@ -48,6 +48,7 @@ mod write_list;
 pub use backend::{FluidMemMemory, MigrationImage, PipelineSubmit};
 pub use config::{
     EvictionMechanism, LruPolicy, MonitorConfig, MonitorCosts, Optimizations, PrefetchPolicy,
+    ReclaimConfig,
 };
 pub use hypervisor::{FluidMemHypervisor, SharedVm, VmHandle};
 pub use lru_buffer::LruBuffer;

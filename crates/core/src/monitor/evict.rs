@@ -31,9 +31,15 @@ impl Monitor {
         pt: &mut PageTable,
         pm: &mut PhysicalMemory,
     ) {
+        // Background-first: give the watermark evictor a chance to have
+        // made (or make) room, so the inline loop below is a fallback.
+        self.maybe_background_reclaim(uffd, pt, pm);
         while self.lru.len() >= self.lru.capacity() {
             if !self.evict_one(uffd, pt, pm) {
                 break;
+            }
+            if self.reclaim_active() {
+                self.stats.direct_reclaims.inc();
             }
         }
     }
@@ -46,11 +52,28 @@ impl Monitor {
         pt: &mut PageTable,
         pm: &mut PhysicalMemory,
     ) {
+        self.maybe_background_reclaim(uffd, pt, pm);
         while self.lru.over_capacity() {
             if !self.evict_one(uffd, pt, pm) {
                 break;
             }
+            if self.reclaim_active() {
+                self.stats.direct_reclaims.inc();
+            }
         }
+    }
+
+    /// Pops the eviction victim and performs the bookkeeping that must
+    /// happen exactly once per eviction, shared by the inline and
+    /// background evictors.
+    pub(in crate::monitor) fn pop_victim_for_eviction(&mut self) -> Option<fluidmem_mem::Vpn> {
+        let victim = self.lru.pop_victim()?;
+        // Shadow entry at pop time, exactly once per eviction: the
+        // store write may fail and retry (or the flushed batch may
+        // be requeued), but the page leaves the LRU exactly here.
+        self.workingset.record_eviction(victim);
+        self.trace(|| format!("evicting {victim} from the top of the LRU via UFFD_REMAP"));
+        Some(victim)
     }
 
     /// Evicts one page from the top of the LRU. Returns `false` if the
@@ -61,14 +84,9 @@ impl Monitor {
         pt: &mut PageTable,
         pm: &mut PhysicalMemory,
     ) -> bool {
-        let Some(victim) = self.lru.pop_victim() else {
+        let Some(victim) = self.pop_victim_for_eviction() else {
             return false;
         };
-        // Shadow entry at pop time, exactly once per eviction: the
-        // store write below may fail and retry (or the flushed batch may
-        // be requeued), but the page leaves the LRU exactly here.
-        self.workingset.record_eviction(victim);
-        self.trace(|| format!("evicting {victim} from the top of the LRU via UFFD_REMAP"));
         let key = self.key(victim);
 
         let t0 = self.clock.now();
@@ -166,13 +184,13 @@ impl Monitor {
                 // flush opportunity retries it. Page writes are
                 // idempotent, so a timed-out-but-applied batch re-flushing
                 // is harmless. No data is lost either way: the freshest
-                // copy stays local and stealable.
+                // copy stays local and stealable — `requeue` skips any key
+                // re-evicted with newer contents in the meantime rather
+                // than clobbering it with the stale batch copy.
                 self.stats.flush_failures.inc();
                 self.trace(|| format!("flusher: multi-write failed ({e}); batch requeued"));
                 let now = self.clock.now();
-                for (key, contents) in retained {
-                    self.write_list.push(key, contents, now);
-                }
+                self.write_list.requeue(retained, now);
             }
             Err(e) => panic!("store failure on flush: {e}"),
         }

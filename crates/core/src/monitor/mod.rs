@@ -22,6 +22,7 @@
 
 mod evict;
 mod pipeline;
+mod reclaim;
 mod stages;
 #[cfg(test)]
 mod tests;
@@ -130,6 +131,8 @@ pub struct Monitor {
     region_partitions: std::collections::BTreeMap<u64, (Region, PartitionId)>,
     /// In-flight operation table for the pipelined entry points.
     pub(in crate::monitor) inflight: InflightTable,
+    /// Background-evictor thread state (watermark reclaim).
+    pub(in crate::monitor) reclaim: reclaim::ReclaimState,
     pub(in crate::monitor) profile: ProfileTable,
     pub(in crate::monitor) stats: MonitorCounters,
     pub(in crate::monitor) telemetry: Telemetry,
@@ -143,6 +146,7 @@ pub struct Monitor {
     wss_estimate: Gauge,
     lru_resident: Gauge,
     lru_capacity: Gauge,
+    lru_headroom: Gauge,
     pub(in crate::monitor) write_list_pending: Gauge,
     pub(in crate::monitor) tracer: Tracer,
     pub(in crate::monitor) clock: SimClock,
@@ -171,6 +175,7 @@ impl Monitor {
             partition,
             region_partitions: std::collections::BTreeMap::new(),
             inflight: InflightTable::new(),
+            reclaim: reclaim::ReclaimState::new(),
             profile: ProfileTable::new(),
             stats: MonitorCounters::new(),
             telemetry,
@@ -180,6 +185,7 @@ impl Monitor {
             wss_estimate: Gauge::new(),
             lru_resident: Gauge::new(),
             lru_capacity: Gauge::new(),
+            lru_headroom: Gauge::new(),
             write_list_pending: Gauge::new(),
             tracer: Tracer::disabled(),
             clock,
@@ -203,6 +209,7 @@ impl Monitor {
             self.store.instrument(registry);
             registry.adopt_gauge(consts::LRU_RESIDENT_PAGES, &[], &self.lru_resident);
             registry.adopt_gauge(consts::LRU_CAPACITY_PAGES, &[], &self.lru_capacity);
+            registry.adopt_gauge(consts::LRU_HEADROOM_PAGES, &[], &self.lru_headroom);
             registry.adopt_gauge(consts::WRITE_LIST_PENDING, &[], &self.write_list_pending);
             registry.adopt_gauge(consts::WSS_ESTIMATE_PAGES, &[], &self.wss_estimate);
             registry.adopt_histogram(consts::REFAULT_DISTANCE_PAGES, &[], &self.refault_distance);
@@ -237,6 +244,7 @@ impl Monitor {
             let vm_label = [(consts::LABEL_VM, vm)];
             registry.adopt_gauge(consts::LRU_RESIDENT_PAGES, &vm_label, &self.lru_resident);
             registry.adopt_gauge(consts::LRU_CAPACITY_PAGES, &vm_label, &self.lru_capacity);
+            registry.adopt_gauge(consts::LRU_HEADROOM_PAGES, &vm_label, &self.lru_headroom);
             registry.adopt_gauge(
                 consts::WRITE_LIST_PENDING,
                 &vm_label,
@@ -271,6 +279,7 @@ impl Monitor {
     pub(in crate::monitor) fn update_gauges(&self) {
         self.lru_resident.set(self.lru.len() as i64);
         self.lru_capacity.set(self.lru.capacity() as i64);
+        self.lru_headroom.set(self.headroom() as i64);
         self.write_list_pending
             .set(self.write_list.pending_len() as i64);
     }
@@ -456,6 +465,11 @@ impl Monitor {
 
     /// Resizes the local buffer (the §VI-E capability swap lacks),
     /// evicting down to the new capacity on the spot.
+    ///
+    /// With background reclaim active, the shrink work is routed through
+    /// the background evictor: capacity retargets (e.g. from the host
+    /// arbiter) wake it and it evicts batch-wise on its own timeline
+    /// instead of inline on the caller's.
     pub fn resize(
         &mut self,
         uffd: &mut Userfaultfd,
@@ -465,7 +479,21 @@ impl Monitor {
     ) {
         self.lru.set_capacity(capacity);
         self.stats.resizes.inc();
-        self.evict_to_capacity(uffd, pt, pm);
+        if self.reclaim_active() {
+            // A shrink leaves headroom at 0 (below any low watermark), so
+            // the evictor runs batch after batch until the buffer is back
+            // under capacity — or nothing is evictable (it went to sleep
+            // without making progress).
+            while self.lru.over_capacity() {
+                let before = self.lru.len();
+                self.maybe_background_reclaim(uffd, pt, pm);
+                if self.lru.len() == before {
+                    break;
+                }
+            }
+        } else {
+            self.evict_to_capacity(uffd, pt, pm);
+        }
         self.maybe_flush();
         self.update_gauges();
     }

@@ -62,11 +62,18 @@ struct InflightFault {
     waiters: Vec<Waiter>,
 }
 
+/// An entry on the completion queue: a fault operation finishing, or a
+/// background-reclaim activation interleaved into the same total order.
+enum QueueItem {
+    Fault(u64),
+    Reclaim,
+}
+
 /// The in-flight operation table: live operations plus the completion
 /// queue that orders them.
 pub(in crate::monitor) struct InflightTable {
     ops: Vec<InflightFault>,
-    queue: EventQueue<u64>,
+    queue: EventQueue<QueueItem>,
     next_id: u64,
 }
 
@@ -103,8 +110,14 @@ impl InflightTable {
             stage,
             waiters: Vec::new(),
         });
-        self.queue.push(completes_at, id);
+        self.queue.push(completes_at, QueueItem::Fault(id));
         id
+    }
+
+    /// Enqueues a background-reclaim activation at `at`; it runs inside
+    /// the next [`Monitor::complete_next`] that reaches it.
+    pub(in crate::monitor) fn schedule_reclaim(&mut self, at: SimInstant) {
+        self.queue.push(at, QueueItem::Reclaim);
     }
 
     fn by_vpn_mut(&mut self, vpn: Vpn) -> Option<&mut InflightFault> {
@@ -247,7 +260,16 @@ impl Monitor {
         pt: &mut PageTable,
         pm: &mut PhysicalMemory,
     ) -> Option<CompletedFault> {
-        let (_, id) = self.inflight.queue.pop_next()?;
+        let id = loop {
+            let (_, item) = self.inflight.queue.pop_next()?;
+            match item {
+                // Reclaim activations ride the same queue so the evictor
+                // runs in deterministic event order, transparently to
+                // the caller waiting on a fault completion.
+                QueueItem::Reclaim => self.run_scheduled_reclaim(uffd, pt, pm),
+                QueueItem::Fault(id) => break id,
+            }
+        };
         let op = self.inflight.take(id).expect("queued operation is live");
         let InflightFault {
             id,

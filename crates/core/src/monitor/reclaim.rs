@@ -1,0 +1,248 @@
+//! The watermark-driven background reclaimer: the monitor's kswapd.
+//!
+//! FluidMem's real monitor is multi-threaded: a dedicated evictor keeps
+//! the LRU below capacity while fault handlers block in store reads.
+//! Inline eviction (`evict_while_full` on the fault path) serializes
+//! that work onto the fault handler's timeline instead — every fault at
+//! a full buffer pays `UFFD_REMAP` CPU plus write-list staging before
+//! its read can complete. This module models the evictor as its own
+//! virtual thread, exactly like `fluidmem-swap`'s `kswapd()` models the
+//! kernel's:
+//!
+//! * **Watermarks.** The evictor watches free headroom
+//!   (`capacity − resident`). It wakes when headroom drops below the
+//!   low watermark and stays awake — evicting in batches — until
+//!   headroom reaches the high watermark or nothing is evictable, then
+//!   sleeps.
+//! * **A private timeline.** Background eviction performs its state
+//!   changes (page-table unmap, frame free, write-list staging)
+//!   immediately but accounts the CPU it spends on a private cursor
+//!   that never advances the shared clock: the work happens *while
+//!   vCPUs are suspended on read flights*, which is precisely the §V-B
+//!   window the paper hides eviction in. The TLB-shootdown handle and
+//!   the write-list `ready_at` are stamped from that cursor, so the
+//!   pages stay unflushable until their shootdowns genuinely complete.
+//! * **Deterministic scheduling.** When faults are parked in the
+//!   in-flight table, an activation is enqueued on the same
+//!   [`EventQueue`](fluidmem_sim::EventQueue) that orders fault
+//!   completions ([`Monitor::complete_next`] runs it transparently);
+//!   with nothing in flight the activation runs on the spot. Either
+//!   way the schedule is a pure function of the seed.
+//! * **Direct reclaim as fallback.** If the evictor falls behind and a
+//!   fault still finds the buffer full, the inline path evicts as
+//!   before — counted as `direct_reclaim`, the analogue of
+//!   `SwapBackend::ensure_frames`.
+//!
+//! Everything here is gated on [`Monitor::reclaim_active`]: with the
+//! feature off (the default) no RNG draw, clock charge, counter, or
+//! span differs from a monitor built without it.
+
+use fluidmem_mem::{PageTable, PhysicalMemory};
+use fluidmem_sim::SimInstant;
+use fluidmem_telemetry::consts;
+use fluidmem_uffd::Userfaultfd;
+
+use super::Monitor;
+use crate::config::EvictionMechanism;
+
+/// The background evictor's thread state.
+#[derive(Debug)]
+pub(in crate::monitor) struct ReclaimState {
+    /// The evictor thread's private timeline: where its CPU accounting
+    /// has reached. Activations start at `cursor.max(now)`.
+    cursor: SimInstant,
+    /// Whether the evictor is awake (woken below the low watermark, not
+    /// yet back above the high one).
+    awake: bool,
+    /// Whether an activation is already queued on the completion event
+    /// queue (dedup so at most one is pending).
+    scheduled: bool,
+}
+
+impl ReclaimState {
+    pub(in crate::monitor) fn new() -> Self {
+        ReclaimState {
+            cursor: SimInstant::EPOCH,
+            awake: false,
+            scheduled: false,
+        }
+    }
+}
+
+impl Monitor {
+    /// Whether background reclaim is in effect. Requires `async_write`:
+    /// background batches stage onto the write list, which does not
+    /// exist on the synchronous-write path.
+    pub(in crate::monitor) fn reclaim_active(&self) -> bool {
+        self.config.reclaim.enabled && self.config.optimizations.async_write
+    }
+
+    /// Free headroom in the LRU: `capacity − resident`, zero when at or
+    /// over capacity.
+    pub fn headroom(&self) -> u64 {
+        self.lru.capacity().saturating_sub(self.lru.len())
+    }
+
+    /// The watermark check, run before any inline eviction loop: wakes
+    /// the evictor when headroom has dropped below the low watermark and
+    /// gives it a chance to run (or schedules it) so the inline path
+    /// finds the buffer already below capacity. A single-branch no-op
+    /// when reclaim is inactive.
+    pub(in crate::monitor) fn maybe_background_reclaim(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+    ) {
+        if !self.reclaim_active() {
+            return;
+        }
+        if !self.reclaim.awake {
+            let low = self.config.reclaim.low_pages(self.lru.capacity());
+            if self.headroom() >= low {
+                return;
+            }
+            self.reclaim.awake = true;
+            let headroom = self.headroom();
+            self.trace(|| format!("reclaim: woke (headroom {headroom} < low watermark {low})"));
+        }
+        // A buffer at (or over) capacity would force the caller's inline
+        // loop to evict on the fault path: the evictor preempts and runs
+        // its batches right now instead of waiting for its queued
+        // activation. Below that point, lazy wakeups suffice.
+        while self.reclaim.awake && self.headroom() == 0 {
+            let before = self.lru.len();
+            self.run_background_reclaim(uffd, pt, pm);
+            if self.lru.len() == before {
+                break;
+            }
+        }
+        if self.reclaim.awake {
+            self.kick_reclaim(uffd, pt, pm);
+        }
+    }
+
+    /// Runs the awake evictor batch-by-batch until it sleeps, or — when
+    /// faults are parked in the in-flight table, so
+    /// [`Monitor::complete_next`] is guaranteed to be called — enqueues
+    /// one activation on the completion queue to run in event order.
+    fn kick_reclaim(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+    ) {
+        while self.reclaim.awake {
+            if self.inflight.len() > 0 {
+                if !self.reclaim.scheduled {
+                    self.reclaim.scheduled = true;
+                    self.inflight.schedule_reclaim(self.clock.now());
+                }
+                return;
+            }
+            self.run_background_reclaim(uffd, pt, pm);
+        }
+    }
+
+    /// A queued activation popped off the completion queue by
+    /// [`Monitor::complete_next`].
+    pub(in crate::monitor) fn run_scheduled_reclaim(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+    ) {
+        self.reclaim.scheduled = false;
+        if self.reclaim.awake {
+            self.run_background_reclaim(uffd, pt, pm);
+            // Still awake (batch cap hit, headroom below high): line up
+            // the next activation rather than monopolizing this event.
+            self.kick_reclaim(uffd, pt, pm);
+        }
+    }
+
+    /// One evictor activation: evicts up to one batch on the private
+    /// timeline, staging onto the write list, until headroom reaches
+    /// the high watermark or the LRU runs dry — then sleeps. Flushes
+    /// through the ordinary batched `begin_multi_write` path.
+    pub(in crate::monitor) fn run_background_reclaim(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+    ) {
+        let high = self.config.reclaim.high_pages(self.lru.capacity());
+        let start = self.reclaim.cursor.max(self.clock.now());
+        let mut thread_now = start;
+        let mut evicted = 0usize;
+        while evicted < self.config.reclaim.batch && self.headroom() < high {
+            if !self.evict_one_background(uffd, pt, pm, &mut thread_now) {
+                // Nothing evictable: sleep rather than spin awake.
+                self.reclaim.awake = false;
+                break;
+            }
+            evicted += 1;
+        }
+        if self.headroom() >= high {
+            self.reclaim.awake = false;
+        }
+        if evicted > 0 {
+            self.telemetry
+                .record_span(consts::TRACK_MONITOR, "reclaim", start, thread_now);
+            self.reclaim.cursor = thread_now;
+            let headroom = self.headroom();
+            let asleep = !self.reclaim.awake;
+            self.trace(|| {
+                format!(
+                    "reclaim: batch of {evicted} evicted (headroom {headroom}, high {high}{})",
+                    if asleep { "; sleeping" } else { "" }
+                )
+            });
+            self.maybe_flush();
+            self.update_gauges();
+        }
+    }
+
+    /// Evicts one page on the evictor's timeline: the state changes
+    /// happen now, the CPU lands on `thread_now`, and the shootdown
+    /// handle completes relative to the evictor, not the fault path.
+    fn evict_one_background(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+        thread_now: &mut SimInstant,
+    ) -> bool {
+        let Some(victim) = self.pop_victim_for_eviction() else {
+            return false;
+        };
+        let key = self.key(victim);
+        let t0 = *thread_now;
+        let (contents, handle, cpu) = uffd
+            .remap_detached(pt, pm, victim, t0)
+            .expect("LRU pages are mapped in the VM");
+        *thread_now = t0 + cpu;
+        if self.config.eviction == EvictionMechanism::Remap {
+            self.telemetry.record_span(
+                consts::TRACK_KERNEL,
+                "tlb.shootdown",
+                t0,
+                handle.completes_at(),
+            );
+        }
+        let ready_at = match self.config.eviction {
+            EvictionMechanism::Remap => handle.completes_at(),
+            EvictionMechanism::Copy => {
+                *thread_now += uffd.costs().copy.sample(&mut self.rng);
+                *thread_now
+            }
+        };
+        *thread_now += self.config.costs.write_list_push.sample(&mut self.rng);
+        self.stats.evictions.inc();
+        self.stats.background_reclaims.inc();
+        // reclaim_active implies async_write: stage onto the write list,
+        // stealable until the batch flush retires it.
+        self.write_list.push(key, contents, ready_at);
+        true
+    }
+}

@@ -36,6 +36,11 @@ pub struct VmSignals {
     /// The monitor's working-set-size estimate in pages (a gauge, like
     /// residency/capacity).
     pub wss_estimate_pages: u64,
+    /// Pages evicted by the watermark-driven background reclaimer.
+    pub background_reclaims: u64,
+    /// Pages evicted inline with background reclaim enabled — nonzero
+    /// means the evictor fell behind and faults paid for eviction.
+    pub direct_reclaims: u64,
 }
 
 impl VmSignals {
@@ -89,6 +94,12 @@ impl VmSignals {
                 .thrash_refaults
                 .saturating_sub(baseline.thrash_refaults),
             wss_estimate_pages: self.wss_estimate_pages,
+            background_reclaims: self
+                .background_reclaims
+                .saturating_sub(baseline.background_reclaims),
+            direct_reclaims: self
+                .direct_reclaims
+                .saturating_sub(baseline.direct_reclaims),
         }
     }
 }
@@ -134,6 +145,8 @@ mod tests {
             refaults_measured: 8,
             thrash_refaults: 4,
             wss_estimate_pages: 70,
+            background_reclaims: 40,
+            direct_reclaims: 2,
         };
         let now = VmSignals {
             accesses: 150,
@@ -147,6 +160,8 @@ mod tests {
             refaults_measured: 20,
             thrash_refaults: 13,
             wss_estimate_pages: 90,
+            background_reclaims: 100,
+            direct_reclaims: 3,
         };
         let w = now.window_since(&base);
         assert_eq!(w.accesses, 50);
@@ -158,5 +173,7 @@ mod tests {
         assert_eq!(w.refaults_measured, 12);
         assert_eq!(w.thrash_refaults, 9);
         assert_eq!(w.wss_estimate_pages, 90, "gauge carried, not subtracted");
+        assert_eq!(w.background_reclaims, 60);
+        assert_eq!(w.direct_reclaims, 1);
     }
 }

@@ -70,6 +70,12 @@ pub struct MonitorStats {
     pub adaptive_grows: u64,
     /// Adaptive-capacity shrinks applied by the working-set estimator.
     pub adaptive_shrinks: u64,
+    /// Pages evicted by the watermark-driven background reclaimer (off
+    /// the fault critical path).
+    pub background_reclaims: u64,
+    /// Pages evicted inline on the fault path while background reclaim
+    /// was enabled — the evictor fell behind its watermarks.
+    pub direct_reclaims: u64,
 }
 
 macro_rules! monitor_counters {
@@ -143,6 +149,8 @@ monitor_counters! {
     (thrash_refaults, "thrash_refault", "Measured refaults inside the working-set estimate."),
     (adaptive_grows, "adaptive_grow", "Adaptive-capacity grows applied by the estimator."),
     (adaptive_shrinks, "adaptive_shrink", "Adaptive-capacity shrinks applied by the estimator."),
+    (background_reclaims, "background_reclaim", "Pages evicted by the watermark-driven background reclaimer."),
+    (direct_reclaims, "direct_reclaim", "Pages evicted inline with background reclaim enabled (the evictor fell behind)."),
 }
 
 #[cfg(test)]

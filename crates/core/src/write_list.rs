@@ -193,9 +193,34 @@ impl WriteList {
             || self.inflight.iter().any(|b| b.pages.contains_key(&key))
     }
 
-    /// Total pages either pending or in flight (for shutdown draining).
+    /// Whether a key has a pending (not yet flushed) copy.
+    pub fn is_pending(&self, key: ExternalKey) -> bool {
+        self.pending_pages.contains_key(&key)
+    }
+
+    /// Distinct pages either pending or in flight (for shutdown
+    /// draining). A key can be both at once — re-evicted with new
+    /// contents while an earlier batch holding it is still on the wire —
+    /// and must count once, not twice.
     pub fn outstanding(&self) -> usize {
-        self.pending_pages.len() + self.inflight.iter().map(|b| b.pages.len()).sum::<usize>()
+        let mut keys: std::collections::HashSet<&ExternalKey> = self.pending_pages.keys().collect();
+        for batch in &self.inflight {
+            keys.extend(batch.pages.keys());
+        }
+        keys.len()
+    }
+
+    /// Returns a failed flush batch to the pending list (the batch is
+    /// already past its TLB shootdown, so it is immediately flushable
+    /// again). A key the VM re-evicted with *newer* contents while the
+    /// batch was forming or on the wire keeps its pending copy: the
+    /// stale batch copy is dropped for that key instead of clobbering it.
+    pub fn requeue(&mut self, batch: Vec<(ExternalKey, PageContents)>, now: SimInstant) {
+        for (key, contents) in batch {
+            if !self.is_pending(key) {
+                self.push(key, contents, now);
+            }
+        }
     }
 }
 
@@ -356,5 +381,55 @@ mod tests {
         assert_eq!(wl.outstanding(), 6);
         wl.retire(t(51));
         assert_eq!(wl.outstanding(), 2);
+    }
+
+    #[test]
+    fn outstanding_counts_a_reevicted_inflight_key_once() {
+        // evict → flush (batch on the wire) → the VM re-dirties and
+        // re-evicts the same page → re-push while the batch still flies.
+        let mut wl = WriteList::new();
+        wl.push(key(1), PageContents::Token(10), t(0));
+        let batch = wl.take_batch(10, t(1));
+        wl.mark_inflight(batch, t(100));
+        wl.push(key(1), PageContents::Token(20), t(2));
+        assert!(wl.is_pending(key(1)));
+        assert!(wl.is_tracked(key(1)));
+        // One page, two copies: the drain has one page of work, and the
+        // gauge must say 1, not 2.
+        assert_eq!(wl.outstanding(), 1);
+        // Stealing must prefer the newer pending copy over the stale
+        // in-flight one — never WaitInflight on outdated contents.
+        match wl.steal(key(1), t(3)) {
+            StealOutcome::Stolen(c) => assert_eq!(c, PageContents::Token(20)),
+            other => panic!("expected the newer pending copy, got {other:?}"),
+        }
+        // The stale in-flight copy still counts until the batch retires.
+        assert_eq!(wl.outstanding(), 1);
+        wl.retire(t(101));
+        assert_eq!(wl.outstanding(), 0);
+    }
+
+    #[test]
+    fn requeue_keeps_the_newer_pending_copy() {
+        // A failed flush must not clobber a page re-evicted with newer
+        // contents between batch formation and the failure.
+        let mut wl = WriteList::new();
+        wl.push(key(1), PageContents::Token(10), t(0));
+        wl.push(key(2), PageContents::Token(11), t(0));
+        let batch = wl.take_batch(10, t(1));
+        assert_eq!(batch.len(), 2);
+        // Key 1 is re-evicted with newer contents while the batch is out.
+        wl.push(key(1), PageContents::Token(99), t(2));
+        wl.requeue(batch, t(3));
+        assert_eq!(wl.pending_len(), 2);
+        match wl.steal(key(1), t(4)) {
+            StealOutcome::Stolen(c) => assert_eq!(c, PageContents::Token(99)),
+            other => panic!("requeue clobbered the newer copy: {other:?}"),
+        }
+        // Key 2 had no newer copy; the batch copy is restored.
+        match wl.steal(key(2), t(4)) {
+            StealOutcome::Stolen(c) => assert_eq!(c, PageContents::Token(11)),
+            other => panic!("requeue lost key 2: {other:?}"),
+        }
     }
 }

@@ -98,6 +98,15 @@ impl HostConfig {
         self.monitor = monitor;
         self
     }
+
+    /// Enables watermark-driven background reclaim in every VM's
+    /// monitor. Arbiter capacity retargets then kick each VM's
+    /// background evictor (through `Monitor::resize`) instead of
+    /// evicting inline on the agent's timeline.
+    pub fn reclaim(mut self, cfg: fluidmem_core::ReclaimConfig) -> Self {
+        self.monitor = self.monitor.reclaim(cfg);
+        self
+    }
 }
 
 /// One VM's workload description.
@@ -825,6 +834,47 @@ mod tests {
             a.aggregate_access_percentile(0.999).to_bits(),
             b.aggregate_access_percentile(0.999).to_bits()
         );
+    }
+
+    #[test]
+    fn background_reclaim_fleet_is_deterministic_and_stays_in_budget() {
+        // An over-committed fleet with the kswapd-style reclaimer on:
+        // arbiter retargets route shrinks through the background
+        // evictor, the run must stay a pure function of the seed, and
+        // the host budget must still hold.
+        let build = || {
+            let clock = SimClock::new();
+            let store = RamCloudStore::new(1 << 28, clock.clone(), SimRng::seed_from_u64(31));
+            let config = HostConfig::new(256)
+                .min_pages(16)
+                .rebalance_interval(128)
+                .monitor(MonitorConfig::new(256).inflight(4))
+                .reclaim(fluidmem_core::ReclaimConfig::kswapd());
+            let mut agent =
+                HostAgent::new(config, Box::new(store), clock, SimRng::seed_from_u64(32));
+            agent.add_vm(VmSpec::new("hot", 200).weight(3));
+            agent.add_vm(VmSpec::new("cold", 120));
+            agent.run(6_000);
+            agent.drain();
+            agent
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.clock().now(), b.clock().now(), "virtual time diverged");
+        let mut background = 0;
+        for i in 0..2 {
+            let signals = a.vm_signals(i);
+            assert_eq!(signals, b.vm_signals(i), "vm{i} signals diverged");
+            background += signals.background_reclaims;
+        }
+        assert!(
+            background > 0,
+            "the fleet thrashes; the background evictor must have run"
+        );
+        let granted: u64 = (0..2).map(|i| a.vm_capacity(i)).sum();
+        assert!(granted <= 256, "over-committed: {granted} > 256");
+        let resident: u64 = (0..2).map(|i| a.vm_signals(i).resident_pages).sum();
+        assert!(resident <= 256, "resident {resident} exceeds host DRAM");
     }
 
     #[test]

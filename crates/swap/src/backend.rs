@@ -97,6 +97,7 @@ impl SwapBackedMemory {
         clock: SimClock,
         rng: SimRng,
     ) -> Self {
+        config.validate();
         let label = format!("Swap/{}", swap_dev.name());
         let dram = config.dram_pages;
         SwapBackedMemory {
@@ -325,12 +326,12 @@ impl SwapBackedMemory {
 
     /// Background reclaim toward the high watermark.
     fn kswapd(&mut self) {
-        let low = (self.config.dram_pages as f64 * self.config.watermark_low) as u64;
+        let low = self.config.low_watermark_pages();
         if self.frames.free_frames() >= low {
             return;
         }
         self.stats.kswapd_runs.inc();
-        let high = (self.config.dram_pages as f64 * self.config.watermark_high) as u64;
+        let high = self.config.high_watermark_pages();
         let mut batch = self.config.kswapd_batch;
         while self.frames.free_frames() < high && batch > 0 {
             if !self.reclaim_one(false) {
@@ -601,6 +602,23 @@ mod tests {
             clock,
             SimRng::seed_from_u64(3),
         )
+    }
+
+    #[test]
+    fn kswapd_wakes_even_at_tiny_dram_sizes() {
+        // Regression: at 16 DRAM pages the paper-default watermarks
+        // truncated to low = 0, so kswapd never woke and every eviction
+        // was a direct reclaim on the fault path.
+        let mut vm = backend(16);
+        let r = vm.map_region(64, PageClass::Anonymous);
+        for i in 0..64 {
+            vm.access(r.page(i), true);
+        }
+        let stats = vm.swap_stats();
+        assert!(
+            stats.kswapd_runs > 0,
+            "kswapd must wake under memory pressure at tiny DRAM sizes"
+        );
     }
 
     #[test]

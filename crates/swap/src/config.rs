@@ -114,6 +114,46 @@ impl SwapConfig {
     pub fn readahead_pages(&self) -> u64 {
         1 << self.page_cluster
     }
+
+    /// The low watermark in pages: kswapd wakes when free frames drop
+    /// below this. Rounded *up* and floored at 1 — truncation used to
+    /// yield 0 for small `dram_pages`, so kswapd never woke and every
+    /// reclaim ran on the fault path.
+    pub fn low_watermark_pages(&self) -> u64 {
+        ((self.dram_pages as f64 * self.watermark_low).ceil() as u64).max(1)
+    }
+
+    /// The high watermark in pages: kswapd reclaims until free frames
+    /// reach this. Always strictly above the low watermark so a wakeup
+    /// makes progress.
+    pub fn high_watermark_pages(&self) -> u64 {
+        ((self.dram_pages as f64 * self.watermark_high).ceil() as u64)
+            .max(self.low_watermark_pages() + 1)
+    }
+
+    /// Checks the watermark fractions are ordered and sane.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < watermark_low < watermark_high <= 1`.
+    pub fn validate(&self) {
+        assert!(
+            self.watermark_low > 0.0,
+            "watermark_low must be positive (got {})",
+            self.watermark_low
+        );
+        assert!(
+            self.watermark_high > self.watermark_low,
+            "watermark_high ({}) must exceed watermark_low ({})",
+            self.watermark_high,
+            self.watermark_low
+        );
+        assert!(
+            self.watermark_high <= 1.0,
+            "watermark_high must be at most 1.0 (got {})",
+            self.watermark_high
+        );
+    }
 }
 
 #[cfg(test)]
@@ -134,5 +174,32 @@ mod tests {
         let mut c = SwapConfig::paper_default(1024);
         c.page_cluster = 0;
         assert_eq!(c.readahead_pages(), 1);
+    }
+
+    #[test]
+    fn watermarks_round_up_and_never_truncate_to_zero() {
+        // 16 pages × 0.03 = 0.48: truncation gave 0 (kswapd never woke);
+        // the ceil keeps at least one page of low watermark.
+        let tiny = SwapConfig::paper_default(16);
+        assert_eq!(tiny.low_watermark_pages(), 1);
+        assert!(tiny.high_watermark_pages() > tiny.low_watermark_pages());
+
+        let paper = SwapConfig::paper_default(262_144);
+        assert_eq!(paper.low_watermark_pages(), 7_865); // ceil(7864.32)
+        assert_eq!(paper.high_watermark_pages(), 15_729); // ceil(15728.64)
+    }
+
+    #[test]
+    fn validate_accepts_paper_defaults() {
+        SwapConfig::paper_default(16).validate();
+        SwapConfig::paper_default(262_144).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "watermark_high")]
+    fn validate_rejects_inverted_watermarks() {
+        let mut c = SwapConfig::paper_default(1024);
+        c.watermark_high = c.watermark_low;
+        c.validate();
     }
 }

@@ -52,6 +52,10 @@ pub const LRU_CAPACITY_PAGES: &str = "fluidmem_lru_capacity_pages";
 /// Pages waiting on the asynchronous write list (gauge).
 pub const WRITE_LIST_PENDING: &str = "fluidmem_write_list_pending_pages";
 
+/// Free headroom in the monitor's LRU buffer (`capacity − resident`,
+/// gauge) — the quantity the background reclaimer's watermarks watch.
+pub const LRU_HEADROOM_PAGES: &str = "fluidmem_lru_headroom_pages";
+
 /// Per-code-path latency histogram (labeled by [`LABEL_PATH`]) — the
 /// registry-backed source of the paper's Table I.
 pub const CODEPATH_LATENCY_US: &str = "fluidmem_codepath_latency_us";

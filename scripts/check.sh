@@ -63,6 +63,23 @@ grep -q '"depth":16' "$pipe_json_a" || {
     echo "pipeline smoke: depth sweep incomplete" >&2
     exit 1
 }
+grep -q '"bench":"pipeline_reclaim"' "$pipe_json_a" || {
+    echo "pipeline smoke: background-reclaim sweep records missing" >&2
+    exit 1
+}
+# At default watermarks the background evictor must absorb the entire
+# eviction load: any direct (inline, on-fault-path) reclaim is a gate
+# failure.
+if grep '"bench":"pipeline_reclaim"' "$pipe_json_a" | grep -qv '"direct_reclaims":0'; then
+    echo "pipeline smoke: direct reclaims at default watermarks (evictor fell behind)" >&2
+    exit 1
+fi
+# Deep pipelines are where inline eviction hurts: reclaim must win the
+# p99 tail at every depth >= 4.
+if grep '"bench":"pipeline_reclaim"' "$pipe_json_a" | grep -E '"depth":(4|8|16),' | grep -q '"tail_win":false'; then
+    echo "pipeline smoke: background reclaim lost the p99 tail at depth >= 4" >&2
+    exit 1
+fi
 rm -f "$pipe_out_a" "$pipe_out_b" "$pipe_json_a" "$pipe_json_b"
 
 echo "==> workingset smoke: WSS sweep (twice, stdout + JSON must be byte-identical)"
