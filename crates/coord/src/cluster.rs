@@ -240,7 +240,8 @@ impl CoordCluster {
 
     /// Registers a one-shot watch on a path for a session (ZooKeeper
     /// semantics: the next committed create/set/delete touching the path
-    /// queues one event and removes the watch).
+    /// queues one event and removes the watch; re-registering the same
+    /// watch is idempotent and still yields exactly one event).
     ///
     /// # Errors
     ///
@@ -250,10 +251,10 @@ impl CoordCluster {
             return Err(CoordError::UnknownSession);
         }
         self.charge_rtt();
-        self.watches
-            .entry(path.to_string())
-            .or_default()
-            .push(session.0);
+        let sessions = self.watches.entry(path.to_string()).or_default();
+        if !sessions.contains(&session.0) {
+            sessions.push(session.0);
+        }
         Ok(())
     }
 

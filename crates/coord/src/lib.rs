@@ -26,6 +26,7 @@ mod error;
 mod log;
 mod membership;
 mod partition;
+mod stores;
 mod watch;
 mod znode;
 
@@ -34,5 +35,6 @@ pub use error::CoordError;
 pub use log::{LogEntry, OpResult, WriteOp};
 pub use membership::{HostDirectory, VmLease};
 pub use partition::{PartitionId, PartitionTable, VmIdentity};
+pub use stores::StoreDirectory;
 pub use watch::{WatchEvent, WatchKind};
 pub use znode::{Znode, ZnodeTree};

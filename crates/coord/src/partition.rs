@@ -78,6 +78,7 @@ pub struct PartitionTable;
 const ROOT: &str = "/fluidmem";
 const PARTITIONS: &str = "/fluidmem/partitions";
 const NONCES: &str = "/fluidmem/nonces";
+const ROUTES: &str = "/fluidmem/routes";
 
 impl PartitionTable {
     /// Creates the table's znodes; idempotent.
@@ -86,7 +87,7 @@ impl PartitionTable {
     ///
     /// Propagates cluster availability errors.
     pub fn init(cluster: &mut CoordCluster) -> Result<(), CoordError> {
-        for path in [ROOT, PARTITIONS, NONCES] {
+        for path in [ROOT, PARTITIONS, NONCES, ROUTES] {
             match cluster.propose(WriteOp::Create {
                 path: path.into(),
                 data: Vec::new(),
@@ -139,18 +140,80 @@ impl PartitionTable {
         Err(CoordError::PartitionsExhausted)
     }
 
-    /// Frees a partition (VM shutdown).
+    /// Frees a partition (VM shutdown), clearing any store route it
+    /// still holds.
+    ///
+    /// The allocation znode is deleted *first*: that delete is the
+    /// ownership check, so a stale releaser racing a reuse of the same
+    /// index fails with [`CoordError::NoNode`] before it can clobber the
+    /// new owner's route. Only after the delete commits is the route
+    /// cleared — a watcher on the allocation znode therefore always sees
+    /// `Deleted` (this release) strictly before any `Created` from a
+    /// reuse, and a freshly reallocated index never inherits a stale
+    /// route.
     ///
     /// # Errors
     ///
     /// Fails with [`CoordError::NoNode`] if the partition is not
     /// allocated, or with cluster availability errors.
     pub fn release(cluster: &mut CoordCluster, id: PartitionId) -> Result<(), CoordError> {
-        cluster
-            .propose(WriteOp::Delete {
-                path: Self::node_path(id),
-            })
-            .map(|_| ())
+        cluster.propose(WriteOp::Delete {
+            path: Self::node_path(id),
+        })?;
+        Self::clear_route(cluster, id)?;
+        Ok(())
+    }
+
+    /// Publishes which store node serves a partition — the routing flip
+    /// of a live migration. The committed write *is* the migration's
+    /// linearization point: every observer that reads the table after
+    /// this commit routes to `node`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster availability errors.
+    pub fn set_route(
+        cluster: &mut CoordCluster,
+        id: PartitionId,
+        node: u32,
+    ) -> Result<(), CoordError> {
+        let path = Self::route_path(id);
+        let data = node.to_string().into_bytes();
+        match cluster.propose(WriteOp::Create {
+            path: path.clone(),
+            data: data.clone(),
+            ephemeral_owner: None,
+        }) {
+            Ok(_) => Ok(()),
+            Err(CoordError::NodeExists(_)) => cluster
+                .propose(WriteOp::SetData {
+                    path,
+                    data,
+                    expected_version: None,
+                })
+                .map(|_| ()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The store node a partition routes to, if published.
+    pub fn route_of(cluster: &mut CoordCluster, id: PartitionId) -> Option<u32> {
+        let node = cluster.read(&Self::route_path(id))?;
+        String::from_utf8(node.data).ok()?.parse().ok()
+    }
+
+    /// Removes a partition's route; succeeds whether or not one existed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster availability errors.
+    pub fn clear_route(cluster: &mut CoordCluster, id: PartitionId) -> Result<(), CoordError> {
+        match cluster.propose(WriteOp::Delete {
+            path: Self::route_path(id),
+        }) {
+            Ok(_) | Err(CoordError::NoNode(_)) => Ok(()),
+            Err(e) => Err(e),
+        }
     }
 
     /// Looks up the identity owning a partition.
@@ -177,6 +240,10 @@ impl PartitionTable {
 
     fn node_path(id: PartitionId) -> String {
         format!("{PARTITIONS}/{:04}", id.0)
+    }
+
+    fn route_path(id: PartitionId) -> String {
+        format!("{ROUTES}/{:04}", id.0)
     }
 
     fn candidate_index(vm: VmIdentity, nonce: u64) -> u16 {
@@ -285,6 +352,111 @@ mod tests {
     #[should_panic(expected = "must be < 4096")]
     fn oversized_partition_id_rejected() {
         PartitionId::new(4096);
+    }
+
+    #[test]
+    fn release_clears_the_partition_route() {
+        // Regression: release used to delete only the allocation znode,
+        // leaving /fluidmem/routes/NNNN behind — a later reuse of the
+        // index inherited a dangling route to a store node that may no
+        // longer hold (or even be) anything.
+        let mut c = setup();
+        let vm = VmIdentity {
+            pid: 3,
+            hypervisor: 1,
+        };
+        let p = PartitionTable::allocate(&mut c, vm).unwrap();
+        PartitionTable::set_route(&mut c, p, 2).unwrap();
+        assert_eq!(PartitionTable::route_of(&mut c, p), Some(2));
+        PartitionTable::release(&mut c, p).unwrap();
+        assert_eq!(
+            PartitionTable::route_of(&mut c, p),
+            None,
+            "a released partition must not keep a stale route"
+        );
+        // A reuse of the same index starts route-less.
+        c.propose(WriteOp::Create {
+            path: PartitionTable::node_path(p),
+            data: b"9:9:9".to_vec(),
+            ephemeral_owner: None,
+        })
+        .unwrap();
+        assert_eq!(PartitionTable::route_of(&mut c, p), None);
+    }
+
+    #[test]
+    fn stale_release_cannot_clobber_a_reused_index() {
+        // Regression for the delete/clear ordering: release performs the
+        // allocation delete (the ownership check) *before* clearing the
+        // route. A stale releaser retrying a release that already
+        // happened must fail with NoNode and must NOT clear a route
+        // published since — clearing first would have wiped the new
+        // owner's routing with no ownership check at all.
+        let mut c = setup();
+        let p = PartitionTable::allocate(
+            &mut c,
+            VmIdentity {
+                pid: 1,
+                hypervisor: 1,
+            },
+        )
+        .unwrap();
+        PartitionTable::release(&mut c, p).unwrap();
+        // A new owner is reallocating the index and has already
+        // published where the partition's pages now live.
+        PartitionTable::set_route(&mut c, p, 5).unwrap();
+        // The original releaser's stale retry arrives.
+        let stale = PartitionTable::release(&mut c, p);
+        assert!(
+            matches!(stale, Err(CoordError::NoNode(_))),
+            "stale release must fail the ownership delete, got {stale:?}"
+        );
+        assert_eq!(
+            PartitionTable::route_of(&mut c, p),
+            Some(5),
+            "the failed release must not have touched the route"
+        );
+    }
+
+    #[test]
+    fn watcher_disambiguates_release_from_reuse() {
+        // A watcher holding a one-shot watch on the allocation znode
+        // sees Deleted (the release) strictly before the Created of a
+        // reuse, so it can retire per-partition state before the new
+        // owner's events arrive.
+        let mut c = setup();
+        let p = PartitionTable::allocate(
+            &mut c,
+            VmIdentity {
+                pid: 2,
+                hypervisor: 2,
+            },
+        )
+        .unwrap();
+        let session = c.create_session();
+        c.watch(session, &PartitionTable::node_path(p)).unwrap();
+        PartitionTable::release(&mut c, p).unwrap();
+        c.watch(session, &PartitionTable::node_path(p)).unwrap();
+        c.propose(WriteOp::Create {
+            path: PartitionTable::node_path(p),
+            data: b"4:4:4".to_vec(),
+            ephemeral_owner: None,
+        })
+        .unwrap();
+        let events = c.take_watch_events(session);
+        let kinds: Vec<_> = events
+            .iter()
+            .filter(|e| e.path == PartitionTable::node_path(p))
+            .map(|e| e.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                crate::watch::WatchKind::Deleted,
+                crate::watch::WatchKind::Created
+            ],
+            "release must be observable before the reuse"
+        );
     }
 
     #[test]

@@ -24,10 +24,11 @@
 //! seeds are bit-identical, which the scaling bench relies on.
 
 use fluidmem_coord::{
-    CoordCluster, HostDirectory, PartitionId, PartitionTable, VmIdentity, VmLease,
+    CoordCluster, HostDirectory, PartitionId, PartitionTable, StoreDirectory, VmIdentity, VmLease,
+    WatchKind,
 };
 use fluidmem_core::{FluidMemMemory, MonitorConfig, VmSignals};
-use fluidmem_kv::{KeyValueStore, SharedStore, StoreStats};
+use fluidmem_kv::{AuditReport, ClusterHandle, KeyValueStore, NodeId, SharedStore, StoreStats};
 use fluidmem_mem::{AccessOutcome, MemoryBackend, PageClass, Region};
 use fluidmem_sim::stats::Sample;
 use fluidmem_sim::{EventQueue, SimClock, SimDuration, SimInstant, SimRng};
@@ -50,6 +51,13 @@ pub struct HostConfig {
     pub policy: ArbiterPolicy,
     /// Rebalance every this many host ops (`0` disables the arbiter).
     pub rebalance_interval: u64,
+    /// Drive the store-node cluster — lease heartbeats and sweep, watch
+    /// events, copier ticks, routing flips — every this many host ops
+    /// (`0` disables; only meaningful for hosts built with
+    /// [`HostAgent::with_cluster`]). The sweep reads the lease directory
+    /// through the coordination service, which charges RTTs on the
+    /// shared clock, so this stays a cadence rather than per-op work.
+    pub cluster_interval: u64,
     /// The per-VM monitor configuration (capacity is overridden by the
     /// arbiter's grants).
     pub monitor: MonitorConfig,
@@ -65,6 +73,7 @@ impl HostConfig {
             min_pages_per_vm: 16,
             policy: ArbiterPolicy::FaultRateProportional,
             rebalance_interval: 1024,
+            cluster_interval: 256,
             monitor: MonitorConfig::new(dram_pages),
         }
     }
@@ -84,6 +93,12 @@ impl HostConfig {
     /// Sets the rebalance cadence in host ops (`0` disables).
     pub fn rebalance_interval(mut self, ops: u64) -> Self {
         self.rebalance_interval = ops;
+        self
+    }
+
+    /// Sets the cluster-maintenance cadence in host ops (`0` disables).
+    pub fn cluster_interval(mut self, ops: u64) -> Self {
+        self.cluster_interval = ops;
         self
     }
 
@@ -197,6 +212,31 @@ struct VmSlot {
     wrr: i64,
 }
 
+/// At most this many partitions migrate concurrently; the rest of a
+/// rebalance plan waits for slots, keeping the copier's dirty-page
+/// backlog (and the target nodes' ingest load) bounded.
+const MAX_CONCURRENT_MIGRATIONS: usize = 4;
+
+/// Host-side state for a sharded store cluster (hosts built with
+/// [`HostAgent::with_cluster`]).
+struct ClusterRuntime {
+    handle: ClusterHandle,
+    dir: StoreDirectory,
+    lease_ttl: SimDuration,
+    /// Nodes mid-graceful-leave: off the ring, still serving until their
+    /// partitions migrate away, then deregistered.
+    draining: Vec<NodeId>,
+    /// Nodes whose heartbeats the agent suppresses ("crashed"), so the
+    /// next sweep expires their lease — the test/bench failure hook.
+    silenced: Vec<NodeId>,
+    /// Flip-ready partitions whose route publish hit a coord error;
+    /// retried next tick.
+    pending_flips: Vec<PartitionId>,
+    /// Partitions whose migration was aborted because its *target* died;
+    /// their restart counts as a retarget, not a fresh start.
+    retargets: Vec<PartitionId>,
+}
+
 /// The multi-VM host agent. See the module docs.
 pub struct HostAgent {
     config: HostConfig,
@@ -212,6 +252,7 @@ pub struct HostAgent {
     next_pid: u64,
     ops_done: u64,
     measure_start: SimInstant,
+    cluster: Option<ClusterRuntime>,
 }
 
 impl HostAgent {
@@ -249,7 +290,41 @@ impl HostAgent {
             next_pid: 1000,
             ops_done: 0,
             measure_start,
+            cluster: None,
         }
+    }
+
+    /// Stands up a host over a sharded store cluster: the shared store is
+    /// the cluster handle itself (every VM access routes through the
+    /// ring), each current node gets a TTL lease in the coordination
+    /// service's store directory, and the agent drives membership,
+    /// migrations, and routing flips at `config.cluster_interval`.
+    pub fn with_cluster(
+        config: HostConfig,
+        cluster: ClusterHandle,
+        lease_ttl: SimDuration,
+        clock: SimClock,
+        rng: SimRng,
+    ) -> Self {
+        let mut agent = HostAgent::new(config, Box::new(cluster.clone()), clock, rng);
+        let dir = StoreDirectory::init(&mut agent.coord).expect("fresh cluster initializes");
+        let deadline = agent.clock.now() + lease_ttl;
+        for id in cluster.with(|c| c.node_ids()) {
+            dir.register(&mut agent.coord, id, deadline)
+                .expect("store lease registers on a healthy cluster");
+        }
+        dir.watch_nodes(&mut agent.coord)
+            .expect("fresh cluster watches");
+        agent.cluster = Some(ClusterRuntime {
+            handle: cluster,
+            dir,
+            lease_ttl,
+            draining: Vec::new(),
+            silenced: Vec::new(),
+            pending_flips: Vec::new(),
+            retargets: Vec::new(),
+        });
+        agent
     }
 
     /// Adds a VM: allocates its partition through the replicated table,
@@ -370,6 +445,7 @@ impl HostAgent {
             self.step(best);
             self.ops_done += 1;
             self.maybe_rebalance();
+            self.maybe_cluster_tick();
         }
     }
 
@@ -395,6 +471,7 @@ impl HostAgent {
             ready.push(t0 + latency, i);
             self.ops_done += 1;
             self.maybe_rebalance();
+            self.maybe_cluster_tick();
         }
     }
 
@@ -532,6 +609,10 @@ impl HostAgent {
                 &slot.capacity_gauge,
             );
         }
+        if let Some(rt) = &self.cluster {
+            rt.handle
+                .with(|c| c.attach_telemetry(self.telemetry.clone()));
+        }
     }
 
     fn split_evenly(&mut self) {
@@ -560,6 +641,242 @@ impl HostAgent {
         self.directory
             .watch_membership(&mut self.coord)
             .expect("re-arming watches on a healthy cluster");
+    }
+
+    // ----- store cluster ----------------------------------------------
+
+    /// Adds a store node to the cluster: places it on the ring, leases it
+    /// in the coordination service, and immediately plans migrations so
+    /// the partitions whose ring home moved start draining toward it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host was not built with
+    /// [`with_cluster`](HostAgent::with_cluster).
+    pub fn add_store_node(&mut self, id: NodeId, store: Box<dyn KeyValueStore>) {
+        let rt = self
+            .cluster
+            .as_mut()
+            .expect("host was not built with_cluster");
+        rt.handle.with(|c| c.add_node(id, store));
+        let deadline = self.clock.now() + rt.lease_ttl;
+        rt.dir
+            .register(&mut self.coord, id, deadline)
+            .expect("store lease registers on a healthy cluster");
+        // Arm the new lease's watch so its eventual delete (expiry or
+        // deregister) is observed; re-arming existing paths is idempotent.
+        rt.dir
+            .watch_nodes(&mut self.coord)
+            .expect("re-arming watches on a healthy cluster");
+        self.counters.membership_events.inc();
+        self.cluster_tick_now();
+    }
+
+    /// Begins a graceful leave: the node comes off the ring so nothing
+    /// new homes at it, its partitions migrate away at the maintenance
+    /// cadence, and once it holds nothing it is deregistered (firing the
+    /// `Deleted` watch that completes the leave).
+    pub fn remove_store_node(&mut self, id: NodeId) {
+        let rt = self
+            .cluster
+            .as_mut()
+            .expect("host was not built with_cluster");
+        if rt.handle.with(|c| c.retire_from_ring(id)) && !rt.draining.contains(&id) {
+            rt.draining.push(id);
+        }
+        self.counters.membership_events.inc();
+        self.cluster_tick_now();
+    }
+
+    /// Simulates a store-node crash: the agent stops heartbeating the
+    /// node and marks its lease due now, so the next sweep expires it
+    /// with a proposed delete. The resulting `Deleted` watch event — not
+    /// this call — is what fails the node and aborts or retargets any
+    /// migration touching it, making expiry-driven recovery an ordered,
+    /// replayable event.
+    pub fn expire_store_node(&mut self, id: NodeId) {
+        let now = self.clock.now();
+        let rt = self
+            .cluster
+            .as_mut()
+            .expect("host was not built with_cluster");
+        if !rt.silenced.contains(&id) {
+            rt.silenced.push(id);
+        }
+        let _ = rt.dir.renew(&mut self.coord, id, now);
+        // The renew's SetData consumed the one-shot watch on this lease
+        // (as DataChanged); re-arm it so the sweep's delete is observed.
+        let _ = self
+            .coord
+            .watch(rt.dir.session(), &StoreDirectory::node_path(id));
+    }
+
+    /// The arbiter-style drain policy: migrate one partition off the
+    /// most-loaded node to the least-loaded other node. Returns
+    /// `(source, partition, target)` if a migration started.
+    pub fn drain_hottest_node(&mut self) -> Option<(NodeId, PartitionId, NodeId)> {
+        let rt = self.cluster.as_ref()?;
+        let loads = rt.handle.with(|c| c.node_loads());
+        let (hot, _) = loads.iter().copied().max_by_key(|&(id, load)| (load, id))?;
+        let (cold, _) = loads
+            .iter()
+            .copied()
+            .filter(|&(id, _)| id != hot)
+            .min_by_key(|&(id, load)| (load, id))?;
+        let partition = rt
+            .handle
+            .with(|c| c.partitions_of(hot))
+            .into_iter()
+            .next()?;
+        rt.handle
+            .with(|c| c.start_migration(partition, cold))
+            .then_some((hot, partition, cold))
+    }
+
+    fn maybe_cluster_tick(&mut self) {
+        if self.cluster.is_some()
+            && self.config.cluster_interval > 0
+            && self.ops_done.is_multiple_of(self.config.cluster_interval)
+        {
+            self.cluster_tick_now();
+        }
+    }
+
+    /// Runs one cluster-maintenance round immediately: heartbeat live
+    /// leases and sweep expired ones, apply membership watch events,
+    /// advance the migration copier, publish flip-ready routes through
+    /// the coordination service, plan new migrations toward the ring,
+    /// and complete graceful leaves.
+    pub fn cluster_tick_now(&mut self) {
+        let Some(mut rt) = self.cluster.take() else {
+            return;
+        };
+        let now = self.clock.now();
+
+        // 1. Heartbeats, then the sweep. Expiry is a *proposed delete*
+        //    per overdue lease; the watches it fires are handled below.
+        for id in rt.handle.with(|c| c.node_ids()) {
+            if rt.handle.with(|c| c.is_alive(id)) && !rt.silenced.contains(&id) {
+                let _ = rt.dir.renew(&mut self.coord, id, now + rt.lease_ttl);
+            }
+        }
+        let _ = rt.dir.expire_due(&mut self.coord, now);
+
+        // 2. Watch events drive failure handling (draining is free; the
+        //    re-arm charges one round of watch registrations).
+        let events = rt.dir.events(&mut self.coord);
+        for event in &events {
+            if event.kind != WatchKind::Deleted {
+                continue;
+            }
+            let Some(id) = StoreDirectory::parse_node_path(&event.path) else {
+                continue;
+            };
+            self.counters.membership_events.inc();
+            let was_draining = rt.draining.iter().position(|&d| d == id);
+            if let Some(pos) = was_draining {
+                rt.draining.remove(pos);
+            }
+            let orphaned = rt.handle.with(|c| c.fail_node(id));
+            if was_draining.is_none() {
+                rt.handle.with(|c| c.counters().node_expirations.inc());
+            }
+            // Migrations that were copying *to* the dead node restart
+            // toward the new ring home in step 5, counted as retargets.
+            for partition in orphaned {
+                if !rt.retargets.contains(&partition) {
+                    rt.retargets.push(partition);
+                }
+            }
+        }
+        if !events.is_empty() {
+            rt.dir
+                .watch_nodes(&mut self.coord)
+                .expect("re-arming watches on a healthy cluster");
+        }
+
+        // 3. Advance the copier; publish every flip through the coord
+        //    routes table *before* committing it — the committed route
+        //    write is the migration's linearization point.
+        let flips = rt.handle.with(|c| c.tick(now));
+        for partition in flips {
+            if !rt.pending_flips.contains(&partition) {
+                rt.pending_flips.push(partition);
+            }
+        }
+        let pending = std::mem::take(&mut rt.pending_flips);
+        for partition in pending {
+            // A write since the copier finished demotes the migration
+            // back to copying; tick() re-delivers it when drained again.
+            if !rt.handle.with(|c| c.is_flip_ready(partition)) {
+                continue;
+            }
+            let Some((_, target)) = rt.handle.with(|c| c.migration_of(partition)) else {
+                continue;
+            };
+            match PartitionTable::set_route(&mut self.coord, partition, target) {
+                Ok(()) => {
+                    rt.handle.with(|c| c.complete_flip(partition));
+                }
+                Err(_) => rt.pending_flips.push(partition),
+            }
+        }
+
+        // 4. Graceful leaves complete once nothing is assigned to or
+        //    migrating through the node.
+        for id in rt.draining.clone() {
+            let drained = rt
+                .handle
+                .with(|c| c.partitions_of(id).is_empty() && !c.migrations_touch(id));
+            if drained {
+                let _ = rt.dir.deregister(&mut self.coord, id);
+            }
+        }
+
+        // 5. Plan migrations toward the current ring, bounded by the
+        //    concurrency cap; restarts of target-died migrations count
+        //    as retargets.
+        let plan = rt.handle.with(|c| c.rebalance_plan());
+        for (partition, target) in plan {
+            if rt.handle.with(|c| c.migrations_in_flight()) >= MAX_CONCURRENT_MIGRATIONS {
+                break;
+            }
+            if rt.handle.with(|c| c.start_migration(partition, target)) {
+                if let Some(pos) = rt.retargets.iter().position(|&p| p == partition) {
+                    rt.retargets.remove(pos);
+                    rt.handle.with(|c| c.counters().migrations_retargeted.inc());
+                }
+            }
+        }
+
+        self.cluster = Some(rt);
+    }
+
+    /// The cluster handle, for hosts built with
+    /// [`with_cluster`](HostAgent::with_cluster).
+    pub fn cluster_handle(&self) -> Option<ClusterHandle> {
+        self.cluster.as_ref().map(|rt| rt.handle.clone())
+    }
+
+    /// Audits the cluster's shadow accounting (see
+    /// [`ClusterStore::audit`](fluidmem_kv::ClusterStore::audit)).
+    /// `None` on hosts without a cluster.
+    pub fn audit_cluster(&self) -> Option<AuditReport> {
+        self.cluster
+            .as_ref()
+            .map(|rt| rt.handle.with(|c| c.audit()))
+    }
+
+    /// Store-node ids with live leases, ascending. Charges coordination
+    /// RTTs; intended for assertions and bench reporting, not hot paths.
+    pub fn live_store_nodes(&mut self) -> Vec<NodeId> {
+        match &self.cluster {
+            Some(rt) => {
+                let dir = &rt.dir;
+                dir.live(&mut self.coord)
+            }
+            None => Vec::new(),
+        }
     }
 
     /// Number of hosted VMs.
@@ -932,6 +1249,176 @@ mod tests {
         agent.run(2000);
         agent.rebalance_now();
         assert!(agent.vm_capacity(0) > 40);
+    }
+
+    fn clustered_host(seed: u64, nodes: u32) -> HostAgent {
+        let clock = SimClock::new();
+        let mut cluster = fluidmem_kv::ClusterStore::new(
+            clock.clone(),
+            SimRng::seed_from_u64(seed ^ 0xC10C),
+            fluidmem_kv::TransportModel::infiniband_verbs(),
+            64,
+            32,
+        );
+        for id in 0..nodes {
+            cluster.add_node(id, Box::new(node_store(seed, id, &clock)));
+        }
+        let config = HostConfig::new(128)
+            .min_pages(16)
+            .rebalance_interval(0)
+            .cluster_interval(64);
+        HostAgent::with_cluster(
+            config,
+            fluidmem_kv::ClusterHandle::new(cluster),
+            SimDuration::from_micros(1_000_000),
+            clock,
+            SimRng::seed_from_u64(seed + 100),
+        )
+    }
+
+    fn node_store(seed: u64, id: NodeId, clock: &SimClock) -> DramStore {
+        DramStore::new(
+            1 << 28,
+            clock.clone(),
+            SimRng::seed_from_u64(seed * 1000 + u64::from(id)),
+        )
+    }
+
+    /// Ticks until the copier settles; heartbeat RTTs advance the shared
+    /// clock, so future activations become due.
+    fn settle(agent: &mut HostAgent) {
+        for _ in 0..200 {
+            agent.cluster_tick_now();
+            let busy = agent
+                .cluster_handle()
+                .unwrap()
+                .with(|c| c.migrations_in_flight());
+            if busy == 0 {
+                return;
+            }
+        }
+        panic!("cluster never settled");
+    }
+
+    #[test]
+    fn store_node_join_migrates_partitions_over() {
+        let mut agent = clustered_host(5, 1);
+        agent.add_vm(VmSpec::new("a", 96));
+        agent.add_vm(VmSpec::new("b", 96));
+        agent.run(2_000);
+        agent.drain();
+        let handle = agent.cluster_handle().unwrap();
+        assert!(handle.with(|c| c.node_len(0)) > 0, "node 0 must hold pages");
+
+        let clock = agent.clock().clone();
+        agent.add_store_node(1, Box::new(node_store(5, 1, &clock)));
+        agent.run(2_000);
+        agent.drain();
+        settle(&mut agent);
+
+        assert!(
+            handle.with(|c| !c.partitions_of(1).is_empty()),
+            "some partition must have flipped to the new node"
+        );
+        assert!(handle.with(|c| c.node_len(1)) > 0);
+        assert!(handle.with(|c| c.counters().migrations_flipped.get()) > 0);
+        let report = agent.audit_cluster().unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(agent.live_store_nodes(), vec![0, 1]);
+    }
+
+    #[test]
+    fn graceful_leave_drains_then_deregisters() {
+        let mut agent = clustered_host(7, 2);
+        agent.add_vm(VmSpec::new("a", 96));
+        agent.add_vm(VmSpec::new("b", 96));
+        agent.run(2_000);
+        agent.drain();
+        let handle = agent.cluster_handle().unwrap();
+
+        agent.remove_store_node(1);
+        agent.run(2_000);
+        agent.drain();
+        settle(&mut agent);
+        // One more round so the deregister's Deleted watch is consumed.
+        agent.cluster_tick_now();
+
+        assert!(handle.with(|c| c.partitions_of(1).is_empty()));
+        assert_eq!(
+            handle.with(|c| c.node_len(1)),
+            0,
+            "source dropped after flip"
+        );
+        assert_eq!(agent.live_store_nodes(), vec![0]);
+        let report = agent.audit_cluster().unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        // The leave never counted as an expiry.
+        assert_eq!(handle.with(|c| c.counters().node_expirations.get()), 0);
+    }
+
+    #[test]
+    fn lease_expiry_mid_migration_is_deterministic() {
+        // A node joins, migrations start streaming toward it, and then
+        // its lease silently lapses. The sweep's proposed delete fires
+        // the Deleted watch; the handler fails the node and aborts the
+        // in-flight copies — at the same virtual instant every run.
+        let build = || {
+            let mut agent = clustered_host(9, 2);
+            agent.add_vm(VmSpec::new("a", 96));
+            agent.add_vm(VmSpec::new("b", 96));
+            agent.run(2_000);
+            let clock = agent.clock().clone();
+            agent.add_store_node(2, Box::new(node_store(9, 2, &clock)));
+            let handle = agent.cluster_handle().unwrap();
+            assert!(
+                handle.with(|c| c.migrations_in_flight()) > 0,
+                "the join must start migrations toward node 2"
+            );
+            agent.expire_store_node(2);
+            agent.run(2_000);
+            agent.drain();
+            settle(&mut agent);
+            agent
+        };
+        let a = build();
+        let b = build();
+        let handle = a.cluster_handle().unwrap();
+        assert_eq!(handle.with(|c| c.counters().node_expirations.get()), 1);
+        assert!(handle.with(|c| c.counters().migrations_aborted.get()) > 0);
+        assert!(!handle.with(|c| c.is_alive(2)));
+        let report = a.audit_cluster().unwrap();
+        assert!(report.is_clean(), "{report:?}");
+
+        assert_eq!(a.clock().now(), b.clock().now(), "virtual time diverged");
+        let snapshot = |agent: &HostAgent| {
+            agent.cluster_handle().unwrap().with(|c| {
+                (
+                    c.counters().migrations_started.get(),
+                    c.counters().migrations_aborted.get(),
+                    c.counters().migrations_flipped.get(),
+                    c.counters().pages_copied.get(),
+                    c.counters().pages_recopied.get(),
+                )
+            })
+        };
+        assert_eq!(snapshot(&a), snapshot(&b), "cluster counters diverged");
+        assert_eq!(a.store_stats(), b.store_stats());
+    }
+
+    #[test]
+    fn cluster_free_hosts_are_unchanged_by_the_wiring() {
+        // The Option gate: a host built the classic way must draw
+        // exactly the same clock and RNG schedule as before the cluster
+        // layer existed — checked by the bit-identity test above, and
+        // here by asserting the maintenance path is truly inert.
+        let mut agent = host(HostConfig::new(256), 1);
+        agent.add_vm(VmSpec::new("a", 64));
+        let before = agent.clock().now();
+        agent.cluster_tick_now();
+        assert_eq!(agent.clock().now(), before, "tick must be a no-op");
+        assert!(agent.cluster_handle().is_none());
+        assert!(agent.audit_cluster().is_none());
+        assert!(agent.live_store_nodes().is_empty());
     }
 
     #[test]

@@ -1,0 +1,1524 @@
+//! A sharded remote-memory cluster with live partition migration.
+//!
+//! [`ClusterStore`] routes every page key across N store nodes by
+//! consistent hashing ([`HashRing`]) and keeps an authoritative
+//! per-partition assignment table: a partition's owner changes *only* at
+//! an explicit routing flip, never implicitly because the ring moved.
+//! That separation is what makes live migration safe — the ring proposes,
+//! the assignment table disposes.
+//!
+//! # Live partition migration
+//!
+//! Moving a partition from `source` to `target` runs in three phases,
+//! modeled on the background reclaimer (DESIGN.md §13): the copier's CPU
+//! time accrues on a **private timeline** (`cursor`) and its activations
+//! ride a completion [`EventQueue`], so the fault pipeline never waits on
+//! a copy batch.
+//!
+//! 1. **Snapshot copy** — [`start_migration`](ClusterStore::start_migration)
+//!    snapshots the partition's key list (an uncharged maintenance read)
+//!    and the copier streams it to the target in batches of
+//!    `batch_pages`, paying one batched transport flight per batch on its
+//!    own cursor.
+//! 2. **Dirty re-copy** — writes routed to the source while the copier
+//!    runs are appended to a dirty-key log *at issue time* (covering
+//!    applied-but-unacked timeouts); the copier drains the log the same
+//!    way until both the snapshot and the log are empty.
+//! 3. **Routing flip** — the host publishes the new route in the
+//!    coordination service, then calls
+//!    [`complete_flip`](ClusterStore::complete_flip), which atomically
+//!    repoints the assignment table and drops the partition from the
+//!    source. A write arriving while the migration is flip-ready demotes
+//!    it back to copying, so the flip only ever happens on a quiesced,
+//!    fully-copied partition.
+//!
+//! Reads and writes always route to the *current owner* (the source,
+//! until the flip), so no page read ever observes a half-copied target
+//! and no write is ever lost: pre-flip writes land on the source and are
+//! re-copied; post-flip writes land on the target.
+//!
+//! # Shadow accounting
+//!
+//! The store keeps a shadow set of every key acknowledged as written and
+//! not yet deleted. [`audit`](ClusterStore::audit) proves, after any
+//! sequence of migrations and faults, that every shadow key is present
+//! at its routed node and present *only* there (the in-flight migration
+//! target being the one sanctioned duplicate holder).
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::rc::Rc;
+
+use std::cell::RefCell;
+
+use fluidmem_coord::PartitionId;
+use fluidmem_mem::PageContents;
+use fluidmem_sim::{EventQueue, SimClock, SimInstant, SimRng};
+use fluidmem_telemetry::{consts, Counter, Gauge, Registry, Telemetry};
+
+use crate::error::KvError;
+use crate::key::ExternalKey;
+use crate::pending::{PendingGet, PendingWrite};
+use crate::ring::{HashRing, NodeId};
+use crate::stats::StoreStats;
+use crate::store::KeyValueStore;
+use crate::transport::TransportModel;
+
+/// Live telemetry handles for the cluster layer, exported under the
+/// `fluidmem_cluster_*` metric family.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterCounters {
+    /// Migrations started.
+    pub migrations_started: Counter,
+    /// Migrations whose routing flip committed.
+    pub migrations_flipped: Counter,
+    /// Migrations abandoned (target discarded).
+    pub migrations_aborted: Counter,
+    /// Migrations restarted toward a different target.
+    pub migrations_retargeted: Counter,
+    /// First-pass pages streamed by the copier.
+    pub pages_copied: Counter,
+    /// Pages re-sent off the dirty-key log.
+    pub pages_recopied: Counter,
+    /// Store nodes that joined the ring.
+    pub node_joins: Counter,
+    /// Store nodes that left gracefully.
+    pub node_leaves: Counter,
+    /// Store nodes removed because their lease expired.
+    pub node_expirations: Counter,
+    /// Current ring imbalance, permille over the mean.
+    pub ring_imbalance_permille: Gauge,
+}
+
+impl ClusterCounters {
+    /// Registers every handle in `registry` (adoption carries values).
+    pub fn register(&self, registry: &Registry) {
+        let event = |name: &'static str, c: &Counter| {
+            registry.adopt_counter(consts::CLUSTER_EVENTS, &[(consts::LABEL_EVENT, name)], c);
+        };
+        event("migration_start", &self.migrations_started);
+        event("migration_flip", &self.migrations_flipped);
+        event("migration_abort", &self.migrations_aborted);
+        event("migration_retarget", &self.migrations_retargeted);
+        event("node_join", &self.node_joins);
+        event("node_leave", &self.node_leaves);
+        event("node_expire", &self.node_expirations);
+        registry.adopt_counter(
+            consts::CLUSTER_MIGRATION_PAGES,
+            &[(consts::LABEL_OP, "copied")],
+            &self.pages_copied,
+        );
+        registry.adopt_counter(
+            consts::CLUSTER_MIGRATION_PAGES,
+            &[(consts::LABEL_OP, "recopied")],
+            &self.pages_recopied,
+        );
+        registry.adopt_gauge(
+            consts::CLUSTER_RING_IMBALANCE_PERMILLE,
+            &[],
+            &self.ring_imbalance_permille,
+        );
+    }
+}
+
+/// What a migration-chaos audit found (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Shadow keys checked.
+    pub checked: u64,
+    /// Shadow keys absent from their routed node — lost pages.
+    pub missing: Vec<u64>,
+    /// Shadow keys present on more than one node (beyond a sanctioned
+    /// in-flight migration target) — duplicated pages.
+    pub duplicated: Vec<u64>,
+}
+
+impl AuditReport {
+    /// Whether the audit found no lost and no duplicated pages.
+    pub fn is_clean(&self) -> bool {
+        self.missing.is_empty() && self.duplicated.is_empty()
+    }
+}
+
+struct ClusterNode {
+    id: NodeId,
+    store: Box<dyn KeyValueStore>,
+    alive: bool,
+    gets: Counter,
+    puts: Counter,
+    deletes: Counter,
+    errors: Counter,
+}
+
+impl ClusterNode {
+    fn register(&self, registry: &Registry) {
+        let id = self.id.to_string();
+        let op = |name: &'static str, c: &Counter| {
+            registry.adopt_counter(
+                consts::CLUSTER_OPS,
+                &[(consts::LABEL_NODE, id.as_str()), (consts::LABEL_OP, name)],
+                c,
+            );
+        };
+        op("get", &self.gets);
+        op("put", &self.puts);
+        op("delete", &self.deletes);
+        op("error", &self.errors);
+    }
+}
+
+/// One in-flight partition migration.
+#[derive(Debug)]
+struct Migration {
+    source: NodeId,
+    target: NodeId,
+    /// Snapshot of the partition's keys at start, drained front-first.
+    remaining: VecDeque<u64>,
+    /// Keys written on the source while the copier runs.
+    dirty: BTreeSet<u64>,
+    pages_copied: u64,
+    pages_recopied: u64,
+    /// Both lists drained; eligible for a routing flip.
+    ready: bool,
+    /// An activation for this migration is queued.
+    scheduled: bool,
+    /// Guards stale activations after an abort/retarget.
+    gen: u64,
+}
+
+/// A sharded store routing partitions across N nodes (see module docs).
+pub struct ClusterStore {
+    nodes: Vec<ClusterNode>,
+    ring: HashRing,
+    /// Authoritative partition → owner map. Entries appear at first
+    /// touch (ring home) and change only at migration flips.
+    assignments: HashMap<u16, NodeId>,
+    migrations: HashMap<u16, Migration>,
+    /// Copier activations: `(partition, generation)`.
+    activations: EventQueue<(u16, u64)>,
+    next_gen: u64,
+    /// The copier's private timeline (DESIGN.md §13 pattern).
+    cursor: SimInstant,
+    batch_pages: usize,
+    transport: TransportModel,
+    clock: SimClock,
+    /// Copier-only randomness; the data path never draws from it.
+    rng: SimRng,
+    /// Every key acknowledged as written and not deleted since.
+    shadow: BTreeSet<u64>,
+    /// Which node served each in-flight `begin_get`, FIFO per key.
+    pending_gets: HashMap<u64, VecDeque<usize>>,
+    /// Inner pendings of in-flight multi-writes, keyed by lead key.
+    inflight_writes: Vec<(u64, Vec<(usize, PendingWrite)>)>,
+    telemetry: Option<Telemetry>,
+    counters: ClusterCounters,
+}
+
+impl ClusterStore {
+    /// An empty cluster. `rng` must be a dedicated fork — the copier
+    /// draws transfer times from it on its own timeline, and nothing on
+    /// the data path may share it.
+    pub fn new(
+        clock: SimClock,
+        rng: SimRng,
+        transport: TransportModel,
+        vnodes: u32,
+        batch_pages: usize,
+    ) -> Self {
+        assert!(
+            batch_pages > 0,
+            "the copier must move at least one page per batch"
+        );
+        ClusterStore {
+            nodes: Vec::new(),
+            ring: HashRing::new(vnodes),
+            assignments: HashMap::new(),
+            migrations: HashMap::new(),
+            activations: EventQueue::new(),
+            next_gen: 0,
+            cursor: SimInstant::EPOCH,
+            batch_pages,
+            transport,
+            clock,
+            rng,
+            shadow: BTreeSet::new(),
+            pending_gets: HashMap::new(),
+            inflight_writes: Vec::new(),
+            telemetry: None,
+            counters: ClusterCounters::default(),
+        }
+    }
+
+    /// The cluster's live telemetry handles.
+    pub fn counters(&self) -> &ClusterCounters {
+        &self.counters
+    }
+
+    /// Attaches telemetry: registers the cluster counter family and every
+    /// node's per-node op counters, and records migration spans on the
+    /// [`consts::TRACK_CLUSTER`] track from now on.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.counters.register(telemetry.registry());
+        for node in &self.nodes {
+            node.register(telemetry.registry());
+        }
+        self.telemetry = Some(telemetry);
+    }
+
+    // ----- membership -------------------------------------------------
+
+    /// Adds a store node and places it on the ring. Newly-touched
+    /// partitions may home at it immediately; already-assigned partitions
+    /// move only through explicit migrations (see
+    /// [`rebalance_plan`](ClusterStore::rebalance_plan)).
+    pub fn add_node(&mut self, id: NodeId, store: Box<dyn KeyValueStore>) {
+        assert!(
+            !self.nodes.iter().any(|n| n.id == id),
+            "node {id} already exists"
+        );
+        let node = ClusterNode {
+            id,
+            store,
+            alive: true,
+            gets: Counter::default(),
+            puts: Counter::default(),
+            deletes: Counter::default(),
+            errors: Counter::default(),
+        };
+        if let Some(t) = &self.telemetry {
+            node.register(t.registry());
+        }
+        self.nodes.push(node);
+        self.ring.add_node(id);
+        self.counters.node_joins.inc();
+        self.update_imbalance();
+        if let Some(t) = &self.telemetry {
+            t.instant(consts::TRACK_CLUSTER, &format!("node.join.{id}"));
+        }
+    }
+
+    /// Takes a node off the ring (the first step of a graceful leave) so
+    /// no new partition homes at it. Its existing assignments keep
+    /// routing to it until migrated away. Returns whether it was on the
+    /// ring.
+    pub fn retire_from_ring(&mut self, id: NodeId) -> bool {
+        let was = self.ring.remove_node(id);
+        if was {
+            self.counters.node_leaves.inc();
+            self.update_imbalance();
+        }
+        was
+    }
+
+    /// Marks a node dead (lease expiry / crash): it is removed from the
+    /// ring, new operations routed at it fail with
+    /// [`KvError::Unavailable`], any migration *sourcing* from it is
+    /// aborted, and the partitions of migrations *targeting* it are
+    /// returned so the host can retarget them.
+    pub fn fail_node(&mut self, id: NodeId) -> Vec<PartitionId> {
+        self.ring.remove_node(id);
+        if let Some(node) = self.nodes.iter_mut().find(|n| n.id == id) {
+            node.alive = false;
+        }
+        let involved: Vec<(u16, NodeId, NodeId)> = self
+            .migrations
+            .iter()
+            .filter(|(_, m)| m.source == id || m.target == id)
+            .map(|(&p, m)| (p, m.source, m.target))
+            .collect();
+        let mut retarget = Vec::new();
+        for (p, source, target) in involved {
+            if source == id {
+                // The owner is gone; there is nothing left to copy from.
+                self.abort_migration(PartitionId::new(p));
+            } else if target == id {
+                self.abort_migration(PartitionId::new(p));
+                retarget.push(PartitionId::new(p));
+            }
+        }
+        self.update_imbalance();
+        retarget
+    }
+
+    /// Whether a node exists and is alive.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.nodes.iter().any(|n| n.id == id && n.alive)
+    }
+
+    /// Ids of all nodes ever added, in join order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.iter().map(|n| n.id).collect()
+    }
+
+    /// Objects currently held by one node (0 for unknown nodes).
+    pub fn node_len(&self, id: NodeId) -> usize {
+        self.nodes
+            .iter()
+            .find(|n| n.id == id)
+            .map_or(0, |n| n.store.len())
+    }
+
+    /// Per-node issued-operation counts (get + put + delete), for load
+    /// policies like "drain the hottest node".
+    pub fn node_loads(&self) -> Vec<(NodeId, u64)> {
+        self.nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| (n.id, n.gets.get() + n.puts.get() + n.deletes.get()))
+            .collect()
+    }
+
+    /// The node a partition currently routes to, if assigned or homeable.
+    pub fn owner_of(&self, partition: PartitionId) -> Option<NodeId> {
+        self.assignments
+            .get(&partition.raw())
+            .copied()
+            .or_else(|| self.ring.home_of(partition))
+    }
+
+    /// Partitions currently assigned to `id`, ascending.
+    pub fn partitions_of(&self, id: NodeId) -> Vec<PartitionId> {
+        let mut out: Vec<u16> = self
+            .assignments
+            .iter()
+            .filter(|&(_, &n)| n == id)
+            .map(|(&p, _)| p)
+            .collect();
+        out.sort_unstable();
+        out.into_iter().map(PartitionId::new).collect()
+    }
+
+    /// The migrations every assigned partition would need for the
+    /// assignment table to match the ring again: `(partition, target)`
+    /// pairs, ascending by partition, skipping partitions already
+    /// migrating.
+    pub fn rebalance_plan(&self) -> Vec<(PartitionId, NodeId)> {
+        let mut plan: Vec<(u16, NodeId)> = self
+            .assignments
+            .iter()
+            .filter(|(p, &owner)| {
+                !self.migrations.contains_key(p)
+                    && self
+                        .ring
+                        .home_of(PartitionId::new(**p))
+                        .is_some_and(|home| home != owner)
+            })
+            .map(|(&p, _)| {
+                let home = self.ring.home_of(PartitionId::new(p)).unwrap();
+                (p, home)
+            })
+            .collect();
+        plan.sort_unstable();
+        plan.into_iter()
+            .map(|(p, n)| (PartitionId::new(p), n))
+            .collect()
+    }
+
+    // ----- migration --------------------------------------------------
+
+    /// Begins live-migrating `partition` to `target`. Returns `false`
+    /// (and does nothing) if the partition is unassigned, already lives
+    /// at `target`, is already migrating, or the target is not alive.
+    pub fn start_migration(&mut self, partition: PartitionId, target: NodeId) -> bool {
+        let p = partition.raw();
+        let Some(&source) = self.assignments.get(&p) else {
+            return false;
+        };
+        if source == target || self.migrations.contains_key(&p) || !self.is_alive(target) {
+            return false;
+        }
+        let Some(src) = self.nodes.iter().position(|n| n.id == source) else {
+            return false;
+        };
+        // Uncharged snapshot: the copier's view of the partition at start.
+        let remaining: VecDeque<u64> = self.nodes[src]
+            .store
+            .partition_keys(partition)
+            .into_iter()
+            .map(ExternalKey::raw)
+            .collect();
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        self.migrations.insert(
+            p,
+            Migration {
+                source,
+                target,
+                remaining,
+                dirty: BTreeSet::new(),
+                pages_copied: 0,
+                pages_recopied: 0,
+                ready: false,
+                scheduled: false,
+                gen,
+            },
+        );
+        self.counters.migrations_started.inc();
+        if let Some(t) = &self.telemetry {
+            t.instant(
+                consts::TRACK_CLUSTER,
+                &format!("migration.start.p{p}.{source}to{target}"),
+            );
+        }
+        self.schedule(p);
+        true
+    }
+
+    /// Aborts an in-flight migration, discarding everything already
+    /// copied to the target. Returns whether one existed.
+    pub fn abort_migration(&mut self, partition: PartitionId) -> bool {
+        let Some(mig) = self.migrations.remove(&partition.raw()) else {
+            return false;
+        };
+        if let Some(tgt) = self.nodes.iter().position(|n| n.id == mig.target) {
+            self.nodes[tgt].store.drop_partition(partition);
+        }
+        self.counters.migrations_aborted.inc();
+        if let Some(t) = &self.telemetry {
+            t.instant(
+                consts::TRACK_CLUSTER,
+                &format!("migration.abort.p{}", partition.raw()),
+            );
+        }
+        true
+    }
+
+    /// Aborts and immediately restarts a migration toward `new_target`
+    /// (lease-expiry recovery). Returns whether a restart happened.
+    pub fn retarget_migration(&mut self, partition: PartitionId, new_target: NodeId) -> bool {
+        if !self.migrations.contains_key(&partition.raw()) {
+            return false;
+        }
+        self.abort_migration(partition);
+        let restarted = self.start_migration(partition, new_target);
+        if restarted {
+            self.counters.migrations_retargeted.inc();
+        }
+        restarted
+    }
+
+    /// The `(source, target)` of an in-flight migration.
+    pub fn migration_of(&self, partition: PartitionId) -> Option<(NodeId, NodeId)> {
+        self.migrations
+            .get(&partition.raw())
+            .map(|m| (m.source, m.target))
+    }
+
+    /// Number of in-flight migrations.
+    pub fn migrations_in_flight(&self) -> usize {
+        self.migrations.len()
+    }
+
+    /// Whether a migration has copied everything (including its dirty
+    /// backlog) and is waiting for the host to publish the routing flip.
+    /// A concurrent write demotes a ready migration back to copying, so
+    /// the host re-checks this immediately before publishing.
+    pub fn is_flip_ready(&self, partition: PartitionId) -> bool {
+        self.migrations
+            .get(&partition.raw())
+            .is_some_and(|m| m.ready)
+    }
+
+    /// Whether any in-flight migration copies from or to `id` — a
+    /// draining node must not be deregistered while true.
+    pub fn migrations_touch(&self, id: NodeId) -> bool {
+        self.migrations
+            .values()
+            .any(|m| m.source == id || m.target == id)
+    }
+
+    /// Runs the copier up to `now`: pops due activations, copies one
+    /// batch per activation on the private cursor, and returns the
+    /// partitions that became flip-ready. Never touches the shared clock
+    /// or the data-path RNG.
+    pub fn tick(&mut self, now: SimInstant) -> Vec<PartitionId> {
+        let mut flips = Vec::new();
+        while let Some((at, (p, gen))) = self.activations.pop_ready(now) {
+            let Some(mig) = self.migrations.get_mut(&p) else {
+                continue; // aborted since scheduling
+            };
+            if mig.gen != gen {
+                continue; // retargeted since scheduling
+            }
+            mig.scheduled = false;
+            if mig.ready {
+                continue; // a flip is already pending with the host
+            }
+            self.cursor = self.cursor.max(at);
+            self.copy_batch(p);
+            let mig = &self.migrations[&p];
+            if mig.remaining.is_empty() && mig.dirty.is_empty() {
+                self.migrations.get_mut(&p).unwrap().ready = true;
+                flips.push(PartitionId::new(p));
+            } else {
+                self.schedule(p);
+            }
+        }
+        flips
+    }
+
+    /// Commits a flip-ready migration: repoints the assignment table at
+    /// the target and drops the partition from the source. The host must
+    /// publish the route in the coordination service *before* calling
+    /// this — that publish is the linearization point. Returns the
+    /// `(source, target)` pair, or `None` if the migration is not (or no
+    /// longer) flip-ready, e.g. because a write demoted it back to
+    /// copying after the host saw it ready.
+    pub fn complete_flip(&mut self, partition: PartitionId) -> Option<(NodeId, NodeId)> {
+        let p = partition.raw();
+        if !self.migrations.get(&p).is_some_and(|m| m.ready) {
+            return None;
+        }
+        let mig = self.migrations.remove(&p).unwrap();
+        self.assignments.insert(p, mig.target);
+        if let Some(src) = self.nodes.iter().position(|n| n.id == mig.source) {
+            self.nodes[src].store.drop_partition(partition);
+        }
+        self.counters.migrations_flipped.inc();
+        self.counters.pages_copied.add(mig.pages_copied);
+        self.counters.pages_recopied.add(mig.pages_recopied);
+        self.update_imbalance();
+        if let Some(t) = &self.telemetry {
+            t.instant(
+                consts::TRACK_CLUSTER,
+                &format!("migration.flip.p{p}.{}to{}", mig.source, mig.target),
+            );
+        }
+        Some((mig.source, mig.target))
+    }
+
+    /// When the copier next wants to run, for event-driven hosts.
+    pub fn next_activation(&self) -> Option<SimInstant> {
+        self.activations.peek_time()
+    }
+
+    // ----- audit ------------------------------------------------------
+
+    /// Verifies the shadow accounting (see module docs). Uncharged.
+    pub fn audit(&self) -> AuditReport {
+        let mut report = AuditReport::default();
+        for &raw in &self.shadow {
+            report.checked += 1;
+            let key = ExternalKey::from_raw(raw);
+            let p = (raw & 0xFFF) as u16;
+            let owner = self
+                .assignments
+                .get(&p)
+                .copied()
+                .or_else(|| self.ring.home_of(key.partition()));
+            let sanctioned_extra = self.migrations.get(&p).map(|m| m.target);
+            match owner {
+                Some(owner_id) => {
+                    let mut holders = 0usize;
+                    let mut on_owner = false;
+                    for node in &self.nodes {
+                        if !node.store.contains(key) {
+                            continue;
+                        }
+                        if node.id == owner_id {
+                            on_owner = true;
+                        }
+                        if Some(node.id) != sanctioned_extra {
+                            holders += 1;
+                        }
+                    }
+                    if !on_owner {
+                        report.missing.push(raw);
+                    }
+                    if holders > 1 {
+                        report.duplicated.push(raw);
+                    }
+                }
+                None => report.missing.push(raw),
+            }
+        }
+        report
+    }
+
+    /// Number of keys the shadow set currently tracks.
+    pub fn shadow_len(&self) -> usize {
+        self.shadow.len()
+    }
+
+    // ----- internals --------------------------------------------------
+
+    fn schedule(&mut self, p: u16) {
+        let mig = self.migrations.get_mut(&p).unwrap();
+        if mig.scheduled {
+            return;
+        }
+        mig.scheduled = true;
+        let at = self.cursor.max(self.clock.now());
+        self.activations.push(at, (p, mig.gen));
+    }
+
+    /// Copies one batch of `p`'s pages, charging the copier's cursor.
+    fn copy_batch(&mut self, p: u16) {
+        let mig = self.migrations.get_mut(&p).unwrap();
+        let mut batch: Vec<(u64, bool)> = Vec::with_capacity(self.batch_pages);
+        while batch.len() < self.batch_pages {
+            if let Some(raw) = mig.remaining.pop_front() {
+                // A key both snapshotted and dirtied is copied once, from
+                // the log, so the freshest value always lands last.
+                if mig.dirty.contains(&raw) {
+                    continue;
+                }
+                batch.push((raw, false));
+            } else if let Some(&raw) = mig.dirty.iter().next() {
+                mig.dirty.remove(&raw);
+                batch.push((raw, true));
+            } else {
+                break;
+            }
+        }
+        if batch.is_empty() {
+            return;
+        }
+        let (source, target) = (mig.source, mig.target);
+        let Some(src) = self.nodes.iter().position(|n| n.id == source) else {
+            return;
+        };
+        let Some(tgt) = self.nodes.iter().position(|n| n.id == target) else {
+            return;
+        };
+        // Uncharged peeks on the source, then uncharged installs on the
+        // target; the transfer cost lands on the copier's own timeline.
+        let pages: Vec<(u64, bool, Option<PageContents>)> = batch
+            .iter()
+            .map(|&(raw, redo)| {
+                (
+                    raw,
+                    redo,
+                    self.nodes[src].store.peek(ExternalKey::from_raw(raw)),
+                )
+            })
+            .collect();
+        let count = pages.len();
+        let mut copied = 0;
+        let mut recopied = 0;
+        for (raw, redo, value) in pages {
+            let key = ExternalKey::from_raw(raw);
+            match value {
+                Some(v) => {
+                    let _ = self.nodes[tgt].store.ingest(key, v);
+                }
+                // Deleted (or lost) on the source since the snapshot:
+                // propagate the absence.
+                None => {
+                    self.nodes[tgt].store.expunge(key);
+                }
+            }
+            if redo {
+                recopied += 1;
+            } else {
+                copied += 1;
+            }
+        }
+        let start = self.cursor;
+        let flight = self
+            .transport
+            .sample_batch_flight(&mut self.rng, count, count * 4096);
+        self.cursor = start + flight;
+        let mig = self.migrations.get_mut(&p).unwrap();
+        mig.pages_copied += copied;
+        mig.pages_recopied += recopied;
+        if let Some(t) = &self.telemetry {
+            t.record_span(
+                consts::TRACK_CLUSTER,
+                &format!("migration.copy.p{p}"),
+                start,
+                self.cursor,
+            );
+        }
+    }
+
+    /// The index of the node `key` routes to, assigning the partition on
+    /// first touch.
+    fn route(&mut self, key: ExternalKey) -> Result<usize, KvError> {
+        let p = key.raw() as u16 & 0xFFF;
+        let owner = match self.assignments.get(&p) {
+            Some(&n) => n,
+            None => {
+                let home = self
+                    .ring
+                    .home_of(key.partition())
+                    .ok_or(KvError::Unavailable)?;
+                self.assignments.insert(p, home);
+                home
+            }
+        };
+        let idx = self
+            .nodes
+            .iter()
+            .position(|n| n.id == owner)
+            .ok_or(KvError::Unavailable)?;
+        if !self.nodes[idx].alive {
+            return Err(KvError::Unavailable);
+        }
+        Ok(idx)
+    }
+
+    /// Conservative dirty marking: record a write at issue time, before
+    /// its outcome is known, so an applied-but-unacked timeout can never
+    /// leave the target stale.
+    fn note_write(&mut self, key: ExternalKey) {
+        let p = key.raw() as u16 & 0xFFF;
+        if let Some(mig) = self.migrations.get_mut(&p) {
+            mig.dirty.insert(key.raw());
+            if mig.ready {
+                // The partition is no longer quiesced; demote and resume
+                // copying. A flip the host already observed will now
+                // refuse to commit.
+                mig.ready = false;
+                self.schedule(p);
+            }
+        }
+    }
+
+    fn update_imbalance(&mut self) {
+        let mut counts: HashMap<NodeId, u64> = self.ring.nodes().map(|n| (n, 0)).collect();
+        if counts.is_empty() {
+            self.counters.ring_imbalance_permille.set(0);
+            return;
+        }
+        for &owner in self.assignments.values() {
+            if let Some(c) = counts.get_mut(&owner) {
+                *c += 1;
+            }
+        }
+        let total: u64 = counts.values().sum();
+        if total == 0 {
+            self.counters.ring_imbalance_permille.set(0);
+            return;
+        }
+        let max = counts.values().copied().max().unwrap_or(0) as f64;
+        let mean = total as f64 / counts.len() as f64;
+        let permille = ((max - mean) / mean * 1000.0).round() as i64;
+        self.counters.ring_imbalance_permille.set(permille);
+    }
+}
+
+impl std::fmt::Debug for ClusterStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterStore")
+            .field("nodes", &self.nodes.len())
+            .field("assignments", &self.assignments.len())
+            .field("migrations", &self.migrations.len())
+            .field("shadow", &self.shadow.len())
+            .finish()
+    }
+}
+
+impl KeyValueStore for ClusterStore {
+    fn name(&self) -> &'static str {
+        "cluster"
+    }
+
+    fn put(&mut self, key: ExternalKey, value: PageContents) -> Result<(), KvError> {
+        self.note_write(key);
+        let idx = self.route(key)?;
+        self.nodes[idx].puts.inc();
+        let r = self.nodes[idx].store.put(key, value);
+        match &r {
+            Ok(()) => {
+                self.shadow.insert(key.raw());
+            }
+            Err(_) => self.nodes[idx].errors.inc(),
+        }
+        r
+    }
+
+    fn delete(&mut self, key: ExternalKey) -> bool {
+        self.shadow.remove(&key.raw());
+        let p = key.raw() as u16 & 0xFFF;
+        // Propagate the delete to an in-flight migration target and
+        // retire any pending re-copy of the key.
+        if let Some(mig) = self.migrations.get_mut(&p) {
+            mig.dirty.remove(&key.raw());
+            let target = mig.target;
+            if let Some(tgt) = self.nodes.iter().position(|n| n.id == target) {
+                self.nodes[tgt].store.expunge(key);
+            }
+        }
+        let Ok(idx) = self.route(key) else {
+            return false;
+        };
+        self.nodes[idx].deletes.inc();
+        self.nodes[idx].store.delete(key)
+    }
+
+    fn begin_get(&mut self, key: ExternalKey) -> PendingGet {
+        match self.route(key) {
+            Ok(idx) => {
+                self.nodes[idx].gets.inc();
+                let pending = self.nodes[idx].store.begin_get(key);
+                self.pending_gets
+                    .entry(key.raw())
+                    .or_default()
+                    .push_back(idx);
+                pending
+            }
+            Err(e) => {
+                // No routable node: a pre-failed flight, resolved at
+                // finish time without touching any store.
+                let now = self.clock.now();
+                PendingGet {
+                    key,
+                    result: Err(e),
+                    issued_at: now,
+                    completes_at: now,
+                }
+            }
+        }
+    }
+
+    fn finish_get(&mut self, pending: PendingGet) -> Result<PageContents, KvError> {
+        let served = self
+            .pending_gets
+            .get_mut(&pending.key.raw())
+            .and_then(VecDeque::pop_front);
+        match served {
+            Some(idx) => {
+                let r = self.nodes[idx].store.finish_get(pending);
+                if r.is_err() {
+                    self.nodes[idx].errors.inc();
+                }
+                r
+            }
+            // A pre-failed flight from `begin_get`.
+            None => pending.result,
+        }
+    }
+
+    fn begin_multi_write(
+        &mut self,
+        batch: Vec<(ExternalKey, PageContents)>,
+    ) -> Result<PendingWrite, KvError> {
+        let keys: Vec<ExternalKey> = batch.iter().map(|&(k, _)| k).collect();
+        for &k in &keys {
+            self.note_write(k);
+        }
+        // Split by owning node, preserving batch order within each shard.
+        let mut shards: Vec<(usize, Vec<(ExternalKey, PageContents)>)> = Vec::new();
+        for (k, v) in batch {
+            let idx = self.route(k)?;
+            match shards.iter_mut().find(|(i, _)| *i == idx) {
+                Some((_, shard)) => shard.push((k, v)),
+                None => shards.push((idx, vec![(k, v)])),
+            }
+        }
+        let now = self.clock.now();
+        let mut inner: Vec<(usize, PendingWrite)> = Vec::with_capacity(shards.len());
+        for (idx, shard) in shards {
+            match self.nodes[idx].store.begin_multi_write(shard) {
+                Ok(p) => {
+                    self.nodes[idx].puts.add(p.keys.len() as u64);
+                    inner.push((idx, p));
+                }
+                Err(e) => {
+                    self.nodes[idx].errors.inc();
+                    // Settle the shards already issued before failing, so
+                    // no inner flight is silently abandoned.
+                    for (i, p) in inner {
+                        self.nodes[i].store.finish_write(p);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let issued_at = inner.iter().map(|(_, p)| p.issued_at).min().unwrap_or(now);
+        let completes_at = inner
+            .iter()
+            .map(|(_, p)| p.completes_at)
+            .max()
+            .unwrap_or(now);
+        if let Some(&first) = keys.first() {
+            self.inflight_writes.push((first.raw(), inner));
+        }
+        Ok(PendingWrite {
+            keys,
+            issued_at,
+            completes_at,
+        })
+    }
+
+    fn finish_write(&mut self, pending: PendingWrite) {
+        let Some(&first) = pending.keys.first() else {
+            return;
+        };
+        let Some(pos) = self
+            .inflight_writes
+            .iter()
+            .position(|(k, _)| *k == first.raw())
+        else {
+            return;
+        };
+        let (_, inner) = self.inflight_writes.remove(pos);
+        for (idx, p) in inner {
+            for &k in &p.keys {
+                self.shadow.insert(k.raw());
+            }
+            self.nodes[idx].store.finish_write(p);
+        }
+    }
+
+    fn drop_partition(&mut self, partition: PartitionId) -> u64 {
+        let p = partition.raw();
+        // A dying partition's migration is moot.
+        self.abort_migration(partition);
+        self.shadow.retain(|&raw| (raw & 0xFFF) as u16 != p);
+        let dropped = match self.assignments.get(&p) {
+            Some(&owner) => match self.nodes.iter().position(|n| n.id == owner) {
+                Some(idx) => self.nodes[idx].store.drop_partition(partition),
+                None => 0,
+            },
+            None => 0,
+        };
+        self.assignments.remove(&p);
+        self.update_imbalance();
+        dropped
+    }
+
+    fn len(&self) -> usize {
+        self.nodes.iter().map(|n| n.store.len()).sum()
+    }
+
+    fn contains(&self, key: ExternalKey) -> bool {
+        let p = (key.raw() & 0xFFF) as u16;
+        let owner = self
+            .assignments
+            .get(&p)
+            .copied()
+            .or_else(|| self.ring.home_of(key.partition()));
+        match owner {
+            Some(id) => self
+                .nodes
+                .iter()
+                .find(|n| n.id == id)
+                .is_some_and(|n| n.store.contains(key)),
+            None => false,
+        }
+    }
+
+    fn partition_keys(&self, partition: PartitionId) -> Vec<ExternalKey> {
+        match self.assignments.get(&partition.raw()) {
+            Some(&owner) => self
+                .nodes
+                .iter()
+                .find(|n| n.id == owner)
+                .map_or_else(Vec::new, |n| n.store.partition_keys(partition)),
+            None => Vec::new(),
+        }
+    }
+
+    fn peek(&self, key: ExternalKey) -> Option<PageContents> {
+        let p = (key.raw() & 0xFFF) as u16;
+        let owner = self
+            .assignments
+            .get(&p)
+            .copied()
+            .or_else(|| self.ring.home_of(key.partition()))?;
+        self.nodes
+            .iter()
+            .find(|n| n.id == owner)
+            .and_then(|n| n.store.peek(key))
+    }
+
+    fn stats(&self) -> StoreStats {
+        let mut total = StoreStats::default();
+        for n in &self.nodes {
+            let s = n.store.stats();
+            total.gets += s.gets;
+            total.get_misses += s.get_misses;
+            total.puts += s.puts;
+            total.batched_puts += s.batched_puts;
+            total.multi_writes += s.multi_writes;
+            total.deletes += s.deletes;
+            total.evictions += s.evictions;
+            total.cleanings += s.cleanings;
+            total.recoveries += s.recoveries;
+            total.faults_injected += s.faults_injected;
+            total.timeouts += s.timeouts;
+            total.unavailables += s.unavailables;
+            total.retries += s.retries;
+            total.failovers += s.failovers;
+        }
+        total
+    }
+
+    fn instrument(&mut self, registry: &Registry) {
+        self.counters.register(registry);
+        for node in &self.nodes {
+            node.register(registry);
+        }
+    }
+}
+
+/// A cheaply clonable handle to one [`ClusterStore`], so the monitor's
+/// fault pipeline (through the [`KeyValueStore`] face) and the host
+/// agent (through [`with`](ClusterHandle::with), driving membership and
+/// migrations) share the same cluster.
+#[derive(Clone)]
+pub struct ClusterHandle {
+    inner: Rc<RefCell<ClusterStore>>,
+}
+
+impl ClusterHandle {
+    /// Wraps a cluster for sharing.
+    pub fn new(cluster: ClusterStore) -> Self {
+        ClusterHandle {
+            inner: Rc::new(RefCell::new(cluster)),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the cluster.
+    pub fn with<R>(&self, f: impl FnOnce(&mut ClusterStore) -> R) -> R {
+        f(&mut self.inner.borrow_mut())
+    }
+}
+
+impl std::fmt::Debug for ClusterHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.borrow().fmt(f)
+    }
+}
+
+impl KeyValueStore for ClusterHandle {
+    fn name(&self) -> &'static str {
+        "cluster"
+    }
+
+    fn put(&mut self, key: ExternalKey, value: PageContents) -> Result<(), KvError> {
+        self.inner.borrow_mut().put(key, value)
+    }
+
+    fn delete(&mut self, key: ExternalKey) -> bool {
+        self.inner.borrow_mut().delete(key)
+    }
+
+    fn begin_get(&mut self, key: ExternalKey) -> PendingGet {
+        self.inner.borrow_mut().begin_get(key)
+    }
+
+    fn finish_get(&mut self, pending: PendingGet) -> Result<PageContents, KvError> {
+        self.inner.borrow_mut().finish_get(pending)
+    }
+
+    fn begin_multi_write(
+        &mut self,
+        batch: Vec<(ExternalKey, PageContents)>,
+    ) -> Result<PendingWrite, KvError> {
+        self.inner.borrow_mut().begin_multi_write(batch)
+    }
+
+    fn finish_write(&mut self, pending: PendingWrite) {
+        self.inner.borrow_mut().finish_write(pending)
+    }
+
+    fn drop_partition(&mut self, partition: PartitionId) -> u64 {
+        self.inner.borrow_mut().drop_partition(partition)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    fn contains(&self, key: ExternalKey) -> bool {
+        self.inner.borrow().contains(key)
+    }
+
+    fn partition_keys(&self, partition: PartitionId) -> Vec<ExternalKey> {
+        self.inner.borrow().partition_keys(partition)
+    }
+
+    fn peek(&self, key: ExternalKey) -> Option<PageContents> {
+        self.inner.borrow().peek(key)
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.borrow().stats()
+    }
+
+    fn instrument(&mut self, registry: &Registry) {
+        self.inner.borrow_mut().instrument(registry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DramStore;
+    use fluidmem_mem::Vpn;
+    use fluidmem_sim::SimDuration;
+
+    fn key(vpn: u64, p: u16) -> ExternalKey {
+        ExternalKey::new(Vpn::new(vpn), PartitionId::new(p))
+    }
+
+    fn cluster_with(clock: &SimClock, n: u32) -> ClusterStore {
+        let mut c = ClusterStore::new(
+            clock.clone(),
+            SimRng::seed_from_u64(0xC1),
+            TransportModel::infiniband_verbs(),
+            64,
+            8,
+        );
+        for id in 0..n {
+            c.add_node(
+                id,
+                Box::new(DramStore::new(
+                    1 << 24,
+                    clock.clone(),
+                    SimRng::seed_from_u64(u64::from(id) + 10),
+                )),
+            );
+        }
+        c
+    }
+
+    #[test]
+    fn routes_are_sticky_per_partition() {
+        let clock = SimClock::new();
+        let mut c = cluster_with(&clock, 4);
+        for vpn in 0..32 {
+            c.put(key(vpn, 5), PageContents::Token(vpn)).unwrap();
+        }
+        let owner = c.owner_of(PartitionId::new(5)).unwrap();
+        assert_eq!(c.node_len(owner), 32, "one partition lives on one node");
+        for vpn in 0..32 {
+            assert_eq!(c.get(key(vpn, 5)).unwrap(), PageContents::Token(vpn));
+        }
+        assert!(c.audit().is_clean());
+    }
+
+    #[test]
+    fn distinct_partitions_spread_across_nodes() {
+        let clock = SimClock::new();
+        let mut c = cluster_with(&clock, 4);
+        for p in 0..64 {
+            c.put(key(1, p), PageContents::Token(u64::from(p))).unwrap();
+        }
+        let used: Vec<usize> = (0..4).map(|id| c.node_len(id)).collect();
+        assert!(used.iter().filter(|&&n| n > 0).count() >= 3, "{used:?}");
+        assert_eq!(used.iter().sum::<usize>(), 64);
+    }
+
+    #[test]
+    fn migration_moves_every_page_and_flips_routing() {
+        let clock = SimClock::new();
+        let mut c = cluster_with(&clock, 2);
+        let p = PartitionId::new(3);
+        for vpn in 0..100 {
+            c.put(key(vpn, 3), PageContents::Token(vpn)).unwrap();
+        }
+        let source = c.owner_of(p).unwrap();
+        let target = 1 - source;
+        assert!(c.start_migration(p, target));
+        assert!(!c.start_migration(p, target), "double start refused");
+
+        // Run the copier to completion.
+        let mut flips = Vec::new();
+        for _ in 0..1000 {
+            clock.advance(SimDuration::from_micros(50));
+            flips.extend(c.tick(clock.now()));
+            if !flips.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(flips, vec![p]);
+        assert_eq!(c.complete_flip(p), Some((source, target)));
+        assert_eq!(c.owner_of(p), Some(target));
+        assert_eq!(c.node_len(source), 0, "source dropped the partition");
+        assert_eq!(c.node_len(target), 100);
+        for vpn in 0..100 {
+            assert_eq!(c.get(key(vpn, 3)).unwrap(), PageContents::Token(vpn));
+        }
+        assert!(c.audit().is_clean());
+        assert_eq!(c.counters().pages_copied.get(), 100);
+    }
+
+    #[test]
+    fn writes_during_migration_are_recopied_not_lost() {
+        let clock = SimClock::new();
+        let mut c = cluster_with(&clock, 2);
+        let p = PartitionId::new(7);
+        for vpn in 0..64 {
+            c.put(key(vpn, 7), PageContents::Token(vpn)).unwrap();
+        }
+        let source = c.owner_of(p).unwrap();
+        let target = 1 - source;
+        assert!(c.start_migration(p, target));
+
+        // Interleave copier progress with overwrites: every write issued
+        // before the flip must survive it via the dirty log.
+        let mut flips = Vec::new();
+        let mut written = 0u64;
+        while flips.is_empty() {
+            clock.advance(SimDuration::from_micros(30));
+            if written < 64 {
+                c.put(key(written, 7), PageContents::Token(written + 500))
+                    .unwrap();
+                written += 1;
+            }
+            flips.extend(c.tick(clock.now()));
+            assert!(
+                clock.now() < SimInstant::from_nanos(1 << 40),
+                "must converge"
+            );
+        }
+        assert!(c.complete_flip(p).is_some());
+        assert!(written > 0);
+        for vpn in 0..written {
+            assert_eq!(
+                c.get(key(vpn, 7)).unwrap(),
+                PageContents::Token(vpn + 500),
+                "vpn {vpn} must carry the overwrite, not the stale snapshot"
+            );
+        }
+        for vpn in written..64 {
+            assert_eq!(c.get(key(vpn, 7)).unwrap(), PageContents::Token(vpn));
+        }
+        assert!(c.audit().is_clean());
+        assert!(c.counters().pages_recopied.get() > 0, "dirty log exercised");
+    }
+
+    #[test]
+    fn write_during_flip_ready_demotes_the_migration() {
+        let clock = SimClock::new();
+        let mut c = cluster_with(&clock, 2);
+        let p = PartitionId::new(2);
+        for vpn in 0..8 {
+            c.put(key(vpn, 2), PageContents::Token(vpn)).unwrap();
+        }
+        let target = 1 - c.owner_of(p).unwrap();
+        assert!(c.start_migration(p, target));
+        let mut flips = Vec::new();
+        while flips.is_empty() {
+            clock.advance(SimDuration::from_micros(50));
+            flips.extend(c.tick(clock.now()));
+        }
+        // The host saw the ready signal but a write sneaks in first.
+        c.put(key(0, 2), PageContents::Token(999)).unwrap();
+        assert_eq!(
+            c.complete_flip(p),
+            None,
+            "flip must refuse a dirty partition"
+        );
+        let mut flips = Vec::new();
+        while flips.is_empty() {
+            clock.advance(SimDuration::from_micros(50));
+            flips.extend(c.tick(clock.now()));
+        }
+        assert!(c.complete_flip(p).is_some());
+        assert_eq!(c.get(key(0, 2)).unwrap(), PageContents::Token(999));
+        assert!(c.audit().is_clean());
+    }
+
+    #[test]
+    fn deletes_during_migration_do_not_resurrect() {
+        let clock = SimClock::new();
+        let mut c = cluster_with(&clock, 2);
+        let p = PartitionId::new(9);
+        for vpn in 0..32 {
+            c.put(key(vpn, 9), PageContents::Token(vpn)).unwrap();
+        }
+        let target = 1 - c.owner_of(p).unwrap();
+        assert!(c.start_migration(p, target));
+        // Delete half the partition while the copier runs.
+        for vpn in 0..16 {
+            assert!(c.delete(key(vpn, 9)));
+        }
+        let mut flips = Vec::new();
+        while flips.is_empty() {
+            clock.advance(SimDuration::from_micros(50));
+            flips.extend(c.tick(clock.now()));
+        }
+        assert!(c.complete_flip(p).is_some());
+        for vpn in 0..16 {
+            assert!(
+                matches!(c.get(key(vpn, 9)), Err(KvError::NotFound(_))),
+                "deleted vpn {vpn} must stay deleted after the flip"
+            );
+        }
+        for vpn in 16..32 {
+            assert_eq!(c.get(key(vpn, 9)).unwrap(), PageContents::Token(vpn));
+        }
+        assert!(c.audit().is_clean());
+    }
+
+    #[test]
+    fn copier_never_touches_the_shared_clock() {
+        let clock = SimClock::new();
+        let mut c = cluster_with(&clock, 2);
+        let p = PartitionId::new(4);
+        for vpn in 0..256 {
+            c.put(key(vpn, 4), PageContents::Token(vpn)).unwrap();
+        }
+        let target = 1 - c.owner_of(p).unwrap();
+        let before = clock.now();
+        assert!(c.start_migration(p, target));
+        // Ticks at a frozen clock: the copier makes progress on its own
+        // cursor without ever advancing shared time.
+        for _ in 0..1000 {
+            c.tick(clock.now());
+        }
+        assert_eq!(
+            clock.now(),
+            before,
+            "tick must not advance the shared clock"
+        );
+    }
+
+    #[test]
+    fn abort_discards_partial_copies() {
+        let clock = SimClock::new();
+        let mut c = cluster_with(&clock, 2);
+        let p = PartitionId::new(6);
+        for vpn in 0..64 {
+            c.put(key(vpn, 6), PageContents::Token(vpn)).unwrap();
+        }
+        let source = c.owner_of(p).unwrap();
+        let target = 1 - source;
+        assert!(c.start_migration(p, target));
+        clock.advance(SimDuration::from_micros(100));
+        c.tick(clock.now()); // one batch lands on the target
+        assert!(c.node_len(target) > 0);
+        assert!(c.abort_migration(p));
+        assert_eq!(c.node_len(target), 0, "partial copies discarded");
+        assert_eq!(c.owner_of(p), Some(source));
+        for vpn in 0..64 {
+            assert_eq!(c.get(key(vpn, 6)).unwrap(), PageContents::Token(vpn));
+        }
+        assert!(c.audit().is_clean());
+    }
+
+    #[test]
+    fn failed_target_is_reported_for_retargeting() {
+        let clock = SimClock::new();
+        let mut c = cluster_with(&clock, 3);
+        let p = PartitionId::new(11);
+        for vpn in 0..32 {
+            c.put(key(vpn, 11), PageContents::Token(vpn)).unwrap();
+        }
+        let source = c.owner_of(p).unwrap();
+        let target = (source + 1) % 3;
+        let third = (source + 2) % 3;
+        assert!(c.start_migration(p, target));
+        clock.advance(SimDuration::from_micros(100));
+        c.tick(clock.now());
+        let retarget = c.fail_node(target);
+        assert_eq!(retarget, vec![p]);
+        assert!(c.migration_of(p).is_none(), "aborted by the failure");
+        assert!(c.start_migration(p, third));
+        let mut flips = Vec::new();
+        while flips.is_empty() {
+            clock.advance(SimDuration::from_micros(50));
+            flips.extend(c.tick(clock.now()));
+        }
+        assert_eq!(c.complete_flip(p), Some((source, third)));
+        for vpn in 0..32 {
+            assert_eq!(c.get(key(vpn, 11)).unwrap(), PageContents::Token(vpn));
+        }
+        assert!(c.audit().is_clean());
+    }
+
+    #[test]
+    fn rebalance_plan_follows_ring_changes() {
+        let clock = SimClock::new();
+        let mut c = cluster_with(&clock, 2);
+        for p in 0..32 {
+            c.put(key(1, p), PageContents::Token(u64::from(p))).unwrap();
+        }
+        assert!(
+            c.rebalance_plan().is_empty(),
+            "in-balance cluster plans nothing"
+        );
+        c.add_node(
+            2,
+            Box::new(DramStore::new(
+                1 << 24,
+                clock.clone(),
+                SimRng::seed_from_u64(99),
+            )),
+        );
+        let plan = c.rebalance_plan();
+        assert!(!plan.is_empty(), "the new node must attract partitions");
+        assert!(plan.iter().all(|&(_, t)| t == 2));
+        for &(p, t) in &plan {
+            assert!(c.start_migration(p, t));
+        }
+        loop {
+            clock.advance(SimDuration::from_micros(50));
+            for p in c.tick(clock.now()) {
+                c.complete_flip(p);
+            }
+            if c.migrations_in_flight() == 0 {
+                break;
+            }
+        }
+        assert!(c.rebalance_plan().is_empty(), "converged after migrating");
+        assert!(c.audit().is_clean());
+        assert!(c.node_len(2) > 0);
+    }
+
+    #[test]
+    fn async_ops_route_like_sync_ops() {
+        let clock = SimClock::new();
+        let mut c = cluster_with(&clock, 3);
+        // Overlapped gets against different partitions, finished out of
+        // order — the per-key FIFO must pair each finish with its node.
+        c.put(key(1, 0), PageContents::Token(10)).unwrap();
+        c.put(key(1, 1), PageContents::Token(11)).unwrap();
+        let a = c.begin_get(key(1, 0));
+        let b = c.begin_get(key(1, 1));
+        assert_eq!(c.finish_get(b).unwrap(), PageContents::Token(11));
+        assert_eq!(c.finish_get(a).unwrap(), PageContents::Token(10));
+
+        // A multi-write spanning partitions on different nodes.
+        let batch: Vec<(ExternalKey, PageContents)> = (0..16)
+            .map(|p| (key(2, p), PageContents::Token(u64::from(p) + 100)))
+            .collect();
+        let pending = c.begin_multi_write(batch).unwrap();
+        c.finish_write(pending);
+        for p in 0..16 {
+            assert_eq!(
+                c.get(key(2, p)).unwrap(),
+                PageContents::Token(u64::from(p) + 100)
+            );
+        }
+        assert!(c.audit().is_clean());
+    }
+
+    #[test]
+    fn empty_ring_fails_cleanly() {
+        let clock = SimClock::new();
+        let mut c = ClusterStore::new(
+            clock.clone(),
+            SimRng::seed_from_u64(1),
+            TransportModel::local(),
+            8,
+            4,
+        );
+        assert!(matches!(
+            c.put(key(1, 0), PageContents::Zero),
+            Err(KvError::Unavailable)
+        ));
+        let pending = c.begin_get(key(1, 0));
+        assert!(matches!(c.finish_get(pending), Err(KvError::Unavailable)));
+    }
+
+    #[test]
+    fn drop_partition_clears_shadow_and_migration() {
+        let clock = SimClock::new();
+        let mut c = cluster_with(&clock, 2);
+        let p = PartitionId::new(5);
+        for vpn in 0..16 {
+            c.put(key(vpn, 5), PageContents::Token(vpn)).unwrap();
+        }
+        let target = 1 - c.owner_of(p).unwrap();
+        assert!(c.start_migration(p, target));
+        assert_eq!(c.drop_partition(p), 16);
+        assert_eq!(c.shadow_len(), 0);
+        assert!(c.migration_of(p).is_none());
+        assert_eq!(c.len(), 0);
+    }
+}

@@ -175,6 +175,33 @@ impl KeyValueStore for DramStore {
         self.map.contains_key(&key.raw())
     }
 
+    fn partition_keys(&self, partition: PartitionId) -> Vec<ExternalKey> {
+        let mut keys: Vec<ExternalKey> = self
+            .map
+            .keys()
+            .filter(|&&raw| raw & 0xFFF == u64::from(partition.raw()))
+            .map(|&raw| ExternalKey::from_raw(raw))
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    fn peek(&self, key: ExternalKey) -> Option<PageContents> {
+        self.map.get(&key.raw()).cloned()
+    }
+
+    fn ingest(&mut self, key: ExternalKey, value: PageContents) -> Result<(), KvError> {
+        if !self.map.contains_key(&key.raw()) && self.map.len() >= self.capacity_pages {
+            return Err(KvError::OutOfCapacity);
+        }
+        self.map.insert(key.raw(), value);
+        Ok(())
+    }
+
+    fn expunge(&mut self, key: ExternalKey) -> bool {
+        self.map.remove(&key.raw()).is_some()
+    }
+
     fn stats(&self) -> StoreStats {
         self.stats.snapshot()
     }

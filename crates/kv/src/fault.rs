@@ -285,6 +285,24 @@ impl KeyValueStore for FaultInjectingStore {
         self.inner.contains(key)
     }
 
+    // Maintenance traffic is out-of-band (a copier's private channel),
+    // so it is not faultable and consumes no fault-plan decisions.
+    fn partition_keys(&self, partition: PartitionId) -> Vec<ExternalKey> {
+        self.inner.partition_keys(partition)
+    }
+
+    fn peek(&self, key: ExternalKey) -> Option<PageContents> {
+        self.inner.peek(key)
+    }
+
+    fn ingest(&mut self, key: ExternalKey, value: PageContents) -> Result<(), KvError> {
+        self.inner.ingest(key, value)
+    }
+
+    fn expunge(&mut self, key: ExternalKey) -> bool {
+        self.inner.expunge(key)
+    }
+
     fn stats(&self) -> StoreStats {
         let mut stats = self.inner.stats();
         stats.faults_injected += self.faults_injected.get();

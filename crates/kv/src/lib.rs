@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cluster;
 mod compress;
 mod dram;
 mod error;
@@ -34,11 +35,13 @@ mod pending;
 mod ramcloud;
 mod replicated;
 mod retry;
+mod ring;
 mod shared;
 mod stats;
 mod store;
 mod transport;
 
+pub use cluster::{AuditReport, ClusterCounters, ClusterHandle, ClusterStore};
 pub use compress::{rle_compress, rle_decompress, CompressedStore};
 pub use dram::DramStore;
 pub use error::KvError;
@@ -49,6 +52,7 @@ pub use pending::{PendingGet, PendingWrite};
 pub use ramcloud::RamCloudStore;
 pub use replicated::ReplicatedStore;
 pub use retry::{run_with_retries, run_with_retries_from, RetryPolicy};
+pub use ring::{HashRing, NodeId};
 pub use shared::SharedStore;
 pub use stats::{StoreCounters, StoreStats};
 pub use store::KeyValueStore;

@@ -307,6 +307,29 @@ impl KeyValueStore for MemcachedStore {
         self.items.contains_key(&key.raw())
     }
 
+    fn partition_keys(&self, partition: PartitionId) -> Vec<ExternalKey> {
+        let mut keys: Vec<ExternalKey> = self
+            .items
+            .keys()
+            .filter(|&&raw| raw & 0xFFF == u64::from(partition.raw()))
+            .map(|&raw| ExternalKey::from_raw(raw))
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    fn peek(&self, key: ExternalKey) -> Option<PageContents> {
+        self.items.get(&key.raw()).map(|item| item.value.clone())
+    }
+
+    fn ingest(&mut self, key: ExternalKey, value: PageContents) -> Result<(), KvError> {
+        self.insert_item(key, value)
+    }
+
+    fn expunge(&mut self, key: ExternalKey) -> bool {
+        self.remove_item(key).is_some()
+    }
+
     fn stats(&self) -> StoreStats {
         self.stats.snapshot()
     }

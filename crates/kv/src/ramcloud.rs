@@ -386,6 +386,37 @@ impl KeyValueStore for RamCloudStore {
         self.index.contains_key(&key.raw())
     }
 
+    fn partition_keys(&self, partition: PartitionId) -> Vec<ExternalKey> {
+        let mut keys: Vec<ExternalKey> = self
+            .index
+            .keys()
+            .filter(|&&raw| raw & 0xFFF == u64::from(partition.raw()))
+            .map(|&raw| ExternalKey::from_raw(raw))
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    fn peek(&self, key: ExternalKey) -> Option<PageContents> {
+        let &(seg, idx) = self.index.get(&key.raw())?;
+        Some(
+            self.segments[seg as usize].records[idx as usize]
+                .value
+                .clone(),
+        )
+    }
+
+    fn ingest(&mut self, key: ExternalKey, value: PageContents) -> Result<(), KvError> {
+        self.kill_existing(key);
+        self.append(key, value)
+    }
+
+    fn expunge(&mut self, key: ExternalKey) -> bool {
+        let existed = self.index.contains_key(&key.raw());
+        self.kill_existing(key);
+        existed
+    }
+
     fn stats(&self) -> StoreStats {
         self.stats.snapshot()
     }

@@ -205,18 +205,36 @@ impl KeyValueStore for ReplicatedStore {
         // version; a timed-out or refused primary that acked the latest
         // write still holds the page and just needs to be reachable again.
         let needs_repair = primary_stale || matches!(primary_result, Err(KvError::NotFound(_)));
+        let mut trusted_miss = false;
         for i in 0..self.replicas.len() {
             if i == primary || !self.alive[i] || self.stale[i].contains(&key.raw()) {
                 continue;
             }
-            if let Ok(v) = self.replicas[i].get(key) {
-                self.failovers.inc();
-                if needs_repair && self.replicas[primary].put(key, v.clone()).is_ok() {
-                    self.stale[primary].remove(&key.raw());
-                    self.repairs += 1;
+            match self.replicas[i].get(key) {
+                Ok(v) => {
+                    self.failovers.inc();
+                    if needs_repair && self.replicas[primary].put(key, v.clone()).is_ok() {
+                        self.stale[primary].remove(&key.raw());
+                        self.repairs += 1;
+                    }
+                    return Ok(v);
                 }
-                return Ok(v);
+                // A replica that acked every write for this key and has
+                // no copy is authoritative: the latest write was a
+                // delete.
+                Err(KvError::NotFound(_)) => trusted_miss = true,
+                Err(_) => {}
             }
+        }
+        if primary_stale && trusted_miss {
+            // The write the stale primary missed was a delete. Without
+            // this, the primary's leftover copy would resurrect deleted
+            // data and the stale mark would never drain: read-repair the
+            // delete through and report an honest miss.
+            self.replicas[primary].delete(key);
+            self.stale[primary].remove(&key.raw());
+            self.repairs += 1;
+            return Err(KvError::NotFound(key));
         }
         primary_result
     }
@@ -289,6 +307,58 @@ impl KeyValueStore for ReplicatedStore {
             .iter()
             .zip(&self.alive)
             .any(|(r, &alive)| alive && r.contains(key))
+    }
+
+    fn partition_keys(&self, partition: PartitionId) -> Vec<ExternalKey> {
+        self.first_alive()
+            .map(|i| self.replicas[i].partition_keys(partition))
+            .unwrap_or_default()
+    }
+
+    fn peek(&self, key: ExternalKey) -> Option<PageContents> {
+        let primary = self.first_alive()?;
+        if self.stale[primary].contains(&key.raw()) {
+            // A stale primary's copy is untrusted; peek a replica that
+            // acked the latest write instead.
+            for (i, r) in self.replicas.iter().enumerate() {
+                if i != primary && self.alive[i] && !self.stale[i].contains(&key.raw()) {
+                    return r.peek(key);
+                }
+            }
+            return None;
+        }
+        self.replicas[primary].peek(key)
+    }
+
+    fn ingest(&mut self, key: ExternalKey, value: PageContents) -> Result<(), KvError> {
+        let mut any = false;
+        for i in 0..self.replicas.len() {
+            if !self.alive[i] {
+                self.note_write_outcome(i, &[key], false);
+                continue;
+            }
+            let acked = self.replicas[i].ingest(key, value.clone()).is_ok();
+            self.note_write_outcome(i, &[key], acked);
+            any |= acked;
+        }
+        if any {
+            Ok(())
+        } else {
+            Err(KvError::Unavailable)
+        }
+    }
+
+    fn expunge(&mut self, key: ExternalKey) -> bool {
+        let mut existed = false;
+        for i in 0..self.replicas.len() {
+            if self.alive[i] {
+                existed |= self.replicas[i].expunge(key);
+                self.stale[i].remove(&key.raw());
+            } else {
+                self.stale[i].insert(key.raw());
+            }
+        }
+        existed
     }
 
     fn stats(&self) -> StoreStats {
@@ -479,6 +549,74 @@ mod tests {
         // Healed: the next read is primary-served again.
         assert_eq!(s.get(key(1)).unwrap(), PageContents::Token(2));
         assert_eq!(s.failovers(), 1);
+    }
+
+    #[test]
+    fn deleted_key_is_not_resurrected_by_a_stale_primary() {
+        let clock = SimClock::new();
+        let mut s = two_replica(&clock);
+        s.put(key(1), PageContents::Token(1)).unwrap();
+        // The primary dies; the delete lands only on the mirror and the
+        // primary is marked stale for the key.
+        s.fail_replica(0);
+        assert!(s.delete(key(1)));
+        assert_eq!(s.stale_keys(), 1);
+        // The primary recovers still holding its pre-delete copy. The
+        // read must NOT serve it: the mirror's authoritative miss wins,
+        // the delete is repaired through, and the stale mark drains.
+        s.recover_replica(0);
+        assert!(matches!(s.get(key(1)), Err(KvError::NotFound(_))));
+        assert_eq!(s.stale_keys(), 0, "stale mark must drain");
+        assert!(!s.replicas[0].contains(key(1)), "delete repaired through");
+        // Healed: reads keep missing without touching the mirror.
+        assert!(matches!(s.get(key(1)), Err(KvError::NotFound(_))));
+    }
+
+    #[test]
+    fn stale_keys_drain_to_zero_after_read_repair_under_chaos() {
+        // A chaotic primary transport (drops + timeouts + refusals)
+        // accumulates stale marks; a full read pass over the keyspace
+        // must heal every one — overwrites via failover read-repair,
+        // deletes via authoritative-miss repair — leaving no leak.
+        let clock = SimClock::new();
+        let inner = DramStore::new(1 << 24, clock.clone(), SimRng::seed_from_u64(1));
+        let plan = FaultPlan::new(SimRng::seed_from_u64(0xFA_17))
+            .with_drop(0.15)
+            .with_timeout(0.10)
+            .with_transient_error(0.10);
+        let primary = FaultInjectingStore::new(Box::new(inner), plan, clock.clone());
+        let secondary = DramStore::new(1 << 24, clock.clone(), SimRng::seed_from_u64(2));
+        let mut s = ReplicatedStore::new(vec![Box::new(primary), Box::new(secondary)]);
+
+        for i in 0..64 {
+            let _ = s.put(key(i), PageContents::Token(i));
+            let _ = s.put(key(i), PageContents::Token(i + 1000));
+        }
+        // Deletes while the primary is down add delete-shaped staleness.
+        s.fail_replica(0);
+        for i in 0..16 {
+            s.delete(key(i));
+        }
+        s.recover_replica(0);
+        assert!(s.stale_keys() > 0, "chaos must have left stale marks");
+
+        // Repair writes themselves go through the chaotic transport, so
+        // one pass may leave marks; repeated passes must converge.
+        for _pass in 0..8 {
+            if s.stale_keys() == 0 {
+                break;
+            }
+            for i in 0..64 {
+                match s.get(key(i)) {
+                    Ok(v) => assert_eq!(v, PageContents::Token(i + 1000)),
+                    Err(KvError::NotFound(_)) => assert!(i < 16, "only deleted keys may miss"),
+                    Err(KvError::Timeout) | Err(KvError::Unavailable) => {}
+                    Err(e) => panic!("unexpected error {e:?}"),
+                }
+            }
+        }
+        assert_eq!(s.stale_keys(), 0, "read-repair must drain every stale mark");
+        assert!(s.repairs() > 0);
     }
 
     #[test]

@@ -102,6 +102,22 @@ impl KeyValueStore for SharedStore {
         self.inner.borrow().contains(key)
     }
 
+    fn partition_keys(&self, partition: PartitionId) -> Vec<ExternalKey> {
+        self.inner.borrow().partition_keys(partition)
+    }
+
+    fn peek(&self, key: ExternalKey) -> Option<PageContents> {
+        self.inner.borrow().peek(key)
+    }
+
+    fn ingest(&mut self, key: ExternalKey, value: PageContents) -> Result<(), KvError> {
+        self.inner.borrow_mut().ingest(key, value)
+    }
+
+    fn expunge(&mut self, key: ExternalKey) -> bool {
+        self.inner.borrow_mut().expunge(key)
+    }
+
     fn stats(&self) -> StoreStats {
         self.inner.borrow().stats()
     }

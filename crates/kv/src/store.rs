@@ -103,6 +103,42 @@ pub trait KeyValueStore {
     /// Test hook: whether a key is present, without charging time.
     fn contains(&self, key: ExternalKey) -> bool;
 
+    /// Maintenance hook: every key currently stored under `partition`,
+    /// sorted ascending so callers iterate deterministically. Charges no
+    /// virtual time — this is the snapshot a cluster migration copier
+    /// takes, off the fault path. The default (for simple test doubles)
+    /// reports nothing.
+    fn partition_keys(&self, _partition: fluidmem_coord::PartitionId) -> Vec<ExternalKey> {
+        Vec::new()
+    }
+
+    /// Maintenance hook: the current value of a key, without charging
+    /// time or consuming randomness. The migration copier reads pages
+    /// through this so a background copy never advances the shared
+    /// clock; transfer time is accounted on the copier's own timeline.
+    fn peek(&self, _key: ExternalKey) -> Option<PageContents> {
+        None
+    }
+
+    /// Maintenance hook: installs a value without charging time (the
+    /// receiving side of a migration copy).
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::OutOfCapacity`] if the store cannot accept the object;
+    /// [`KvError::Unavailable`] from stores that do not support
+    /// maintenance ingestion (the default).
+    fn ingest(&mut self, _key: ExternalKey, _value: PageContents) -> Result<(), KvError> {
+        Err(KvError::Unavailable)
+    }
+
+    /// Maintenance hook: removes a key without charging time (propagating
+    /// a concurrent delete to a migration target); returns whether it
+    /// existed. The default removes nothing.
+    fn expunge(&mut self, _key: ExternalKey) -> bool {
+        false
+    }
+
     /// Operation counters.
     fn stats(&self) -> StoreStats;
 

@@ -75,6 +75,23 @@ pub const REFAULT_DISTANCE_PAGES: &str = "fluidmem_refault_distance_pages";
 /// from refault distances.
 pub const WSS_ESTIMATE_PAGES: &str = "fluidmem_wss_estimate_pages";
 
+/// Cluster-layer operation counter (labeled by [`LABEL_NODE`] and
+/// [`LABEL_OP`]): per-store-node reads, writes, deletes, and retryable
+/// errors as routed by the consistent-hash cluster.
+pub const CLUSTER_OPS: &str = "fluidmem_cluster_ops_total";
+
+/// Cluster-layer event counter (labeled by [`LABEL_EVENT`]): node
+/// joins/leaves/expirations, migration starts/flips/aborts/retargets.
+pub const CLUSTER_EVENTS: &str = "fluidmem_cluster_events_total";
+
+/// Migration copier page counter (labeled by [`LABEL_OP`]): `copied` for
+/// first-pass pages, `recopied` for pages re-sent off the dirty-key log.
+pub const CLUSTER_MIGRATION_PAGES: &str = "fluidmem_cluster_migration_pages_total";
+
+/// Ring imbalance across store nodes, in permille (gauge):
+/// `(max partitions on a node − mean) / mean × 1000`, `0` when balanced.
+pub const CLUSTER_RING_IMBALANCE_PERMILLE: &str = "fluidmem_cluster_ring_imbalance_permille";
+
 /// Label key for event-style counters.
 pub const LABEL_EVENT: &str = "event";
 /// Label key naming a key-value store backend.
@@ -91,6 +108,8 @@ pub const LABEL_RESOLUTION: &str = "resolution";
 pub const LABEL_VM: &str = "vm";
 /// Label key naming an arbiter policy.
 pub const LABEL_POLICY: &str = "policy";
+/// Label key naming a cluster store node.
+pub const LABEL_NODE: &str = "node";
 
 /// Span track for the guest / workload side.
 pub const TRACK_GUEST: &str = "guest";
@@ -102,15 +121,18 @@ pub const TRACK_KV: &str = "kv";
 pub const TRACK_KERNEL: &str = "kernel";
 /// Span track for the host agent (arbiter rebalances, VM membership).
 pub const TRACK_HOST: &str = "host";
+/// Span track for the cluster layer (migration copier batches).
+pub const TRACK_CLUSTER: &str = "cluster";
 
 /// Stable Chrome-trace thread ids per track, in display order. Unlisted
 /// tracks are assigned ids after these, in first-use order.
-pub const TRACK_TIDS: [(&str, u64); 5] = [
+pub const TRACK_TIDS: [(&str, u64); 6] = [
     (TRACK_GUEST, 1),
     (TRACK_MONITOR, 2),
     (TRACK_KV, 3),
     (TRACK_KERNEL, 4),
     (TRACK_HOST, 5),
+    (TRACK_CLUSTER, 6),
 ];
 
 /// Number of finite histogram buckets. Bucket `i` has upper bound

@@ -163,8 +163,8 @@ mod tests {
         r.record_at("custom-a", "x", t(0), t(1), Vec::new);
         r.record_at("custom-b", "y", t(1), t(2), Vec::new);
         let json = chrome_trace(&r.records());
-        assert!(json.contains("\"tid\":6"));
         assert!(json.contains("\"tid\":7"));
+        assert!(json.contains("\"tid\":8"));
         assert_eq!(validate_chrome_trace(&json), Ok(2));
     }
 }

@@ -43,6 +43,38 @@ grep -q '"bench":"scaling_policy"' "$scaling_a" || {
 }
 rm -f "$scaling_a" "$scaling_b"
 
+echo "==> cluster smoke: scaling --smoke --cluster (twice, byte-identical, zero lost pages)"
+cluster_out_a="$(mktemp)"
+cluster_out_b="$(mktemp)"
+cluster_json_a="$(mktemp)"
+cluster_json_b="$(mktemp)"
+cargo run -q --release -p fluidmem-bench --bin scaling -- --smoke --cluster --json "$cluster_json_a" > "$cluster_out_a"
+cargo run -q --release -p fluidmem-bench --bin scaling -- --smoke --cluster --json "$cluster_json_b" > "$cluster_out_b"
+test -s "$cluster_json_a" || { echo "cluster smoke: empty JSON output" >&2; exit 1; }
+cmp "$cluster_out_a" "$cluster_out_b" || {
+    echo "cluster smoke: stdout not deterministic" >&2
+    exit 1
+}
+cmp "$cluster_json_a" "$cluster_json_b" || {
+    echo "cluster smoke: JSON output not deterministic" >&2
+    exit 1
+}
+grep -q '"bench":"scaling_cluster"' "$cluster_json_a" || {
+    echo "cluster smoke: cluster sweep records missing" >&2
+    exit 1
+}
+# Every cell churns membership mid-run (a join and a graceful leave);
+# the shadow-accounting audit must find no lost or duplicated page.
+if grep '"bench":"scaling_cluster"' "$cluster_json_a" | grep -qv '"lost_pages":0'; then
+    echo "cluster smoke: pages lost during migration chaos" >&2
+    exit 1
+fi
+if grep '"bench":"scaling_cluster"' "$cluster_json_a" | grep -qv '"duplicated_pages":0'; then
+    echo "cluster smoke: pages duplicated during migration chaos" >&2
+    exit 1
+fi
+rm -f "$cluster_out_a" "$cluster_out_b" "$cluster_json_a" "$cluster_json_b"
+
 echo "==> pipeline smoke: depth sweep (twice, stdout + JSON must be byte-identical)"
 pipe_out_a="$(mktemp)"
 pipe_out_b="$(mktemp)"
