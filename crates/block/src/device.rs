@@ -60,6 +60,9 @@ pub struct BlockStats {
     pub reads: u64,
     /// Write requests completed or in flight.
     pub writes: u64,
+    /// Write submissions the device rejected (e.g. zram's `ENOSPC` after
+    /// the compression attempt already burned CPU).
+    pub write_errors: u64,
     /// Requests that found the submission queue full and had to wait.
     pub queue_full_waits: u64,
 }
@@ -71,6 +74,9 @@ pub struct BlockCounters {
     pub reads: Counter,
     /// Write requests completed or in flight.
     pub writes: Counter,
+    /// Write submissions the device rejected (e.g. zram's `ENOSPC` after
+    /// the compression attempt already burned CPU).
+    pub write_errors: Counter,
     /// Requests that found the submission queue full and had to wait.
     pub queue_full_waits: Counter,
 }
@@ -89,6 +95,7 @@ impl BlockCounters {
         for (counter, op) in [
             (&self.reads, "read"),
             (&self.writes, "write"),
+            (&self.write_errors, "write_error"),
             (&self.queue_full_waits, "queue_full_wait"),
         ] {
             registry.adopt_counter(
@@ -104,6 +111,7 @@ impl BlockCounters {
         BlockStats {
             reads: self.reads.get(),
             writes: self.writes.get(),
+            write_errors: self.write_errors.get(),
             queue_full_waits: self.queue_full_waits.get(),
         }
     }

@@ -71,35 +71,15 @@ impl ZramDevice {
         self.used_bytes
     }
 
+    /// Slot charge for `contents`, delegating to the shared
+    /// [`fluidmem_kv::stored_page_size`] policy so zram's accounting can
+    /// never drift from what `CompressedStore` (and the monitor's
+    /// compressed tier) would actually store: zero pages are free, and
+    /// RLE sizing applies only to exact full pages — anything
+    /// incompressible (including sub-page payloads) is stored raw.
     fn stored_size(contents: &PageContents) -> usize {
-        match contents {
-            PageContents::Zero => 0, // zram tracks zero pages for free
-            PageContents::Token(_) => 64,
-            PageContents::Bytes(b) => match crate::zram::rle_len(b) {
-                Some(n) => n,
-                None => PAGE_SIZE,
-            },
-        }
+        fluidmem_kv::stored_page_size(contents).unwrap_or(PAGE_SIZE)
     }
-}
-
-/// Length RLE would compress `page` to, or `None` if incompressible.
-fn rle_len(page: &[u8]) -> Option<usize> {
-    let mut out = 1usize;
-    let mut i = 0;
-    while i < page.len() {
-        let byte = page[i];
-        let mut run = 1usize;
-        while i + run < page.len() && page[i + run] == byte && run < 255 {
-            run += 1;
-        }
-        out += 2;
-        i += run;
-        if out >= page.len() {
-            return None;
-        }
-    }
-    Some(out)
 }
 
 impl BlockDevice for ZramDevice {
@@ -118,14 +98,19 @@ impl BlockDevice for ZramDevice {
                 capacity: self.capacity_blocks,
             });
         }
-        let cost = self.submit + self.decompress.sample(&mut self.rng);
-        let at = self.clock.now() + cost;
         self.stats.reads.inc();
         let data = self
             .blocks
             .get(&block)
             .map(|(c, _)| c.clone())
             .unwrap_or(PageContents::Zero);
+        // Zero-fill reads (never-written blocks and stored zero pages)
+        // have nothing to decompress: only the submit overhead applies.
+        let cost = match data {
+            PageContents::Zero => self.submit,
+            _ => self.submit + self.decompress.sample(&mut self.rng),
+        };
+        let at = self.clock.now() + cost;
         Ok(Completion { data, at })
     }
 
@@ -136,15 +121,19 @@ impl BlockDevice for ZramDevice {
                 capacity: self.capacity_blocks,
             });
         }
+        // Real zram compresses first and only then discovers the pool is
+        // full: the CPU cost of the attempt is paid either way.
+        let cost = self.submit + self.compress.sample(&mut self.rng);
         let new_size = Self::stored_size(&data);
         let old_size = self.blocks.get(&block).map(|(_, n)| *n).unwrap_or(0);
         if self.used_bytes - old_size + new_size > self.mem_limit_bytes {
+            self.stats.write_errors.inc();
+            self.clock.advance(cost);
             return Err(BlockError::OutOfSpace {
                 used: self.used_bytes,
                 limit: self.mem_limit_bytes,
             });
         }
-        let cost = self.submit + self.compress.sample(&mut self.rng);
         let at = self.clock.now() + cost;
         self.stats.writes.inc();
         self.used_bytes = self.used_bytes - old_size + new_size;
@@ -237,5 +226,51 @@ mod tests {
         dev.read_sync(0).unwrap();
         let d = (clock.now() - t0).as_micros_f64();
         assert!(d > 0.5 && d < 4.0, "{d}");
+    }
+
+    /// A never-written block resolves to `PageContents::Zero` with
+    /// nothing to decompress: only the 500 ns submit overhead applies,
+    /// never the ~1 µs decompress latency.
+    #[test]
+    fn zero_fill_reads_cost_only_submit_overhead() {
+        let clock = SimClock::new();
+        let mut dev = ZramDevice::new(8, 1 << 20, clock.clone(), SimRng::seed_from_u64(4));
+        let t0 = clock.now();
+        assert_eq!(dev.read_sync(3).unwrap(), PageContents::Zero);
+        let d = (clock.now() - t0).as_micros_f64();
+        assert!((d - 0.5).abs() < 1e-9, "zero read cost {d} µs, want 0.5");
+        // Stored zero pages are metadata-only too.
+        dev.write_sync(1, PageContents::Zero).unwrap();
+        let t1 = clock.now();
+        assert_eq!(dev.read_sync(1).unwrap(), PageContents::Zero);
+        let d = (clock.now() - t1).as_micros_f64();
+        assert!((d - 0.5).abs() < 1e-9, "stored-zero read cost {d} µs");
+    }
+
+    /// `ENOSPC` happens *after* the compression attempt in real zram:
+    /// the reject path must charge the CPU cost and count the failure.
+    #[test]
+    fn rejected_writes_charge_compression_and_count() {
+        let clock = SimClock::new();
+        let mut dev = ZramDevice::new(64, PAGE_SIZE, clock.clone(), SimRng::seed_from_u64(5));
+        let noise = |seed: u32| {
+            let mut page = Vec::with_capacity(PAGE_SIZE);
+            let mut x = seed;
+            for _ in 0..PAGE_SIZE {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                page.push((x >> 24) as u8);
+            }
+            PageContents::from_bytes(&page)
+        };
+        dev.write_sync(0, noise(1)).unwrap();
+        let t0 = clock.now();
+        assert!(matches!(
+            dev.write_sync(1, noise(2)),
+            Err(BlockError::OutOfSpace { .. })
+        ));
+        let d = (clock.now() - t0).as_micros_f64();
+        assert!(d > 1.0, "reject must still burn compression CPU, got {d}");
+        assert_eq!(dev.stats().write_errors, 1);
+        assert_eq!(dev.stats().writes, 1, "failed writes are not successes");
     }
 }

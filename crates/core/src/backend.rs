@@ -161,7 +161,16 @@ impl FluidMemMemory {
             wss_estimate_pages: self.monitor.wss_estimate_pages(),
             background_reclaims: stats.background_reclaims,
             direct_reclaims: stats.direct_reclaims,
+            tier_hits: stats.tier_hits,
+            tier_demotions: stats.tier_demotions,
+            tier_pool_bytes: self.monitor.tier_bytes() as u64,
         }
+    }
+
+    /// Retargets the compressed tier's byte budget (the host arbiter's
+    /// per-VM pool quota); a shrink demotes overflow to the store.
+    pub fn set_tier_budget(&mut self, max_bytes: usize) {
+        self.monitor.set_tier_budget(max_bytes);
     }
 
     /// Mutable monitor access (profile clearing, drains).
@@ -296,7 +305,9 @@ impl FluidMemMemory {
         }
 
         let outcome = match res.resolution {
-            Resolution::ZeroFill | Resolution::WriteListSteal => AccessOutcome::MinorFault,
+            Resolution::ZeroFill | Resolution::WriteListSteal | Resolution::CompressedHit => {
+                AccessOutcome::MinorFault
+            }
             Resolution::RemoteRead | Resolution::InflightWait => AccessOutcome::MajorFault,
         };
         self.counters.record(outcome);
@@ -342,7 +353,9 @@ impl FluidMemMemory {
                     latency += self.clock.now() - before;
                 }
                 let outcome = match res.resolution {
-                    Resolution::ZeroFill | Resolution::WriteListSteal => AccessOutcome::MinorFault,
+                    Resolution::ZeroFill
+                    | Resolution::WriteListSteal
+                    | Resolution::CompressedHit => AccessOutcome::MinorFault,
                     Resolution::RemoteRead | Resolution::InflightWait => AccessOutcome::MajorFault,
                 };
                 self.counters.record(outcome);
@@ -361,7 +374,9 @@ impl FluidMemMemory {
             .monitor
             .complete_next(&mut self.uffd, &mut self.pt, &mut self.pm)?;
         let outcome = match done.resolution {
-            Resolution::ZeroFill | Resolution::WriteListSteal => AccessOutcome::MinorFault,
+            Resolution::ZeroFill | Resolution::WriteListSteal | Resolution::CompressedHit => {
+                AccessOutcome::MinorFault
+            }
             Resolution::RemoteRead | Resolution::InflightWait => AccessOutcome::MajorFault,
         };
         for _ in 0..=done.waiters {

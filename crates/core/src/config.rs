@@ -3,6 +3,7 @@
 use fluidmem_kv::RetryPolicy;
 use fluidmem_sim::{LatencyModel, SimDuration};
 
+use crate::tier::TierConfig;
 use crate::workingset::WorkingSetConfig;
 
 /// The §V-B optimization toggles — the axes of Table II's ablation.
@@ -317,6 +318,10 @@ pub struct MonitorConfig {
     /// Watermark-driven background reclaim (off by default; requires
     /// [`Optimizations::async_write`] to take effect).
     pub reclaim: ReclaimConfig,
+    /// The compressed local tier between DRAM and the remote store (off
+    /// by default; requires [`Optimizations::async_write`] to take
+    /// effect, since demotions stage onto the write list).
+    pub tier: TierConfig,
 }
 
 impl MonitorConfig {
@@ -337,6 +342,7 @@ impl MonitorConfig {
             max_inflight: 1,
             workingset: WorkingSetConfig::default(),
             reclaim: ReclaimConfig::default(),
+            tier: TierConfig::default(),
         }
     }
 
@@ -406,6 +412,20 @@ impl MonitorConfig {
             cfg.validate();
         }
         self.reclaim = cfg;
+        self
+    }
+
+    /// Sets the compressed-local-tier config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is enabled with a zero budget or unordered
+    /// watermark fractions.
+    pub fn tier(mut self, cfg: TierConfig) -> Self {
+        if cfg.enabled {
+            cfg.validate();
+        }
+        self.tier = cfg;
         self
     }
 }

@@ -207,7 +207,9 @@ impl FluidMemHypervisor {
             latency += self.clock.now() - before;
         }
         let outcome = match res.resolution {
-            Resolution::ZeroFill | Resolution::WriteListSteal => AccessOutcome::MinorFault,
+            Resolution::ZeroFill | Resolution::WriteListSteal | Resolution::CompressedHit => {
+                AccessOutcome::MinorFault
+            }
             Resolution::RemoteRead | Resolution::InflightWait => AccessOutcome::MajorFault,
         };
         self.vms[vm.0].counters.record(outcome);

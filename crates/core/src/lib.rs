@@ -23,6 +23,11 @@
 //!   refault-distance tracking in the style of Linux's
 //!   `mm/workingset.c`, feeding a WSS estimate, a thrash detector, and
 //!   an optional adaptive LRU capacity;
+//! * the **compressed local tier** ([`TierConfig`]): a zswap-like pool
+//!   between DRAM and the remote store — evictions compress into local
+//!   memory and demote to the store only under pool pressure, and
+//!   refaults that hit the pool resolve for a decompress instead of a
+//!   network round trip (§III's page-compression customization);
 //! * per-code-path **profiling** ([`CodePath`], [`ProfileTable`])
 //!   reproducing Table I.
 //!
@@ -42,6 +47,7 @@ mod page_tracker;
 mod profile;
 mod signals;
 mod stats;
+mod tier;
 mod workingset;
 mod write_list;
 
@@ -57,5 +63,6 @@ pub use page_tracker::PageTracker;
 pub use profile::{CodePath, PathStats, ProfileTable};
 pub use signals::VmSignals;
 pub use stats::MonitorStats;
+pub use tier::{TierAudit, TierConfig};
 pub use workingset::{Refault, WorkingSetConfig, WorkingSetEstimator, WorkingSetMode};
 pub use write_list::{StealOutcome, WriteList};

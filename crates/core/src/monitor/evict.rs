@@ -130,9 +130,13 @@ impl Monitor {
         self.stats.evictions.inc();
 
         if self.config.optimizations.async_write {
-            self.charge(&self.config.costs.write_list_push.clone());
-            self.write_list.push(key, contents, ready_at);
-            self.trace(|| format!("{} queued on the write list", key));
+            // The compressed tier gets first refusal; only bypassed pages
+            // (tier off, thrash gate, incompressible) stage for writeback.
+            if let Some(contents) = self.tier_try_admit(key, contents, None) {
+                self.charge(&self.config.costs.write_list_push.clone());
+                self.write_list.push(key, contents, ready_at);
+                self.trace(|| format!("{} queued on the write list", key));
+            }
         } else {
             self.charge(&self.config.costs.sync_write_staging.clone());
             let t0 = self.clock.now();
@@ -199,6 +203,13 @@ impl Monitor {
     /// Flushes and waits for every outstanding write (shutdown, or test
     /// synchronization).
     pub fn drain_writes(&mut self) {
+        // A drain must leave every page durable in the store: demote the
+        // whole compressed pool onto the write list first (charge-free —
+        // shutdown work, not a fault or evictor timeline).
+        while let Some((key, contents)) = self.tier.pop_oldest() {
+            self.stats.tier_demotions.inc();
+            self.write_list.push(key, contents, self.clock.now());
+        }
         let policy = self.config.retry;
         loop {
             // Waiting for pending shootdowns makes everything flushable.

@@ -40,6 +40,7 @@ use crate::lru_buffer::LruBuffer;
 use crate::page_tracker::PageTracker;
 use crate::profile::ProfileTable;
 use crate::stats::{MonitorCounters, MonitorStats};
+use crate::tier::{CompressedTier, TierAudit};
 use crate::workingset::WorkingSetEstimator;
 use crate::write_list::WriteList;
 use fluidmem_telemetry::{consts, Gauge, Histogram, SpanId, Telemetry};
@@ -58,6 +59,9 @@ pub enum Resolution {
     /// Page was in an in-flight write; the fault waited for the write to
     /// complete and then used the buffered copy (§V-B).
     InflightWait,
+    /// Page promoted from the compressed local tier: resolved for the
+    /// cost of a decompress, no network round trip.
+    CompressedHit,
 }
 
 impl Resolution {
@@ -68,15 +72,17 @@ impl Resolution {
             Resolution::RemoteRead => "remote_read",
             Resolution::WriteListSteal => "write_list_steal",
             Resolution::InflightWait => "inflight_wait",
+            Resolution::CompressedHit => "compressed_hit",
         }
     }
 
     /// Every resolution kind, in label order.
-    pub const ALL: [Resolution; 4] = [
+    pub const ALL: [Resolution; 5] = [
         Resolution::ZeroFill,
         Resolution::RemoteRead,
         Resolution::WriteListSteal,
         Resolution::InflightWait,
+        Resolution::CompressedHit,
     ];
 
     fn index(self) -> usize {
@@ -85,6 +91,7 @@ impl Resolution {
             Resolution::RemoteRead => 1,
             Resolution::WriteListSteal => 2,
             Resolution::InflightWait => 3,
+            Resolution::CompressedHit => 4,
         }
     }
 }
@@ -138,8 +145,10 @@ pub struct Monitor {
     pub(in crate::monitor) telemetry: Telemetry,
     /// Shadow-entry refault-distance tracking (working-set estimation).
     pub(in crate::monitor) workingset: WorkingSetEstimator,
+    /// The compressed local tier between the LRU and the remote store.
+    pub(in crate::monitor) tier: CompressedTier,
     /// Guest-observed fault latency, one histogram per [`Resolution`].
-    pub(in crate::monitor) fault_latency: [Histogram; 4],
+    pub(in crate::monitor) fault_latency: [Histogram; 5],
     /// Refault distances in eviction counts (recorded unit-less).
     pub(in crate::monitor) refault_distance: Histogram,
     /// The current working-set-size estimate.
@@ -147,6 +156,10 @@ pub struct Monitor {
     lru_resident: Gauge,
     lru_capacity: Gauge,
     lru_headroom: Gauge,
+    /// Compressed bytes currently charged to the tier pool.
+    tier_pool_bytes: Gauge,
+    /// Live entries in the tier pool.
+    tier_pool_pages: Gauge,
     pub(in crate::monitor) write_list_pending: Gauge,
     pub(in crate::monitor) tracer: Tracer,
     pub(in crate::monitor) clock: SimClock,
@@ -180,12 +193,15 @@ impl Monitor {
             stats: MonitorCounters::new(),
             telemetry,
             workingset,
+            tier: CompressedTier::new(),
             fault_latency: Default::default(),
             refault_distance: Histogram::new(),
             wss_estimate: Gauge::new(),
             lru_resident: Gauge::new(),
             lru_capacity: Gauge::new(),
             lru_headroom: Gauge::new(),
+            tier_pool_bytes: Gauge::new(),
+            tier_pool_pages: Gauge::new(),
             write_list_pending: Gauge::new(),
             tracer: Tracer::disabled(),
             clock,
@@ -210,6 +226,8 @@ impl Monitor {
             registry.adopt_gauge(consts::LRU_RESIDENT_PAGES, &[], &self.lru_resident);
             registry.adopt_gauge(consts::LRU_CAPACITY_PAGES, &[], &self.lru_capacity);
             registry.adopt_gauge(consts::LRU_HEADROOM_PAGES, &[], &self.lru_headroom);
+            registry.adopt_gauge(consts::TIER_POOL_BYTES, &[], &self.tier_pool_bytes);
+            registry.adopt_gauge(consts::TIER_POOL_PAGES, &[], &self.tier_pool_pages);
             registry.adopt_gauge(consts::WRITE_LIST_PENDING, &[], &self.write_list_pending);
             registry.adopt_gauge(consts::WSS_ESTIMATE_PAGES, &[], &self.wss_estimate);
             registry.adopt_histogram(consts::REFAULT_DISTANCE_PAGES, &[], &self.refault_distance);
@@ -245,6 +263,8 @@ impl Monitor {
             registry.adopt_gauge(consts::LRU_RESIDENT_PAGES, &vm_label, &self.lru_resident);
             registry.adopt_gauge(consts::LRU_CAPACITY_PAGES, &vm_label, &self.lru_capacity);
             registry.adopt_gauge(consts::LRU_HEADROOM_PAGES, &vm_label, &self.lru_headroom);
+            registry.adopt_gauge(consts::TIER_POOL_BYTES, &vm_label, &self.tier_pool_bytes);
+            registry.adopt_gauge(consts::TIER_POOL_PAGES, &vm_label, &self.tier_pool_pages);
             registry.adopt_gauge(
                 consts::WRITE_LIST_PENDING,
                 &vm_label,
@@ -280,6 +300,8 @@ impl Monitor {
         self.lru_resident.set(self.lru.len() as i64);
         self.lru_capacity.set(self.lru.capacity() as i64);
         self.lru_headroom.set(self.headroom() as i64);
+        self.tier_pool_bytes.set(self.tier.bytes() as i64);
+        self.tier_pool_pages.set(self.tier.len() as i64);
         self.write_list_pending
             .set(self.write_list.pending_len() as i64);
     }
@@ -433,6 +455,189 @@ impl Monitor {
         self.clock.advance(d);
     }
 
+    // --- the compressed local tier ------------------------------------
+
+    /// Whether the compressed tier participates in eviction/refault. Like
+    /// background reclaim, it requires `async_write`: demotions stage
+    /// onto the write list. With this false the monitor is byte-identical
+    /// to one without the feature — no RNG draw, clock charge, counter,
+    /// or span differs.
+    pub(in crate::monitor) fn tier_active(&self) -> bool {
+        self.config.tier.enabled && self.config.optimizations.async_write
+    }
+
+    /// Compressed bytes currently charged to the tier pool.
+    pub fn tier_bytes(&self) -> usize {
+        self.tier.bytes()
+    }
+
+    /// Pages currently held in the tier pool.
+    pub fn tier_pages(&self) -> usize {
+        self.tier.len()
+    }
+
+    /// Offers an evicted page to the compressed tier.
+    ///
+    /// Returns `None` if the tier absorbed it (the caller is done — no
+    /// write-list push) or `Some(contents)` if the page must take the
+    /// ordinary writeback path: tier inactive, the thrash gate tripped,
+    /// or the page is incompressible (the zswap
+    /// `reject_compress_poor` bypass — a full page of pool for zero win
+    /// is worse than going remote).
+    ///
+    /// `background` carries the background evictor's private timeline
+    /// when admission happens off the fault path; CPU costs (the
+    /// compression attempt, demotion write-list pushes) are charged
+    /// there instead of the caller's clock.
+    pub(in crate::monitor) fn tier_try_admit(
+        &mut self,
+        key: ExternalKey,
+        contents: fluidmem_mem::PageContents,
+        mut background: Option<&mut SimInstant>,
+    ) -> Option<fluidmem_mem::PageContents> {
+        if !self.tier_active() {
+            return Some(contents);
+        }
+        // Refault-distance thrash gate: when the working-set estimate
+        // says DRAM plus the whole pool still cannot hold this VM's hot
+        // set, admitted pages would only churn (admit, demote, refault
+        // from remote anyway) — skip straight to the remote path. Pure
+        // bookkeeping, no RNG or clock.
+        if self.config.tier.thrash_gate
+            && self.workingset.wss_estimate()
+                > self.lru.capacity() + self.config.tier.pool_pages_estimate()
+        {
+            self.stats.tier_bypass_thrash.inc();
+            self.trace(|| format!("tier: {key} bypassed (thrash gate)"));
+            return Some(contents);
+        }
+        // The compression attempt is how incompressibility is
+        // discovered: its CPU cost is charged whether or not the page
+        // admits (zram's reject path, satellite fix #2).
+        let cost = self.config.tier.compress.sample(&mut self.rng);
+        match background.as_deref_mut() {
+            Some(t) => *t += cost,
+            None => {
+                self.clock.advance(cost);
+            }
+        }
+        let compressed = fluidmem_kv::stored_page_size(&contents)
+            .filter(|&bytes| bytes <= self.config.tier.max_bytes);
+        let Some(bytes) = compressed else {
+            self.stats.tier_bypass_incompressible.inc();
+            self.trace(|| format!("tier: {key} bypassed (incompressible)"));
+            return Some(contents);
+        };
+        self.tier.admit(key, contents, bytes);
+        self.stats.tier_admits.inc();
+        self.trace(|| format!("tier: {key} admitted ({bytes} compressed bytes)"));
+        // Watermark hysteresis: crossing the high mark demotes a batch
+        // down to the low mark, not one page per admission.
+        if self.tier.bytes() > self.config.tier.high_bytes() {
+            let target = self.config.tier.low_bytes();
+            self.tier_demote_excess(target, background);
+        }
+        None
+    }
+
+    /// Demotes oldest-first until the pool holds at most `target_bytes`,
+    /// staging each demoted page onto the write list (it flows to the
+    /// remote store through the ordinary batched flush path).
+    pub(in crate::monitor) fn tier_demote_excess(
+        &mut self,
+        target_bytes: usize,
+        mut background: Option<&mut SimInstant>,
+    ) {
+        while self.tier.bytes() > target_bytes {
+            let Some((key, contents)) = self.tier.pop_oldest() else {
+                break;
+            };
+            let push = self.config.costs.write_list_push.sample(&mut self.rng);
+            let ready_at = match background.as_deref_mut() {
+                Some(t) => {
+                    *t += push;
+                    *t
+                }
+                None => {
+                    self.clock.advance(push);
+                    self.clock.now()
+                }
+            };
+            self.write_list.push(key, contents, ready_at);
+            self.stats.tier_demotions.inc();
+            self.trace(|| format!("tier: {key} demoted to the write list"));
+        }
+    }
+
+    /// Attempts to resolve a refault from the compressed tier. A hit
+    /// removes the entry, charges the decompress cost, and returns the
+    /// contents; a miss (or an inactive tier) returns `None`.
+    pub(in crate::monitor) fn tier_try_promote(
+        &mut self,
+        key: ExternalKey,
+    ) -> Option<fluidmem_mem::PageContents> {
+        if !self.tier_active() {
+            return None;
+        }
+        match self.tier.promote(key) {
+            Some(contents) => {
+                self.charge(&self.config.tier.decompress.clone());
+                self.stats.tier_hits.inc();
+                self.trace(|| format!("tier: {key} promoted to DRAM"));
+                Some(contents)
+            }
+            None => {
+                self.stats.tier_misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Retargets the tier's compressed-byte budget (the host arbiter's
+    /// per-VM pool quota). Shrinking below current occupancy demotes
+    /// oldest-first down to the new budget's low watermark and flushes.
+    pub fn set_tier_budget(&mut self, max_bytes: usize) {
+        if self.config.tier.max_bytes == max_bytes {
+            return;
+        }
+        self.config.tier.max_bytes = max_bytes.max(1);
+        if !self.tier_active() {
+            return;
+        }
+        if self.tier.bytes() > self.config.tier.max_bytes {
+            self.tier_demote_excess(self.config.tier.low_bytes(), None);
+            self.maybe_flush();
+        }
+        self.update_gauges();
+    }
+
+    /// Cross-checks every tracked page against the LRU, the tier pool,
+    /// the write list, and the store: nothing may be lost (in no tier at
+    /// all) or duplicated (pooled *and* resident / pending writeback),
+    /// and the pool's internal accounting must balance. Read-only and
+    /// deterministic (the tracker export is sorted).
+    pub fn tier_audit(&self) -> TierAudit {
+        let mut lost_pages = 0u64;
+        let mut duplicated_pages = 0u64;
+        for vpn in self.tracker.export() {
+            let key = self.key(vpn);
+            let resident = self.lru.contains(vpn);
+            let pooled = self.tier.contains(key);
+            let pending = self.write_list.is_tracked(key);
+            if !resident && !pooled && !pending && !self.store.contains(key) {
+                lost_pages += 1;
+            }
+            if pooled && (resident || pending) {
+                duplicated_pages += 1;
+            }
+        }
+        TierAudit {
+            lost_pages,
+            duplicated_pages,
+            balanced: self.tier.accounting_balances(),
+        }
+    }
+
     /// Handles one page fault for `vpn` on the call-return path: intake,
     /// resolution, and wake complete before the call returns, with at
     /// most one store operation in flight. The caller (the backend) has
@@ -516,6 +721,8 @@ impl Monitor {
         // Their refaults can never happen; drop the shadow entries so
         // the nonresident accounting stays balanced.
         self.workingset.forget_region(region);
+        // Pooled pages die with the region too.
+        self.tier.remove_matching(|key| region.contains(key.vpn()));
         let dedicated = self
             .region_partitions
             .remove(&region.start().raw())

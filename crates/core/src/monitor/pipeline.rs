@@ -239,6 +239,20 @@ impl Monitor {
                 SubmitOutcome::Parked(id)
             }
             StealOutcome::Miss => {
+                // A compressed-tier hit resolves inline, like a steal:
+                // the decompress is CPU work, there is no flight to park.
+                if let Some(contents) = self.tier_try_promote(key) {
+                    // Make room (the page is coming back in).
+                    self.evict_while_full(uffd, pt, pm);
+                    let wake_at = self.stage_place_and_wake(uffd, pt, pm, vpn, write, contents);
+                    self.stage_post_wake(uffd, pt, pm, vpn);
+                    let res = FaultResolution {
+                        resolution: Resolution::CompressedHit,
+                        wake_at,
+                    };
+                    self.finalize_fault(intake.span, intake.t0, res.resolution, res.wake_at);
+                    return SubmitOutcome::Completed(res);
+                }
                 let flight = self.stage_issue_read(uffd, pt, pm, key);
                 let completes_at = flight.completes_at();
                 let id =

@@ -237,12 +237,16 @@ impl Monitor {
                 *thread_now
             }
         };
-        *thread_now += self.config.costs.write_list_push.sample(&mut self.rng);
         self.stats.evictions.inc();
         self.stats.background_reclaims.inc();
-        // reclaim_active implies async_write: stage onto the write list,
-        // stealable until the batch flush retires it.
-        self.write_list.push(key, contents, ready_at);
+        // The compressed tier gets first refusal, with its CPU charged to
+        // the evictor's own timeline. Bypassed pages stage onto the write
+        // list as before — reclaim_active implies async_write — and stay
+        // stealable until the batch flush retires them.
+        if let Some(contents) = self.tier_try_admit(key, contents, Some(thread_now)) {
+            *thread_now += self.config.costs.write_list_push.sample(&mut self.rng);
+            self.write_list.push(key, contents, ready_at);
+        }
         true
     }
 }

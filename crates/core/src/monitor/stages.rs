@@ -160,14 +160,23 @@ impl Monitor {
                 (contents, Resolution::InflightWait)
             }
             StealOutcome::Miss => {
-                let contents = if self.config.optimizations.async_read {
-                    let flight = self.stage_issue_read(uffd, pt, pm, key);
-                    self.stage_complete_read(flight)
+                // The compressed local tier sits between the write list
+                // and the remote store: a pool hit resolves for a
+                // decompress, no network round trip.
+                if let Some(contents) = self.tier_try_promote(key) {
+                    // Make room (the page is coming back in).
+                    self.evict_while_full(uffd, pt, pm);
+                    (contents, Resolution::CompressedHit)
                 } else {
-                    self.read_sync(uffd, pt, pm, key)
-                };
-                self.stats.remote_reads.inc();
-                (contents, Resolution::RemoteRead)
+                    let contents = if self.config.optimizations.async_read {
+                        let flight = self.stage_issue_read(uffd, pt, pm, key);
+                        self.stage_complete_read(flight)
+                    } else {
+                        self.read_sync(uffd, pt, pm, key)
+                    };
+                    self.stats.remote_reads.inc();
+                    (contents, Resolution::RemoteRead)
+                }
             }
         };
         let wake_at = self.stage_place_and_wake(uffd, pt, pm, vpn, write, contents);
@@ -353,7 +362,7 @@ impl Monitor {
                 continue;
             }
             let key = self.key(candidate);
-            if self.write_list.is_tracked(key) {
+            if self.write_list.is_tracked(key) || self.tier.contains(key) {
                 continue; // its freshest copy is local, not in the store
             }
             pendings.push((candidate, self.store.begin_get(key)));

@@ -41,6 +41,15 @@ pub struct VmSignals {
     /// Pages evicted inline with background reclaim enabled — nonzero
     /// means the evictor fell behind and faults paid for eviction.
     pub direct_reclaims: u64,
+    /// Refaults resolved from the compressed local tier (no network
+    /// round trip).
+    pub tier_hits: u64,
+    /// Pages demoted from the compressed tier to the remote store under
+    /// pool pressure.
+    pub tier_demotions: u64,
+    /// Compressed bytes currently charged to the VM's tier pool (a
+    /// gauge, like residency/capacity).
+    pub tier_pool_bytes: u64,
 }
 
 impl VmSignals {
@@ -100,6 +109,9 @@ impl VmSignals {
             direct_reclaims: self
                 .direct_reclaims
                 .saturating_sub(baseline.direct_reclaims),
+            tier_hits: self.tier_hits.saturating_sub(baseline.tier_hits),
+            tier_demotions: self.tier_demotions.saturating_sub(baseline.tier_demotions),
+            tier_pool_bytes: self.tier_pool_bytes,
         }
     }
 }
@@ -147,6 +159,9 @@ mod tests {
             wss_estimate_pages: 70,
             background_reclaims: 40,
             direct_reclaims: 2,
+            tier_hits: 5,
+            tier_demotions: 2,
+            tier_pool_bytes: 4096,
         };
         let now = VmSignals {
             accesses: 150,
@@ -162,6 +177,9 @@ mod tests {
             wss_estimate_pages: 90,
             background_reclaims: 100,
             direct_reclaims: 3,
+            tier_hits: 9,
+            tier_demotions: 6,
+            tier_pool_bytes: 8192,
         };
         let w = now.window_since(&base);
         assert_eq!(w.accesses, 50);
@@ -175,5 +193,8 @@ mod tests {
         assert_eq!(w.wss_estimate_pages, 90, "gauge carried, not subtracted");
         assert_eq!(w.background_reclaims, 60);
         assert_eq!(w.direct_reclaims, 1);
+        assert_eq!(w.tier_hits, 4);
+        assert_eq!(w.tier_demotions, 4);
+        assert_eq!(w.tier_pool_bytes, 8192, "gauge carried, not subtracted");
     }
 }

@@ -76,6 +76,23 @@ pub struct MonitorStats {
     /// Pages evicted inline on the fault path while background reclaim
     /// was enabled — the evictor fell behind its watermarks.
     pub direct_reclaims: u64,
+    /// Evicted pages admitted into the compressed local tier.
+    pub tier_admits: u64,
+    /// Refaults resolved by promoting a page out of the compressed tier
+    /// (no network round trip).
+    pub tier_hits: u64,
+    /// Refaults that checked the active compressed tier and missed.
+    pub tier_misses: u64,
+    /// Pages demoted from the compressed tier to the write list under
+    /// pool pressure.
+    pub tier_demotions: u64,
+    /// Evicted pages that bypassed the compressed tier because they
+    /// would not compress (RLE yields no win).
+    pub tier_bypass_incompressible: u64,
+    /// Evicted pages that bypassed the compressed tier because the
+    /// refault-distance thrash gate tripped (working set exceeds DRAM
+    /// plus the pool).
+    pub tier_bypass_thrash: u64,
 }
 
 macro_rules! monitor_counters {
@@ -151,6 +168,12 @@ monitor_counters! {
     (adaptive_shrinks, "adaptive_shrink", "Adaptive-capacity shrinks applied by the estimator."),
     (background_reclaims, "background_reclaim", "Pages evicted by the watermark-driven background reclaimer."),
     (direct_reclaims, "direct_reclaim", "Pages evicted inline with background reclaim enabled (the evictor fell behind)."),
+    (tier_admits, "tier_admit", "Evicted pages admitted into the compressed local tier."),
+    (tier_hits, "tier_hit", "Refaults promoted out of the compressed tier."),
+    (tier_misses, "tier_miss", "Refaults that checked the active compressed tier and missed."),
+    (tier_demotions, "tier_demotion", "Pages demoted from the compressed tier under pool pressure."),
+    (tier_bypass_incompressible, "tier_bypass_incompressible", "Evictions that bypassed the tier (incompressible)."),
+    (tier_bypass_thrash, "tier_bypass_thrash", "Evictions that bypassed the tier (thrash gate)."),
 }
 
 #[cfg(test)]

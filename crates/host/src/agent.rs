@@ -122,6 +122,15 @@ impl HostConfig {
         self.monitor = self.monitor.reclaim(cfg);
         self
     }
+
+    /// Enables the compressed local tier in every VM's monitor. The
+    /// config's `max_bytes` is the *host-wide* pool budget: the agent
+    /// splits it into per-VM quotas in proportion to each VM's DRAM
+    /// grant, and re-splits on every arbiter rebalance.
+    pub fn tier(mut self, cfg: fluidmem_core::TierConfig) -> Self {
+        self.monitor = self.monitor.tier(cfg);
+        self
+    }
 }
 
 /// One VM's workload description.
@@ -560,6 +569,8 @@ impl HostAgent {
             if plan.balloon_clamped[i] {
                 self.counters.balloon_clamps.inc();
             }
+            // The compressed-tier pool quota follows the DRAM grant.
+            Self::apply_tier_quota(&self.config, slot);
             slot.capacity_gauge
                 .set(slot.vm.local_capacity_pages() as i64);
             slot.baseline = slot.vm.signals();
@@ -630,8 +641,22 @@ impl HostAgent {
                 .vm
                 .set_local_capacity(cap)
                 .expect("FluidMem resizes freely");
+            Self::apply_tier_quota(&self.config, &mut self.slots[i]);
             self.slots[i].capacity_gauge.set(cap as i64);
         }
+    }
+
+    /// Grants a VM its share of the host-wide compressed-tier budget,
+    /// proportional to its current DRAM capacity grant. A no-op with the
+    /// tier disabled.
+    fn apply_tier_quota(config: &HostConfig, slot: &mut VmSlot) {
+        if !config.monitor.tier.enabled {
+            return;
+        }
+        let quota = (config.monitor.tier.max_bytes as u128
+            * u128::from(slot.vm.local_capacity_pages())
+            / u128::from(config.dram_pages.max(1))) as usize;
+        slot.vm.set_tier_budget(quota.max(1));
     }
 
     fn refresh_membership(&mut self) {

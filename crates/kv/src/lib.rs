@@ -42,7 +42,9 @@ mod store;
 mod transport;
 
 pub use cluster::{AuditReport, ClusterCounters, ClusterHandle, ClusterStore};
-pub use compress::{rle_compress, rle_decompress, CompressedStore};
+pub use compress::{
+    rle_compress, rle_decompress, rle_len, stored_page_size, CompressedStore, TOKEN_STORED_BYTES,
+};
 pub use dram::DramStore;
 pub use error::KvError;
 pub use fault::FaultInjectingStore;

@@ -56,6 +56,13 @@ pub const WRITE_LIST_PENDING: &str = "fluidmem_write_list_pending_pages";
 /// gauge) — the quantity the background reclaimer's watermarks watch.
 pub const LRU_HEADROOM_PAGES: &str = "fluidmem_lru_headroom_pages";
 
+/// Compressed bytes currently charged to the monitor's compressed
+/// local tier (gauge) — the occupancy its demotion watermarks watch.
+pub const TIER_POOL_BYTES: &str = "fluidmem_tier_pool_bytes";
+
+/// Pages currently held in the monitor's compressed local tier (gauge).
+pub const TIER_POOL_PAGES: &str = "fluidmem_tier_pool_pages";
+
 /// Per-code-path latency histogram (labeled by [`LABEL_PATH`]) — the
 /// registry-backed source of the paper's Table I.
 pub const CODEPATH_LATENCY_US: &str = "fluidmem_codepath_latency_us";

@@ -136,4 +136,37 @@ grep -q '"bench":"workingset"' "$ws_json_a" || {
 }
 rm -f "$ws_out_a" "$ws_out_b" "$ws_json_a" "$ws_json_b"
 
+echo "==> tiering smoke: compressibility sweep (twice, stdout + JSON must be byte-identical)"
+tier_out_a="$(mktemp)"
+tier_out_b="$(mktemp)"
+tier_json_a="$(mktemp)"
+tier_json_b="$(mktemp)"
+cargo run -q --release -p fluidmem-bench --bin tiering -- --smoke --json "$tier_json_a" > "$tier_out_a"
+cargo run -q --release -p fluidmem-bench --bin tiering -- --smoke --json "$tier_json_b" > "$tier_out_b"
+test -s "$tier_json_a" || { echo "tiering smoke: empty JSON output" >&2; exit 1; }
+cmp "$tier_out_a" "$tier_out_b" || {
+    echo "tiering smoke: stdout not deterministic" >&2
+    exit 1
+}
+cmp "$tier_json_a" "$tier_json_b" || {
+    echo "tiering smoke: JSON output not deterministic" >&2
+    exit 1
+}
+grep -q '"bench":"tiering"' "$tier_json_a" || {
+    echo "tiering smoke: sweep records missing" >&2
+    exit 1
+}
+# Every cell audits the pool against the page tracker: each tracked
+# page must be found in exactly one place (DRAM, pool, write list, or
+# store), with the compressed-byte accounting balanced.
+if grep '"bench":"tiering"' "$tier_json_a" | grep -qv '"lost_pages":0'; then
+    echo "tiering smoke: pages lost between the pool and the store" >&2
+    exit 1
+fi
+if grep '"bench":"tiering"' "$tier_json_a" | grep -qv '"duplicated_pages":0'; then
+    echo "tiering smoke: pages duplicated between the pool and the store" >&2
+    exit 1
+fi
+rm -f "$tier_out_a" "$tier_out_b" "$tier_json_a" "$tier_json_b"
+
 echo "==> all checks passed"

@@ -1,0 +1,257 @@
+//! Acceptance tests for the compressed local tier.
+//!
+//! Three properties anchor the feature:
+//!
+//! * **Default-off identity** — with the tier disabled (the default)
+//!   the monitor must be byte-identical to one that never heard of the
+//!   feature: same stats, virtual clock, Prometheus text, and Chrome
+//!   trace across seeds, with zero tier counters.
+//! * **Chaos safety** — with the tier enabled over a faulty store
+//!   transport (drops, timeouts, transient errors), demotions retried
+//!   through the flush path must neither lose nor duplicate a page:
+//!   every read returns the last-written contents, the pool's
+//!   compressed-byte accounting balances exactly, and the tier audit
+//!   finds every tracked page in exactly one place.
+//! * **Determinism** — the same seeds with the tier enabled produce
+//!   byte-identical stats, clock, and exports, run to run.
+
+use fluidmem::coord::PartitionId;
+use fluidmem::core::{FluidMemMemory, MonitorConfig, Optimizations, ReclaimConfig, TierConfig};
+use fluidmem::kv::{FaultInjectingStore, RamCloudStore};
+use fluidmem::mem::{MemoryBackend, PageClass, PageContents, PAGE_SIZE};
+use fluidmem::sim::{FaultPlan, SimClock, SimInstant, SimRng};
+use fluidmem::telemetry::Telemetry;
+
+const SEEDS: [u64; 4] = [3, 17, 271, 65_537];
+
+fn traced_vm(seed: u64, tier: Option<TierConfig>) -> (Telemetry, FluidMemMemory) {
+    let clock = SimClock::new();
+    let store = RamCloudStore::new(1 << 28, clock.clone(), SimRng::seed_from_u64(seed ^ 0x4B56));
+    let mut config = MonitorConfig::new(48).optimizations(Optimizations::full());
+    if let Some(cfg) = tier {
+        config = config.tier(cfg);
+    }
+    let mut vm = FluidMemMemory::new(
+        config,
+        Box::new(store),
+        PartitionId::new(0),
+        clock.clone(),
+        SimRng::seed_from_u64(seed),
+    );
+    let telemetry = Telemetry::new(clock);
+    telemetry.enable_spans();
+    vm.attach_telemetry(&telemetry);
+    (telemetry, vm)
+}
+
+/// A working set ~4x the LRU capacity, so the run keeps the buffer full
+/// and every eviction faces the admission decision.
+fn schedule(seed: u64) -> Vec<(u64, bool)> {
+    let mut rng = SimRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
+    (0..600)
+        .map(|_| (rng.gen_index(192), rng.gen_bool(0.4)))
+        .collect()
+}
+
+type RunFingerprint = (fluidmem::core::MonitorStats, SimInstant, String, String);
+
+fn run_call_return(seed: u64, tier: Option<TierConfig>) -> RunFingerprint {
+    let (telemetry, mut vm) = traced_vm(seed, tier);
+    let region = vm.map_region(192, PageClass::Anonymous);
+    for (page, write) in schedule(seed) {
+        vm.access(region.page(page), write);
+    }
+    vm.drain_writes();
+    (
+        vm.monitor().stats(),
+        vm.clock().now(),
+        telemetry.export_prometheus(),
+        telemetry.export_chrome_trace(),
+    )
+}
+
+/// Default-off identity: a config that never mentions the tier and one
+/// that explicitly disables it are the same monitor, byte for byte —
+/// no extra RNG draws, clock charges, counters, or spans.
+#[test]
+fn disabled_tier_is_byte_identical_to_default_across_seeds() {
+    for &seed in &SEEDS {
+        let default = run_call_return(seed, None);
+        let disabled = run_call_return(seed, Some(TierConfig::disabled()));
+        assert_eq!(default, disabled, "seed {seed}: disabled tier diverged");
+
+        let stats = &default.0;
+        assert_eq!(stats.tier_admits, 0, "seed {seed}");
+        assert_eq!(stats.tier_hits, 0, "seed {seed}");
+        assert_eq!(stats.tier_misses, 0, "seed {seed}");
+        assert_eq!(stats.tier_demotions, 0, "seed {seed}");
+        assert_eq!(stats.tier_bypass_incompressible, 0, "seed {seed}");
+        assert_eq!(stats.tier_bypass_thrash, 0, "seed {seed}");
+    }
+}
+
+/// Drop + timeout + transient-refusal mix on the store transport; the
+/// rates are high enough that demoted batches fail mid-flush and
+/// requeue onto the write list.
+fn chaotic_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(SimRng::seed_from_u64(seed ^ 0xFA_17))
+        .with_drop(0.08)
+        .with_timeout(0.06)
+        .with_transient_error(0.06)
+}
+
+/// A pool holding ~28 token-sized entries — enough that random refaults
+/// over the 64-page set land in it, small enough that the mixed working
+/// set keeps crossing the high watermark, forcing demotions through the
+/// faulty flush path all run long. The thrash gate is off so pressure,
+/// not the working-set estimate, drives every demotion.
+fn tiny_chaotic_tier() -> TierConfig {
+    TierConfig {
+        thrash_gate: false,
+        ..TierConfig::pool(2048)
+    }
+}
+
+fn chaotic_tier_vm(seed: u64) -> FluidMemMemory {
+    let clock = SimClock::new();
+    let inner = RamCloudStore::new(1 << 26, clock.clone(), SimRng::seed_from_u64(seed));
+    let store = FaultInjectingStore::new(Box::new(inner), chaotic_plan(seed), clock.clone());
+    FluidMemMemory::new(
+        MonitorConfig::new(16)
+            .optimizations(Optimizations::full())
+            .reclaim(ReclaimConfig::kswapd())
+            .tier(tiny_chaotic_tier()),
+        Box::new(store),
+        PartitionId::new(0),
+        clock,
+        SimRng::seed_from_u64(seed + 1),
+    )
+}
+
+/// Contents for chaos page `p`: two in three pages are token stand-ins
+/// (compressible, admitted at 64 bytes each), every third is a page of
+/// LCG noise (incompressible, bypasses the pool to the remote store).
+fn chaos_contents(p: u64, seed: u64) -> PageContents {
+    if p.is_multiple_of(3) {
+        let mut x = seed ^ p.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for b in buf.iter_mut() {
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            *b = (x >> 33) as u8;
+        }
+        PageContents::from_bytes(&buf)
+    } else {
+        PageContents::Token(p * 31 + 7)
+    }
+}
+
+/// Chaos with the tier on over a faulty transport: admissions,
+/// promotions, and watermark demotions (retried when the flush batch
+/// fails) race with background reclaim. No page may be lost,
+/// duplicated, or corrupted, and the pool's byte accounting must
+/// balance exactly.
+#[test]
+fn tier_under_store_chaos_loses_nothing() {
+    let mut total_retries = 0u64;
+    let mut total_hits = 0u64;
+    for &seed in &SEEDS {
+        let mut vm = chaotic_tier_vm(seed);
+        let pages = 64u64;
+        let region = vm.map_region(pages, PageClass::Anonymous);
+
+        // Populate everything, pushing most of the working set through
+        // admission and the (faulty) demotion flush path.
+        for p in 0..pages {
+            vm.write_page(region.page(p), chaos_contents(p, seed));
+        }
+
+        // Random read waves over the 16-page buffer: every access
+        // refaults, some from the pool (promote), some from the store
+        // (retried reads), and every refill evicts into the pool again.
+        // Random ordering keeps reuse distances short enough that warm
+        // pages are still pooled when they refault.
+        let mut reads = SimRng::seed_from_u64(seed.wrapping_mul(0xC2B2_AE35));
+        for round in 0..6u64 {
+            for _ in 0..pages {
+                let p = reads.gen_index(pages);
+                let (contents, _) = vm.read_page(region.page(p));
+                assert_eq!(
+                    contents,
+                    chaos_contents(p, seed),
+                    "seed {seed}: page {p} lost or corrupted in round {round}"
+                );
+            }
+            let audit = vm.monitor().tier_audit();
+            assert!(
+                audit.is_clean(),
+                "seed {seed}: audit failed mid-run in round {round}: {audit:?}"
+            );
+        }
+
+        let stats = vm.monitor().stats();
+        assert_eq!(stats.lost_pages, 0, "seed {seed}: faults are not data loss");
+        assert!(
+            stats.tier_admits > 0 && stats.tier_demotions > 0,
+            "seed {seed}: the tiny pool must cycle admit -> demote under pressure"
+        );
+        assert!(
+            stats.tier_bypass_incompressible > 0,
+            "seed {seed}: noise pages must take the bypass path"
+        );
+        assert!(
+            vm.monitor().workingset().accounting_balances(),
+            "seed {seed}: tier traffic must not leak or double-count shadow entries"
+        );
+        total_hits += stats.tier_hits;
+        total_retries += stats.read_retries + stats.write_retries + stats.flush_failures;
+
+        vm.drain_writes();
+        assert_eq!(
+            vm.monitor().pending_writes(),
+            0,
+            "seed {seed}: write list must drain over a faulty transport"
+        );
+        let audit = vm.monitor().tier_audit();
+        assert!(
+            audit.is_clean(),
+            "seed {seed}: final audit failed: {audit:?}"
+        );
+        assert_eq!(audit.lost_pages, 0, "seed {seed}");
+        assert_eq!(audit.duplicated_pages, 0, "seed {seed}");
+    }
+    assert!(
+        total_retries > 0,
+        "the fault plan must actually force retries somewhere across seeds"
+    );
+    assert!(
+        total_hits > 0,
+        "some refault must be served from the pool across seeds"
+    );
+}
+
+/// Determinism: the same seed with the tier enabled produces the same
+/// stats, final clock, and contents, run to run.
+#[test]
+fn chaotic_tier_runs_are_deterministic() {
+    let run = |seed: u64| {
+        let mut vm = chaotic_tier_vm(seed);
+        let pages = 64u64;
+        let region = vm.map_region(pages, PageClass::Anonymous);
+        for p in 0..pages {
+            vm.write_page(region.page(p), chaos_contents(p, seed));
+        }
+        for p in 0..pages {
+            let (contents, _) = vm.read_page(region.page(p));
+            assert_eq!(contents, chaos_contents(p, seed), "seed {seed}: page {p}");
+        }
+        vm.drain_writes();
+        (vm.monitor().stats(), vm.clock().now())
+    };
+    for &seed in &SEEDS {
+        let a = run(seed);
+        let b = run(seed);
+        assert_eq!(a, b, "seed {seed}: chaos + tier must stay deterministic");
+    }
+}
