@@ -180,7 +180,7 @@ fn ablation_partition_table(args: &HarnessArgs) {
         );
     }
     let elapsed = clock.now() - t0;
-    let unique: std::collections::HashSet<_> = allocated.iter().collect();
+    let unique: std::collections::HashSet<_> = allocated.iter().collect(); // lint: order-independent (only len is read)
     let mut table = TextTable::new(vec!["metric", "value"]);
     table.row(vec!["registrations".to_string(), "300".to_string()]);
     table.row(vec![

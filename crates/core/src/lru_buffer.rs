@@ -1,12 +1,23 @@
 //! The monitor's resizable LRU buffer.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 use fluidmem_mem::Vpn;
 
+/// Slab link sentinel: "no node".
+const NIL: u32 = u32::MAX;
+
+/// One page's slab node, linked into the recency list.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    vpn: Vpn,
+    prev: u32,
+    next: u32,
+}
+
 /// The list that bounds a VM's DRAM footprint (§V-A).
 ///
-/// * "Evictions come from the top of the LRU list" — the front here.
+/// * "Evictions come from the top of the LRU list" — the head here.
 /// * "The LRU list is only updated when a page is seen by the monitor
 ///   process, which only happens on first access and after an eviction.
 ///   At present, the internal ordering of the list does not change." —
@@ -17,9 +28,12 @@ use fluidmem_mem::Vpn;
 ///   actively sized up or down" — [`set_capacity`](LruBuffer::set_capacity)
 ///   changes the bound at runtime; the monitor then evicts down to it.
 ///
-/// Internally each live page carries a sequence stamp; the deque may hold
-/// stale `(seq, page)` entries from removals and rotations, which are
-/// skipped lazily and compacted when they accumulate.
+/// Internally the list is an intrusive doubly-linked list over a slab of
+/// nodes: insert, remove, rotate, and victim-pop are all true O(1), and
+/// [`peek_head`](LruBuffer::peek_head) walks exactly the nodes it
+/// returns. There are no stale entries and therefore no compaction — the
+/// slab's footprint plateaus at the peak live page count, with freed
+/// nodes recycled through a free list.
 ///
 /// [`rotate_to_tail`]: LruBuffer::rotate_to_tail
 ///
@@ -39,9 +53,11 @@ use fluidmem_mem::Vpn;
 /// ```
 #[derive(Debug)]
 pub struct LruBuffer {
-    order: VecDeque<(u64, Vpn)>,
-    members: HashMap<Vpn, u64>,
-    next_seq: u64,
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    index: HashMap<Vpn, u32>,
     capacity: u64,
 }
 
@@ -49,9 +65,11 @@ impl LruBuffer {
     /// Creates a buffer bounded at `capacity` pages.
     pub fn new(capacity: u64) -> Self {
         LruBuffer {
-            order: VecDeque::new(),
-            members: HashMap::new(),
-            next_seq: 0,
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            index: HashMap::new(),
             capacity,
         }
     }
@@ -69,12 +87,12 @@ impl LruBuffer {
 
     /// Pages currently tracked (the VM's DRAM footprint).
     pub fn len(&self) -> u64 {
-        self.members.len() as u64
+        self.index.len() as u64
     }
 
     /// Whether the buffer tracks no pages.
     pub fn is_empty(&self) -> bool {
-        self.members.is_empty()
+        self.index.is_empty()
     }
 
     /// Whether the buffer exceeds its bound.
@@ -84,94 +102,142 @@ impl LruBuffer {
 
     /// Whether a page is tracked.
     pub fn contains(&self, vpn: Vpn) -> bool {
-        self.members.contains_key(&vpn)
+        self.index.contains_key(&vpn)
+    }
+
+    /// Slab nodes allocated (live + free-listed): the buffer's standing
+    /// memory footprint, which plateaus at the peak live page count.
+    pub fn slab_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn alloc_node(&mut self, vpn: Vpn) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = Node {
+                    vpn,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                let i = self.nodes.len() as u32;
+                self.nodes.push(Node {
+                    vpn,
+                    prev: NIL,
+                    next: NIL,
+                });
+                i
+            }
+        }
+    }
+
+    /// Splices node `i` onto the list tail.
+    fn link_tail(&mut self, i: u32) {
+        self.nodes[i as usize].prev = self.tail;
+        self.nodes[i as usize].next = NIL;
+        if self.tail == NIL {
+            self.head = i;
+        } else {
+            self.nodes[self.tail as usize].next = i;
+        }
+        self.tail = i;
+    }
+
+    /// Unlinks node `i` from the list (does not free it).
+    fn unlink(&mut self, i: u32) {
+        let Node { prev, next, .. } = self.nodes[i as usize];
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next as usize].prev = prev;
+        }
     }
 
     /// Adds a page at the tail (first access or refault). Returns `false`
     /// if already present.
     pub fn insert(&mut self, vpn: Vpn) -> bool {
-        if self.members.contains_key(&vpn) {
+        if self.index.contains_key(&vpn) {
             return false;
         }
-        let seq = self.bump_seq();
-        self.members.insert(vpn, seq);
-        self.order.push_back((seq, vpn));
+        let i = self.alloc_node(vpn);
+        self.link_tail(i);
+        self.index.insert(vpn, i);
         true
     }
 
-    /// Removes a page (lazily: its deque entry is skipped later).
+    /// Removes a page in O(1) via its slab node.
     pub fn remove(&mut self, vpn: Vpn) -> bool {
-        let removed = self.members.remove(&vpn).is_some();
-        if removed {
-            // Remove/reinsert churn leaves stale entries just like
-            // rotation does; compact on the same threshold or the deque
-            // grows without bound.
-            self.maybe_compact();
+        match self.index.remove(&vpn) {
+            Some(i) => {
+                self.unlink(i);
+                self.free.push(i);
+                true
+            }
+            None => false,
         }
-        removed
     }
 
     /// Takes the eviction victim from the top of the list.
     pub fn pop_victim(&mut self) -> Option<Vpn> {
-        while let Some((seq, vpn)) = self.order.pop_front() {
-            if self.members.get(&vpn) == Some(&seq) {
-                self.members.remove(&vpn);
-                return Some(vpn);
-            }
+        if self.head == NIL {
+            return None;
         }
-        None
+        let i = self.head;
+        let vpn = self.nodes[i as usize].vpn;
+        self.unlink(i);
+        self.free.push(i);
+        self.index.remove(&vpn);
+        Some(vpn)
     }
 
     /// Peeks at the next `n` victims in order (for referenced-bit
-    /// scanning) without removing them.
+    /// scanning) without removing them. Walks exactly `min(n, len)`
+    /// nodes — every step lands on a live page.
     pub fn peek_head(&self, n: usize) -> Vec<Vpn> {
-        self.order
-            .iter()
-            .filter(|(seq, vpn)| self.members.get(vpn) == Some(seq))
-            .take(n)
-            .map(|&(_, vpn)| vpn)
-            .collect()
+        let mut out = Vec::new();
+        self.peek_head_into(n, &mut out);
+        out
+    }
+
+    /// [`peek_head`](LruBuffer::peek_head) into a caller-owned buffer so
+    /// the periodic scan path can reuse one allocation.
+    pub fn peek_head_into(&self, n: usize, out: &mut Vec<Vpn>) {
+        out.clear();
+        let mut i = self.head;
+        while i != NIL && out.len() < n {
+            let node = &self.nodes[i as usize];
+            out.push(node.vpn);
+            i = node.next;
+        }
     }
 
     /// Moves a tracked page to the tail (the `ScanReferenced` ablation's
     /// rotation). Returns `false` if the page is not tracked.
     pub fn rotate_to_tail(&mut self, vpn: Vpn) -> bool {
-        if !self.members.contains_key(&vpn) {
-            return false;
+        match self.index.get(&vpn) {
+            Some(&i) => {
+                self.unlink(i);
+                self.link_tail(i);
+                true
+            }
+            None => false,
         }
-        let seq = self.bump_seq();
-        self.members.insert(vpn, seq);
-        self.order.push_back((seq, vpn));
-        self.maybe_compact();
-        true
     }
 
     /// Counts tracked pages with `start <= vpn < end` (per-VM residency
     /// accounting on a shared buffer).
     pub fn count_in(&self, start: Vpn, end: Vpn) -> u64 {
-        self.members
+        self.index
             .keys()
             .filter(|v| **v >= start && **v < end)
             .count() as u64
-    }
-
-    fn bump_seq(&mut self) -> u64 {
-        let s = self.next_seq;
-        self.next_seq += 1;
-        s
-    }
-
-    fn maybe_compact(&mut self) {
-        if self.order.len() > self.members.len() * 2 + 64 {
-            self.compact();
-        }
-    }
-
-    /// Drops stale deque entries, preserving live order.
-    fn compact(&mut self) {
-        let members = &self.members;
-        self.order
-            .retain(|(seq, vpn)| members.get(vpn) == Some(seq));
     }
 }
 
@@ -262,6 +328,19 @@ mod tests {
     }
 
     #[test]
+    fn peek_head_into_reuses_the_buffer() {
+        let mut lru = LruBuffer::new(10);
+        for n in 0..4 {
+            lru.insert(v(n));
+        }
+        let mut buf = vec![v(99); 8];
+        lru.peek_head_into(3, &mut buf);
+        assert_eq!(buf, vec![v(0), v(1), v(2)]);
+        lru.peek_head_into(10, &mut buf);
+        assert_eq!(buf, vec![v(0), v(1), v(2), v(3)], "clamped at len");
+    }
+
+    #[test]
     fn heavy_rotation_does_not_leak_deque() {
         let mut lru = LruBuffer::new(64);
         for n in 0..64 {
@@ -272,12 +351,10 @@ mod tests {
                 lru.rotate_to_tail(v(n));
             }
         }
-        assert!(
-            lru.order.len() <= 64 * 2 + 64,
-            "deque grew to {}",
-            lru.order.len()
-        );
-        // Order is still coherent after compaction.
+        // Rotation relinks in place: the slab never grows past the live
+        // page count, no matter how much the order churns.
+        assert_eq!(lru.slab_nodes(), 64, "slab grew under rotation churn");
+        // Order is still coherent after all that relinking.
         let mut seen = std::collections::HashSet::new();
         while let Some(p) = lru.pop_victim() {
             assert!(seen.insert(p));
@@ -293,13 +370,38 @@ mod tests {
             lru.insert(v(p));
             lru.remove(v(p));
         }
+        // Freed nodes recycle through the free list: storage stays at the
+        // peak live count (1 here), not the operation count.
         assert!(
-            lru.order.len() <= 16 * 2 + 64,
-            "deque grew to {}",
-            lru.order.len()
+            lru.slab_nodes() <= 1,
+            "slab grew to {} under insert/remove churn",
+            lru.slab_nodes()
         );
         assert!(lru.is_empty());
         assert_eq!(lru.pop_victim(), None);
+    }
+
+    #[test]
+    fn slab_plateaus_at_peak_live_pages() {
+        let mut lru = LruBuffer::new(1024);
+        // Peak of 32 live pages, then sustained churn below the peak.
+        for n in 0..32 {
+            lru.insert(v(n));
+        }
+        for n in 8..32 {
+            lru.remove(v(n));
+        }
+        for round in 0..1_000u64 {
+            let p = 100 + (round % 24);
+            lru.insert(v(p));
+            lru.rotate_to_tail(v(p));
+            lru.remove(v(p));
+        }
+        assert!(
+            lru.slab_nodes() <= 32,
+            "slab grew past peak live pages: {}",
+            lru.slab_nodes()
+        );
     }
 
     #[test]
@@ -309,8 +411,8 @@ mod tests {
             lru.insert(v(n));
         }
         lru.set_capacity(4);
-        // Rotating while over capacity piles up stale deque entries; the
-        // accounting must keep counting live members only.
+        // Rotating while over capacity must keep the accounting on live
+        // members only.
         for n in 0..8 {
             lru.rotate_to_tail(v(n));
         }
@@ -373,6 +475,115 @@ mod tests {
                 assert_eq!(lru.pop_victim(), Some(v(expected)));
             }
             assert_eq!(lru.pop_victim(), None);
+        });
+    }
+
+    /// The pre-slab implementation, verbatim semantics: a `(seq, page)`
+    /// deque with lazily skipped stale entries. Kept as the behavioral
+    /// reference the slab list is checked against.
+    struct DequeLru {
+        order: std::collections::VecDeque<(u64, Vpn)>,
+        members: HashMap<Vpn, u64>,
+        next_seq: u64,
+    }
+
+    impl DequeLru {
+        fn new() -> Self {
+            DequeLru {
+                order: std::collections::VecDeque::new(),
+                members: HashMap::new(),
+                next_seq: 0,
+            }
+        }
+
+        fn insert(&mut self, vpn: Vpn) -> bool {
+            if self.members.contains_key(&vpn) {
+                return false;
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.members.insert(vpn, seq);
+            self.order.push_back((seq, vpn));
+            true
+        }
+
+        fn remove(&mut self, vpn: Vpn) -> bool {
+            self.members.remove(&vpn).is_some()
+        }
+
+        fn rotate_to_tail(&mut self, vpn: Vpn) -> bool {
+            if !self.members.contains_key(&vpn) {
+                return false;
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.members.insert(vpn, seq);
+            self.order.push_back((seq, vpn));
+            true
+        }
+
+        fn pop_victim(&mut self) -> Option<Vpn> {
+            while let Some((seq, vpn)) = self.order.pop_front() {
+                if self.members.get(&vpn) == Some(&seq) {
+                    self.members.remove(&vpn);
+                    return Some(vpn);
+                }
+            }
+            None
+        }
+
+        fn peek_head(&self, n: usize) -> Vec<Vpn> {
+            self.order
+                .iter()
+                .filter(|(seq, vpn)| self.members.get(vpn) == Some(seq))
+                .take(n)
+                .map(|&(_, vpn)| vpn)
+                .collect()
+        }
+
+        fn contains(&self, vpn: Vpn) -> bool {
+            self.members.contains_key(&vpn)
+        }
+    }
+
+    #[test]
+    fn slab_list_matches_the_deque_implementation() {
+        // Randomized insert / remove / rotate / refault traffic against
+        // the old deque implementation: victim order, peek order, and
+        // membership answers must be identical.
+        fluidmem_sim::prop::forall("lru-slab-vs-deque", 4, |rng| {
+            let mut slab = LruBuffer::new(16);
+            let mut deque = DequeLru::new();
+            for _ in 0..2_000 {
+                let page = v(rng.gen_index(64));
+                match rng.gen_index(6) {
+                    0 | 1 => assert_eq!(slab.insert(page), deque.insert(page)),
+                    2 => assert_eq!(slab.remove(page), deque.remove(page)),
+                    3 => assert_eq!(slab.rotate_to_tail(page), deque.rotate_to_tail(page)),
+                    4 => {
+                        // Refault: evict to the store, fault straight back.
+                        let sv = slab.pop_victim();
+                        assert_eq!(sv, deque.pop_victim());
+                        if let Some(victim) = sv {
+                            assert!(slab.insert(victim));
+                            assert!(deque.insert(victim));
+                        }
+                    }
+                    _ => {
+                        let n = rng.gen_index(8) as usize;
+                        assert_eq!(slab.peek_head(n), deque.peek_head(n));
+                    }
+                }
+                assert_eq!(slab.contains(page), deque.contains(page));
+                assert_eq!(slab.len(), deque.members.len() as u64);
+            }
+            loop {
+                let sv = slab.pop_victim();
+                assert_eq!(sv, deque.pop_victim());
+                if sv.is_none() {
+                    break;
+                }
+            }
         });
     }
 

@@ -30,7 +30,7 @@ mod tests;
 pub use pipeline::{CompletedFault, SubmitOutcome};
 
 use fluidmem_coord::PartitionId;
-use fluidmem_kv::{ExternalKey, KeyValueStore};
+use fluidmem_kv::{ExternalKey, KeyValueStore, PendingGet};
 use fluidmem_mem::{PageTable, PhysicalMemory, Region, Vpn};
 use fluidmem_sim::{SimClock, SimInstant, SimRng, Tracer};
 use fluidmem_uffd::Userfaultfd;
@@ -161,6 +161,16 @@ pub struct Monitor {
     /// Live entries in the tier pool.
     tier_pool_pages: Gauge,
     pub(in crate::monitor) write_list_pending: Gauge,
+    /// Per-structure occupancy: slab nodes allocated by the LRU buffer.
+    lru_slab_nodes: Gauge,
+    /// Per-structure occupancy: bitmap chunks held by the page tracker.
+    tracker_chunks: Gauge,
+    /// Per-structure occupancy: operations parked in the in-flight table.
+    inflight_parked_ops: Gauge,
+    /// Pooled buffer for the `ScanReferenced` head scan.
+    pub(in crate::monitor) scan_buf: Vec<Vpn>,
+    /// Pooled buffer for prefetch flights issued in one batch.
+    pub(in crate::monitor) prefetch_buf: Vec<(Vpn, PendingGet)>,
     pub(in crate::monitor) tracer: Tracer,
     pub(in crate::monitor) clock: SimClock,
     pub(in crate::monitor) rng: SimRng,
@@ -203,6 +213,11 @@ impl Monitor {
             tier_pool_bytes: Gauge::new(),
             tier_pool_pages: Gauge::new(),
             write_list_pending: Gauge::new(),
+            lru_slab_nodes: Gauge::new(),
+            tracker_chunks: Gauge::new(),
+            inflight_parked_ops: Gauge::new(),
+            scan_buf: Vec::new(),
+            prefetch_buf: Vec::new(),
             tracer: Tracer::disabled(),
             clock,
             rng,
@@ -229,6 +244,9 @@ impl Monitor {
             registry.adopt_gauge(consts::TIER_POOL_BYTES, &[], &self.tier_pool_bytes);
             registry.adopt_gauge(consts::TIER_POOL_PAGES, &[], &self.tier_pool_pages);
             registry.adopt_gauge(consts::WRITE_LIST_PENDING, &[], &self.write_list_pending);
+            registry.adopt_gauge(consts::LRU_SLAB_NODES, &[], &self.lru_slab_nodes);
+            registry.adopt_gauge(consts::TRACKER_CHUNKS, &[], &self.tracker_chunks);
+            registry.adopt_gauge(consts::INFLIGHT_PARKED_OPS, &[], &self.inflight_parked_ops);
             registry.adopt_gauge(consts::WSS_ESTIMATE_PAGES, &[], &self.wss_estimate);
             registry.adopt_histogram(consts::REFAULT_DISTANCE_PAGES, &[], &self.refault_distance);
             for r in Resolution::ALL {
@@ -270,6 +288,13 @@ impl Monitor {
                 &vm_label,
                 &self.write_list_pending,
             );
+            registry.adopt_gauge(consts::LRU_SLAB_NODES, &vm_label, &self.lru_slab_nodes);
+            registry.adopt_gauge(consts::TRACKER_CHUNKS, &vm_label, &self.tracker_chunks);
+            registry.adopt_gauge(
+                consts::INFLIGHT_PARKED_OPS,
+                &vm_label,
+                &self.inflight_parked_ops,
+            );
             registry.adopt_gauge(consts::WSS_ESTIMATE_PAGES, &vm_label, &self.wss_estimate);
             registry.adopt_histogram(
                 consts::REFAULT_DISTANCE_PAGES,
@@ -304,6 +329,9 @@ impl Monitor {
         self.tier_pool_pages.set(self.tier.len() as i64);
         self.write_list_pending
             .set(self.write_list.pending_len() as i64);
+        self.lru_slab_nodes.set(self.lru.slab_nodes() as i64);
+        self.tracker_chunks.set(self.tracker.chunk_count() as i64);
+        self.inflight_parked_ops.set(self.inflight.len() as i64);
     }
 
     /// Turns on event tracing (for the Figure 2 timeline and debugging).
@@ -714,7 +742,10 @@ impl Monitor {
     /// wipe other regions' pages, so the region's keys are deleted
     /// individually instead.
     pub fn remove_region(&mut self, region: &Region) -> usize {
-        let removed = self.tracker.remove_where(|vpn| region.contains(vpn));
+        // Regions are contiguous, so the tracker drops whole bitmap
+        // chunks: the cost depends on this region's span, not on how
+        // many pages the other regions track.
+        let removed = self.tracker.remove_range(region.start(), region.end());
         for vpn in region.iter_pages() {
             self.lru.remove(vpn);
         }

@@ -65,30 +65,51 @@ struct InflightFault {
 /// An entry on the completion queue: a fault operation finishing, or a
 /// background-reclaim activation interleaved into the same total order.
 enum QueueItem {
-    Fault(u64),
+    /// A fault operation: its monotonically increasing id plus the slab
+    /// slot it lives in, so completion is an O(1) indexed take (the id
+    /// guards against a recycled slot).
+    Fault {
+        id: u64,
+        slot: u32,
+    },
     Reclaim,
 }
 
-/// The in-flight operation table: live operations plus the completion
-/// queue that orders them.
+/// The in-flight operation table: a slab of operation slots plus the
+/// completion queue that orders them. Slots and waiter buffers are
+/// recycled, so sustained fault traffic at any depth stops allocating
+/// once the slab has grown to the peak in-flight depth.
 pub(in crate::monitor) struct InflightTable {
-    ops: Vec<InflightFault>,
+    slots: Vec<Option<InflightFault>>,
+    free: Vec<u32>,
+    live: usize,
     queue: EventQueue<QueueItem>,
     next_id: u64,
+    waiter_pool: Vec<Vec<Waiter>>,
 }
 
 impl InflightTable {
     pub(in crate::monitor) fn new() -> Self {
         InflightTable {
-            ops: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
             queue: EventQueue::new(),
             next_id: 0,
+            waiter_pool: Vec::new(),
         }
     }
 
     /// Live (parked) operations.
     pub(in crate::monitor) fn len(&self) -> usize {
-        self.ops.len()
+        self.live
+    }
+
+    /// Operation slots allocated in the slab (live + pooled): the
+    /// table's standing footprint, which plateaus at peak depth.
+    #[cfg(test)]
+    pub(in crate::monitor) fn pool_slots(&self) -> usize {
+        self.slots.len()
     }
 
     fn park(
@@ -101,16 +122,29 @@ impl InflightTable {
     ) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        self.ops.push(InflightFault {
+        let op = InflightFault {
             id,
             vpn,
             write,
             submitted_at: intake.t0,
             span: intake.span,
             stage,
-            waiters: Vec::new(),
-        });
-        self.queue.push(completes_at, QueueItem::Fault(id));
+            waiters: self.waiter_pool.pop().unwrap_or_default(),
+        };
+        let slot = match self.free.pop() {
+            Some(i) => {
+                debug_assert!(self.slots[i as usize].is_none());
+                self.slots[i as usize] = Some(op);
+                i
+            }
+            None => {
+                let i = self.slots.len() as u32;
+                self.slots.push(Some(op));
+                i
+            }
+        };
+        self.live += 1;
+        self.queue.push(completes_at, QueueItem::Fault { id, slot });
         id
     }
 
@@ -121,12 +155,30 @@ impl InflightTable {
     }
 
     fn by_vpn_mut(&mut self, vpn: Vpn) -> Option<&mut InflightFault> {
-        self.ops.iter_mut().find(|op| op.vpn == vpn)
+        // Slot order differs from submission order, but coalescing keeps
+        // at most one live operation per page, so the match is unique.
+        self.slots
+            .iter_mut()
+            .filter_map(Option::as_mut)
+            .find(|op| op.vpn == vpn)
     }
 
-    fn take(&mut self, id: u64) -> Option<InflightFault> {
-        let i = self.ops.iter().position(|op| op.id == id)?;
-        Some(self.ops.remove(i))
+    fn take(&mut self, id: u64, slot: u32) -> Option<InflightFault> {
+        match self.slots.get_mut(slot as usize) {
+            Some(entry @ Some(_)) if entry.as_ref().is_some_and(|op| op.id == id) => {
+                let op = entry.take();
+                self.free.push(slot);
+                self.live -= 1;
+                op
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns a drained waiter buffer to the pool for the next park.
+    fn recycle_waiters(&mut self, mut waiters: Vec<Waiter>) {
+        waiters.clear();
+        self.waiter_pool.push(waiters);
     }
 }
 
@@ -274,17 +326,20 @@ impl Monitor {
         pt: &mut PageTable,
         pm: &mut PhysicalMemory,
     ) -> Option<CompletedFault> {
-        let id = loop {
+        let (id, slot) = loop {
             let (_, item) = self.inflight.queue.pop_next()?;
             match item {
                 // Reclaim activations ride the same queue so the evictor
                 // runs in deterministic event order, transparently to
                 // the caller waiting on a fault completion.
                 QueueItem::Reclaim => self.run_scheduled_reclaim(uffd, pt, pm),
-                QueueItem::Fault(id) => break id,
+                QueueItem::Fault { id, slot } => break (id, slot),
             }
         };
-        let op = self.inflight.take(id).expect("queued operation is live");
+        let op = self
+            .inflight
+            .take(id, slot)
+            .expect("queued operation is live");
         let InflightFault {
             id,
             vpn,
@@ -319,13 +374,15 @@ impl Monitor {
         for w in &waiters {
             self.finalize_fault(w.span, w.t0, resolution, wake_at);
         }
+        let n_waiters = waiters.len() as u32;
+        self.inflight.recycle_waiters(waiters);
         Some(CompletedFault {
             id,
             vpn,
             resolution,
             submitted_at,
             wake_at,
-            waiters: waiters.len() as u32,
+            waiters: n_waiters,
         })
     }
 

@@ -350,8 +350,11 @@ impl Monitor {
         let PrefetchPolicy::Sequential { window } = self.config.prefetch else {
             return;
         };
-        // Issue every read first so the flights overlap.
-        let mut pendings = Vec::new();
+        // Issue every read first so the flights overlap. The pending
+        // list is a pooled buffer: prefetch runs after every remote
+        // fault, and per-call Vec churn at 256 VMs adds up.
+        let mut pendings = std::mem::take(&mut self.prefetch_buf);
+        debug_assert!(pendings.is_empty());
         for i in 1..=window {
             let candidate = vpn.offset(i);
             if !self.tracker.contains(candidate)
@@ -367,7 +370,7 @@ impl Monitor {
             }
             pendings.push((candidate, self.store.begin_get(key)));
         }
-        for (candidate, pending) in pendings {
+        for (candidate, pending) in pendings.drain(..) {
             match self.store.finish_get(pending) {
                 Ok(contents) => {
                     if uffd.copy(pt, pm, candidate, contents).is_ok() {
@@ -402,6 +405,7 @@ impl Monitor {
                 Err(e) => panic!("store failure on prefetch: {e}"),
             }
         }
+        self.prefetch_buf = pendings;
         self.evict_to_capacity(uffd, pt, pm);
     }
 
@@ -526,8 +530,11 @@ impl Monitor {
     /// Applies the configured LRU policy's per-fault maintenance.
     fn run_lru_policy(&mut self, pt: &mut PageTable) {
         if let LruPolicy::ScanReferenced { scan_batch } = self.config.lru_policy {
-            let head = self.lru.peek_head(scan_batch);
-            for vpn in head {
+            // The scan batch reuses one pooled buffer: this runs on
+            // every fault intake, so a fresh Vec per fault is pure churn.
+            let mut head = std::mem::take(&mut self.scan_buf);
+            self.lru.peek_head_into(scan_batch, &mut head);
+            for &vpn in &head {
                 // Sample-and-clear the guest referenced bit; hot pages
                 // rotate away from the eviction end.
                 if pt.has_flags(vpn, PteFlags::REFERENCED) {
@@ -535,6 +542,7 @@ impl Monitor {
                     self.lru.rotate_to_tail(vpn);
                 }
             }
+            self.scan_buf = head;
         }
     }
 }

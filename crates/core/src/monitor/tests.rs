@@ -688,6 +688,17 @@ fn deeper_pipeline_overlaps_store_reads() {
     assert!(done.windows(2).all(|w| w[0].wake_at <= w[1].wake_at));
     assert_eq!(r.monitor.inflight_len(), 0);
     assert_eq!(r.monitor.stats().remote_reads, 3);
+    // The op slab plateaus at peak depth: draining frees slots to the
+    // pool rather than shrinking, and further parking reuses them.
+    assert_eq!(r.monitor.inflight.pool_slots(), 3);
+    let d = pipelined_fault(&mut r, 3, false);
+    assert!(matches!(d, SubmitOutcome::Parked(_)));
+    r.monitor.drain_inflight(&mut r.uffd, &mut r.pt, &mut r.pm);
+    assert_eq!(
+        r.monitor.inflight.pool_slots(),
+        3,
+        "slab reuses pooled slots"
+    );
 }
 
 #[test]

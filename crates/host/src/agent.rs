@@ -145,6 +145,10 @@ pub struct VmSpec {
     pub weight: u64,
     /// Fraction of accesses that are writes.
     pub write_fraction: f64,
+    /// Optional p99 fault-latency SLO target in microseconds. Read only
+    /// by the [`ArbiterPolicy::SloGuarded`] policy; VMs without a target
+    /// are the throttleable best-effort tier.
+    pub slo_p99_us: Option<f64>,
 }
 
 impl VmSpec {
@@ -155,6 +159,7 @@ impl VmSpec {
             wss_pages,
             weight: 1,
             write_fraction: 0.3,
+            slo_p99_us: None,
         }
     }
 
@@ -169,6 +174,12 @@ impl VmSpec {
         self.write_fraction = fraction;
         self
     }
+
+    /// Gives the VM a p99 fault-latency SLO target, in microseconds.
+    pub fn slo_p99(mut self, us: f64) -> Self {
+        self.slo_p99_us = Some(us);
+        self
+    }
 }
 
 /// Host-level event counters, exported as `fluidmem_host_events_total`.
@@ -179,6 +190,10 @@ struct HostCounters {
     shrinks: Counter,
     balloon_clamps: Counter,
     membership_events: Counter,
+    /// Rounds in which any SLO-throttled VM was planned below the floor
+    /// — must stay zero; the `slo_guarded` policy guarantees the
+    /// minimum even while throttling.
+    floor_misses: Counter,
 }
 
 impl HostCounters {
@@ -189,6 +204,7 @@ impl HostCounters {
             ("shrink", &self.shrinks),
             ("balloon_clamp", &self.balloon_clamps),
             ("membership_event", &self.membership_events),
+            ("floor_miss", &self.floor_misses),
         ] {
             registry.adopt_counter(
                 consts::HOST_EVENTS,
@@ -214,6 +230,11 @@ struct VmSlot {
     access_lat: Sample,
     /// Latency of measured faults only.
     fault_lat: Sample,
+    /// Fault latencies in the current rebalance window only (cleared
+    /// every round): the arbiter's per-window p99 signal.
+    window_fault_lat: Sample,
+    /// Rebalance windows in which this VM ran over its SLO target.
+    slo_violations: Counter,
     measured_ops: u64,
     capacity_gauge: Gauge,
     workload_rng: SimRng,
@@ -382,6 +403,12 @@ impl HostAgent {
             &[(consts::LABEL_VM, &spec.name)],
             &capacity_gauge,
         );
+        let slo_violations = Counter::new();
+        self.telemetry.registry().adopt_counter(
+            consts::HOST_SLO_VIOLATIONS,
+            &[(consts::LABEL_VM, &spec.name)],
+            &slo_violations,
+        );
         let workload_rng = self.rng.fork(&format!("workload-{}", spec.name));
         self.slots.push(VmSlot {
             spec,
@@ -394,6 +421,8 @@ impl HostAgent {
             baseline,
             access_lat: Sample::new(),
             fault_lat: Sample::new(),
+            window_fault_lat: Sample::new(),
+            slo_violations,
             measured_ops: 0,
             capacity_gauge,
             workload_rng,
@@ -501,6 +530,7 @@ impl HostAgent {
         slot.access_lat.record_duration(report.latency);
         if report.outcome != AccessOutcome::Hit {
             slot.fault_lat.record_duration(report.latency);
+            slot.window_fault_lat.record_duration(report.latency);
         }
         report.latency
     }
@@ -521,7 +551,7 @@ impl HostAgent {
         self.counters.rebalances.inc();
         let demands: Vec<VmDemand> = self
             .slots
-            .iter()
+            .iter_mut()
             .map(|slot| {
                 let now = slot.vm.signals();
                 let window = now.window_since(&slot.baseline);
@@ -531,9 +561,22 @@ impl HostAgent {
                     hit_ratio: window.hit_ratio(),
                     balloon_target: slot.balloon.target(),
                     current_pages: now.capacity_pages,
+                    p99_fault_us: slot.window_fault_lat.percentile(0.99),
+                    slo_p99_us: slot.spec.slo_p99_us,
                 }
             })
             .collect();
+        // Count SLO-violation windows per VM (pure bookkeeping, off the
+        // virtual timeline) and reset the window samples.
+        for (slot, demand) in self.slots.iter_mut().zip(&demands) {
+            if demand
+                .slo_p99_us
+                .is_some_and(|slo| demand.p99_fault_us > slo)
+            {
+                slot.slo_violations.inc();
+            }
+            slot.window_fault_lat = Sample::new();
+        }
         let plan = arbiter::plan(
             &ArbiterConfig {
                 total_pages: self.config.dram_pages,
@@ -542,6 +585,18 @@ impl HostAgent {
             },
             &demands,
         );
+        // The slo_guarded floor guarantee, audited every round: a
+        // throttled VM planned below the minimum is a policy bug, and
+        // the scaling bench gates on this staying zero.
+        let floor = self
+            .config
+            .min_pages_per_vm
+            .min(self.config.dram_pages / n as u64);
+        for (i, &cap) in plan.capacities.iter().enumerate() {
+            if plan.slo_throttled[i] && cap < floor {
+                self.counters.floor_misses.inc();
+            }
+        }
         // Shrinks first: the freed pages cover the grows, so the host's
         // aggregate resident never exceeds the budget mid-apply.
         for pass in 0..2 {
@@ -593,6 +648,7 @@ impl HostAgent {
         for slot in &mut self.slots {
             slot.access_lat = Sample::new();
             slot.fault_lat = Sample::new();
+            slot.window_fault_lat = Sample::new();
             slot.measured_ops = 0;
             slot.baseline = slot.vm.signals();
         }
@@ -944,6 +1000,23 @@ impl HostAgent {
         self.slots[index].fault_lat.count() as u64
     }
 
+    /// Pages a VM's monitor has ever seen (its tracked-page footprint).
+    pub fn vm_seen_pages(&self, index: usize) -> usize {
+        self.slots[index].vm.monitor().seen_pages()
+    }
+
+    /// Rebalance windows in which a VM with an SLO target ran over it,
+    /// summed across the fleet.
+    pub fn slo_violations(&self) -> u64 {
+        self.slots.iter().map(|s| s.slo_violations.get()).sum()
+    }
+
+    /// Rounds in which an SLO-throttled VM was planned below the floor
+    /// guarantee. Zero by construction; the scaling bench gates on it.
+    pub fn floor_misses(&self) -> u64 {
+        self.counters.floor_misses.get()
+    }
+
     /// Percentile of a VM's measured *fault* latencies, in µs
     /// (`0.0` if the VM faulted zero times in the window).
     pub fn vm_fault_percentile(&mut self, index: usize, p: f64) -> f64 {
@@ -1141,6 +1214,51 @@ mod tests {
             "stealing should have grown the hot VM past its even share, got {}",
             agent.vm_capacity(0)
         );
+    }
+
+    #[test]
+    fn slo_guarded_fleet_is_deterministic_and_never_starves_a_donor() {
+        // An over-committed fleet under slo_guarded, every other VM
+        // carrying a tight SLO: violation windows must fire, donors
+        // must never be throttled below the floor, and two identically
+        // seeded runs must agree bit for bit.
+        let build = || {
+            let mut agent = host(
+                HostConfig::new(256)
+                    .policy(ArbiterPolicy::SloGuarded)
+                    .min_pages(16)
+                    .rebalance_interval(128),
+                7,
+            );
+            for i in 0..8 {
+                let spec = VmSpec::new(format!("vm{i}"), 64);
+                let spec = if i % 2 == 0 { spec.slo_p99(20.0) } else { spec };
+                agent.add_vm(spec);
+            }
+            agent.run(8_000);
+            agent.drain();
+            agent
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.clock().now(), b.clock().now(), "virtual time diverged");
+        assert_eq!(a.slo_violations(), b.slo_violations());
+        for i in 0..8 {
+            assert_eq!(a.vm_signals(i), b.vm_signals(i), "vm{i} signals diverged");
+            assert_eq!(a.vm_capacity(i), b.vm_capacity(i), "vm{i} grant diverged");
+        }
+        assert!(
+            a.slo_violations() > 0,
+            "a 20us target on an over-committed fleet must record violation windows"
+        );
+        assert_eq!(a.floor_misses(), 0, "no donor may drop below the floor");
+        for i in 0..8 {
+            assert!(
+                a.vm_capacity(i) >= 16,
+                "vm{i} granted {} pages, below the 16-page floor",
+                a.vm_capacity(i)
+            );
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! clock — so a host run is reproducible bit-for-bit and the planner
 //! can be unit-tested exhaustively.
 //!
-//! Four policies (the knob the paper's §VI-E "flexibility" experiments
+//! Five policies (the knob the paper's §VI-E "flexibility" experiments
 //! imply but never build):
 //!
 //! * [`ArbiterPolicy::StaticQuota`] — the baseline: an even, demand-blind
@@ -26,6 +26,15 @@
 //!   major faults. Cold misses and streaming scans fault heavily but
 //!   refault never — raw fault counts overpay them; thrash refaults are
 //!   exactly the faults more DRAM would have avoided.
+//! * [`ArbiterPolicy::SloGuarded`] — production arbitration for mixed
+//!   fleets: VMs carry optional p99 fault-latency targets
+//!   ([`VmDemand::slo_p99_us`]). When a protected VM's observed window
+//!   p99 ([`VmDemand::p99_fault_us`]) exceeds its target, every
+//!   non-violating VM — the noisy neighbors — is throttled
+//!   balloon-style, donating half its surplus above the floor, and the
+//!   freed pages go to the violators proportionally to how far over
+//!   target they are. The floor (the minimum guarantee) is never
+//!   breached, so throttled VMs always keep making progress.
 //!
 //! Balloon targets are authoritative clamps in every policy: if the
 //! operator asked a VM to shrink to `B` pages, the arbiter never grants
@@ -43,6 +52,10 @@ pub enum ArbiterPolicy {
     /// Minimum guarantee plus a pool apportioned by window thrash
     /// refaults (working-set pressure, not raw miss volume).
     RefaultProportional,
+    /// Per-VM p99 fault-latency SLOs: when a protected VM runs over its
+    /// target, non-violating VMs are throttled down to fund it, never
+    /// below the floor.
+    SloGuarded,
 }
 
 impl ArbiterPolicy {
@@ -53,15 +66,17 @@ impl ArbiterPolicy {
             ArbiterPolicy::FaultRateProportional => "fault_rate_proportional",
             ArbiterPolicy::MinGuaranteeWorkStealing => "min_guarantee_work_stealing",
             ArbiterPolicy::RefaultProportional => "refault_proportional",
+            ArbiterPolicy::SloGuarded => "slo_guarded",
         }
     }
 
     /// Every policy, in declaration order.
-    pub const ALL: [ArbiterPolicy; 4] = [
+    pub const ALL: [ArbiterPolicy; 5] = [
         ArbiterPolicy::StaticQuota,
         ArbiterPolicy::FaultRateProportional,
         ArbiterPolicy::MinGuaranteeWorkStealing,
         ArbiterPolicy::RefaultProportional,
+        ArbiterPolicy::SloGuarded,
     ];
 }
 
@@ -80,6 +95,12 @@ pub struct VmDemand {
     pub balloon_target: Option<u64>,
     /// The capacity currently granted.
     pub current_pages: u64,
+    /// Observed p99 fault latency over the window, in microseconds
+    /// (`0.0` when the VM took no faults).
+    pub p99_fault_us: f64,
+    /// The VM's p99 fault-latency SLO target in microseconds, if it has
+    /// one. Only [`ArbiterPolicy::SloGuarded`] reads it.
+    pub slo_p99_us: Option<f64>,
 }
 
 /// The arbiter's configuration.
@@ -100,6 +121,9 @@ pub struct ArbiterPlan {
     pub capacities: Vec<u64>,
     /// Whether each VM's grant was clamped by its balloon target.
     pub balloon_clamped: Vec<bool>,
+    /// Whether each VM was throttled this round to fund an SLO-violating
+    /// neighbor (only [`ArbiterPolicy::SloGuarded`] sets these).
+    pub slo_throttled: Vec<bool>,
 }
 
 impl ArbiterPlan {
@@ -153,6 +177,7 @@ pub fn plan(config: &ArbiterConfig, demands: &[VmDemand]) -> ArbiterPlan {
         return ArbiterPlan {
             capacities: Vec::new(),
             balloon_clamped: Vec::new(),
+            slo_throttled: Vec::new(),
         };
     }
     let total = config.total_pages;
@@ -165,8 +190,59 @@ pub fn plan(config: &ArbiterConfig, demands: &[VmDemand]) -> ArbiterPlan {
         _ => demands.iter().map(|d| d.major_faults).collect(),
     };
 
+    let mut slo_throttled = vec![false; n];
     let mut capacities: Vec<u64> = match config.policy {
         ArbiterPolicy::StaticQuota => apportion(total, &vec![1; n]),
+        ArbiterPolicy::SloGuarded => {
+            // Base split: fault-rate proportional, so the policy behaves
+            // like the default one while every SLO is being met.
+            let guaranteed = min * n as u64;
+            let pool = total - guaranteed;
+            let mut caps: Vec<u64> = apportion(pool, &weights)
+                .into_iter()
+                .map(|share| min + share)
+                .collect();
+            let violating: Vec<usize> = (0..n)
+                .filter(|&i| {
+                    demands[i]
+                        .slo_p99_us
+                        .is_some_and(|slo| demands[i].p99_fault_us > slo)
+                })
+                .collect();
+            if !violating.is_empty() && violating.len() < n {
+                // Throttle the noisy neighbors: every non-violating VM
+                // donates half its surplus above the floor. The floor
+                // itself is untouchable — throttled VMs keep making
+                // progress.
+                let mut freed = 0u64;
+                for i in 0..n {
+                    if !violating.contains(&i) {
+                        let donation = caps[i].saturating_sub(min) / 2;
+                        if donation > 0 {
+                            caps[i] -= donation;
+                            freed += donation;
+                            slo_throttled[i] = true;
+                        }
+                    }
+                }
+                // Fund violators proportionally to how far over target
+                // they run (permille overload, floored at 1 so a barely-
+                // violating VM still gets a share).
+                let overload: Vec<u64> = violating
+                    .iter()
+                    .map(|&i| {
+                        let d = &demands[i];
+                        let slo = d.slo_p99_us.expect("violator has a target");
+                        (((d.p99_fault_us / slo - 1.0) * 1000.0).ceil() as u64).max(1)
+                    })
+                    .collect();
+                let grants = apportion(freed, &overload);
+                for (k, &i) in violating.iter().enumerate() {
+                    caps[i] += grants[k];
+                }
+            }
+            caps
+        }
         ArbiterPolicy::FaultRateProportional | ArbiterPolicy::RefaultProportional => {
             let guaranteed = min * n as u64;
             let pool = total - guaranteed;
@@ -245,6 +321,7 @@ pub fn plan(config: &ArbiterConfig, demands: &[VmDemand]) -> ArbiterPlan {
     ArbiterPlan {
         capacities,
         balloon_clamped,
+        slo_throttled,
     }
 }
 
@@ -255,10 +332,17 @@ mod tests {
     fn demand(major_faults: u64, current: u64) -> VmDemand {
         VmDemand {
             major_faults,
-            thrash_refaults: 0,
             hit_ratio: 0.9,
-            balloon_target: None,
             current_pages: current,
+            ..VmDemand::default()
+        }
+    }
+
+    fn slo_demand(major_faults: u64, current: u64, p99_us: f64, slo_us: f64) -> VmDemand {
+        VmDemand {
+            p99_fault_us: p99_us,
+            slo_p99_us: Some(slo_us),
+            ..demand(major_faults, current)
         }
     }
 
@@ -427,6 +511,123 @@ mod tests {
         };
         let p = plan(&cfg, &[demand(500, 40), demand(0, 40), demand(9, 40)]);
         assert_eq!(p.capacities, vec![40, 40, 40]);
+    }
+
+    #[test]
+    fn slo_guarded_matches_proportional_while_slos_hold() {
+        let total = 512;
+        let demands = [
+            slo_demand(900, 128, 80.0, 100.0), // protected, under target
+            demand(50, 128),
+            demand(50, 128),
+            demand(0, 128),
+        ];
+        let guarded = plan(
+            &ArbiterConfig {
+                total_pages: total,
+                min_pages: 48,
+                policy: ArbiterPolicy::SloGuarded,
+            },
+            &demands,
+        );
+        let proportional = plan(
+            &ArbiterConfig {
+                total_pages: total,
+                min_pages: 48,
+                policy: ArbiterPolicy::FaultRateProportional,
+            },
+            &demands,
+        );
+        assert_eq!(guarded.capacities, proportional.capacities);
+        assert!(guarded.slo_throttled.iter().all(|&t| !t));
+    }
+
+    #[test]
+    fn slo_violation_throttles_neighbors_but_keeps_the_floor() {
+        let cfg = ArbiterConfig {
+            total_pages: 400,
+            min_pages: 20,
+            policy: ArbiterPolicy::SloGuarded,
+        };
+        // VM 0 is protected and running 3x over its p99 target; the
+        // other three are unprotected noisy neighbors faulting heavily.
+        let p = plan(
+            &cfg,
+            &[
+                slo_demand(100, 100, 300.0, 100.0),
+                demand(400, 100),
+                demand(400, 100),
+                demand(400, 100),
+            ],
+        );
+        let base = plan(
+            &ArbiterConfig {
+                policy: ArbiterPolicy::FaultRateProportional,
+                ..cfg
+            },
+            &[
+                demand(100, 100),
+                demand(400, 100),
+                demand(400, 100),
+                demand(400, 100),
+            ],
+        );
+        assert!(
+            p.capacities[0] > base.capacities[0],
+            "violator got funded: {:?} vs base {:?}",
+            p.capacities,
+            base.capacities
+        );
+        assert!(!p.slo_throttled[0]);
+        for i in 1..4 {
+            assert!(p.slo_throttled[i], "{:?}", p.slo_throttled);
+            assert!(p.capacities[i] >= 20, "floor breached: {:?}", p.capacities);
+            assert!(p.capacities[i] < base.capacities[i]);
+        }
+        assert!(p.granted() <= 400);
+    }
+
+    #[test]
+    fn slo_overload_magnitude_weights_the_grants() {
+        let cfg = ArbiterConfig {
+            total_pages: 600,
+            min_pages: 20,
+            policy: ArbiterPolicy::SloGuarded,
+        };
+        // Two violators: one barely over, one 5x over. Same fault
+        // volume, so the base split treats them alike — the overload
+        // weighting must not.
+        let p = plan(
+            &cfg,
+            &[
+                slo_demand(200, 150, 101.0, 100.0),
+                slo_demand(200, 150, 500.0, 100.0),
+                demand(200, 150),
+                demand(200, 150),
+            ],
+        );
+        assert!(
+            p.capacities[1] > p.capacities[0],
+            "5x-over violator must out-rank the marginal one: {:?}",
+            p.capacities
+        );
+    }
+
+    #[test]
+    fn all_violating_fleet_cannot_steal_from_anyone() {
+        let cfg = ArbiterConfig {
+            total_pages: 200,
+            min_pages: 10,
+            policy: ArbiterPolicy::SloGuarded,
+        };
+        let demands = [
+            slo_demand(100, 100, 300.0, 100.0),
+            slo_demand(100, 100, 300.0, 100.0),
+        ];
+        let p = plan(&cfg, &demands);
+        // Nobody to throttle: the plan degrades to the base split.
+        assert_eq!(p.capacities, vec![100, 100]);
+        assert!(p.slo_throttled.iter().all(|&t| !t));
     }
 
     #[test]

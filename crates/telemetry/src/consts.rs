@@ -43,6 +43,23 @@ pub const HOST_EVENTS: &str = "fluidmem_host_events_total";
 /// (gauge, labeled by [`LABEL_VM`]).
 pub const HOST_VM_CAPACITY_PAGES: &str = "fluidmem_host_vm_capacity_pages";
 
+/// Rebalance windows in which a VM with a p99 fault-latency SLO was
+/// observed over its target (counter, labeled by [`LABEL_VM`]) — the
+/// signal the `slo_guarded` arbiter policy throttles on.
+pub const HOST_SLO_VIOLATIONS: &str = "fluidmem_host_slo_violations_total";
+
+/// Slab nodes allocated by the monitor's LRU buffer, live + free-listed
+/// (gauge): the structure's standing memory footprint.
+pub const LRU_SLAB_NODES: &str = "fluidmem_lru_slab_nodes";
+
+/// Bitmap chunks allocated by the monitor's page tracker (gauge), each
+/// covering a 4096-page window.
+pub const TRACKER_CHUNKS: &str = "fluidmem_tracker_chunks";
+
+/// Operations currently parked in the monitor's in-flight table (gauge):
+/// the pipeline's live occupancy, bounded by the configured depth.
+pub const INFLIGHT_PARKED_OPS: &str = "fluidmem_inflight_parked_ops";
+
 /// Pages currently resident in the monitor's LRU buffer (gauge).
 pub const LRU_RESIDENT_PAGES: &str = "fluidmem_lru_resident_pages";
 

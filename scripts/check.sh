@@ -43,6 +43,63 @@ grep -q '"bench":"scaling_policy"' "$scaling_a" || {
 }
 rm -f "$scaling_a" "$scaling_b"
 
+echo "==> big-fleet smoke: scaling --big --smoke (twice, byte-identical, floor intact, flat per-VM rate)"
+big_out_a="$(mktemp)"
+big_out_b="$(mktemp)"
+big_json_a="$(mktemp)"
+big_json_b="$(mktemp)"
+cargo run -q --release -p fluidmem-bench --bin scaling -- --big --smoke --json "$big_json_a" > "$big_out_a"
+cargo run -q --release -p fluidmem-bench --bin scaling -- --big --smoke --json "$big_json_b" > "$big_out_b"
+test -s "$big_json_a" || { echo "big-fleet smoke: empty JSON output" >&2; exit 1; }
+cmp "$big_out_a" "$big_out_b" || {
+    echo "big-fleet smoke: stdout not deterministic" >&2
+    exit 1
+}
+cmp "$big_json_a" "$big_json_b" || {
+    echo "big-fleet smoke: JSON output not deterministic" >&2
+    exit 1
+}
+grep -q '"bench":"scaling_big"' "$big_json_a" || {
+    echo "big-fleet smoke: sweep records missing" >&2
+    exit 1
+}
+# The slo_guarded floor guarantee: throttling a donor VM below the
+# progress floor is a gate failure at any fleet size.
+if grep '"bench":"scaling_big"' "$big_json_a" | grep -qv '"floor_misses":0'; then
+    echo "big-fleet smoke: a VM was throttled below the progress floor" >&2
+    exit 1
+fi
+# Per-VM resources are constant across fleet sizes, so the slab data
+# plane must keep the N-core-normalized per-VM rate roughly flat:
+# N=64 falling below half the N=16 rate means something superlinear
+# crept back into the fault path.
+tpv16="$(grep '"bench":"scaling_big"' "$big_json_a" | grep '"n_vms":16,' \
+    | sed 's/.*"throughput_per_vm_ops_s":\([0-9.eE+-]*\).*/\1/')"
+tpv64="$(grep '"bench":"scaling_big"' "$big_json_a" | grep '"n_vms":64,' \
+    | sed 's/.*"throughput_per_vm_ops_s":\([0-9.eE+-]*\).*/\1/')"
+test -n "$tpv16" && test -n "$tpv64" || {
+    echo "big-fleet smoke: throughput fields missing from JSON" >&2
+    exit 1
+}
+awk -v small="$tpv16" -v big="$tpv64" 'BEGIN { exit (big >= 0.5 * small) ? 0 : 1 }' || {
+    echo "big-fleet smoke: per-VM throughput at N=64 ($tpv64) fell below half of N=16 ($tpv16)" >&2
+    exit 1
+}
+rm -f "$big_out_a" "$big_out_b" "$big_json_a" "$big_json_b"
+
+echo "==> lint: unordered-container iteration in output-producing crates"
+# Bench tables and telemetry exports are pinned byte-for-byte by the
+# determinism gates above; HashMap/HashSet iteration order must never
+# feed them. Sort first (or use a BTreeMap), or mark a genuinely
+# order-insensitive use with '// lint: order-independent'.
+lint_hits="$(grep -rn 'HashMap\|HashSet' crates/bench/src crates/telemetry/src \
+    | grep -v 'lint: order-independent' || true)"
+if [ -n "$lint_hits" ]; then
+    echo "unordered container in an output-producing crate without a sort or marker:" >&2
+    echo "$lint_hits" >&2
+    exit 1
+fi
+
 echo "==> cluster smoke: scaling --smoke --cluster (twice, byte-identical, zero lost pages)"
 cluster_out_a="$(mktemp)"
 cluster_out_b="$(mktemp)"
