@@ -164,6 +164,8 @@ impl FluidMemMemory {
             tier_hits: stats.tier_hits,
             tier_demotions: stats.tier_demotions,
             tier_pool_bytes: self.monitor.tier_bytes() as u64,
+            prefetch_issued: stats.prefetch_issued,
+            prefetch_hits: stats.prefetch_hits,
         }
     }
 
@@ -271,6 +273,10 @@ impl FluidMemMemory {
         if write {
             entry.flags.insert(PteFlags::DIRTY);
         }
+        // First guest touch of a prefetched page resolves its
+        // accuracy-ledger entry to a hit (a no-op branch when nothing
+        // is pending).
+        self.monitor.note_mapped_touch(vpn);
         self.counters.record(AccessOutcome::Hit);
         Some(AccessReport {
             outcome: AccessOutcome::Hit,
@@ -388,6 +394,16 @@ impl FluidMemMemory {
     /// Faults currently parked in the monitor's in-flight table.
     pub fn inflight_len(&self) -> usize {
         self.monitor.inflight_len()
+    }
+
+    /// Installs any speculative reads (and runs any reclaim work) whose
+    /// completion instant has already passed, without blocking on
+    /// in-flight demand faults. Pipelined drivers call this between
+    /// guest accesses to model the monitor thread running bottom halves
+    /// while the vCPUs compute; never advances the clock.
+    pub fn poll_ready_completions(&mut self) {
+        self.monitor
+            .poll_ready(&mut self.uffd, &mut self.pt, &mut self.pm);
     }
 }
 

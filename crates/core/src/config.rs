@@ -81,6 +81,24 @@ pub enum PrefetchPolicy {
         /// How many successor pages to pull per fault.
         window: u64,
     },
+    /// Leap-style trend prefetch: a majority-vote
+    /// [`StrideDetector`](crate::StrideDetector) watches the fault VPN
+    /// stream, and while a stride trend holds, each remote read also
+    /// pulls up to `max_depth` pages ahead *at the detected stride*
+    /// (negative strides included). Issue is suppressed for
+    /// thrash-flagged VMs (WSS estimate over capacity) and when LRU
+    /// headroom is below the depth, so speculation never evicts warm
+    /// pages. In the pipelined path the speculative reads are real
+    /// in-flight operations: a demand fault arriving mid-flight adopts
+    /// the pending read and pays only the remaining flight time.
+    Stride {
+        /// Fault deltas the majority vote runs over (clamped ≥ 4).
+        window: usize,
+        /// Pages fetched ahead per fault while a trend holds; `0`
+        /// disables the policy entirely (byte-identical to
+        /// [`PrefetchPolicy::None`]).
+        max_depth: u64,
+    },
 }
 
 /// Watermark-driven background reclaim: the monitor's kswapd.

@@ -23,6 +23,11 @@
 //!   refault-distance tracking in the style of Linux's
 //!   `mm/workingset.c`, feeding a WSS estimate, a thrash detector, and
 //!   an optional adaptive LRU capacity;
+//! * the **stride prefetcher** ([`StrideDetector`]): Leap-style
+//!   majority-vote trend detection over the fault address stream,
+//!   turning sequential and strided phases into reads issued ahead of
+//!   demand — gated by the working-set estimator so a thrashing VM never
+//!   pollutes its own LRU with guesses;
 //! * the **compressed local tier** ([`TierConfig`]): a zswap-like pool
 //!   between DRAM and the remote store — evictions compress into local
 //!   memory and demote to the store only under pool pressure, and
@@ -44,6 +49,7 @@ mod hypervisor;
 mod lru_buffer;
 mod monitor;
 mod page_tracker;
+mod prefetch;
 mod profile;
 mod signals;
 mod stats;
@@ -60,6 +66,7 @@ pub use hypervisor::{FluidMemHypervisor, SharedVm, VmHandle};
 pub use lru_buffer::LruBuffer;
 pub use monitor::{CompletedFault, Monitor, SubmitOutcome};
 pub use page_tracker::PageTracker;
+pub use prefetch::StrideDetector;
 pub use profile::{CodePath, PathStats, ProfileTable};
 pub use signals::VmSignals;
 pub use stats::MonitorStats;

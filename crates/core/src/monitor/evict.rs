@@ -72,6 +72,14 @@ impl Monitor {
         // store write may fail and retry (or the flushed batch may
         // be requeued), but the page leaves the LRU exactly here.
         self.workingset.record_eviction(victim);
+        // A prefetched page evicted before the guest ever touched it was
+        // a wasted remote read; the emptiness check keeps the policy-off
+        // eviction path to a single branch.
+        if !self.prefetch_pending_touch.is_empty()
+            && self.prefetch_pending_touch.remove(&victim).is_some()
+        {
+            self.stats.prefetch_wasted.inc();
+        }
         self.trace(|| format!("evicting {victim} from the top of the LRU via UFFD_REMAP"));
         Some(victim)
     }

@@ -35,9 +35,10 @@ use fluidmem_mem::{PageTable, PhysicalMemory, Region, Vpn};
 use fluidmem_sim::{SimClock, SimInstant, SimRng, Tracer};
 use fluidmem_uffd::Userfaultfd;
 
-use crate::config::MonitorConfig;
+use crate::config::{MonitorConfig, PrefetchPolicy};
 use crate::lru_buffer::LruBuffer;
 use crate::page_tracker::PageTracker;
+use crate::prefetch::StrideDetector;
 use crate::profile::ProfileTable;
 use crate::stats::{MonitorCounters, MonitorStats};
 use crate::tier::{CompressedTier, TierAudit};
@@ -171,6 +172,19 @@ pub struct Monitor {
     pub(in crate::monitor) scan_buf: Vec<Vpn>,
     /// Pooled buffer for prefetch flights issued in one batch.
     pub(in crate::monitor) prefetch_buf: Vec<(Vpn, PendingGet)>,
+    /// Pooled buffer for prefetch candidate pages per fault.
+    pub(in crate::monitor) prefetch_candidates: Vec<Vpn>,
+    /// Majority-vote stride detector over the fault VPN stream — the
+    /// trend source for [`PrefetchPolicy::Stride`]. Only fed while that
+    /// policy is configured.
+    pub(in crate::monitor) stride: StrideDetector,
+    /// Prefetched pages installed but not yet touched by the guest,
+    /// mapped to their issue instant: the accuracy panel's ledger. A
+    /// first guest touch resolves to a hit (and a timeliness sample); an
+    /// eviction or region removal first resolves to a waste.
+    pub(in crate::monitor) prefetch_pending_touch: std::collections::BTreeMap<Vpn, SimInstant>,
+    /// Issue→first-touch distance of prefetched pages that were used.
+    pub(in crate::monitor) prefetch_timeliness: Histogram,
     pub(in crate::monitor) tracer: Tracer,
     pub(in crate::monitor) clock: SimClock,
     pub(in crate::monitor) rng: SimRng,
@@ -189,6 +203,10 @@ impl Monitor {
         let lru = LruBuffer::new(config.lru_capacity);
         let telemetry = Telemetry::new(clock.clone());
         let workingset = WorkingSetEstimator::new(config.workingset);
+        let stride = match config.prefetch {
+            PrefetchPolicy::Stride { window, .. } => StrideDetector::new(window),
+            _ => StrideDetector::new(16),
+        };
         let monitor = Monitor {
             config,
             tracker: PageTracker::new(),
@@ -218,6 +236,10 @@ impl Monitor {
             inflight_parked_ops: Gauge::new(),
             scan_buf: Vec::new(),
             prefetch_buf: Vec::new(),
+            prefetch_candidates: Vec::new(),
+            stride,
+            prefetch_pending_touch: std::collections::BTreeMap::new(),
+            prefetch_timeliness: Histogram::new(),
             tracer: Tracer::disabled(),
             clock,
             rng,
@@ -249,6 +271,17 @@ impl Monitor {
             registry.adopt_gauge(consts::INFLIGHT_PARKED_OPS, &[], &self.inflight_parked_ops);
             registry.adopt_gauge(consts::WSS_ESTIMATE_PAGES, &[], &self.wss_estimate);
             registry.adopt_histogram(consts::REFAULT_DISTANCE_PAGES, &[], &self.refault_distance);
+            // The prefetch accuracy panel: dedicated names aliasing the
+            // same counter handles the event-labeled export already
+            // carries, plus the issue→first-touch timeliness histogram.
+            registry.adopt_counter(consts::PREFETCH_ISSUED, &[], &self.stats.prefetch_issued);
+            registry.adopt_counter(consts::PREFETCH_HITS, &[], &self.stats.prefetch_hits);
+            registry.adopt_counter(consts::PREFETCH_WASTED, &[], &self.stats.prefetch_wasted);
+            registry.adopt_histogram(
+                consts::PREFETCH_TIMELINESS_US,
+                &[],
+                &self.prefetch_timeliness,
+            );
             for r in Resolution::ALL {
                 registry.adopt_histogram(
                     consts::FAULT_LATENCY_US,
@@ -300,6 +333,22 @@ impl Monitor {
                 consts::REFAULT_DISTANCE_PAGES,
                 &vm_label,
                 &self.refault_distance,
+            );
+            registry.adopt_counter(
+                consts::PREFETCH_ISSUED,
+                &vm_label,
+                &self.stats.prefetch_issued,
+            );
+            registry.adopt_counter(consts::PREFETCH_HITS, &vm_label, &self.stats.prefetch_hits);
+            registry.adopt_counter(
+                consts::PREFETCH_WASTED,
+                &vm_label,
+                &self.stats.prefetch_wasted,
+            );
+            registry.adopt_histogram(
+                consts::PREFETCH_TIMELINESS_US,
+                &vm_label,
+                &self.prefetch_timeliness,
             );
             for r in Resolution::ALL {
                 registry.adopt_histogram(
@@ -396,6 +445,30 @@ impl Monitor {
             }
             self.refault_distance.observe_value(r.distance);
             self.wss_estimate.set(self.workingset.wss_estimate() as i64);
+        }
+    }
+
+    /// The stride the prefetch detector currently believes the fault
+    /// stream is following, in pages per fault (`None` while the stream
+    /// looks random, or when [`PrefetchPolicy::Stride`] is not
+    /// configured).
+    pub fn prefetch_trend(&self) -> Option<i64> {
+        self.stride.trend()
+    }
+
+    /// Notes a mapped (non-faulting) guest access: the first touch of a
+    /// prefetched page resolves its accuracy-ledger entry to a hit and
+    /// records the issue→touch timeliness. Pure bookkeeping on a map
+    /// that is empty unless prefetch has installed pages, so the hot hit
+    /// path pays one branch.
+    pub fn note_mapped_touch(&mut self, vpn: Vpn) {
+        if self.prefetch_pending_touch.is_empty() {
+            return;
+        }
+        if let Some(issued_at) = self.prefetch_pending_touch.remove(&vpn) {
+            self.stats.prefetch_hits.inc();
+            self.prefetch_timeliness
+                .observe(self.clock.now().saturating_since(issued_at));
         }
     }
 
@@ -752,6 +825,15 @@ impl Monitor {
         // Their refaults can never happen; drop the shadow entries so
         // the nonresident accounting stays balanced.
         self.workingset.forget_region(region);
+        // Prefetched pages the guest never got to touch die with the
+        // region: resolve their ledger entries to wasted.
+        if !self.prefetch_pending_touch.is_empty() {
+            let before = self.prefetch_pending_touch.len();
+            self.prefetch_pending_touch
+                .retain(|vpn, _| !region.contains(*vpn));
+            let dropped = (before - self.prefetch_pending_touch.len()) as u64;
+            self.stats.prefetch_wasted.add(dropped);
+        }
         // Pooled pages die with the region too.
         self.tier.remove_matching(|key| region.contains(key.vpn()));
         let dedicated = self

@@ -19,6 +19,7 @@
 //! submitted, which makes the pipelined path byte-identical (same clock
 //! charges, same RNG draws, same telemetry) to `handle_fault`.
 
+use fluidmem_kv::PendingGet;
 use fluidmem_mem::{PageContents, PageTable, PhysicalMemory, Vpn};
 use fluidmem_sim::{EventQueue, SimInstant};
 use fluidmem_telemetry::SpanId;
@@ -39,6 +40,17 @@ enum FaultStage {
         until: SimInstant,
         contents: PageContents,
     },
+}
+
+/// A speculative (prefetch) read in flight: no guest vCPU waits on it.
+/// Completion installs the page and wakes nothing; a demand fault
+/// arriving first adopts the flight and pays only the remaining flight
+/// time. Speculative operations live in their own slab and are *not*
+/// counted against [`MonitorConfig::max_inflight`](crate::MonitorConfig)
+/// — the depth bounds faults holding vCPUs, and nothing blocks on these.
+pub(in crate::monitor) struct PrefetchFlight {
+    pub(in crate::monitor) vpn: Vpn,
+    pub(in crate::monitor) pending: PendingGet,
 }
 
 /// A fault that attached to an already-in-flight operation on the same
@@ -72,6 +84,14 @@ enum QueueItem {
         id: u64,
         slot: u32,
     },
+    /// A speculative read completing: handled transparently (install,
+    /// no wake) while the caller keeps waiting for a demand completion.
+    /// Same id-guarded slab addressing as `Fault`, over the prefetch
+    /// slab — an adopted flight leaves a stale entry behind.
+    Prefetch {
+        id: u64,
+        slot: u32,
+    },
     Reclaim,
 }
 
@@ -86,6 +106,12 @@ pub(in crate::monitor) struct InflightTable {
     queue: EventQueue<QueueItem>,
     next_id: u64,
     waiter_pool: Vec<Vec<Waiter>>,
+    /// Speculative reads in flight, in their own recycled slab (entries
+    /// are `(id, flight)`; the id guards against slot reuse exactly as
+    /// in the demand slab).
+    prefetch_slots: Vec<Option<(u64, PrefetchFlight)>>,
+    prefetch_free: Vec<u32>,
+    prefetch_live: usize,
 }
 
 impl InflightTable {
@@ -97,6 +123,9 @@ impl InflightTable {
             queue: EventQueue::new(),
             next_id: 0,
             waiter_pool: Vec::new(),
+            prefetch_slots: Vec::new(),
+            prefetch_free: Vec::new(),
+            prefetch_live: 0,
         }
     }
 
@@ -179,6 +208,78 @@ impl InflightTable {
     fn recycle_waiters(&mut self, mut waiters: Vec<Waiter>) {
         waiters.clear();
         self.waiter_pool.push(waiters);
+    }
+
+    /// Parks a speculative read; it completes transparently inside a
+    /// later [`Monitor::complete_next`] (or is adopted by a demand fault
+    /// first).
+    pub(in crate::monitor) fn park_prefetch(&mut self, flight: PrefetchFlight) {
+        let completes_at = flight.pending.completes_at();
+        let id = self.next_id;
+        self.next_id += 1;
+        let slot = match self.prefetch_free.pop() {
+            Some(i) => {
+                debug_assert!(self.prefetch_slots[i as usize].is_none());
+                self.prefetch_slots[i as usize] = Some((id, flight));
+                i
+            }
+            None => {
+                let i = self.prefetch_slots.len() as u32;
+                self.prefetch_slots.push(Some((id, flight)));
+                i
+            }
+        };
+        self.prefetch_live += 1;
+        self.queue
+            .push(completes_at, QueueItem::Prefetch { id, slot });
+    }
+
+    /// Takes a queued speculative read; `None` if a demand fault already
+    /// adopted it (the queue entry went stale).
+    fn take_prefetch(&mut self, id: u64, slot: u32) -> Option<PrefetchFlight> {
+        match self.prefetch_slots.get_mut(slot as usize) {
+            Some(entry @ Some(_)) if entry.as_ref().is_some_and(|(i, _)| *i == id) => {
+                let (_, flight) = entry.take()?;
+                self.prefetch_free.push(slot);
+                self.prefetch_live -= 1;
+                Some(flight)
+            }
+            _ => None,
+        }
+    }
+
+    /// Removes and returns the in-flight speculative read for `vpn`, if
+    /// any — a demand fault adopting the flight. The flight's queue
+    /// entry stays behind and is skipped later by its id guard.
+    fn absorb_prefetch(&mut self, vpn: Vpn) -> Option<PrefetchFlight> {
+        let slot = self
+            .prefetch_slots
+            .iter()
+            .position(|e| e.as_ref().is_some_and(|(_, f)| f.vpn == vpn))?;
+        let (_, flight) = self.prefetch_slots[slot].take()?;
+        self.prefetch_free.push(slot as u32);
+        self.prefetch_live -= 1;
+        Some(flight)
+    }
+
+    /// Speculative reads currently in flight.
+    pub(in crate::monitor) fn prefetch_len(&self) -> usize {
+        self.prefetch_live
+    }
+
+    /// Whether any live operation — demand or speculative — already owns
+    /// `vpn`. The prefetch candidate filter uses this to never issue a
+    /// read that would race a pending install.
+    pub(in crate::monitor) fn tracks(&self, vpn: Vpn) -> bool {
+        self.slots
+            .iter()
+            .filter_map(Option::as_ref)
+            .any(|op| op.vpn == vpn)
+            || self
+                .prefetch_slots
+                .iter()
+                .filter_map(Option::as_ref)
+                .any(|(_, f)| f.vpn == vpn)
     }
 }
 
@@ -305,6 +406,22 @@ impl Monitor {
                     self.finalize_fault(intake.span, intake.t0, res.resolution, res.wake_at);
                     return SubmitOutcome::Completed(res);
                 }
+                // A demand fault for a page whose speculative read is
+                // still in flight adopts the pending read instead of
+                // issuing a duplicate: the guest pays only the flight's
+                // remaining time (a prefetch hit resolved early).
+                if let Some(pf) = self.inflight.absorb_prefetch(vpn) {
+                    let flight = self.stage_adopt_prefetch(uffd, pt, pm, key, pf);
+                    let completes_at = flight.completes_at();
+                    let id = self.inflight.park(
+                        vpn,
+                        write,
+                        intake,
+                        FaultStage::Fetch(flight),
+                        completes_at,
+                    );
+                    return SubmitOutcome::Parked(id);
+                }
                 let flight = self.stage_issue_read(uffd, pt, pm, key);
                 let completes_at = flight.completes_at();
                 let id =
@@ -333,6 +450,14 @@ impl Monitor {
                 // runs in deterministic event order, transparently to
                 // the caller waiting on a fault completion.
                 QueueItem::Reclaim => self.run_scheduled_reclaim(uffd, pt, pm),
+                // Speculative completions are transparent: install (or
+                // discard) and keep looking for a demand completion. A
+                // stale entry — the flight was adopted — takes nothing.
+                QueueItem::Prefetch { id, slot } => {
+                    if let Some(flight) = self.inflight.take_prefetch(id, slot) {
+                        self.complete_prefetch(uffd, pt, pm, flight);
+                    }
+                }
                 QueueItem::Fault { id, slot } => break (id, slot),
             }
         };
@@ -386,6 +511,43 @@ impl Monitor {
         })
     }
 
+    /// Runs the bottom halves that are already ripe at the monitor's
+    /// current instant without waiting on anything still in flight: due
+    /// speculative reads install (or are discarded) and due reclaim
+    /// activations run, while the earliest demand-fault completion — a
+    /// blocked vCPU's wake — is left for [`Monitor::complete_next`].
+    ///
+    /// This is the monitor thread's polling loop between fault
+    /// arrivals. Without it a driver that only calls `complete_next`
+    /// when a fault parks leaves landed prefetches sitting in the queue
+    /// — the guest refaults on pages whose bytes already arrived, and
+    /// every speculative read degrades into an adopted flight instead
+    /// of a mapped-page hit. Never advances the clock.
+    pub fn poll_ready(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+    ) {
+        loop {
+            let now = self.clock.now();
+            match self.inflight.queue.peek() {
+                Some((at, item)) if at <= now && !matches!(item, QueueItem::Fault { .. }) => {}
+                _ => return,
+            }
+            let (_, item) = self.inflight.queue.pop_next().expect("peeked a live event");
+            match item {
+                QueueItem::Reclaim => self.run_scheduled_reclaim(uffd, pt, pm),
+                QueueItem::Prefetch { id, slot } => {
+                    if let Some(flight) = self.inflight.take_prefetch(id, slot) {
+                        self.complete_prefetch(uffd, pt, pm, flight);
+                    }
+                }
+                QueueItem::Fault { .. } => unreachable!("fault completions are not polled"),
+            }
+        }
+    }
+
     /// Finishes every in-flight operation, in completion order.
     pub fn drain_inflight(
         &mut self,
@@ -403,6 +565,14 @@ impl Monitor {
     /// Faults currently parked in the in-flight table.
     pub fn inflight_len(&self) -> usize {
         self.inflight.len()
+    }
+
+    /// Speculative (prefetch) reads currently in flight. Not counted by
+    /// [`Monitor::inflight_len`]: the depth bound applies to faults
+    /// holding vCPUs, and nothing blocks on these. They finish inside
+    /// [`Monitor::complete_next`] / [`Monitor::drain_inflight`] calls.
+    pub fn inflight_prefetch_len(&self) -> usize {
+        self.inflight.prefetch_len()
     }
 
     /// The virtual instant the next in-flight operation completes.

@@ -15,6 +15,7 @@ use fluidmem_sim::SimInstant;
 use fluidmem_telemetry::{consts, SpanId};
 use fluidmem_uffd::Userfaultfd;
 
+use super::pipeline::PrefetchFlight;
 use super::{FaultIntake, FaultResolution, Monitor, Resolution};
 use crate::config::{LruPolicy, PrefetchPolicy};
 use crate::profile::CodePath;
@@ -54,6 +55,13 @@ impl Monitor {
                 vec![("vpn", format!("{vpn}")), ("write", write.to_string())]
             });
         self.stats.faults.inc();
+        // Feed the stride detector. Pure bookkeeping — no clock advance,
+        // no RNG draw, no counter — so a configured-but-trendless (or
+        // zero-depth) Stride policy leaves the run byte-identical to
+        // `PrefetchPolicy::None`.
+        if matches!(self.config.prefetch, PrefetchPolicy::Stride { .. }) {
+            self.stride.observe(vpn);
+        }
         self.write_list.retire(self.clock.now());
         self.run_lru_policy(pt);
 
@@ -338,8 +346,18 @@ impl Monitor {
         self.maybe_flush();
     }
 
-    /// Pulls sequential successors of a refaulted page back from the
-    /// store before the guest asks for them.
+    /// Proactive prefetch after a refault wake: pulls pages the guest is
+    /// predicted to touch next back from the store before it asks.
+    ///
+    /// `Sequential` pulls the next `window` successors of the faulting
+    /// page. `Stride` asks the majority-vote detector for the stream's
+    /// trend and pulls up to `max_depth` pages ahead at that stride,
+    /// gated by the working-set estimator: a thrash-flagged VM (working
+    /// set over capacity) or one whose free headroom is below the depth
+    /// gets no speculation. With the pipeline enabled the reads park as
+    /// real in-flight operations on the completion queue; on the
+    /// call-return path they are issued as one overlapped batch and
+    /// completed in place.
     fn maybe_prefetch(
         &mut self,
         uffd: &mut Userfaultfd,
@@ -347,66 +365,268 @@ impl Monitor {
         pm: &mut PhysicalMemory,
         vpn: Vpn,
     ) {
-        let PrefetchPolicy::Sequential { window } = self.config.prefetch else {
-            return;
-        };
-        // Issue every read first so the flights overlap. The pending
-        // list is a pooled buffer: prefetch runs after every remote
-        // fault, and per-call Vec churn at 256 VMs adds up.
-        let mut pendings = std::mem::take(&mut self.prefetch_buf);
-        debug_assert!(pendings.is_empty());
-        for i in 1..=window {
-            let candidate = vpn.offset(i);
-            if !self.tracker.contains(candidate)
-                || self.lru.contains(candidate)
-                || pt.get(candidate).is_some()
-                || uffd.region_containing(candidate).is_none()
-            {
-                continue;
+        // The candidate list is a pooled buffer: prefetch runs after
+        // every remote fault, and per-call Vec churn at 256 VMs adds up.
+        let mut candidates = std::mem::take(&mut self.prefetch_candidates);
+        debug_assert!(candidates.is_empty());
+        match self.config.prefetch {
+            PrefetchPolicy::None => {
+                self.prefetch_candidates = candidates;
+                return;
             }
-            let key = self.key(candidate);
-            if self.write_list.is_tracked(key) || self.tier.contains(key) {
-                continue; // its freshest copy is local, not in the store
-            }
-            pendings.push((candidate, self.store.begin_get(key)));
-        }
-        for (candidate, pending) in pendings.drain(..) {
-            match self.store.finish_get(pending) {
-                Ok(contents) => {
-                    if uffd.copy(pt, pm, candidate, contents).is_ok() {
-                        self.lru.insert(candidate);
-                        // The page came back without a fault, so its
-                        // refault distance will never be measured; drop
-                        // any shadow entry (counted as forgotten) so the
-                        // nonresident accounting stays balanced.
-                        self.workingset.forget(candidate);
-                        self.stats.prefetched_pages.inc();
-                    } else {
-                        // The page got mapped while the read was in
-                        // flight; the fetched copy is redundant, not
-                        // lost, but it must not vanish unaccounted.
-                        self.stats.prefetch_copy_skips.inc();
-                        self.trace(|| {
-                            format!("prefetch of {candidate} skipped: page already mapped")
-                        });
+            PrefetchPolicy::Sequential { window } => {
+                // Issue is capped at current headroom: a page past the
+                // cap would only be re-evicted by the trailing
+                // `evict_to_capacity` — a wasted remote read that can
+                // push warm pages out on its way through.
+                let cap = self.headroom();
+                for i in 1..=window {
+                    if candidates.len() as u64 == cap {
+                        break;
+                    }
+                    let candidate = vpn.offset(i);
+                    if self.prefetchable(uffd, pt, candidate) {
+                        candidates.push(candidate);
                     }
                 }
-                Err(KvError::NotFound(_)) => {
-                    self.stats.prefetch_misses.inc();
-                }
-                Err(e) if e.is_retryable() => {
-                    // Speculative work doesn't spend the retry budget: if
-                    // the guest actually faults on the page it is fetched
-                    // with full retries; here the attempt is just dropped
-                    // and counted as transient, not as a miss.
-                    self.stats.prefetch_transient_errors.inc();
-                    self.trace(|| format!("prefetch of {candidate} hit a transient error ({e})"));
-                }
-                Err(e) => panic!("store failure on prefetch: {e}"),
             }
+            PrefetchPolicy::Stride { max_depth, .. } => {
+                // max_depth = 0 is the policy's off switch: no gate
+                // counters, no eviction pass, no RNG or clock effects —
+                // byte-identical to `PrefetchPolicy::None`.
+                if max_depth == 0 {
+                    self.prefetch_candidates = candidates;
+                    return;
+                }
+                let Some(stride) = self.stride.trend() else {
+                    self.prefetch_candidates = candidates;
+                    return;
+                };
+                // Thrash gate: with the working set over capacity every
+                // speculative insert evicts a page the guest still
+                // wants. The detector keeps watching; issue stops.
+                let wss = self.workingset.wss_estimate();
+                let capacity = self.lru.capacity();
+                if wss > capacity {
+                    self.stats.prefetch_suppressed_thrash.inc();
+                    self.trace(|| {
+                        format!("prefetch suppressed: thrashing (wss {wss} > capacity {capacity})")
+                    });
+                    self.prefetch_candidates = candidates;
+                    return;
+                }
+                // Headroom gate: fewer free slots than the depth means
+                // speculation would immediately evict its own fetches.
+                let headroom = self.headroom();
+                if headroom < max_depth {
+                    self.stats.prefetch_suppressed_headroom.inc();
+                    self.trace(|| {
+                        format!("prefetch suppressed: headroom {headroom} < depth {max_depth}")
+                    });
+                    self.prefetch_candidates = candidates;
+                    return;
+                }
+                for k in 1..=max_depth {
+                    if let Some(candidate) = crate::prefetch::project(vpn, stride, k) {
+                        if self.prefetchable(uffd, pt, candidate) {
+                            candidates.push(candidate);
+                        }
+                    }
+                }
+                if candidates.is_empty() {
+                    // Nothing issuable at this stride: return with zero
+                    // side effects. (The Sequential arm falls through
+                    // even when empty to keep its legacy shape — its
+                    // trailing eviction pass has always run.)
+                    self.prefetch_candidates = candidates;
+                    return;
+                }
+            }
+        }
+
+        // Pipelined monitors issue speculation as real in-flight
+        // operations: the read rides the completion queue, installs on
+        // completion without waking anyone, and a demand fault arriving
+        // mid-flight adopts the pending read instead of re-issuing it.
+        if self.config.max_inflight > 1 {
+            for &candidate in &candidates {
+                let key = self.key(candidate);
+                self.stats.prefetch_issued.inc();
+                let pending = self.store.begin_get(key);
+                self.telemetry.record_span(
+                    consts::TRACK_KV,
+                    "kv.read.flight",
+                    pending.issued_at(),
+                    pending.completes_at(),
+                );
+                self.trace(|| format!("speculative read in flight for {candidate}"));
+                self.inflight.park_prefetch(PrefetchFlight {
+                    vpn: candidate,
+                    pending,
+                });
+            }
+            candidates.clear();
+            self.prefetch_candidates = candidates;
+            return;
+        }
+
+        // Call-return shape: issue every read first so the flights
+        // overlap, then complete them in place off a pooled buffer.
+        let mut pendings = std::mem::take(&mut self.prefetch_buf);
+        debug_assert!(pendings.is_empty());
+        for &candidate in &candidates {
+            let key = self.key(candidate);
+            self.stats.prefetch_issued.inc();
+            pendings.push((candidate, self.store.begin_get(key)));
+        }
+        candidates.clear();
+        self.prefetch_candidates = candidates;
+        for (candidate, pending) in pendings.drain(..) {
+            let issued_at = pending.issued_at();
+            let result = self.store.finish_get(pending);
+            self.note_prefetch_result(uffd, pt, pm, candidate, issued_at, result);
         }
         self.prefetch_buf = pendings;
         self.evict_to_capacity(uffd, pt, pm);
+    }
+
+    /// Whether a page may be speculatively fetched: evicted-but-seen, in
+    /// a registered region, not already resident or mapped, no fresher
+    /// local copy (write list / compressed tier), and not already owned
+    /// by an in-flight operation (demand or speculative).
+    fn prefetchable(&self, uffd: &Userfaultfd, pt: &PageTable, candidate: Vpn) -> bool {
+        if !self.tracker.contains(candidate)
+            || self.lru.contains(candidate)
+            || pt.get(candidate).is_some()
+            || uffd.region_containing(candidate).is_none()
+        {
+            return false;
+        }
+        let key = self.key(candidate);
+        if self.write_list.is_tracked(key) || self.tier.contains(key) {
+            return false; // its freshest copy is local, not in the store
+        }
+        // A duplicate read would race the pending install: the first
+        // completion maps the page and the second copy-in fails — or
+        // worse, maps under a parked demand fault about to wake.
+        !self.inflight.tracks(candidate)
+    }
+
+    /// Lands one finished speculative read: installs the page and
+    /// stamps the accuracy ledger on success, otherwise counts the
+    /// failure by kind. Never panics — speculation must not take the
+    /// monitor down (the demand path surfaces persistent errors with the
+    /// full retry budget).
+    pub(in crate::monitor) fn note_prefetch_result(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+        candidate: Vpn,
+        issued_at: SimInstant,
+        result: Result<PageContents, KvError>,
+    ) {
+        match result {
+            Ok(contents) => {
+                if uffd.copy(pt, pm, candidate, contents).is_ok() {
+                    self.lru.insert(candidate);
+                    // The page came back without a fault, so its
+                    // refault distance will never be measured; drop
+                    // any shadow entry (counted as forgotten) so the
+                    // nonresident accounting stays balanced.
+                    self.workingset.forget(candidate);
+                    self.stats.prefetched_pages.inc();
+                    // Open an accuracy-ledger entry: the guest's first
+                    // touch resolves it to a hit, an eviction first
+                    // resolves it to a waste.
+                    self.prefetch_pending_touch.insert(candidate, issued_at);
+                } else {
+                    // The page got mapped while the read was in
+                    // flight; the fetched copy is redundant, not
+                    // lost, but it must not vanish unaccounted.
+                    self.stats.prefetch_copy_skips.inc();
+                    self.trace(|| format!("prefetch of {candidate} skipped: page already mapped"));
+                }
+            }
+            Err(KvError::NotFound(_)) => {
+                self.stats.prefetch_misses.inc();
+            }
+            Err(e) if e.is_retryable() => {
+                // Speculative work doesn't spend the retry budget: if
+                // the guest actually faults on the page it is fetched
+                // with full retries; here the attempt is just dropped
+                // and counted as transient, not as a miss.
+                self.stats.prefetch_transient_errors.inc();
+                self.trace(|| format!("prefetch of {candidate} hit a transient error ({e})"));
+            }
+            Err(e) => {
+                // Non-retryable (corruption, capacity): dropping the
+                // guess costs nothing — the data is exactly where it
+                // was — so degrade instead of panicking like the demand
+                // read path does.
+                self.stats.prefetch_fatal_errors.inc();
+                self.trace(|| {
+                    format!("prefetch of {candidate} dropped on fatal store error ({e})")
+                });
+            }
+        }
+    }
+
+    /// Completes a parked speculative read popped off the pipeline's
+    /// queue. Installs the page if the quota still has room; wakes
+    /// nothing and finalizes nothing — no guest is waiting.
+    pub(in crate::monitor) fn complete_prefetch(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+        flight: PrefetchFlight,
+    ) {
+        let PrefetchFlight { vpn, pending } = flight;
+        let issued_at = pending.issued_at();
+        let result = self.store.finish_get(pending);
+        if result.is_ok() && self.headroom() == 0 {
+            // The LRU filled (or shrank) while the read was in flight:
+            // installing now would evict a demand-loaded page for a
+            // guess. Drop the fetched copy and count the flight wasted.
+            self.stats.prefetch_wasted.inc();
+            self.trace(|| format!("prefetch of {vpn} discarded: no LRU headroom at completion"));
+            return;
+        }
+        self.note_prefetch_result(uffd, pt, pm, vpn, issued_at, result);
+    }
+
+    /// Converts an in-flight speculative read into a demand fault's read
+    /// flight: the guest asked for the page mid-flight and pays only the
+    /// remaining flight time (a prefetch hit, resolved early). Runs the
+    /// same overlapped evictor work as [`Monitor::stage_issue_read`].
+    pub(in crate::monitor) fn stage_adopt_prefetch(
+        &mut self,
+        uffd: &mut Userfaultfd,
+        pt: &mut PageTable,
+        pm: &mut PhysicalMemory,
+        key: ExternalKey,
+        flight: PrefetchFlight,
+    ) -> ReadFlight {
+        let t0 = self.clock.now();
+        let span = self.telemetry.begin(consts::TRACK_MONITOR, "kv.read");
+        self.stats.prefetch_hits.inc();
+        self.prefetch_timeliness
+            .observe(t0.saturating_since(flight.pending.issued_at()));
+        self.trace(|| {
+            format!(
+                "fault on {} adopted its in-flight speculative read",
+                flight.vpn
+            )
+        });
+        self.evict_while_full(uffd, pt, pm);
+        self.bookkeeping_update_cache();
+        ReadFlight {
+            t0,
+            span,
+            key,
+            pending: flight.pending,
+        }
     }
 
     /// Synchronous read (Table II "Default"): the full store round trip

@@ -288,6 +288,9 @@ fn sequential_prefetch_pulls_successors() {
         monitor.handle_fault(&mut uffd, &mut pt, &mut pm, region.page(i).vpn(), true);
     }
     monitor.drain_writes();
+    // Grow the buffer so there is headroom: prefetch is capped at current
+    // headroom (issuing into a full buffer would just churn the LRU).
+    monitor.resize(&mut uffd, &mut pt, &mut pm, 32);
     // Refault page 0: pages 1..=4 should be prefetched.
     monitor.handle_fault(&mut uffd, &mut pt, &mut pm, region.page(0).vpn(), false);
     assert!(
@@ -450,6 +453,8 @@ fn prefetch_transients_are_counted_apart_from_misses() {
         fault(&mut r, i, true);
     }
     r.monitor.drain_writes();
+    // Grow the buffer so the headroom cap does not suppress prefetch.
+    r.monitor.resize(&mut r.uffd, &mut r.pt, &mut r.pm, 48);
     // Spread refaults so each one has evicted successors to prefetch.
     for i in [0, 8, 16, 24, 32, 40] {
         fault(&mut r, i, false);

@@ -50,6 +50,13 @@ pub struct VmSignals {
     /// Compressed bytes currently charged to the VM's tier pool (a
     /// gauge, like residency/capacity).
     pub tier_pool_bytes: u64,
+    /// Speculative reads issued by the VM's prefetch policy.
+    pub prefetch_issued: u64,
+    /// Prefetched pages the guest actually touched. With
+    /// `prefetch_issued` this gives the arbiter the VM's prefetch
+    /// accuracy over a window — speculation that isn't paying off is
+    /// remote-read bandwidth the host can take back.
+    pub prefetch_hits: u64,
 }
 
 impl VmSignals {
@@ -112,6 +119,10 @@ impl VmSignals {
             tier_hits: self.tier_hits.saturating_sub(baseline.tier_hits),
             tier_demotions: self.tier_demotions.saturating_sub(baseline.tier_demotions),
             tier_pool_bytes: self.tier_pool_bytes,
+            prefetch_issued: self
+                .prefetch_issued
+                .saturating_sub(baseline.prefetch_issued),
+            prefetch_hits: self.prefetch_hits.saturating_sub(baseline.prefetch_hits),
         }
     }
 }
@@ -162,6 +173,8 @@ mod tests {
             tier_hits: 5,
             tier_demotions: 2,
             tier_pool_bytes: 4096,
+            prefetch_issued: 10,
+            prefetch_hits: 4,
         };
         let now = VmSignals {
             accesses: 150,
@@ -180,6 +193,8 @@ mod tests {
             tier_hits: 9,
             tier_demotions: 6,
             tier_pool_bytes: 8192,
+            prefetch_issued: 25,
+            prefetch_hits: 14,
         };
         let w = now.window_since(&base);
         assert_eq!(w.accesses, 50);
@@ -196,5 +211,7 @@ mod tests {
         assert_eq!(w.tier_hits, 4);
         assert_eq!(w.tier_demotions, 4);
         assert_eq!(w.tier_pool_bytes, 8192, "gauge carried, not subtracted");
+        assert_eq!(w.prefetch_issued, 15);
+        assert_eq!(w.prefetch_hits, 10);
     }
 }

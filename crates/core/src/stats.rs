@@ -46,6 +46,25 @@ pub struct MonitorStats {
     /// Prefetched pages discarded because the post-fetch `uffd` copy-in
     /// failed (the page got mapped while the read was in flight).
     pub prefetch_copy_skips: u64,
+    /// Speculative reads issued by the prefetch policy (the accuracy
+    /// panel's denominator).
+    pub prefetch_issued: u64,
+    /// Prefetched pages the guest actually touched: first access to an
+    /// installed page, or a demand fault adopting an in-flight read.
+    pub prefetch_hits: u64,
+    /// Prefetched pages evicted, unmapped, or discarded before the guest
+    /// ever touched them — wasted remote reads.
+    pub prefetch_wasted: u64,
+    /// Prefetches dropped on a *non-retryable* store error (data loss /
+    /// corruption). Speculation must not take the monitor down; the
+    /// demand path surfaces the real error if the guest needs the page.
+    pub prefetch_fatal_errors: u64,
+    /// Stride-prefetch issue rounds suppressed because the VM looked to
+    /// be thrashing (WSS estimate over LRU capacity).
+    pub prefetch_suppressed_thrash: u64,
+    /// Stride-prefetch issue rounds suppressed because LRU headroom was
+    /// below the prefetch depth.
+    pub prefetch_suppressed_headroom: u64,
     /// Store reads retried after a retryable error (timeout /
     /// transient refusal). Backoff time is charged to the fault.
     pub read_retries: u64,
@@ -158,6 +177,12 @@ monitor_counters! {
     (prefetch_misses, "prefetch_miss", "Prefetch attempts that found nothing."),
     (prefetch_transient_errors, "prefetch_transient_error", "Prefetches abandoned on a retryable store error."),
     (prefetch_copy_skips, "prefetch_copy_skip", "Prefetched pages discarded because the copy-in failed."),
+    (prefetch_issued, "prefetch_issued", "Speculative reads issued by the prefetch policy."),
+    (prefetch_hits, "prefetch_hit", "Prefetched pages the guest actually touched."),
+    (prefetch_wasted, "prefetch_wasted", "Prefetched pages discarded before any guest touch."),
+    (prefetch_fatal_errors, "prefetch_fatal_error", "Prefetches dropped on a non-retryable store error."),
+    (prefetch_suppressed_thrash, "prefetch_suppressed_thrash", "Prefetch rounds suppressed by the thrash gate."),
+    (prefetch_suppressed_headroom, "prefetch_suppressed_headroom", "Prefetch rounds suppressed for lack of LRU headroom."),
     (read_retries, "read_retry", "Store reads retried after a retryable error."),
     (write_retries, "write_retry", "Store writes retried after a retryable error."),
     (flush_failures, "flush_failure", "Flushes whose multi-write failed retryably."),

@@ -186,6 +186,10 @@ impl KeyValueStore for FaultInjectingStore {
                 self.unavailables.inc();
                 Err(KvError::Unavailable)
             }
+            Some(FaultKind::Fatal) => {
+                self.clock.advance(self.refusal_cost());
+                Err(KvError::Corruption("injected fatal fault"))
+            }
         }
     }
 
@@ -224,6 +228,14 @@ impl KeyValueStore for FaultInjectingStore {
                     completes_at: self.clock.now() + self.refusal_cost(),
                 }
             }
+            // A non-retryable refusal: the stored object is damaged in
+            // place, so the error ships with the completion.
+            Some(FaultKind::Fatal) => PendingGet {
+                key,
+                result: Err(KvError::Corruption("injected fatal fault")),
+                issued_at: self.clock.now(),
+                completes_at: self.clock.now() + self.refusal_cost(),
+            },
         }
     }
 
@@ -265,6 +277,10 @@ impl KeyValueStore for FaultInjectingStore {
                 self.clock.advance(self.refusal_cost());
                 self.unavailables.inc();
                 Err(KvError::Unavailable)
+            }
+            Some(FaultKind::Fatal) => {
+                self.clock.advance(self.refusal_cost());
+                Err(KvError::Corruption("injected fatal fault"))
             }
         }
     }

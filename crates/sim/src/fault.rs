@@ -51,10 +51,17 @@ pub enum FaultKind {
     /// The server refuses the request with a transient, retryable error
     /// (overload, leader change, ...). No side effect.
     TransientError,
+    /// The server refuses the request with a *non-retryable* error
+    /// (checksum mismatch, corrupted object, ...). No side effect, and no
+    /// amount of retrying helps — the caller must degrade or surface it.
+    Fatal,
 }
 
 impl FaultKind {
-    /// All fault kinds, for sweeps.
+    /// All *recoverable* fault kinds, for sweeps. [`FaultKind::Fatal`] is
+    /// deliberately excluded: sweeps drive retry loops, and a fatal error
+    /// is defined as the one retrying can't fix (scripted regression
+    /// tests inject it explicitly instead).
     pub const ALL: [FaultKind; 5] = [
         FaultKind::Drop,
         FaultKind::Timeout,
@@ -71,6 +78,7 @@ impl FaultKind {
             FaultKind::Duplicate => "duplicate",
             FaultKind::SlowReplica => "slow-replica",
             FaultKind::TransientError => "transient-error",
+            FaultKind::Fatal => "fatal",
         }
     }
 }
@@ -97,12 +105,20 @@ pub struct FaultPlanStats {
     pub slow_replicas: u64,
     /// Transient server refusals.
     pub transient_errors: u64,
+    /// Non-retryable server refusals (scripted only; see
+    /// [`FaultKind::Fatal`]).
+    pub fatals: u64,
 }
 
 impl FaultPlanStats {
     /// Total injected faults of any kind.
     pub fn total(&self) -> u64 {
-        self.drops + self.timeouts + self.duplicates + self.slow_replicas + self.transient_errors
+        self.drops
+            + self.timeouts
+            + self.duplicates
+            + self.slow_replicas
+            + self.transient_errors
+            + self.fatals
     }
 
     fn count(&mut self, kind: FaultKind) {
@@ -112,6 +128,7 @@ impl FaultPlanStats {
             FaultKind::Duplicate => self.duplicates += 1,
             FaultKind::SlowReplica => self.slow_replicas += 1,
             FaultKind::TransientError => self.transient_errors += 1,
+            FaultKind::Fatal => self.fatals += 1,
         }
     }
 }

@@ -110,9 +110,19 @@ impl SwapConfig {
         }
     }
 
-    /// Readahead window size in pages.
+    /// The largest meaningful `vm.page-cluster`: a 2^20-page (4 GB)
+    /// readahead window already exceeds any guest this simulates.
+    /// Shifting `1u64` by an unclamped `u32` is undefined for shifts
+    /// ≥ 64 (debug panic, wrapping in release), so both the getter and
+    /// [`SwapConfig::validate`] pin the exponent here.
+    pub const MAX_PAGE_CLUSTER: u32 = 20;
+
+    /// Readahead window size in pages: `2^page_cluster`, with the
+    /// exponent clamped to [`SwapConfig::MAX_PAGE_CLUSTER`] so a wild
+    /// config value degrades to the maximum window instead of an
+    /// overflowing shift.
     pub fn readahead_pages(&self) -> u64 {
-        1 << self.page_cluster
+        1 << self.page_cluster.min(Self::MAX_PAGE_CLUSTER)
     }
 
     /// The low watermark in pages: kswapd wakes when free frames drop
@@ -131,12 +141,20 @@ impl SwapConfig {
             .max(self.low_watermark_pages() + 1)
     }
 
-    /// Checks the watermark fractions are ordered and sane.
+    /// Checks the watermark fractions are ordered and sane, and the
+    /// readahead exponent is in range.
     ///
     /// # Panics
     ///
-    /// Panics unless `0 < watermark_low < watermark_high <= 1`.
+    /// Panics unless `0 < watermark_low < watermark_high <= 1` and
+    /// `page_cluster <= MAX_PAGE_CLUSTER`.
     pub fn validate(&self) {
+        assert!(
+            self.page_cluster <= Self::MAX_PAGE_CLUSTER,
+            "page_cluster ({}) exceeds MAX_PAGE_CLUSTER ({})",
+            self.page_cluster,
+            Self::MAX_PAGE_CLUSTER
+        );
         assert!(
             self.watermark_low > 0.0,
             "watermark_low must be positive (got {})",
@@ -174,6 +192,31 @@ mod tests {
         let mut c = SwapConfig::paper_default(1024);
         c.page_cluster = 0;
         assert_eq!(c.readahead_pages(), 1);
+    }
+
+    #[test]
+    fn huge_page_cluster_saturates_instead_of_overflowing() {
+        let mut c = SwapConfig::paper_default(1024);
+        // 1u64 << 64 is an overflowing shift (debug panic, wrapping in
+        // release, either way garbage); the getter must clamp.
+        for wild in [64, 65, u32::MAX] {
+            c.page_cluster = wild;
+            assert_eq!(
+                c.readahead_pages(),
+                1 << SwapConfig::MAX_PAGE_CLUSTER,
+                "page_cluster={wild}"
+            );
+        }
+        c.page_cluster = SwapConfig::MAX_PAGE_CLUSTER;
+        assert_eq!(c.readahead_pages(), 1 << SwapConfig::MAX_PAGE_CLUSTER);
+    }
+
+    #[test]
+    #[should_panic(expected = "page_cluster")]
+    fn validate_rejects_out_of_range_page_cluster() {
+        let mut c = SwapConfig::paper_default(1024);
+        c.page_cluster = SwapConfig::MAX_PAGE_CLUSTER + 1;
+        c.validate();
     }
 
     #[test]

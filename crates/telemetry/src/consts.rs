@@ -99,6 +99,25 @@ pub const REFAULT_DISTANCE_PAGES: &str = "fluidmem_refault_distance_pages";
 /// from refault distances.
 pub const WSS_ESTIMATE_PAGES: &str = "fluidmem_wss_estimate_pages";
 
+/// Speculative prefetch reads issued to the store (counter) — the
+/// denominator of the prefetch accuracy panel.
+pub const PREFETCH_ISSUED: &str = "fluidmem_prefetch_issued_total";
+
+/// Prefetched pages the guest actually touched (counter): first guest
+/// access to an installed page, plus demand faults that adopted a
+/// still-in-flight speculative read.
+pub const PREFETCH_HITS: &str = "fluidmem_prefetch_hits_total";
+
+/// Prefetched pages that were evicted, unmapped, or discarded before the
+/// guest ever touched them (counter) — pure wasted remote reads.
+pub const PREFETCH_WASTED: &str = "fluidmem_prefetch_wasted_total";
+
+/// Prefetch timeliness histogram: virtual time from a speculative read's
+/// issue to the guest's first touch of the page. Small values mean the
+/// prefetcher barely ran ahead of demand (adopted in flight); large
+/// values mean pages sat idle in the LRU.
+pub const PREFETCH_TIMELINESS_US: &str = "fluidmem_prefetch_timeliness_us";
+
 /// Cluster-layer operation counter (labeled by [`LABEL_NODE`] and
 /// [`LABEL_OP`]): per-store-node reads, writes, deletes, and retryable
 /// errors as routed by the consistent-hash cluster.

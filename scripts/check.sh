@@ -226,4 +226,43 @@ if grep '"bench":"tiering"' "$tier_json_a" | grep -qv '"duplicated_pages":0'; th
 fi
 rm -f "$tier_out_a" "$tier_out_b" "$tier_json_a" "$tier_json_b"
 
+echo "==> prefetch smoke: phase sweep (twice, byte-identical, strided hit rate, zero fatal errors)"
+pf_out_a="$(mktemp)"
+pf_out_b="$(mktemp)"
+pf_json_a="$(mktemp)"
+pf_json_b="$(mktemp)"
+cargo run -q --release -p fluidmem-bench --bin prefetch -- --smoke --json "$pf_json_a" > "$pf_out_a"
+cargo run -q --release -p fluidmem-bench --bin prefetch -- --smoke --json "$pf_json_b" > "$pf_out_b"
+test -s "$pf_json_a" || { echo "prefetch smoke: empty JSON output" >&2; exit 1; }
+cmp "$pf_out_a" "$pf_out_b" || {
+    echo "prefetch smoke: stdout not deterministic" >&2
+    exit 1
+}
+cmp "$pf_json_a" "$pf_json_b" || {
+    echo "prefetch smoke: JSON output not deterministic" >&2
+    exit 1
+}
+grep -q '"bench":"prefetch_gate"' "$pf_json_a" || {
+    echo "prefetch smoke: gate record missing" >&2
+    exit 1
+}
+# Speculation must never panic the monitor on a store error.
+if grep '"bench":"prefetch_gate"' "$pf_json_a" | grep -qv '"fatal_errors":0'; then
+    echo "prefetch smoke: fatal store errors surfaced on the prefetch path" >&2
+    exit 1
+fi
+# The detector must cover at least half the strided phase's accesses on
+# the depth-8 pipeline; below that the trend prefetcher is not working.
+pf_hit="$(grep '"bench":"prefetch_gate"' "$pf_json_a" \
+    | sed 's/.*"strided_hit_rate":\([0-9.eE+-]*\).*/\1/')"
+test -n "$pf_hit" || {
+    echo "prefetch smoke: strided_hit_rate missing from gate record" >&2
+    exit 1
+}
+awk -v hit="$pf_hit" 'BEGIN { exit (hit >= 0.5) ? 0 : 1 }' || {
+    echo "prefetch smoke: strided-phase hit rate ($pf_hit) fell below 0.5" >&2
+    exit 1
+}
+rm -f "$pf_out_a" "$pf_out_b" "$pf_json_a" "$pf_json_b"
+
 echo "==> all checks passed"
